@@ -1,0 +1,49 @@
+//! Criterion benches of the communication layer: ghost pack/unpack and a
+//! full distributed cavity step.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use trillium_comm::{pack_face, unpack_face};
+use trillium_core::prelude::*;
+use trillium_field::{PdfField, Shape, SoaPdfField};
+use trillium_lattice::D3Q19;
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let shape = Shape::cube(64);
+    let mut f = SoaPdfField::<D3Q19>::new(shape);
+    f.fill_equilibrium(1.0, [0.01, 0.0, 0.0]);
+    let face_bytes = (64 * 64 * 5 * 8) as u64;
+
+    let mut g = c.benchmark_group("ghost");
+    g.throughput(Throughput::Bytes(face_bytes));
+    g.bench_function("pack_face_64", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            pack_face::<D3Q19, _>(&f, [1, 0, 0], &mut buf);
+            buf.len()
+        })
+    });
+    let mut buf = Vec::new();
+    pack_face::<D3Q19, _>(&f, [1, 0, 0], &mut buf);
+    g.bench_function("unpack_face_64", |b| {
+        b.iter(|| unpack_face::<D3Q19, _>(&mut f, [-1, 0, 0], &buf))
+    });
+    g.finish();
+}
+
+fn bench_distributed_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed");
+    g.sample_size(10);
+    g.bench_function("cavity_32c_8ranks_5steps", |b| {
+        let scenario = Scenario::lid_driven_cavity(32, 2, 0.05, 0.05);
+        b.iter(|| run_distributed(&scenario, 8, 1, 5))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pack_unpack, bench_distributed_step
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches of the geometry pipeline: signed-distance queries
+//! (octree-accelerated mesh vs analytic tree), block classification and
+//! voxelization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use trillium_field::Shape;
+use trillium_geometry::vec3::vec3;
+use trillium_geometry::voxelize::{classify_block, voxelize_block, VoxelizeConfig};
+use trillium_geometry::{Aabb, MeshSdf, SignedDistance, TriMesh, VascularTree, VascularTreeParams};
+
+fn tree() -> VascularTree {
+    VascularTree::generate(&VascularTreeParams { generations: 8, ..Default::default() })
+}
+
+fn bench_sdf(c: &mut Criterion) {
+    let t = tree();
+    let bb = t.bounding_box();
+    let queries: Vec<_> = (0..256)
+        .map(|i| {
+            let f = i as f64 / 256.0;
+            bb.min + (bb.max - bb.min) * f
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("sdf");
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_function("tree_signed_distance", |b| {
+        b.iter(|| queries.iter().map(|&p| t.signed_distance(p)).sum::<f64>())
+    });
+
+    let mesh_sdf = MeshSdf::new(TriMesh::make_sphere(vec3(0.0, 0.0, 0.0), 1.0, 32, 64));
+    let sphere_queries: Vec<_> =
+        (0..256).map(|i| vec3((i % 16) as f64 * 0.2 - 1.6, (i / 16) as f64 * 0.2 - 1.6, 0.3)).collect();
+    g.bench_function("mesh_signed_distance", |b| {
+        b.iter(|| sphere_queries.iter().map(|&p| mesh_sdf.signed_distance(p)).sum::<f64>())
+    });
+    g.finish();
+}
+
+fn bench_voxelize(c: &mut Criterion) {
+    let t = tree();
+    let bb = t.bounding_box();
+    let center = bb.center();
+    let block = Aabb::new(center - vec3(2.0, 2.0, 2.0), center + vec3(2.0, 2.0, 2.0));
+
+    let mut g = c.benchmark_group("voxelize");
+    g.bench_function("classify_block", |b| {
+        b.iter(|| classify_block(&t, &block, [16, 16, 16]))
+    });
+    let shape = Shape::cube(24);
+    let dx = 4.0 / 24.0;
+    g.bench_function("voxelize_block_24", |b| {
+        b.iter(|| voxelize_block(&t, block.min, dx, shape, &VoxelizeConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sdf, bench_voxelize
+}
+criterion_main!(benches);

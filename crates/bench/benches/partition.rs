@@ -1,0 +1,41 @@
+//! Criterion benches of the multilevel graph partitioner (METIS
+//! substitute) on block-graph-shaped inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trillium_partition::{partition_kway, Graph, PartitionOptions};
+
+fn grid_graph(n: usize) -> Graph {
+    let idx = |x: usize, y: usize, z: usize| ((z * n + y) * n + x) as u32;
+    let mut edges = Vec::new();
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                if x + 1 < n {
+                    edges.push((idx(x, y, z), idx(x + 1, y, z), 5.0));
+                }
+                if y + 1 < n {
+                    edges.push((idx(x, y, z), idx(x, y + 1, z), 5.0));
+                }
+                if z + 1 < n {
+                    edges.push((idx(x, y, z), idx(x, y, z + 1), 5.0));
+                }
+            }
+        }
+    }
+    Graph::from_edges(n * n * n, &edges, None)
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let graph = grid_graph(n);
+        g.bench_with_input(BenchmarkId::new("kway16_grid", n), &graph, |b, graph| {
+            b.iter(|| partition_kway(graph, 16, &PartitionOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation: Morton-curve vs multilevel-graph load balancing on the
+//! sparse vascular block forest (the design choice of paper §2.3, where
+//! METIS is used because blocks carry unequal workloads and communication
+//! weights).
+//!
+//! Reports, for several process counts: workload imbalance (max/mean) and
+//! communication edge cut (doubles per time step crossing rank
+//! boundaries) for both balancers, plus the naive block-index chunking
+//! baseline.
+
+use trillium_bench::{section, HarnessArgs};
+use trillium_blockforest::{balance_with, morton_balance, SetupForest};
+use trillium_core::loadbalance::{block_graph, graph_balance};
+use trillium_scaling::paper_tree;
+
+fn naive_chunks(forest: &mut SetupForest, procs: u32) {
+    let n = forest.num_blocks();
+    let per = n.div_ceil(procs as usize);
+    balance_with(forest, procs, |i| (i / per) as u32);
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let tree = paper_tree();
+    section("Load-balancing ablation on the coronary-tree forest");
+    let dx = if args.full { 0.05 } else { 0.12 };
+    let base = SetupForest::from_domain_sampled(&tree, dx, [16, 16, 16], 4);
+    println!(
+        "forest: {} blocks, {:.3e} fluid cells, mean fill {:.2}",
+        base.num_blocks(),
+        base.total_workload(),
+        base.total_workload() / base.num_blocks() as f64 / 4096.0
+    );
+    println!();
+    println!(
+        "{:<8} {:<10} {:>12} {:>16} {:>14}",
+        "procs", "balancer", "imbalance", "edge cut", "cut vs naive"
+    );
+    for procs in [8u32, 32, 128] {
+        let g = block_graph(&base);
+
+        let mut naive = base.clone();
+        naive_chunks(&mut naive, procs);
+        let cut_naive = g.edge_cut(&naive.blocks.iter().map(|b| b.rank).collect::<Vec<_>>());
+        println!(
+            "{:<8} {:<10} {:>12.3} {:>16.0} {:>14.2}",
+            procs,
+            "naive",
+            naive.imbalance(),
+            cut_naive,
+            1.0
+        );
+
+        let mut morton = base.clone();
+        morton_balance(&mut morton, procs);
+        let cut_m = g.edge_cut(&morton.blocks.iter().map(|b| b.rank).collect::<Vec<_>>());
+        println!(
+            "{:<8} {:<10} {:>12.3} {:>16.0} {:>14.2}",
+            procs,
+            "morton",
+            morton.imbalance(),
+            cut_m,
+            cut_m / cut_naive
+        );
+
+        let mut graph = base.clone();
+        let cut_g = graph_balance(&mut graph, procs, 1);
+        println!(
+            "{:<8} {:<10} {:>12.3} {:>16.0} {:>14.2}",
+            procs,
+            "graph",
+            graph.imbalance(),
+            cut_g,
+            cut_g / cut_naive
+        );
+    }
+    println!();
+    println!("expect: the graph partitioner holds imbalance near 1.0 with a");
+    println!("competitive cut; Morton is nearly as good at a fraction of the cost;");
+    println!("naive index chunking suffers on both metrics — the reason the paper");
+    println!("uses METIS for sparse geometries.");
+}

@@ -1,0 +1,61 @@
+//! Fig 1 — domain partitioning of the coronary tree with a target of one
+//! block per process: nodeboard scale (512) and, with `--full`, the whole
+//! JUQUEEN (458,752). Paper values: 485 blocks at 512 processes,
+//! 458,184 blocks at 458,752 processes.
+
+use trillium_bench::{section, HarnessArgs};
+use trillium_scaling::fig1::fig1_point;
+use trillium_scaling::paper_tree;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let tree = paper_tree();
+    section("Fig 1: one block per process partitionings of the coronary tree");
+    let mut targets = vec![512usize, 4096, 32_768];
+    if args.full {
+        targets.push(458_752);
+    }
+    println!(
+        "{:<12} {:>10} {:>8} {:>12}   (paper: 512 -> 485 [94.7 %]; 458752 -> 458184 [99.9 %])",
+        "processes", "blocks", "fill %", "dx"
+    );
+    let mut rows = Vec::new();
+    for t in targets {
+        let r = fig1_point(&tree, 32, t, 4);
+        println!("{:<12} {:>10} {:>8.1} {:>12.5}", r.processes, r.blocks, 100.0 * r.fill, r.dx);
+        rows.push(r);
+    }
+    if args.json {
+        println!("{}", serde_json::json!(rows));
+    }
+
+    // ASCII rendition of the Fig 1 content: a mid-depth slice of the
+    // candidate root grid, showing which blocks the partitioning keeps.
+    section("partition slice (z = mid): '#' kept block, '.' dropped");
+    let slice = fig1_point(&tree, 32, 2048, 4);
+    render_slice(&tree, slice.dx);
+}
+
+fn render_slice(tree: &trillium_geometry::VascularTree, dx: f64) {
+    use std::collections::HashSet;
+    use trillium_blockforest::SetupForest;
+    let forest = SetupForest::from_domain_sampled(tree, dx, [32, 32, 32], 4);
+    let kept: HashSet<(i64, i64)> = forest
+        .blocks
+        .iter()
+        .filter(|b| (b.coords[2] - forest.roots[2] as i64 / 2).abs() <= 0)
+        .map(|b| (b.coords[0], b.coords[1]))
+        .collect();
+    let (rx, ry) = (forest.roots[0].min(72), forest.roots[1]);
+    for y in (0..ry as i64).rev() {
+        let row: String = (0..rx as i64)
+            .map(|x| if kept.contains(&(x, y)) { '#' } else { '.' })
+            .collect();
+        println!("{row}");
+    }
+    println!(
+        "({} of {} candidate blocks in this slice belong to the domain)",
+        kept.len(),
+        rx * ry
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig 4 — ECM model of the TRT kernel at 2.7 GHz and 1.6 GHz, plus the
+//! host-measured saturation point for comparison.
+
+use trillium_bench::{bench_relaxation, measure_mlups, section, HarnessArgs};
+use trillium_kernels as kernels;
+use trillium_scaling::fig4::{fig4_series, performance_retention};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    section("Fig 4: ECM model, SuperMUC socket");
+    let rows = fig4_series();
+    println!("{:<8} {:>12} {:>12}", "cores", "2.7 GHz", "1.6 GHz");
+    for c in 1..=8u32 {
+        let at = |f: f64| rows.iter().find(|r| r.clock_ghz == f && r.cores == c).unwrap().mlups;
+        println!("{:<8} {:>12.1} {:>12.1}", c, at(2.7), at(1.6));
+    }
+    println!();
+    println!(
+        "performance retention at 1.6 GHz: {:.1} %  (paper: 93 %, at 25 % less energy)",
+        100.0 * performance_retention(1.6, 2.7)
+    );
+
+    // Host point: the measured AVX TRT kernel (single core, fixed clock).
+    let (src, mut dst) = trillium_bench::bench_fields(if args.full { 128 } else { 64 });
+    let rel = bench_relaxation();
+    let host = measure_mlups(|| kernels::avx::stream_collide_trt(&src, &mut dst, rel), 4);
+    println!("host AVX TRT kernel (1 core, host clock): {host:.1} MLUPS");
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::json!({"model": rows, "retention": performance_retention(1.6, 2.7), "host_mlups": host})
+        );
+    }
+}

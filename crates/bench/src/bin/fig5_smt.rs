@@ -1,0 +1,22 @@
+//! Fig 5 — SMT levels of the optimized TRT kernel on a JUQUEEN node
+//! (model series; the host has no 4-way SMT A2 cores, so there is no
+//! measured analogue — see EXPERIMENTS.md).
+
+use trillium_bench::{section, HarnessArgs};
+use trillium_scaling::fig5::fig5_series;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    section("Fig 5: SMT scaling on a JUQUEEN node (model)");
+    let rows = fig5_series();
+    println!("{:<8} {:>10} {:>10} {:>10}", "cores", "1-way", "2-way", "4-way");
+    for c in 1..=16u32 {
+        let at = |w: u32| rows.iter().find(|r| r.ways == w && r.cores == c).unwrap().mlups;
+        println!("{:<8} {:>10.1} {:>10.1} {:>10.1}", c, at(1), at(2), at(4));
+    }
+    println!();
+    println!("paper: 4-way SMT is required to saturate the memory interface (76.2 MLUPS roofline)");
+    if args.json {
+        println!("{}", serde_json::json!(rows));
+    }
+}

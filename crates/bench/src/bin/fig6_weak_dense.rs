@@ -1,0 +1,52 @@
+//! Fig 6 — weak scaling on dense regular domains for both machines:
+//! MLUPS/core and MPI share per configuration and core count (model),
+//! plus a real distributed lid-driven-cavity run on the host for the
+//! functional path (ranks as threads).
+
+use trillium_bench::{section, HarnessArgs};
+use trillium_core::prelude::*;
+use trillium_machine::MachineSpec;
+use trillium_scaling::fig6::{fig6_series, paper_cells_per_core, paper_configs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut all = Vec::new();
+    for machine in [MachineSpec::supermuc(), MachineSpec::juqueen()] {
+        let cells = paper_cells_per_core(&machine);
+        section(&format!(
+            "Fig 6: weak scaling on {} ({} cells/core)",
+            machine.name, cells
+        ));
+        let rows = fig6_series(&machine, cells);
+        for config in paper_configs(&machine) {
+            println!("-- {} --", config.label());
+            println!("{:<12} {:>14} {:>12}", "cores", "MLUPS/core", "MPI %");
+            for r in rows.iter().filter(|r| r.config == config.label()) {
+                println!(
+                    "{:<12} {:>14.2} {:>12.1}",
+                    r.cores,
+                    r.mlups_per_core,
+                    100.0 * r.mpi_fraction
+                );
+            }
+        }
+        all.extend(rows);
+    }
+
+    section("real distributed run on host (ranks = threads)");
+    let (n, b, procs, steps) = if args.full { (96, 4, 8, 20) } else { (48, 2, 4, 10) };
+    let scenario = Scenario::lid_driven_cavity(n, b, 0.05, 0.05);
+    let r = run_distributed(&scenario, procs, 1, steps);
+    let stats = r.total_stats();
+    let total_kernel: f64 = r.ranks.iter().map(|x| x.kernel_time).sum();
+    println!(
+        "{procs} ranks x {steps} steps on {n}^3 cells: {:.1} MLUPS aggregate (kernel only), comm share {:.1} %, mass drift {:.1e}",
+        stats.mlups(total_kernel / procs as f64),
+        100.0 * r.comm_fraction(),
+        r.mass_drift()
+    );
+
+    if args.json {
+        println!("{}", serde_json::json!(all));
+    }
+}

@@ -1,0 +1,47 @@
+//! §2.2 table — block-structure file sizes: the minimal-byte-width binary
+//! format at several scales, reproducing the paper's claims ("2 bytes per
+//! rank for up to 65,536 processes"; "half a million processes ... about
+//! 40 MiB" — ours is smaller because only ID + rank + workload are
+//! stored; see EXPERIMENTS.md).
+
+use trillium_bench::{section, HarnessArgs};
+use trillium_blockforest::{file, morton_balance, SetupForest};
+use trillium_geometry::vec3::vec3;
+use trillium_geometry::Aabb;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    section("Block-structure file format (§2.2)");
+    println!(
+        "{:<12} {:<12} {:>12} {:>14} {:>10}",
+        "blocks", "processes", "file bytes", "bytes/block", "load ok"
+    );
+    let mut sizes = vec![(8usize, 8u32), (4096, 4096), (32_768, 32_768), (262_144, 262_144)];
+    if args.full {
+        sizes.push((512_000, 512_000));
+    }
+    for (blocks, procs) in sizes {
+        let n = (blocks as f64).cbrt().round() as usize;
+        let e = n as f64;
+        let mut f =
+            SetupForest::uniform(Aabb::new(vec3(0.0, 0.0, 0.0), vec3(e, e, e)), [n, n, n], [100; 3]);
+        morton_balance(&mut f, procs);
+        let data = file::save(&f);
+        let ok = file::load(&data).map(|g| g.num_blocks() == f.num_blocks()).unwrap_or(false);
+        println!(
+            "{:<12} {:<12} {:>12} {:>14.1} {:>10}",
+            f.num_blocks(),
+            procs,
+            data.len(),
+            data.len() as f64 / f.num_blocks() as f64,
+            ok
+        );
+    }
+    println!();
+    println!("rank byte-width examples: 65,536 processes -> 2 bytes; 65,537 -> 3 bytes");
+    println!(
+        "byte widths: {} / {}",
+        file::byte_width(65_535),
+        file::byte_width(65_536)
+    );
+}

@@ -1,0 +1,23 @@
+//! §4.2 headline numbers: paper vs. model reproduction.
+
+use trillium_bench::{section, HarnessArgs};
+use trillium_scaling::headline::headlines;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    section("§4.2 headline numbers: paper vs reproduction");
+    println!("{:<38} {:>12} {:>12} {:>8}", "quantity", "paper", "ours", "ratio");
+    let rows = headlines();
+    for r in &rows {
+        println!(
+            "{:<38} {:>12.1} {:>12.1} {:>8.2}",
+            r.quantity,
+            r.paper,
+            r.ours,
+            r.ours / r.paper
+        );
+    }
+    if args.json {
+        println!("{}", serde_json::json!(rows));
+    }
+}

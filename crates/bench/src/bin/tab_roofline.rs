@@ -1,0 +1,49 @@
+//! §4.1 table — roofline arithmetic for both machines and the measured
+//! host: STREAM vs LBM-pattern bandwidth and the resulting MLUPS bounds.
+
+use trillium_bench::{section, HarnessArgs};
+use trillium_machine::{measure_copy_bandwidth, measure_lbm_bandwidth, MachineSpec};
+use trillium_perfmodel::{bytes_per_lup, roofline_mlups};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    section("Roofline inputs and bounds (paper §4.1)");
+    println!("bytes per D3Q19 lattice update (write-allocate): {}", bytes_per_lup(19));
+    println!();
+    println!(
+        "{:<12} {:>14} {:>16} {:>18}",
+        "machine", "STREAM GiB/s", "LBM-pattern GiB/s", "roofline MLUPS"
+    );
+    for m in [MachineSpec::supermuc(), MachineSpec::juqueen()] {
+        println!(
+            "{:<12} {:>14.1} {:>16.1} {:>18.1}",
+            m.name,
+            m.stream_bw_gib,
+            m.lbm_bw_gib,
+            roofline_mlups(m.lbm_bw_gib, 19)
+        );
+    }
+
+    let size = if args.full { 64 << 20 } else { 16 << 20 };
+    let copy = measure_copy_bandwidth(size, 5);
+    let lbm = measure_lbm_bandwidth(size / 19 / 8, 5);
+    println!(
+        "{:<12} {:>14.1} {:>16.1} {:>18.1}   (measured now)",
+        "host",
+        copy,
+        lbm,
+        roofline_mlups(lbm, 19)
+    );
+    println!();
+    println!("paper: 37.3 GiB/s -> 87.8 MLUPS (SuperMUC socket); 32.4 GiB/s -> 76.2 MLUPS (JUQUEEN node)");
+    if args.json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "host_stream_gib": copy,
+                "host_lbm_gib": lbm,
+                "host_roofline_mlups": roofline_mlups(lbm, 19),
+            })
+        );
+    }
+}

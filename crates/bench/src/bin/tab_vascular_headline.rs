@@ -1,0 +1,58 @@
+//! §4.3 / §5 headline numbers for the vascular experiments: the
+//! trillion-fluid-cell discretization, time-step lengths at the finest
+//! resolution, and the strong-scaling peak rates.
+
+use trillium_bench::{section, HarnessArgs};
+use trillium_lattice::UnitConverter;
+use trillium_machine::MachineSpec;
+use trillium_scaling::fig7::{fig7_point, Fig7Config};
+use trillium_scaling::fig8::{dx_for_fluid_cells, fig8_point, paper_edges};
+use trillium_scaling::paper_tree;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let tree = paper_tree();
+
+    section("time-step arithmetic at the paper's finest resolution (§4.3)");
+    let uc = UnitConverter::from_velocity_limit(1.276e-6, 0.2, 0.1);
+    println!("dx = 1.276 um, u_max = 0.2 m/s, lattice limit 0.1 -> dt = {:.3} us (paper: 0.64 us)", uc.dt * 1e6);
+
+    section("largest vascular weak-scaling point (model; --full for paper scale)");
+    let m = MachineSpec::juqueen();
+    let cfg = if args.full {
+        Fig7Config::paper(&m)
+    } else {
+        Fig7Config { block_edge: 24, ..Fig7Config::paper(&m) }
+    };
+    let cores: u64 = if args.full { 458_752 } else { 1 << 12 };
+    let row = fig7_point(&tree, &m, &cfg, cores);
+    let fluid_total = row.mflups_per_core; // placeholder to avoid unused warnings
+    let _ = fluid_total;
+    let blocks = row.blocks;
+    let block_cells = (cfg.block_edge as u64).pow(3);
+    let total_fluid = row.fluid_fraction * (blocks as u64 * block_cells) as f64;
+    println!(
+        "{} cores: {} blocks of {}^3, fluid fraction {:.3}, total fluid cells {:.3e}",
+        cores, blocks, cfg.block_edge, row.fluid_fraction, total_fluid
+    );
+    println!("paper (full machine): 1,033,660,569,847 fluid cells at 1.276 um, 1.25 time steps/s");
+    let steps_per_s = row.mflups_per_core * cores as f64 * 1e6 / total_fluid;
+    println!("modeled time steps/s at this point: {steps_per_s:.2}");
+
+    section("strong-scaling peak rates (§4.3/§5)");
+    let sm = MachineSpec::supermuc();
+    let dx = dx_for_fluid_cells(&tree, if args.full { 2.1e6 } else { 4e5 }, 0.2);
+    let cfg_sm = Fig7Config {
+        threads: 4,
+        cores_per_proc: 4,
+        samples: 4,
+        coverage_sample_blocks: 5,
+        block_edge: 0,
+    };
+    let peak_cores: u64 = if args.full { 32_768 } else { 4096 };
+    let peak = fig8_point(&tree, &sm, &cfg_sm, dx, peak_cores, &paper_edges());
+    println!(
+        "SuperMUC at {} cores: {:.0} time steps/s with {}^3 blocks (paper peak: 6638 steps/s at 32768 cores)",
+        peak_cores, peak.timesteps_per_s, peak.best_edge
+    );
+}

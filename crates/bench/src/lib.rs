@@ -1,0 +1,80 @@
+//! Shared helpers for the figure/table harness binaries and the Criterion
+//! benches.
+//!
+//! Every `fig*` / `tab*` binary regenerates one figure or table of the
+//! paper's evaluation section (the mapping is in DESIGN.md §4). Binaries
+//! print a human-readable table to stdout; pass `--json` to also emit the
+//! raw series as JSON on the last line.
+
+use std::time::Instant;
+use trillium_field::{PdfField, Shape, SoaPdfField};
+use trillium_kernels::SweepStats;
+use trillium_lattice::{Relaxation, D3Q19};
+
+/// Parses the common CLI flags of the harness binaries.
+pub struct HarnessArgs {
+    /// Emit machine-readable JSON after the table.
+    pub json: bool,
+    /// Run at full paper scale (slow) instead of the workstation default.
+    pub full: bool,
+}
+
+impl HarnessArgs {
+    /// Reads flags from `std::env::args`.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        HarnessArgs {
+            json: args.iter().any(|a| a == "--json"),
+            full: args.iter().any(|a| a == "--full"),
+        }
+    }
+}
+
+/// Prints a separator + title for a harness section.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// Measures the MLUPS of a kernel closure over `reps` sweeps on a field
+/// of the given shape, after one warm-up sweep.
+pub fn measure_mlups<F: FnMut() -> SweepStats>(mut sweep: F, reps: usize) -> f64 {
+    let _ = sweep(); // warm-up
+    let start = Instant::now();
+    let mut stats = SweepStats::default();
+    for _ in 0..reps {
+        stats.merge(sweep());
+    }
+    stats.mlups(start.elapsed().as_secs_f64())
+}
+
+/// A pair of SoA fields initialized to a perturbed equilibrium, ready for
+/// kernel benchmarking.
+pub fn bench_fields(n: usize) -> (SoaPdfField<D3Q19>, SoaPdfField<D3Q19>) {
+    let shape = Shape::cube(n);
+    let mut src = SoaPdfField::<D3Q19>::new(shape);
+    let dst = SoaPdfField::<D3Q19>::new(shape);
+    src.fill_equilibrium(1.0, [0.02, 0.01, -0.01]);
+    for (i, v) in src.data_mut().iter_mut().enumerate() {
+        *v += 1e-5 * ((i % 101) as f64 - 50.0);
+    }
+    (src, dst)
+}
+
+/// The standard relaxation used by all benchmarks (TRT, paper's choice).
+pub fn bench_relaxation() -> Relaxation {
+    Relaxation::trt_from_viscosity(0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_mlups_returns_positive_rate() {
+        let (src, mut dst) = bench_fields(16);
+        let rel = bench_relaxation();
+        let m = measure_mlups(|| trillium_kernels::soa::stream_collide_trt(&src, &mut dst, rel), 2);
+        assert!(m > 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Initial, static load balancing of setup blocks onto processes.
+//!
+//! Two strategies are provided, mirroring the paper:
+//!
+//! * [`morton_balance`] — blocks are ordered along a Morton (Z-order)
+//!   space-filling curve and the curve is cut into contiguous chunks of
+//!   (approximately) equal workload. Fast, locality-preserving, the
+//!   default for dense regular domains.
+//! * graph partitioning (METIS in the paper) lives in the `partition`
+//!   crate and is plugged in through [`balance_with`]; it additionally
+//!   minimizes the communication volume between processes.
+
+use crate::setup::SetupForest;
+
+/// Interleaves the lower 42 bits of three coordinates into a Morton code
+/// (x in bit 0, y in bit 1, z in bit 2 of each triple). Setup-phase only,
+/// so the straightforward bit loop is plenty fast.
+pub fn morton_code(x: u64, y: u64, z: u64) -> u128 {
+    let mut out = 0u128;
+    for i in 0..42u32 {
+        out |= (((x >> i) & 1) as u128) << (3 * i)
+            | (((y >> i) & 1) as u128) << (3 * i + 1)
+            | (((z >> i) & 1) as u128) << (3 * i + 2);
+    }
+    out
+}
+
+/// Assigns blocks to `num_processes` ranks by cutting the Morton curve into
+/// chunks of approximately equal workload. Every rank receives a contiguous
+/// curve segment, so blocks on one process neighbor each other spatially
+/// ("blocks on one process are ideally neighboring each other to exploit
+/// fast local communication", §2.3).
+pub fn morton_balance(forest: &mut SetupForest, num_processes: u32) {
+    assert!(num_processes > 0);
+    // Mixed-level forests: scale coordinates to the finest level so curve
+    // positions nest.
+    let max_level = forest.blocks.iter().map(|b| b.id.level()).max().unwrap_or(0);
+    let mut order: Vec<usize> = (0..forest.blocks.len()).collect();
+    order.sort_by_key(|&i| {
+        let b = &forest.blocks[i];
+        let c = b.coords;
+        let shift = (max_level - b.id.level()) as u64;
+        (
+            morton_code((c[0] as u64) << shift, (c[1] as u64) << shift, (c[2] as u64) << shift),
+            b.id,
+        )
+    });
+
+    let total: f64 = forest.total_workload();
+    let per_rank = total / num_processes as f64;
+    let mut acc = 0.0;
+    let mut rank = 0u32;
+    for &i in &order {
+        // Advance to the rank whose quota this block's start falls into,
+        // never beyond the last rank.
+        while rank + 1 < num_processes && acc + forest.blocks[i].workload * 0.5 >= per_rank * (rank + 1) as f64
+        {
+            rank += 1;
+        }
+        forest.blocks[i].rank = rank;
+        acc += forest.blocks[i].workload;
+    }
+    forest.num_processes = num_processes;
+}
+
+/// Balances with a caller-supplied assignment function mapping each block
+/// (workload, neighbors come from the caller's own analysis) to a rank.
+/// Used to plug in the graph partitioner.
+pub fn balance_with<F: FnMut(usize) -> u32>(
+    forest: &mut SetupForest,
+    num_processes: u32,
+    mut assign: F,
+) {
+    for (i, b) in forest.blocks.iter_mut().enumerate() {
+        let r = assign(i);
+        assert!(r < num_processes, "assignment out of range");
+        b.rank = r;
+    }
+    forest.num_processes = num_processes;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trillium_geometry::vec3::vec3;
+    use trillium_geometry::Aabb;
+
+    #[test]
+    fn morton_code_orders_locally() {
+        // The eight corners of a 2³ cube enumerate 0..8 in octant order.
+        let mut codes = Vec::new();
+        for z in 0..2 {
+            for y in 0..2 {
+                for x in 0..2 {
+                    codes.push(morton_code(x, y, z));
+                }
+            }
+        }
+        let mut sorted = codes.clone();
+        sorted.sort();
+        assert_eq!(codes, sorted);
+        assert_eq!(codes[0], 0);
+        assert_eq!(codes[7], 7);
+    }
+
+    #[test]
+    fn morton_code_handles_large_coordinates() {
+        let a = morton_code(1 << 20, 0, 0);
+        let b = morton_code(0, 1 << 20, 0);
+        let c = morton_code(0, 0, 1 << 20);
+        assert!(a < b && b < c);
+        assert_eq!(morton_code((1 << 21) - 1, (1 << 21) - 1, (1 << 21) - 1).count_ones(), 63);
+    }
+
+    #[test]
+    fn balance_distributes_workload_evenly() {
+        let domain = Aabb::new(vec3(0.0, 0.0, 0.0), vec3(8.0, 8.0, 8.0));
+        let mut f = SetupForest::uniform(domain, [8, 8, 8], [10, 10, 10]);
+        morton_balance(&mut f, 64);
+        assert_eq!(f.num_processes, 64);
+        // 512 equal blocks over 64 ranks: exactly 8 each.
+        let w = f.rank_workloads();
+        assert!(w.iter().all(|&x| (x - 8.0 * 1000.0).abs() < 1e-9), "{w:?}");
+        assert!((f.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_with_unequal_workloads_stays_reasonable() {
+        let domain = Aabb::new(vec3(0.0, 0.0, 0.0), vec3(8.0, 8.0, 1.0));
+        let mut f = SetupForest::uniform(domain, [8, 8, 1], [10, 10, 10]);
+        // Make workloads vary.
+        for (i, b) in f.blocks.iter_mut().enumerate() {
+            b.workload = 100.0 + (i % 7) as f64 * 50.0;
+        }
+        morton_balance(&mut f, 8);
+        let imb = f.imbalance();
+        assert!(imb < 1.35, "imbalance {imb}");
+        // All ranks used.
+        let w = f.rank_workloads();
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn one_block_per_process_target() {
+        let domain = Aabb::new(vec3(0.0, 0.0, 0.0), vec3(4.0, 4.0, 4.0));
+        let mut f = SetupForest::uniform(domain, [4, 4, 4], [8, 8, 8]);
+        morton_balance(&mut f, 64);
+        let mut counts = vec![0; 64];
+        for b in &f.blocks {
+            counts[b.rank as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+
+    #[test]
+    fn curve_chunks_are_spatially_compact() {
+        let domain = Aabb::new(vec3(0.0, 0.0, 0.0), vec3(8.0, 8.0, 8.0));
+        let mut f = SetupForest::uniform(domain, [8, 8, 8], [4, 4, 4]);
+        morton_balance(&mut f, 64);
+        // Each rank's 8 blocks must fit in a small bounding box (Morton
+        // chunks of size 8 on an aligned grid are 2×2×2 cubes).
+        for r in 0..64 {
+            let mut bb = Aabb::EMPTY;
+            for b in f.blocks.iter().filter(|b| b.rank == r) {
+                bb.grow_box(&b.aabb);
+            }
+            let e = bb.extents();
+            assert!(e.x <= 2.0 + 1e-9 && e.y <= 2.0 + 1e-9 && e.z <= 2.0 + 1e-9);
+        }
+    }
+}

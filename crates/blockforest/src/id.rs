@@ -1,0 +1,146 @@
+//! Structured block identifiers.
+//!
+//! A block ID encodes the root-block index and the full octree path,
+//! following the waLBerla idea of compact, hierarchical IDs: the path
+//! stores three bits per refinement level (the child octant). IDs are
+//! unique across the forest, support O(1) parent/child navigation, and
+//! pack into a single `u64` for the size-optimized file format.
+
+/// A block identifier: root index plus octree path plus level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId {
+    /// `(root_index << (3 · level)) | path`, deepest octant in the lowest
+    /// three bits.
+    bits: u64,
+    /// Refinement level; 0 for root blocks.
+    level: u8,
+}
+
+impl BlockId {
+    /// Maximum refinement depth supported by the packed representation.
+    pub const MAX_LEVEL: u8 = 15;
+
+    /// The ID of an unrefined root block.
+    pub fn root(root_index: u64) -> Self {
+        assert!(root_index < (1 << 56), "root index too large");
+        BlockId { bits: root_index, level: 0 }
+    }
+
+    /// The ID of child octant `octant ∈ 0..8` of this block.
+    pub fn child(self, octant: u8) -> Self {
+        assert!(octant < 8);
+        assert!(self.level < Self::MAX_LEVEL, "maximum refinement depth exceeded");
+        BlockId { bits: (self.bits << 3) | octant as u64, level: self.level + 1 }
+    }
+
+    /// The parent ID; `None` for root blocks.
+    pub fn parent(self) -> Option<Self> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(BlockId { bits: self.bits >> 3, level: self.level - 1 })
+        }
+    }
+
+    /// Refinement level: 0 for root blocks.
+    pub fn level(self) -> u8 {
+        self.level
+    }
+
+    /// The root-block index this block descends from.
+    pub fn root_index(self) -> u64 {
+        self.bits >> (3 * self.level as u64)
+    }
+
+    /// The child octant at refinement step `l ∈ 0..level` (0 = first
+    /// split below the root).
+    pub fn octant_at(self, l: u8) -> u8 {
+        assert!(l < self.level);
+        ((self.bits >> (3 * (self.level - 1 - l) as u64)) & 7) as u8
+    }
+
+    /// Packs the ID into one `u64` for serialization: the level in the low
+    /// four bits, the path/root bits above.
+    pub fn pack(self) -> u64 {
+        assert!(self.bits < (1 << 60), "ID bits exceed packed capacity");
+        (self.bits << 4) | self.level as u64
+    }
+
+    /// Inverse of [`BlockId::pack`].
+    pub fn unpack(packed: u64) -> Self {
+        BlockId { bits: packed >> 4, level: (packed & 15) as u8 }
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{}", self.root_index())?;
+        for l in 0..self.level {
+            write!(f, ".{}", self.octant_at(l))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_child_parent_roundtrip() {
+        let r = BlockId::root(42);
+        assert_eq!(r.level(), 0);
+        assert_eq!(r.root_index(), 42);
+        assert_eq!(r.parent(), None);
+        let c = r.child(5);
+        assert_eq!(c.level(), 1);
+        assert_eq!(c.root_index(), 42);
+        assert_eq!(c.octant_at(0), 5);
+        assert_eq!(c.parent(), Some(r));
+        let gc = c.child(3);
+        assert_eq!(gc.octant_at(0), 5);
+        assert_eq!(gc.octant_at(1), 3);
+        assert_eq!(gc.parent(), Some(c));
+        assert_eq!(gc.root_index(), 42);
+    }
+
+    #[test]
+    fn ids_are_unique_across_levels() {
+        // Root 8 and root 1's child 0 would collide without the level tag.
+        let a = BlockId::root(8);
+        let b = BlockId::root(1).child(0);
+        assert_ne!(a, b);
+        assert_ne!(a.pack(), b.pack());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let ids = [
+            BlockId::root(0),
+            BlockId::root(123_456),
+            BlockId::root(7).child(3),
+            BlockId::root(9).child(7).child(0).child(4),
+        ];
+        for id in ids {
+            assert_eq!(BlockId::unpack(id.pack()), id);
+        }
+    }
+
+    #[test]
+    fn siblings_are_distinct_and_ordered() {
+        let p = BlockId::root(3);
+        let kids: Vec<BlockId> = (0..8).map(|o| p.child(o)).collect();
+        for i in 0..8 {
+            for j in i + 1..8 {
+                assert_ne!(kids[i], kids[j]);
+            }
+        }
+        assert!(kids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_format() {
+        let id = BlockId::root(5).child(2).child(7);
+        assert_eq!(id.to_string(), "B5.2.7");
+    }
+}

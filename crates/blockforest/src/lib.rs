@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Block-structured domain partitioning: a forest of octrees (paper §2.2).
+//!
+//! The simulation domain is subdivided into equally sized *blocks*; each
+//! block is the root of an octree and can be recursively split into eight
+//! children. Within each (leaf) block a uniform grid of lattice cells is
+//! allocated by the simulation. Blocks are the unit of distribution: the
+//! initialization phase builds a global [`SetupForest`] (memory scales with
+//! the number of blocks), decides which blocks intersect the domain,
+//! assigns workloads and balances blocks across processes; the simulation
+//! then runs on fully distributed [`DistributedForest`] views in which each
+//! process knows only its own blocks and the blocks of its immediate
+//! neighborhood — per-process memory is independent of the total number of
+//! processes (asserted by tests).
+//!
+//! The setup result can be serialized to the endian-independent,
+//! size-optimized binary format of [`file`] ("only the lower-order bytes
+//! that actually carry information are stored"), so very large partitions
+//! can be computed once — even on a different machine — and loaded by the
+//! production run.
+
+pub mod balance;
+pub mod distribute;
+pub mod file;
+pub mod id;
+pub mod search;
+pub mod setup;
+
+pub use balance::{balance_with, morton_balance};
+pub use distribute::{distribute, dir_index, BlockLink, DistributedForest, LocalBlock, NEIGHBOR_DIRS};
+pub use id::BlockId;
+pub use search::{search_strong_partition, search_weak_partition, search_weak_partition_sampled};
+pub use setup::{SetupBlock, SetupForest};

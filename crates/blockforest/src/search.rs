@@ -1,0 +1,213 @@
+//! Domain-partitioning parameter search (paper §2.3).
+//!
+//! "To perform weak scaling experiments, we seek a domain partitioning
+//! yielding a given number of blocks with a fixed block size while varying
+//! the isotropic spatial resolution dx. For strong scaling experiments, we
+//! have to find a fitting block size for a given number of blocks and a
+//! fixed dx. We solve both problems by performing a binary search in the
+//! respective parameter space. [...] As the number of resulting blocks is
+//! not monotonic [...] we use the domain partitioning that yields the most
+//! blocks but does not exceed the specified target."
+
+use crate::setup::SetupForest;
+use trillium_geometry::SignedDistance;
+
+/// Result of a partitioning search.
+#[derive(Debug)]
+pub struct PartitionSearch {
+    /// The chosen forest (most blocks ≤ target).
+    pub forest: SetupForest,
+    /// The resolution the forest was built with.
+    pub dx: f64,
+    /// Cubic block edge length in cells (strong scaling only).
+    pub block_edge: usize,
+}
+
+/// Weak scaling: fixed block size in cells, find the isotropic resolution
+/// `dx` whose partitioning yields the most blocks not exceeding
+/// `target_blocks`.
+pub fn search_weak_partition<S: SignedDistance + ?Sized>(
+    sdf: &S,
+    cells_per_block: [usize; 3],
+    target_blocks: usize,
+    iterations: usize,
+) -> PartitionSearch {
+    search_weak_partition_impl(sdf, cells_per_block, target_blocks, iterations, None)
+}
+
+/// Like [`search_weak_partition`] but building candidate forests with
+/// sampled workloads (`samples³` probes per block) — the fast path for
+/// very large targets in the scaling harness.
+pub fn search_weak_partition_sampled<S: SignedDistance + ?Sized>(
+    sdf: &S,
+    cells_per_block: [usize; 3],
+    target_blocks: usize,
+    iterations: usize,
+    samples: usize,
+) -> PartitionSearch {
+    search_weak_partition_impl(sdf, cells_per_block, target_blocks, iterations, Some(samples))
+}
+
+fn search_weak_partition_impl<S: SignedDistance + ?Sized>(
+    sdf: &S,
+    cells_per_block: [usize; 3],
+    target_blocks: usize,
+    iterations: usize,
+    samples: Option<usize>,
+) -> PartitionSearch {
+    assert!(target_blocks >= 1);
+    let bb = sdf.bounding_box();
+    let ext = bb.extents();
+    let max_edge = ext.x.max(ext.y).max(ext.z);
+    // dx bounds: one block covering everything .. absurdly fine.
+    let mut dx_hi = max_edge / cells_per_block[0] as f64 * 2.0;
+    // Lower bound via the volume heuristic: blocks scale like dx^-3 near
+    // the surface-dominated regime, dx^-3 overall; start generously fine.
+    let mut dx_lo = dx_hi / (4.0 * (target_blocks as f64).powf(1.0 / 2.0) + 8.0);
+
+    let count = |dx: f64| match samples {
+        Some(s) => SetupForest::from_domain_sampled(sdf, dx, cells_per_block, s),
+        None => SetupForest::from_domain(sdf, dx, cells_per_block),
+    };
+
+    // Ensure the bracket actually brackets the target.
+    let mut lo_forest = count(dx_lo);
+    let mut guard = 0;
+    while lo_forest.num_blocks() <= target_blocks && guard < 8 {
+        dx_lo /= 2.0;
+        lo_forest = count(dx_lo);
+        guard += 1;
+    }
+
+    let mut best: Option<(SetupForest, f64)> = None;
+    let consider = |f: SetupForest, dx: f64, best: &mut Option<(SetupForest, f64)>| {
+        if f.num_blocks() <= target_blocks
+            && best.as_ref().map_or(true, |(bf, _)| f.num_blocks() > bf.num_blocks())
+        {
+            *best = Some((f, dx));
+        }
+    };
+
+    let hi_forest = count(dx_hi);
+    consider(hi_forest, dx_hi, &mut best);
+    consider(lo_forest, dx_lo, &mut best);
+
+    for _ in 0..iterations {
+        let dx = (dx_lo * dx_hi).sqrt(); // geometric midpoint: dx spans decades
+        let f = count(dx);
+        let n = f.num_blocks();
+        consider(f, dx, &mut best);
+        if n > target_blocks {
+            dx_lo = dx; // too fine: coarsen
+        } else {
+            dx_hi = dx; // within target: refine further
+        }
+    }
+    let (forest, dx) = best.expect("weak-scaling search found no feasible partitioning");
+    let block_edge = cells_per_block[0];
+    PartitionSearch { forest, dx, block_edge }
+}
+
+/// Strong scaling: fixed resolution `dx`, cubic blocks; find the block
+/// edge length (in cells) whose partitioning yields the most blocks not
+/// exceeding `target_blocks`. Searched over `edge_range` (inclusive).
+pub fn search_strong_partition<S: SignedDistance + ?Sized>(
+    sdf: &S,
+    dx: f64,
+    target_blocks: usize,
+    edge_range: (usize, usize),
+    iterations: usize,
+) -> PartitionSearch {
+    assert!(edge_range.0 >= 2 && edge_range.0 <= edge_range.1);
+    let count = |edge: usize| SetupForest::from_domain(sdf, dx, [edge, edge, edge]);
+
+    let mut best: Option<(SetupForest, usize)> = None;
+    let consider = |f: SetupForest, e: usize, best: &mut Option<(SetupForest, usize)>| {
+        if f.num_blocks() <= target_blocks
+            && best.as_ref().map_or(true, |(bf, _)| f.num_blocks() > bf.num_blocks())
+        {
+            *best = Some((f, e));
+        }
+    };
+
+    // Binary search: larger edges give fewer blocks (approximately
+    // monotone); track the best feasible candidate like the paper does.
+    let (mut lo, mut hi) = edge_range;
+    for _ in 0..iterations {
+        if lo > hi {
+            break;
+        }
+        let mid = (lo + hi) / 2;
+        let f = count(mid);
+        let n = f.num_blocks();
+        consider(f, mid, &mut best);
+        if n > target_blocks {
+            lo = mid + 1; // too many blocks: grow blocks
+        } else if n < target_blocks {
+            hi = mid.saturating_sub(1); // room left: shrink blocks
+        } else {
+            break; // exact hit
+        }
+    }
+    let (forest, block_edge) =
+        best.expect("strong-scaling search found no feasible partitioning");
+    PartitionSearch { forest, dx, block_edge }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trillium_geometry::sdf::AnalyticSdf;
+    use trillium_geometry::vec3::vec3;
+
+    fn capsule() -> AnalyticSdf {
+        AnalyticSdf::Capsule { a: vec3(0.0, 0.0, 0.0), b: vec3(6.0, 0.0, 0.0), radius: 0.5 }
+    }
+
+    #[test]
+    fn weak_search_approaches_target_from_below() {
+        let target = 64;
+        let r = search_weak_partition(&capsule(), [8, 8, 8], target, 24);
+        let n = r.forest.num_blocks();
+        assert!(n <= target, "exceeded target: {n}");
+        assert!(n >= target / 2, "too far below target: {n}");
+        assert!(r.dx > 0.0);
+        // Every block carries fluid.
+        assert!(r.forest.blocks.iter().all(|b| b.workload > 0.0));
+    }
+
+    #[test]
+    fn weak_search_scales_with_target() {
+        let small = search_weak_partition(&capsule(), [8, 8, 8], 16, 20);
+        let large = search_weak_partition(&capsule(), [8, 8, 8], 256, 20);
+        assert!(large.forest.num_blocks() > 2 * small.forest.num_blocks());
+        assert!(large.dx < small.dx, "finer resolution for more blocks");
+    }
+
+    #[test]
+    fn strong_search_fixed_resolution() {
+        let dx = 0.05;
+        let target = 100;
+        let r = search_strong_partition(&capsule(), dx, target, (4, 40), 16);
+        assert_eq!(r.dx, dx);
+        let n = r.forest.num_blocks();
+        assert!(n <= target, "exceeded target: {n}");
+        assert!(n >= target / 3, "too far below target: {n}");
+        // Total fluid cells is resolution-determined, independent of the
+        // partitioning.
+        let fluid = r.forest.total_workload();
+        let expect = (std::f64::consts::PI * 0.25 * 6.0
+            + 4.0 / 3.0 * std::f64::consts::PI * 0.125)
+            / dx.powi(3);
+        assert!((fluid - expect).abs() / expect < 0.05, "{fluid} vs {expect}");
+    }
+
+    #[test]
+    fn strong_search_smaller_blocks_for_more_targets() {
+        let dx = 0.05;
+        let few = search_strong_partition(&capsule(), dx, 20, (4, 48), 16);
+        let many = search_strong_partition(&capsule(), dx, 400, (4, 48), 16);
+        assert!(many.block_edge < few.block_edge);
+        assert!(many.forest.num_blocks() > few.forest.num_blocks());
+    }
+}

@@ -1,0 +1,258 @@
+//! Collective operations built on the point-to-point layer.
+//!
+//! Simple linear (root-based) algorithms: the thread substrate has no
+//! network, so collective *performance* does not matter here — only the
+//! semantics the framework code relies on. Every collective consumes one
+//! sequence number so back-to-back collectives with identical shapes
+//! cannot cross-match.
+
+use crate::runtime::{Communicator, COLLECTIVE_TAG_BASE};
+
+impl Communicator {
+    fn next_coll_tag(&mut self) -> u64 {
+        let tag = COLLECTIVE_TAG_BASE + self.coll_seq;
+        self.coll_seq += 1;
+        tag
+    }
+
+    /// Synchronizes all ranks: no rank leaves before every rank entered.
+    pub fn barrier(&mut self) {
+        let tag = self.next_coll_tag();
+        if self.rank() == 0 {
+            for r in 1..self.size() {
+                let _ = self.recv_raw(r, tag);
+            }
+            for r in 1..self.size() {
+                self.send_raw(r, tag, Vec::new());
+            }
+        } else {
+            self.send_raw(0, tag, Vec::new());
+            let _ = self.recv_raw(0, tag);
+        }
+    }
+
+    /// Broadcasts `data` from `root` to every rank; returns the payload on
+    /// all ranks. This mirrors the paper's setup where one process reads
+    /// the block-structure file or the surface mesh and broadcasts the
+    /// bytes.
+    pub fn broadcast(&mut self, root: u32, data: Option<Vec<u8>>) -> Vec<u8> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let data = data.expect("root must provide the broadcast payload");
+            for r in 0..self.size() {
+                if r != root {
+                    self.send_raw(r, tag, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv_raw(root, tag)
+        }
+    }
+
+    /// Gathers one `f64` from every rank onto all ranks (allgather),
+    /// ordered by rank.
+    pub fn allgather_f64(&mut self, value: f64) -> Vec<f64> {
+        let bytes = self.allgather_bytes(value.to_le_bytes().to_vec());
+        bytes
+            .into_iter()
+            .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte payload")))
+            .collect()
+    }
+
+    /// Gathers one byte payload from every rank onto all ranks, ordered by
+    /// rank.
+    pub fn allgather_bytes(&mut self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        let tag = self.next_coll_tag();
+        if self.rank() == 0 {
+            let mut all = vec![Vec::new(); self.size() as usize];
+            all[0] = data;
+            for r in 1..self.size() {
+                all[r as usize] = self.recv_raw(r, tag);
+            }
+            // Concatenate with a tiny length-prefixed framing for redistribution.
+            let mut frame = Vec::new();
+            for a in &all {
+                frame.extend_from_slice(&(a.len() as u64).to_le_bytes());
+                frame.extend_from_slice(a);
+            }
+            for r in 1..self.size() {
+                self.send_raw(r, tag, frame.clone());
+            }
+            all
+        } else {
+            self.send_raw(0, tag, data);
+            let frame = self.recv_raw(0, tag);
+            let mut all = Vec::with_capacity(self.size() as usize);
+            let mut off = 0usize;
+            for _ in 0..self.size() {
+                let len =
+                    u64::from_le_bytes(frame[off..off + 8].try_into().unwrap()) as usize;
+                off += 8;
+                all.push(frame[off..off + len].to_vec());
+                off += len;
+            }
+            all
+        }
+    }
+
+    /// All-reduce of a single `f64` with summation.
+    pub fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
+        self.allgather_f64(value).iter().sum()
+    }
+
+    /// All-reduce of a single `f64` with maximum.
+    pub fn allreduce_max_f64(&mut self, value: f64) -> f64 {
+        self.allgather_f64(value).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Gathers one byte payload from every rank onto `root` only (other
+    /// ranks receive an empty vector). Rank-ordered on the root.
+    pub fn gather_bytes(&mut self, root: u32, data: Vec<u8>) -> Vec<Vec<u8>> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut all = vec![Vec::new(); self.size() as usize];
+            all[root as usize] = data;
+            for r in 0..self.size() {
+                if r != root {
+                    all[r as usize] = self.recv_raw(r, tag);
+                }
+            }
+            all
+        } else {
+            self.send_raw(root, tag, data);
+            Vec::new()
+        }
+    }
+
+    /// Scatters per-rank byte payloads from `root`: rank `i` receives
+    /// `chunks[i]`. Non-root ranks pass `None`.
+    pub fn scatter_bytes(&mut self, root: u32, chunks: Option<Vec<Vec<u8>>>) -> Vec<u8> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let chunks = chunks.expect("root must provide the scatter payloads");
+            assert_eq!(chunks.len(), self.size() as usize, "one chunk per rank");
+            let mut mine = Vec::new();
+            for (r, chunk) in chunks.into_iter().enumerate() {
+                if r as u32 == root {
+                    mine = chunk;
+                } else {
+                    self.send_raw(r as u32, tag, chunk);
+                }
+            }
+            mine
+        } else {
+            self.recv_raw(root, tag)
+        }
+    }
+
+    /// All-reduce of a single `u64` with summation.
+    pub fn allreduce_sum_u64(&mut self, value: u64) -> u64 {
+        let tag = self.next_coll_tag();
+        if self.rank() == 0 {
+            let mut sum = value;
+            for r in 1..self.size() {
+                let b = self.recv_raw(r, tag);
+                sum += u64::from_le_bytes(b.try_into().unwrap());
+            }
+            for r in 1..self.size() {
+                self.send_raw(r, tag, sum.to_le_bytes().to_vec());
+            }
+            sum
+        } else {
+            self.send_raw(0, tag, value.to_le_bytes().to_vec());
+            u64::from_le_bytes(self.recv_raw(0, tag).try_into().unwrap())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::World;
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let phase1 = AtomicU32::new(0);
+        let violations = AtomicU32::new(0);
+        World::run(8, |mut c| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier, every rank must have completed phase 1.
+            if phase1.load(Ordering::SeqCst) != 8 {
+                violations.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(violations.load(std::sync::atomic::Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let out = World::run(4, |mut c| {
+            let payload = if c.rank() == 2 { Some(vec![9, 8, 7]) } else { None };
+            c.broadcast(2, payload)
+        });
+        for o in out {
+            assert_eq!(o, vec![9, 8, 7]);
+        }
+    }
+
+    #[test]
+    fn allgather_is_rank_ordered() {
+        let out = World::run(5, |mut c| c.allgather_f64(c.rank() as f64 * 1.5));
+        for o in out {
+            assert_eq!(o, vec![0.0, 1.5, 3.0, 4.5, 6.0]);
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let sums = World::run(6, |mut c| c.allreduce_sum_f64((c.rank() + 1) as f64));
+        assert!(sums.iter().all(|&s| s == 21.0));
+        let maxs = World::run(6, |mut c| c.allreduce_max_f64(-(c.rank() as f64)));
+        assert!(maxs.iter().all(|&m| m == 0.0));
+        let usums = World::run(4, |mut c| c.allreduce_sum_u64(1 << c.rank()));
+        assert!(usums.iter().all(|&s| s == 0b1111));
+    }
+
+    #[test]
+    fn gather_and_scatter() {
+        let out = World::run(4, |mut c| {
+            // Gather rank-tagged payloads onto rank 1.
+            let gathered = c.gather_bytes(1, vec![c.rank() as u8; (c.rank() + 1) as usize]);
+            if c.rank() == 1 {
+                assert_eq!(gathered[0], vec![0]);
+                assert_eq!(gathered[2], vec![2, 2, 2]);
+                assert_eq!(gathered[3], vec![3, 3, 3, 3]);
+            } else {
+                assert!(gathered.is_empty());
+            }
+            // Scatter distinct chunks from rank 0.
+            let chunks = if c.rank() == 0 {
+                Some((0..4u8).map(|r| vec![r * 10, r * 10 + 1]).collect())
+            } else {
+                None
+            };
+            c.scatter_bytes(0, chunks)
+        });
+        for (r, chunk) in out.iter().enumerate() {
+            assert_eq!(chunk, &vec![r as u8 * 10, r as u8 * 10 + 1]);
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_match() {
+        let out = World::run(3, |mut c| {
+            let a = c.allreduce_sum_f64(1.0);
+            let b = c.allreduce_sum_f64(10.0);
+            c.barrier();
+            let d = c.allreduce_max_f64(c.rank() as f64);
+            (a, b, d)
+        });
+        for (a, b, d) in out {
+            assert_eq!(a, 3.0);
+            assert_eq!(b, 30.0);
+            assert_eq!(d, 2.0);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Ranked threads with tagged, buffered point-to-point messaging.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+
+/// A tagged message between ranks.
+#[derive(Debug)]
+struct Message {
+    from: u32,
+    tag: u64,
+    payload: Vec<u8>,
+}
+
+/// Per-rank communication endpoint — the `MPI_Comm` analogue.
+pub struct Communicator {
+    rank: u32,
+    size: u32,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Out-of-order messages waiting for a matching `recv`.
+    pending: HashMap<(u32, u64), VecDeque<Vec<u8>>>,
+    /// Sequence counter making collective tags unique per operation.
+    pub(crate) coll_seq: u64,
+}
+
+impl Communicator {
+    /// This process's rank in `0..size`.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Sends `payload` to `to` with a user `tag` (non-blocking, buffered).
+    pub fn send(&self, to: u32, tag: u64, payload: Vec<u8>) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below the collective range");
+        self.send_raw(to, tag, payload);
+    }
+
+    pub(crate) fn send_raw(&self, to: u32, tag: u64, payload: Vec<u8>) {
+        self.senders[to as usize]
+            .send(Message { from: self.rank, tag, payload })
+            .expect("receiver thread terminated");
+    }
+
+    /// Blocking receive of the next message from `from` with `tag`;
+    /// messages with other (from, tag) pairs are buffered, so receives in
+    /// any order cannot deadlock as long as the matching sends happen.
+    pub fn recv(&mut self, from: u32, tag: u64) -> Vec<u8> {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below the collective range");
+        self.recv_raw(from, tag)
+    }
+
+    pub(crate) fn recv_raw(&mut self, from: u32, tag: u64) -> Vec<u8> {
+        if let Some(q) = self.pending.get_mut(&(from, tag)) {
+            if let Some(m) = q.pop_front() {
+                return m;
+            }
+        }
+        loop {
+            let m = self.receiver.recv().expect("all senders dropped while receiving");
+            if m.from == from && m.tag == tag {
+                return m.payload;
+            }
+            self.pending.entry((m.from, m.tag)).or_default().push_back(m.payload);
+        }
+    }
+
+    /// True if a message from `from` with `tag` can be received without
+    /// blocking (already buffered or in the channel).
+    pub fn try_recv(&mut self, from: u32, tag: u64) -> Option<Vec<u8>> {
+        if let Some(q) = self.pending.get_mut(&(from, tag)) {
+            if let Some(m) = q.pop_front() {
+                return Some(m);
+            }
+        }
+        while let Ok(m) = self.receiver.try_recv() {
+            if m.from == from && m.tag == tag {
+                return Some(m.payload);
+            }
+            self.pending.entry((m.from, m.tag)).or_default().push_back(m.payload);
+        }
+        None
+    }
+}
+
+/// Tags at or above this value are reserved for collectives.
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+
+/// A set of ranks executing a closure in parallel — the `MPI_COMM_WORLD`
+/// plus `mpirun` analogue.
+pub struct World;
+
+impl World {
+    /// Spawns `size` ranks, runs `f` on each with its communicator, and
+    /// returns the per-rank results, ordered by rank. Panics in any rank
+    /// propagate.
+    pub fn run<T, F>(size: u32, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        assert!(size > 0);
+        let mut senders = Vec::with_capacity(size as usize);
+        let mut receivers = Vec::with_capacity(size as usize);
+        for _ in 0..size {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        let mut comms: Vec<Communicator> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Communicator {
+                rank: rank as u32,
+                size,
+                senders: senders.clone(),
+                receiver,
+                pending: HashMap::new(),
+                coll_seq: 0,
+            })
+            .collect();
+        drop(senders);
+
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = comms
+                .drain(..)
+                .map(|comm| scope.spawn(move || f(comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_and_sizes() {
+        let out = World::run(5, |c| (c.rank(), c.size()));
+        assert_eq!(out, vec![(0, 5), (1, 5), (2, 5), (3, 5), (4, 5)]);
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let out = World::run(4, |mut c| {
+            let next = (c.rank() + 1) % 4;
+            let prev = (c.rank() + 3) % 4;
+            c.send(next, 7, vec![c.rank() as u8]);
+            let m = c.recv(prev, 7);
+            m[0]
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = World::run(2, |mut c| {
+            if c.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                c.send(1, 2, vec![22]);
+                c.send(1, 1, vec![11]);
+                0
+            } else {
+                // Receive in the opposite order.
+                let a = c.recv(0, 1);
+                let b = c.recv(0, 2);
+                (a[0] as u32) * 100 + b[0] as u32
+            }
+        });
+        assert_eq!(out[1], 11 * 100 + 22);
+    }
+
+    #[test]
+    fn many_messages_preserve_fifo_per_tag() {
+        let out = World::run(2, |mut c| {
+            if c.rank() == 0 {
+                for i in 0..100u8 {
+                    c.send(1, 5, vec![i]);
+                }
+                vec![]
+            } else {
+                (0..100).map(|_| c.recv(0, 5)[0]).collect::<Vec<u8>>()
+            }
+        });
+        assert_eq!(out[1], (0..100).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let out = World::run(2, |mut c| {
+            if c.rank() == 0 {
+                // Nothing sent yet: must be None.
+                let empty = c.try_recv(1, 9).is_none();
+                // Synchronize: wait for the real message.
+                let m = c.recv(1, 9);
+                empty && m == vec![1]
+            } else {
+                c.send(0, 9, vec![1]);
+                true
+            }
+        });
+        assert!(out[0]);
+    }
+}

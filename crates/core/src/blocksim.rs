@@ -1,0 +1,295 @@
+//! Per-block simulation state.
+
+use trillium_field::{CellFlags, FlagField, FlagOps, PdfField, RowIntervals, Shape, SoaPdfField};
+use trillium_kernels::{apply_boundaries, BoundaryParams, SweepStats};
+use trillium_lattice::{Relaxation, D3Q19};
+
+/// Which compute kernel a block uses for its interior sweep.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BlockKernel {
+    /// Dense SoA kernel over the full interior (fully fluid blocks).
+    Dense,
+    /// Row-interval sparse kernel (partially covered blocks), paper §4.3.
+    RowIntervals,
+}
+
+/// The complete simulation state of one block: PDF double buffer, cell
+/// flags, sparse iteration structure, and boundary parameters.
+pub struct BlockSim {
+    /// Grid geometry (interior + ghost layer).
+    pub shape: Shape,
+    /// Source PDF field (post-collision values of the previous step).
+    pub src: SoaPdfField<D3Q19>,
+    /// Destination PDF field.
+    pub dst: SoaPdfField<D3Q19>,
+    /// Cell classification.
+    pub flags: FlagField,
+    /// Row intervals for the sparse kernel (built from `flags`).
+    pub intervals: RowIntervals,
+    /// Boundary-condition parameters.
+    pub boundary: BoundaryParams,
+    /// Kernel choice for this block.
+    pub kernel: BlockKernel,
+}
+
+impl BlockSim {
+    /// Creates a block from a flag field, initializing all PDFs to the
+    /// equilibrium of `(rho, u)`. Chooses the dense kernel when every
+    /// interior cell is fluid, the row-interval kernel otherwise.
+    pub fn from_flags(flags: FlagField, boundary: BoundaryParams, rho: f64, u: [f64; 3]) -> Self {
+        let shape = flags.shape();
+        let mut src = SoaPdfField::new(shape);
+        let dst = SoaPdfField::new(shape);
+        src.fill_equilibrium(rho, u);
+        let intervals = RowIntervals::build(&flags);
+        let kernel = if intervals.fluid_cells == shape.interior_cells() {
+            BlockKernel::Dense
+        } else {
+            BlockKernel::RowIntervals
+        };
+        BlockSim { shape, src, dst, flags, intervals, boundary, kernel }
+    }
+
+    /// Number of interior fluid cells.
+    pub fn fluid_cells(&self) -> usize {
+        self.intervals.fluid_cells
+    }
+
+    /// Runs the boundary sweep on the source field (call after ghost
+    /// synchronization, before [`BlockSim::stream_collide`]).
+    pub fn apply_boundaries(&mut self) {
+        apply_boundaries::<D3Q19, _>(&mut self.src, &self.flags, &self.boundary);
+    }
+
+    /// Makes the block periodic along the selected axes by copying its own
+    /// boundary slabs into the opposite ghost slabs (single-block periodic
+    /// domains, e.g. 2-D channel validations). Call before
+    /// [`BlockSim::apply_boundaries`] each step.
+    pub fn sync_periodic(&mut self, axes: [bool; 3]) {
+        use trillium_blockforest::NEIGHBOR_DIRS;
+        use trillium_comm::{pack_face, pdfs_crossing, unpack_face};
+        // Every face *and edge* whose nonzero components lie on periodic
+        // axes wraps around: with two or three periodic axes the diagonal
+        // PDFs crossing an edge must be transferred too, exactly as the
+        // distributed driver does between neighboring blocks.
+        for d in NEIGHBOR_DIRS {
+            let wrapping = (0..3).all(|a| d[a] == 0 || axes[a]);
+            let has_any = (0..3).any(|a| d[a] != 0 && axes[a]);
+            if !wrapping || !has_any || pdfs_crossing::<D3Q19>(d).is_empty() {
+                continue;
+            }
+            // Data leaving through face/edge d wraps around and enters the
+            // ghost slab on the opposite side (direction −d).
+            let mut buf = Vec::new();
+            pack_face::<D3Q19, _>(&self.src, d, &mut buf);
+            unpack_face::<D3Q19, _>(&mut self.src, [-d[0], -d[1], -d[2]], &buf);
+        }
+    }
+
+    /// Runs the fused stream–collide sweep (TRT; SRT via equal rates) and
+    /// swaps the buffers.
+    pub fn stream_collide(&mut self, rel: Relaxation) -> SweepStats {
+        let stats = match self.kernel {
+            BlockKernel::Dense => {
+                trillium_kernels::avx::stream_collide_trt(&self.src, &mut self.dst, rel)
+            }
+            BlockKernel::RowIntervals => trillium_kernels::sparse::stream_collide_trt_row_intervals(
+                &self.src,
+                &mut self.dst,
+                &self.intervals,
+                rel,
+            ),
+        };
+        self.src.swap(&mut self.dst);
+        stats
+    }
+
+    /// Total mass over interior fluid cells.
+    pub fn fluid_mass(&self) -> f64 {
+        let mut sum = 0.0;
+        for (x, y, z) in self.shape.interior().iter() {
+            if self.flags.flags(x, y, z).is_fluid() {
+                sum += self.src.density(x, y, z);
+            }
+        }
+        sum
+    }
+
+    /// Momentum over interior fluid cells.
+    pub fn fluid_momentum(&self) -> [f64; 3] {
+        let mut j = [0.0; 3];
+        for (x, y, z) in self.shape.interior().iter() {
+            if self.flags.flags(x, y, z).is_fluid() {
+                let rho = self.src.density(x, y, z);
+                let u = self.src.velocity(x, y, z);
+                for d in 0..3 {
+                    j[d] += rho * u[d];
+                }
+            }
+        }
+        j
+    }
+
+    /// Velocity at an interior cell (must be fluid to be meaningful).
+    pub fn velocity(&self, x: i32, y: i32, z: i32) -> [f64; 3] {
+        self.src.velocity(x, y, z)
+    }
+
+    /// Momentum-exchange force on the boundary cells matched by `mask`
+    /// (drag/lift evaluation). Call between [`BlockSim::apply_boundaries`]
+    /// and [`BlockSim::stream_collide`].
+    pub fn boundary_force(&self, mask: CellFlags) -> [f64; 3] {
+        trillium_kernels::boundary::momentum_exchange_force::<D3Q19, _>(
+            &self.src,
+            &self.flags,
+            mask,
+        )
+    }
+
+    /// True if the interior contains a non-finite PDF (stability check).
+    pub fn has_nan(&self) -> bool {
+        for (x, y, z) in self.shape.interior().iter() {
+            if !self.flags.flags(x, y, z).is_fluid() {
+                continue;
+            }
+            for q in 0..19 {
+                if !self.src.get(x, y, z, q).is_finite() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Builds a fully fluid flag field whose domain-border faces (where
+/// `border[dir]` is true for the six faces −x, +x, −y, +y, −z, +z) are
+/// closed with the given wall flags. Faces not at the domain border stay
+/// fluid into the ghost layer (they will be synchronized from neighbor
+/// blocks).
+pub fn boxed_block_flags(shape: Shape, border_flags: [Option<CellFlags>; 6]) -> FlagField {
+    let mut flags = FlagField::new(shape);
+    // Everything fluid, ghosts included.
+    for (x, y, z) in shape.with_ghosts().iter() {
+        flags.set_flags(x, y, z, CellFlags::FLUID);
+    }
+    let g = shape.ghost as i32;
+    let (nx, ny, nz) = (shape.nx as i32, shape.ny as i32, shape.nz as i32);
+    for (x, y, z) in shape.with_ghosts().iter() {
+        let mut wall: Option<CellFlags> = None;
+        let mut check = |cond: bool, f: Option<CellFlags>| {
+            if cond {
+                if let Some(f) = f {
+                    // Later faces override earlier ones only if unset, so
+                    // edges prefer the first matching face; for our
+                    // scenarios (lid on +z overriding side walls) we let
+                    // the last match win instead.
+                    wall = Some(f);
+                }
+            }
+        };
+        check(x < 0, border_flags[0]);
+        check(x >= nx, border_flags[1]);
+        check(y < 0, border_flags[2]);
+        check(y >= ny, border_flags[3]);
+        check(z < 0, border_flags[4]);
+        check(z >= nz, border_flags[5]);
+        let _ = g;
+        if let Some(f) = wall {
+            flags.set_flags(x, y, z, f);
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trillium_lattice::MAGIC_TRT;
+
+    fn cavity_flags(n: usize) -> FlagField {
+        boxed_block_flags(
+            Shape::cube(n),
+            [
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::VELOCITY),
+            ],
+        )
+    }
+
+    #[test]
+    fn boxed_flags_classify_ghost_layer() {
+        let f = cavity_flags(4);
+        assert!(f.flags(0, 0, 0).is_fluid());
+        assert!(f.flags(-1, 0, 0).intersects(CellFlags::NOSLIP));
+        assert!(f.flags(0, 0, 4).intersects(CellFlags::VELOCITY));
+        // Lid wins on the top edge.
+        assert!(f.flags(-1, 0, 4).intersects(CellFlags::VELOCITY));
+        assert_eq!(f.count_fluid(), 64);
+    }
+
+    #[test]
+    fn single_block_cavity_develops_flow_and_conserves_mass() {
+        let flags = cavity_flags(8);
+        let boundary = BoundaryParams { wall_velocity: [0.05, 0.0, 0.0], ..Default::default() };
+        let mut block = BlockSim::from_flags(flags, boundary, 1.0, [0.0; 3]);
+        assert_eq!(block.kernel, BlockKernel::Dense);
+        let rel = Relaxation::trt_from_tau(0.9, MAGIC_TRT);
+        let m0 = block.fluid_mass();
+        for _ in 0..150 {
+            block.apply_boundaries();
+            block.stream_collide(rel);
+        }
+        assert!(!block.has_nan());
+        assert!((block.fluid_mass() - m0).abs() / m0 < 1e-10, "mass drift");
+        // Fluid under the lid follows it.
+        let u = block.velocity(4, 4, 7);
+        assert!(u[0] > 1e-3, "no lid-driven flow: {u:?}");
+        // A rough vortex signature: backflow in the lower half.
+        let u_low = block.velocity(4, 4, 1);
+        assert!(u_low[0] < u[0]);
+    }
+
+    #[test]
+    fn sparse_block_kernel_selected_for_partial_coverage() {
+        let shape = Shape::cube(8);
+        let mut flags = FlagField::new(shape);
+        // A thin fluid tube.
+        for x in 0..8 {
+            flags.set_flags(x, 4, 4, CellFlags::FLUID);
+        }
+        flags.dilate_hull(&trillium_lattice::d3q19::C, CellFlags::NOSLIP);
+        let block = BlockSim::from_flags(flags, BoundaryParams::default(), 1.0, [0.0; 3]);
+        assert_eq!(block.kernel, BlockKernel::RowIntervals);
+        assert_eq!(block.fluid_cells(), 8);
+    }
+
+    #[test]
+    fn resting_fluid_stays_at_rest_in_sparse_block() {
+        let shape = Shape::cube(8);
+        let mut flags = FlagField::new(shape);
+        for x in 1..7 {
+            for y in 3..6 {
+                flags.set_flags(x, y, 4, CellFlags::FLUID);
+            }
+        }
+        flags.dilate_hull(&trillium_lattice::d3q19::C, CellFlags::NOSLIP);
+        let mut block = BlockSim::from_flags(flags, BoundaryParams::default(), 1.0, [0.0; 3]);
+        let rel = Relaxation::trt_from_viscosity(0.1);
+        for _ in 0..30 {
+            block.apply_boundaries();
+            block.stream_collide(rel);
+        }
+        assert!(!block.has_nan());
+        for (x, y, z) in shape.interior().iter() {
+            if block.flags.flags(x, y, z).is_fluid() {
+                let u = block.velocity(x, y, z);
+                assert!(u.iter().all(|c| c.abs() < 1e-12), "motion at ({x},{y},{z}): {u:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Checkpointing: serialize and restore the PDF state of blocks, so long
+//! simulations can be split across runs (complementing the §2.2 workflow
+//! where the *block structure* is precomputed and loaded from file).
+//!
+//! The format is little-endian binary: a header with the block shape and
+//! a flag digest, followed by the raw interior+ghost PDF data of the
+//! source field. Restoring into a block with different shape or flags is
+//! rejected.
+
+use crate::blocksim::BlockSim;
+use bytes::{Buf, BufMut};
+
+/// Magic bytes of the checkpoint format.
+pub const MAGIC: &[u8; 4] = b"TCP1";
+
+/// Serializes a block's PDF state.
+pub fn save_block(block: &BlockSim) -> Vec<u8> {
+    let s = block.shape;
+    let mut buf = Vec::with_capacity(16 + s.alloc_cells() * 19 * 8);
+    buf.extend_from_slice(MAGIC);
+    buf.put_u32_le(s.nx as u32);
+    buf.put_u32_le(s.ny as u32);
+    buf.put_u32_le(s.nz as u32);
+    buf.put_u32_le(s.ghost as u32);
+    buf.put_u64_le(flag_digest(block));
+    for v in block.src.data() {
+        buf.put_f64_le(*v);
+    }
+    buf
+}
+
+/// Errors from [`restore_block`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Block shape does not match the checkpoint.
+    ShapeMismatch,
+    /// Flag field differs from the checkpointed block's.
+    FlagMismatch,
+    /// Data ended early.
+    Truncated,
+}
+
+/// Restores a block's PDF state from a checkpoint written by
+/// [`save_block`]. The block must have been built with the same shape and
+/// flags (the usual workflow: rebuild the domain from the block-structure
+/// file, then restore PDFs).
+pub fn restore_block(block: &mut BlockSim, data: &[u8]) -> Result<(), RestoreError> {
+    let mut buf = data;
+    if buf.len() < 4 + 16 + 8 || &buf[..4] != MAGIC {
+        return Err(RestoreError::BadMagic);
+    }
+    buf.advance(4);
+    let s = block.shape;
+    let (nx, ny, nz, ghost) =
+        (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le());
+    if (nx as usize, ny as usize, nz as usize, ghost as usize) != (s.nx, s.ny, s.nz, s.ghost) {
+        return Err(RestoreError::ShapeMismatch);
+    }
+    if buf.get_u64_le() != flag_digest(block) {
+        return Err(RestoreError::FlagMismatch);
+    }
+    let n = s.alloc_cells() * 19;
+    if buf.len() < n * 8 {
+        return Err(RestoreError::Truncated);
+    }
+    for v in block.src.data_mut() {
+        *v = buf.get_f64_le();
+    }
+    Ok(())
+}
+
+/// FNV-1a digest of the flag field (cheap structural fingerprint).
+fn flag_digest(block: &BlockSim) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in block.flags.data() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocksim::boxed_block_flags;
+    use trillium_field::{CellFlags, Shape};
+    use trillium_kernels::BoundaryParams;
+    use trillium_lattice::Relaxation;
+
+    fn cavity_block(n: usize) -> BlockSim {
+        let flags = boxed_block_flags(
+            Shape::cube(n),
+            [
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::VELOCITY),
+            ],
+        );
+        let boundary = BoundaryParams { wall_velocity: [0.05, 0.0, 0.0], ..Default::default() };
+        BlockSim::from_flags(flags, boundary, 1.0, [0.0; 3])
+    }
+
+    /// The checkpoint workflow: run A for 40 steps; run B for 20 steps,
+    /// checkpoint, restore into a fresh block, run 20 more — identical.
+    #[test]
+    fn resume_is_bitwise_identical() {
+        let rel = Relaxation::trt_from_viscosity(0.05);
+        let step = |b: &mut BlockSim| {
+            b.apply_boundaries();
+            b.stream_collide(rel);
+        };
+        let mut a = cavity_block(8);
+        for _ in 0..40 {
+            step(&mut a);
+        }
+        let mut b = cavity_block(8);
+        for _ in 0..20 {
+            step(&mut b);
+        }
+        let ckpt = save_block(&b);
+        let mut c = cavity_block(8);
+        restore_block(&mut c, &ckpt).unwrap();
+        for _ in 0..20 {
+            step(&mut c);
+        }
+        use trillium_field::PdfField;
+        for (x, y, z) in a.shape.interior().iter() {
+            for q in 0..19 {
+                assert_eq!(a.src.get(x, y, z, q), c.src.get(x, y, z, q), "at ({x},{y},{z}) q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn mismatches_are_rejected() {
+        let a = cavity_block(8);
+        let ckpt = save_block(&a);
+        // Different size.
+        let mut wrong_size = cavity_block(6);
+        assert_eq!(restore_block(&mut wrong_size, &ckpt), Err(RestoreError::ShapeMismatch));
+        // Different flags (all-noslip box, no lid).
+        let flags = boxed_block_flags(Shape::cube(8), [Some(CellFlags::NOSLIP); 6]);
+        let mut wrong_flags =
+            BlockSim::from_flags(flags, BoundaryParams::default(), 1.0, [0.0; 3]);
+        assert_eq!(restore_block(&mut wrong_flags, &ckpt), Err(RestoreError::FlagMismatch));
+        // Corruption.
+        let mut short = cavity_block(8);
+        assert_eq!(restore_block(&mut short, &ckpt[..100]), Err(RestoreError::Truncated));
+        assert_eq!(restore_block(&mut short, b"XXXX"), Err(RestoreError::BadMagic));
+    }
+}

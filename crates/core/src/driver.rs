@@ -1,0 +1,400 @@
+//! The distributed time loop.
+//!
+//! Each rank owns the blocks assigned to it by the load balancer and runs,
+//! per time step: (1) ghost-layer exchange with neighboring blocks —
+//! direct copies between same-rank blocks, messages over the communicator
+//! otherwise; (2) the boundary preparatory sweep; (3) the fused
+//! stream–collide kernel; buffers swap inside the kernel call. The
+//! per-rank split between kernel and communication wall time is recorded,
+//! which is how the "% time spent for MPI communication" curves of Fig 6
+//! are produced for real runs.
+
+use crate::blocksim::BlockSim;
+use crate::scenario::Scenario;
+use std::collections::HashMap;
+use std::time::Instant;
+use trillium_blockforest::{dir_index, distribute, BlockId, BlockLink, DistributedForest, NEIGHBOR_DIRS};
+use trillium_comm::{pack_face, pdfs_crossing, unpack_face, Communicator, World};
+use trillium_kernels::SweepStats;
+use trillium_lattice::D3Q19;
+
+/// Per-rank outcome of a run.
+#[derive(Clone, Debug)]
+pub struct RankResult {
+    /// Rank index.
+    pub rank: u32,
+    /// Number of local blocks.
+    pub num_blocks: usize,
+    /// Accumulated kernel sweep statistics.
+    pub stats: SweepStats,
+    /// Wall time in the compute kernels (seconds).
+    pub kernel_time: f64,
+    /// Wall time in ghost exchange (pack/send/recv/unpack).
+    pub comm_time: f64,
+    /// Wall time in the boundary sweeps.
+    pub boundary_time: f64,
+    /// Total fluid mass before the first step.
+    pub mass_initial: f64,
+    /// Total fluid mass after the last step.
+    pub mass_final: f64,
+    /// Probed velocities: global cell → velocity, for the probes owned by
+    /// this rank.
+    pub probes: Vec<([i64; 3], [f64; 3])>,
+    /// True if any local block contains non-finite PDFs after the run.
+    pub has_nan: bool,
+}
+
+/// Whole-run outcome: per-rank results plus global accounting.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Steps executed.
+    pub steps: u64,
+    /// Per-rank results, ordered by rank.
+    pub ranks: Vec<RankResult>,
+}
+
+impl RunResult {
+    /// Relative drift of the global fluid mass over the run.
+    pub fn mass_drift(&self) -> f64 {
+        let m0: f64 = self.ranks.iter().map(|r| r.mass_initial).sum();
+        let m1: f64 = self.ranks.iter().map(|r| r.mass_final).sum();
+        (m1 - m0) / m0
+    }
+
+    /// Aggregated sweep statistics.
+    pub fn total_stats(&self) -> SweepStats {
+        let mut s = SweepStats::default();
+        for r in &self.ranks {
+            s.merge(r.stats);
+        }
+        s
+    }
+
+    /// All probe results, sorted by global cell coordinate.
+    pub fn probes(&self) -> Vec<([i64; 3], [f64; 3])> {
+        let mut all: Vec<_> = self.ranks.iter().flat_map(|r| r.probes.iter().cloned()).collect();
+        all.sort_by_key(|(c, _)| *c);
+        all
+    }
+
+    /// Fraction of total wall time spent in communication (max over
+    /// ranks, the value that limits scaling).
+    pub fn comm_fraction(&self) -> f64 {
+        self.ranks
+            .iter()
+            .map(|r| {
+                let total = r.kernel_time + r.comm_time + r.boundary_time;
+                if total > 0.0 {
+                    r.comm_time / total
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// True if any rank observed non-finite values.
+    pub fn has_nan(&self) -> bool {
+        self.ranks.iter().any(|r| r.has_nan)
+    }
+}
+
+/// Message tag for a ghost message destined for block `dst` arriving from
+/// its neighbor in direction `d` (receiver perspective).
+fn ghost_tag(dst: BlockId, d: [i8; 3]) -> u64 {
+    let packed = dst.pack();
+    assert!(packed < (1 << 42), "block ID too large for ghost tags");
+    (packed << 5) | dir_index(d) as u64
+}
+
+/// Runs `scenario` on `num_procs` ranks (threads) with
+/// `threads_per_rank`-fold block parallelism inside each rank, for
+/// `steps` time steps. `probes` are global cell coordinates whose final
+/// velocities are reported by the owning rank.
+pub fn run_distributed_probed(
+    scenario: &Scenario,
+    num_procs: u32,
+    threads_per_rank: usize,
+    steps: u64,
+    probes: &[[i64; 3]],
+) -> RunResult {
+    let forest = scenario.make_forest(num_procs);
+    let views = distribute(&forest);
+    let results = World::run(num_procs, |comm| {
+        let view = &views[comm.rank() as usize];
+        rank_loop(comm, view, scenario, threads_per_rank, steps, probes)
+    });
+    RunResult { steps, ranks: results }
+}
+
+/// Runs `scenario` without probes. See [`run_distributed_probed`].
+pub fn run_distributed(
+    scenario: &Scenario,
+    num_procs: u32,
+    threads_per_rank: usize,
+    steps: u64,
+) -> RunResult {
+    run_distributed_probed(scenario, num_procs, threads_per_rank, steps, &[])
+}
+
+fn rank_loop(
+    mut comm: Communicator,
+    view: &DistributedForest,
+    scenario: &Scenario,
+    threads_per_rank: usize,
+    steps: u64,
+    probes: &[[i64; 3]],
+) -> RankResult {
+    let rank = comm.rank();
+    // Build local blocks.
+    let mut blocks: Vec<BlockSim> = view.blocks.iter().map(|lb| scenario.build_block(lb)).collect();
+    let index_of: HashMap<BlockId, usize> =
+        view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
+
+    let mass_initial: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
+    let mut stats = SweepStats::default();
+    let mut kernel_time = 0.0;
+    let mut comm_time = 0.0;
+    let mut boundary_time = 0.0;
+
+    for _ in 0..steps {
+        // ---- ghost exchange ------------------------------------------
+        let t0 = Instant::now();
+        exchange_ghosts(&mut comm, view, &mut blocks, &index_of);
+        comm_time += t0.elapsed().as_secs_f64();
+
+        // ---- boundary sweep -------------------------------------------
+        let t0 = Instant::now();
+        for_each_block(&mut blocks, threads_per_rank, |b| b.apply_boundaries());
+        boundary_time += t0.elapsed().as_secs_f64();
+
+        // ---- stream-collide -------------------------------------------
+        let t0 = Instant::now();
+        let rel = scenario.relaxation;
+        let step_stats: Vec<SweepStats> =
+            map_each_block(&mut blocks, threads_per_rank, move |b| b.stream_collide(rel));
+        kernel_time += t0.elapsed().as_secs_f64();
+        for s in step_stats {
+            stats.merge(s);
+        }
+    }
+
+    // ---- probes --------------------------------------------------------
+    let cells = [
+        scenario.cells[0] as i64,
+        scenario.cells[1] as i64,
+        scenario.cells[2] as i64,
+    ];
+    let mut probe_out = Vec::new();
+    for &p in probes {
+        for (i, lb) in view.blocks.iter().enumerate() {
+            let local = [
+                p[0] - lb.coords[0] * cells[0],
+                p[1] - lb.coords[1] * cells[1],
+                p[2] - lb.coords[2] * cells[2],
+            ];
+            if (0..3).all(|d| local[d] >= 0 && local[d] < cells[d]) {
+                let u = blocks[i].velocity(local[0] as i32, local[1] as i32, local[2] as i32);
+                probe_out.push((p, u));
+            }
+        }
+    }
+
+    let mass_final: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
+    let has_nan = blocks.iter().any(BlockSim::has_nan);
+    RankResult {
+        rank,
+        num_blocks: blocks.len(),
+        stats,
+        kernel_time,
+        comm_time,
+        boundary_time,
+        mass_initial,
+        mass_final,
+        probes: probe_out,
+        has_nan,
+    }
+}
+
+/// One full ghost exchange on the source fields of all local blocks.
+fn exchange_ghosts(
+    comm: &mut Communicator,
+    view: &DistributedForest,
+    blocks: &mut [BlockSim],
+    index_of: &HashMap<BlockId, usize>,
+) {
+    // Phase 1: pack everything. Local transfers are buffered the same way
+    // as remote ones; packs read interior slabs only, unpacks write ghost
+    // slabs only, so a two-phase scheme is race-free and identical in
+    // result to any interleaving.
+    let mut local_msgs: Vec<(usize, [i8; 3], Vec<u8>)> = Vec::new();
+    let mut expected: Vec<(u32, u64, usize, [i8; 3])> = Vec::new();
+    for (bi, lb) in view.blocks.iter().enumerate() {
+        for (li, link) in lb.links.iter().enumerate() {
+            let d = NEIGHBOR_DIRS[li];
+            if pdfs_crossing::<D3Q19>(d).is_empty() {
+                continue; // corner links carry nothing for D3Q19
+            }
+            match link {
+                BlockLink::Border => {}
+                BlockLink::Local(nid) => {
+                    let mut buf = Vec::new();
+                    pack_face::<D3Q19, _>(&blocks[bi].src, d, &mut buf);
+                    // The neighbor receives from direction −d.
+                    local_msgs.push((index_of[nid], [-d[0], -d[1], -d[2]], buf));
+                }
+                BlockLink::Remote(nid, r) => {
+                    let mut buf = Vec::new();
+                    pack_face::<D3Q19, _>(&blocks[bi].src, d, &mut buf);
+                    comm.send(*r, ghost_tag(*nid, [-d[0], -d[1], -d[2]]), buf);
+                    // Symmetric link: we will receive the neighbor's data
+                    // for our ghost slab in direction d.
+                    expected.push((*r, ghost_tag(lb.id, d), bi, d));
+                }
+            }
+        }
+    }
+    // Phase 2: unpack local transfers and receive remote ones.
+    for (bi, d, buf) in local_msgs {
+        unpack_face::<D3Q19, _>(&mut blocks[bi].src, d, &buf);
+    }
+    for (from, tag, bi, d) in expected {
+        let data = comm.recv(from, tag);
+        unpack_face::<D3Q19, _>(&mut blocks[bi].src, d, &data);
+    }
+}
+
+/// Applies `f` to every block, optionally with thread parallelism (the
+/// hybrid MPI+OpenMP analogue: one rank, several threads over its blocks).
+fn for_each_block<F: Fn(&mut BlockSim) + Sync>(blocks: &mut [BlockSim], threads: usize, f: F) {
+    if threads <= 1 || blocks.len() <= 1 {
+        for b in blocks.iter_mut() {
+            f(b);
+        }
+    } else {
+        let chunk = blocks.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in blocks.chunks_mut(chunk) {
+                scope.spawn(|| {
+                    for b in part {
+                        f(b);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Like [`for_each_block`] but collecting results in block order.
+fn map_each_block<T: Send, F: Fn(&mut BlockSim) -> T + Sync>(
+    blocks: &mut [BlockSim],
+    threads: usize,
+    f: F,
+) -> Vec<T> {
+    if threads <= 1 || blocks.len() <= 1 {
+        blocks.iter_mut().map(f).collect()
+    } else {
+        let chunk = blocks.len().div_ceil(threads);
+        let mut out: Vec<Vec<T>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = blocks
+                .chunks_mut(chunk)
+                .map(|part| scope.spawn(|| part.iter_mut().map(&f).collect::<Vec<T>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("block worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The decisive distributed-correctness test: a multi-rank,
+    /// multi-block run must produce *bit-identical* velocities to the
+    /// single-rank, single-block run of the same problem — ghost exchange
+    /// is exact, not approximate.
+    #[test]
+    fn distributed_equals_single_block() {
+        let probes: Vec<[i64; 3]> = vec![
+            [1, 1, 1],
+            [8, 8, 14],
+            [7, 8, 8],
+            [8, 7, 3],
+            [15, 15, 15],
+            [0, 15, 8],
+        ];
+        // Reference: one rank, one block of 16³.
+        let s1 = Scenario::lid_driven_cavity(16, 1, 0.06, 0.08);
+        let r1 = crate::driver::run_distributed_probed(&s1, 1, 1, 40, &probes);
+        // Distributed: 8 ranks, 2×2×2 blocks of 8³.
+        let s8 = Scenario::lid_driven_cavity(16, 2, 0.06, 0.08);
+        let r8 = crate::driver::run_distributed_probed(&s8, 8, 1, 40, &probes);
+
+        assert!(!r1.has_nan() && !r8.has_nan());
+        let p1 = r1.probes();
+        let p8 = r8.probes();
+        assert_eq!(p1.len(), probes.len());
+        assert_eq!(p8.len(), probes.len());
+        for ((c1, u1), (c8, u8)) in p1.iter().zip(&p8) {
+            assert_eq!(c1, c8);
+            for d in 0..3 {
+                assert_eq!(u1[d], u8[d], "mismatch at {c1:?} axis {d}");
+            }
+        }
+        // Same total work.
+        assert_eq!(r1.total_stats().cells, r8.total_stats().cells);
+    }
+
+    /// Multiple blocks per rank (4 ranks × 2 blocks) and hybrid threading
+    /// must also reproduce the single-block reference.
+    #[test]
+    fn multiblock_and_threads_equal_single() {
+        let probes: Vec<[i64; 3]> = vec![[3, 5, 9], [11, 2, 4], [6, 6, 6]];
+        let s1 = Scenario::lid_driven_cavity(12, 1, 0.05, 0.1);
+        let r1 = crate::driver::run_distributed_probed(&s1, 1, 1, 25, &probes);
+        let s_multi = Scenario::lid_driven_cavity(12, 2, 0.05, 0.1);
+        let r4 = crate::driver::run_distributed_probed(&s_multi, 4, 2, 25, &probes);
+        for ((_, u1), (_, u4)) in r1.probes().iter().zip(&r4.probes()) {
+            for d in 0..3 {
+                assert_eq!(u1[d], u4[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn cavity_conserves_mass_across_ranks() {
+        let s = Scenario::lid_driven_cavity(16, 2, 0.08, 0.05);
+        let r = run_distributed(&s, 4, 1, 30);
+        assert!(r.mass_drift().abs() < 1e-11, "drift {}", r.mass_drift());
+        assert_eq!(r.total_stats().cells, 16 * 16 * 16 * 30);
+    }
+
+    #[test]
+    fn channel_develops_throughflow() {
+        let s = Scenario::channel_with_obstacle([32, 8, 8], [4, 1, 1], 0.08, 0.04, 0.18);
+        let probes: Vec<[i64; 3]> = vec![[4, 4, 4], [16, 6, 4], [28, 4, 4]];
+        let r = run_distributed_probed(&s, 4, 1, 120, &probes);
+        assert!(!r.has_nan());
+        let p = r.probes();
+        // Flow moves in +x everywhere along the channel.
+        for (c, u) in &p {
+            assert!(u[0] > 1e-4, "no throughflow at {c:?}: {u:?}");
+        }
+    }
+
+    #[test]
+    fn timers_are_recorded() {
+        let s = Scenario::lid_driven_cavity(8, 2, 0.05, 0.1);
+        let r = run_distributed(&s, 2, 1, 5);
+        for rr in &r.ranks {
+            assert!(rr.kernel_time > 0.0);
+            assert!(rr.comm_time > 0.0);
+            assert!(rr.num_blocks == 4);
+        }
+        assert!(r.comm_fraction() > 0.0 && r.comm_fraction() < 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Simulation output: legacy-VTK structured-points files of the
+//! macroscopic fields of a block, for visualization in ParaView & co.
+
+use crate::blocksim::BlockSim;
+use std::io::Write;
+use trillium_field::{FlagOps, PdfField};
+
+/// Writes density, velocity and cell flags of a block's interior as a
+/// legacy-VTK `STRUCTURED_POINTS` ASCII dataset.
+///
+/// `origin` and `dx` place the block in physical space (use the block's
+/// AABB minimum and the lattice spacing).
+pub fn write_vtk<W: Write>(
+    mut w: W,
+    block: &BlockSim,
+    origin: [f64; 3],
+    dx: f64,
+) -> std::io::Result<()> {
+    let s = block.shape;
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "trillium block output")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET STRUCTURED_POINTS")?;
+    writeln!(w, "DIMENSIONS {} {} {}", s.nx, s.ny, s.nz)?;
+    writeln!(
+        w,
+        "ORIGIN {} {} {}",
+        origin[0] + 0.5 * dx,
+        origin[1] + 0.5 * dx,
+        origin[2] + 0.5 * dx
+    )?;
+    writeln!(w, "SPACING {dx} {dx} {dx}")?;
+    writeln!(w, "POINT_DATA {}", s.interior_cells())?;
+
+    writeln!(w, "SCALARS density double 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for (x, y, z) in s.interior().iter() {
+        let rho = if block.flags.flags(x, y, z).is_fluid() {
+            block.src.density(x, y, z)
+        } else {
+            0.0
+        };
+        writeln!(w, "{rho}")?;
+    }
+
+    writeln!(w, "VECTORS velocity double")?;
+    for (x, y, z) in s.interior().iter() {
+        let u = if block.flags.flags(x, y, z).is_fluid() {
+            block.src.velocity(x, y, z)
+        } else {
+            [0.0; 3]
+        };
+        writeln!(w, "{} {} {}", u[0], u[1], u[2])?;
+    }
+
+    writeln!(w, "SCALARS flags int 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for (x, y, z) in s.interior().iter() {
+        writeln!(w, "{}", block.flags.flags(x, y, z).0)?;
+    }
+    Ok(())
+}
+
+/// Convenience: writes the VTK file to a path.
+pub fn write_vtk_file(
+    path: &std::path::Path,
+    block: &BlockSim,
+    origin: [f64; 3],
+    dx: f64,
+) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_vtk(std::io::BufWriter::new(f), block, origin, dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocksim::boxed_block_flags;
+    use trillium_field::{CellFlags, Shape};
+    use trillium_kernels::BoundaryParams;
+
+    #[test]
+    fn vtk_output_is_well_formed() {
+        let flags = boxed_block_flags(Shape::cube(4), [Some(CellFlags::NOSLIP); 6]);
+        let block =
+            crate::blocksim::BlockSim::from_flags(flags, BoundaryParams::default(), 1.25, [0.1, 0.0, 0.0]);
+        let mut out = Vec::new();
+        write_vtk(&mut out, &block, [1.0, 2.0, 3.0], 0.5).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("# vtk DataFile Version 3.0"));
+        assert!(text.contains("DIMENSIONS 4 4 4"));
+        assert!(text.contains("ORIGIN 1.25 2.25 3.25"));
+        assert!(text.contains("POINT_DATA 64"));
+        assert!(text.contains("SCALARS density double 1"));
+        assert!(text.contains("VECTORS velocity double"));
+        // 64 density values of ~1.25 between the density header and the
+        // velocity header.
+        let densities = section_values(&text, "SCALARS density", "VECTORS velocity");
+        assert_eq!(densities.len(), 64);
+        assert!(densities.iter().all(|&d| (d - 1.25).abs() < 1e-12));
+        // Velocity lines carry the initial velocity.
+        let vel_line = text
+            .lines()
+            .skip_while(|l| !l.starts_with("VECTORS"))
+            .nth(1)
+            .unwrap();
+        let u: Vec<f64> = vel_line.split_whitespace().map(|t| t.parse().unwrap()).collect();
+        assert!((u[0] - 0.1).abs() < 1e-12 && u[1].abs() < 1e-12 && u[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_fluid_cells_are_zeroed() {
+        use trillium_field::{FlagField, FlagOps};
+        let shape = Shape::cube(3);
+        let mut flags = FlagField::new(shape);
+        flags.set_flags(1, 1, 1, CellFlags::FLUID); // single fluid cell
+        let block =
+            crate::blocksim::BlockSim::from_flags(flags, BoundaryParams::default(), 2.0, [0.0; 3]);
+        let mut out = Vec::new();
+        write_vtk(&mut out, &block, [0.0; 3], 1.0).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // 26 non-fluid zeros + 1 fluid density of ~2 in the density block.
+        let densities = section_values(&text, "SCALARS density", "VECTORS velocity");
+        assert_eq!(densities.len(), 27);
+        assert_eq!(densities.iter().filter(|&&d| d == 0.0).count(), 26);
+        assert_eq!(densities.iter().filter(|&&d| (d - 2.0).abs() < 1e-12).count(), 1);
+    }
+
+    /// Scalar values between two section headers (skipping LOOKUP_TABLE).
+    fn section_values(text: &str, start: &str, end: &str) -> Vec<f64> {
+        text.lines()
+            .skip_while(|l| !l.starts_with(start))
+            .skip(2)
+            .take_while(|l| !l.starts_with(end))
+            .map(|l| l.trim().parse().unwrap())
+            .collect()
+    }
+}

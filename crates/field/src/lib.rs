@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Cell-field containers for block-structured LBM simulations.
+//!
+//! A *field* is a uniform Cartesian grid of cells owned by one block,
+//! surrounded by a ghost layer used for communication between neighboring
+//! blocks (paper §2.2). This crate provides:
+//!
+//! * [`Shape`] — extents, ghost width and linear indexing of a grid,
+//! * [`AosPdfField`] / [`SoaPdfField`] — particle-distribution-function
+//!   storage in "Array of Structures" and "Structure of Arrays" layout
+//!   (paper §4.1: SoA is the layout enabling SIMD vectorization),
+//! * [`ScalarField`] — per-cell scalars (density, boundary data, flags),
+//! * [`FlagField`] and [`CellFlags`] — cell classification (fluid, boundary
+//!   types, outside-domain) plus the morphological dilation used to compute
+//!   the boundary hull of the fluid domain (paper §2.3),
+//! * [`RowIntervals`] / [`FluidCellList`] — the sparse-block iteration
+//!   schemes of paper §4.3.
+
+pub mod flags;
+pub mod pdf;
+pub mod region;
+pub mod scalar;
+pub mod shape;
+pub mod sparse;
+
+pub use flags::{CellFlags, FlagField, FlagOps};
+pub use pdf::{AosPdfField, PdfField, SoaPdfField};
+pub use region::Region;
+pub use scalar::ScalarField;
+pub use shape::Shape;
+pub use sparse::{FluidCellList, RowIntervals};

@@ -1,0 +1,301 @@
+//! Particle-distribution-function (PDF) fields in AoS and SoA layout.
+//!
+//! The paper (§4.1) stores the lattice either as "Array of Structures" (all
+//! 19 PDFs of one cell consecutive — natural for the generic kernel) or as
+//! "Structure of Arrays" (all PDFs of one *direction* consecutive — required
+//! for SIMD vectorization). Both layouts share the [`PdfField`] accessor
+//! interface so layout-agnostic code (boundary handling, initialization,
+//! ghost exchange, validation) is written once.
+
+use crate::shape::Shape;
+use trillium_lattice::{equilibrium_all, LatticeModel};
+
+/// Layout-independent access to a PDF field of lattice model `M`.
+pub trait PdfField<M: LatticeModel>: Send {
+    /// Grid geometry.
+    fn shape(&self) -> Shape;
+
+    /// Reads PDF `q` at cell `(x, y, z)` (ghost coordinates allowed).
+    fn get(&self, x: i32, y: i32, z: i32, q: usize) -> f64;
+
+    /// Writes PDF `q` at cell `(x, y, z)`.
+    fn set(&mut self, x: i32, y: i32, z: i32, q: usize, v: f64);
+
+    /// Reads all `Q` PDFs of one cell into `out`.
+    fn get_cell(&self, x: i32, y: i32, z: i32, out: &mut [f64]) {
+        for q in 0..M::Q {
+            out[q] = self.get(x, y, z, q);
+        }
+    }
+
+    /// Writes all `Q` PDFs of one cell from `vals`.
+    fn set_cell(&mut self, x: i32, y: i32, z: i32, vals: &[f64]) {
+        for q in 0..M::Q {
+            self.set(x, y, z, q, vals[q]);
+        }
+    }
+
+    /// Sets every cell (including ghosts) to the equilibrium of `(rho, u)`.
+    fn fill_equilibrium(&mut self, rho: f64, u: [f64; 3]) {
+        let mut feq = vec![0.0; M::Q];
+        equilibrium_all::<M>(rho, u, &mut feq);
+        let all = self.shape().with_ghosts();
+        for (x, y, z) in all.iter() {
+            self.set_cell(x, y, z, &feq);
+        }
+    }
+
+    /// Density at a cell.
+    fn density(&self, x: i32, y: i32, z: i32) -> f64 {
+        let mut f = [0.0; 32];
+        self.get_cell(x, y, z, &mut f[..M::Q]);
+        trillium_lattice::density::<M>(&f[..M::Q])
+    }
+
+    /// Velocity at a cell.
+    fn velocity(&self, x: i32, y: i32, z: i32) -> [f64; 3] {
+        let mut f = [0.0; 32];
+        self.get_cell(x, y, z, &mut f[..M::Q]);
+        trillium_lattice::velocity::<M>(&f[..M::Q])
+    }
+
+    /// Total mass (sum of density) over interior cells.
+    fn total_mass(&self) -> f64 {
+        let mut sum = 0.0;
+        for (x, y, z) in self.shape().interior().iter() {
+            sum += self.density(x, y, z);
+        }
+        sum
+    }
+}
+
+/// PDF field in Array-of-Structures layout: linear index `cell * Q + q`.
+pub struct AosPdfField<M: LatticeModel> {
+    shape: Shape,
+    data: Vec<f64>,
+    _model: std::marker::PhantomData<M>,
+}
+
+impl<M: LatticeModel> AosPdfField<M> {
+    /// Allocates a zero-initialized field.
+    pub fn new(shape: Shape) -> Self {
+        AosPdfField {
+            shape,
+            data: vec![0.0; shape.alloc_cells() * M::Q],
+            _model: std::marker::PhantomData,
+        }
+    }
+
+    /// Raw storage (cell-major, `Q` values per cell).
+    #[inline(always)]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    #[inline(always)]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Linear base index of a cell's PDF group.
+    #[inline(always)]
+    pub fn cell_base(&self, x: i32, y: i32, z: i32) -> usize {
+        self.shape.idx(x, y, z) * M::Q
+    }
+
+    /// Swaps storage with another field of identical shape (A/B pattern).
+    pub fn swap(&mut self, other: &mut Self) {
+        assert_eq!(self.shape, other.shape);
+        std::mem::swap(&mut self.data, &mut other.data);
+    }
+}
+
+impl<M: LatticeModel> PdfField<M> for AosPdfField<M> {
+    #[inline(always)]
+    fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    #[inline(always)]
+    fn get(&self, x: i32, y: i32, z: i32, q: usize) -> f64 {
+        self.data[self.shape.idx(x, y, z) * M::Q + q]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, x: i32, y: i32, z: i32, q: usize, v: f64) {
+        self.data[self.shape.idx(x, y, z) * M::Q + q] = v;
+    }
+
+    fn get_cell(&self, x: i32, y: i32, z: i32, out: &mut [f64]) {
+        let base = self.cell_base(x, y, z);
+        out[..M::Q].copy_from_slice(&self.data[base..base + M::Q]);
+    }
+
+    fn set_cell(&mut self, x: i32, y: i32, z: i32, vals: &[f64]) {
+        let base = self.cell_base(x, y, z);
+        self.data[base..base + M::Q].copy_from_slice(&vals[..M::Q]);
+    }
+}
+
+/// PDF field in Structure-of-Arrays layout: one dense grid per direction,
+/// linear index `q * alloc_cells + cell`.
+pub struct SoaPdfField<M: LatticeModel> {
+    shape: Shape,
+    data: Vec<f64>,
+    _model: std::marker::PhantomData<M>,
+}
+
+impl<M: LatticeModel> SoaPdfField<M> {
+    /// Allocates a zero-initialized field.
+    pub fn new(shape: Shape) -> Self {
+        SoaPdfField {
+            shape,
+            data: vec![0.0; shape.alloc_cells() * M::Q],
+            _model: std::marker::PhantomData,
+        }
+    }
+
+    /// The dense grid of direction `q`.
+    #[inline(always)]
+    pub fn dir(&self, q: usize) -> &[f64] {
+        let n = self.shape.alloc_cells();
+        &self.data[q * n..(q + 1) * n]
+    }
+
+    /// Mutable dense grid of direction `q`.
+    #[inline(always)]
+    pub fn dir_mut(&mut self, q: usize) -> &mut [f64] {
+        let n = self.shape.alloc_cells();
+        &mut self.data[q * n..(q + 1) * n]
+    }
+
+    /// Raw storage (direction-major).
+    #[inline(always)]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    #[inline(always)]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Splits the storage into `Q` per-direction mutable grids.
+    pub fn dirs_mut(&mut self) -> Vec<&mut [f64]> {
+        let n = self.shape.alloc_cells();
+        self.data.chunks_exact_mut(n).collect()
+    }
+
+    /// Swaps storage with another field of identical shape (A/B pattern).
+    pub fn swap(&mut self, other: &mut Self) {
+        assert_eq!(self.shape, other.shape);
+        std::mem::swap(&mut self.data, &mut other.data);
+    }
+}
+
+impl<M: LatticeModel> PdfField<M> for SoaPdfField<M> {
+    #[inline(always)]
+    fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    #[inline(always)]
+    fn get(&self, x: i32, y: i32, z: i32, q: usize) -> f64 {
+        self.data[q * self.shape.alloc_cells() + self.shape.idx(x, y, z)]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, x: i32, y: i32, z: i32, q: usize, v: f64) {
+        self.data[q * self.shape.alloc_cells() + self.shape.idx(x, y, z)] = v;
+    }
+}
+
+/// Copies the contents of one PDF field into another of identical shape,
+/// regardless of layout. Used by tests comparing kernel tiers.
+pub fn copy_pdf_field<M: LatticeModel, A: PdfField<M>, B: PdfField<M>>(src: &A, dst: &mut B) {
+    assert_eq!(src.shape(), dst.shape());
+    let mut buf = vec![0.0; M::Q];
+    for (x, y, z) in src.shape().with_ghosts().iter() {
+        src.get_cell(x, y, z, &mut buf);
+        dst.set_cell(x, y, z, &buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trillium_lattice::D3Q19;
+
+    #[test]
+    fn aos_set_get_roundtrip() {
+        let mut f = AosPdfField::<D3Q19>::new(Shape::cube(4));
+        f.set(1, 2, 3, 7, 0.25);
+        f.set(-1, -1, -1, 0, 1.5); // ghost corner
+        assert_eq!(f.get(1, 2, 3, 7), 0.25);
+        assert_eq!(f.get(-1, -1, -1, 0), 1.5);
+        assert_eq!(f.get(1, 2, 3, 8), 0.0);
+    }
+
+    #[test]
+    fn soa_set_get_roundtrip() {
+        let mut f = SoaPdfField::<D3Q19>::new(Shape::cube(4));
+        f.set(0, 0, 0, 18, 0.125);
+        assert_eq!(f.get(0, 0, 0, 18), 0.125);
+        // The value lands in direction 18's grid.
+        let n = f.shape().alloc_cells();
+        assert_eq!(f.dir(18).len(), n);
+        assert_eq!(f.dir(18)[f.shape().idx(0, 0, 0)], 0.125);
+    }
+
+    #[test]
+    fn layouts_agree_through_trait() {
+        let shape = Shape::new(3, 4, 2, 1);
+        let mut a = AosPdfField::<D3Q19>::new(shape);
+        let mut s = SoaPdfField::<D3Q19>::new(shape);
+        a.fill_equilibrium(1.05, [0.02, -0.01, 0.03]);
+        s.fill_equilibrium(1.05, [0.02, -0.01, 0.03]);
+        for (x, y, z) in shape.with_ghosts().iter() {
+            for q in 0..19 {
+                assert_eq!(a.get(x, y, z, q), s.get(x, y, z, q));
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_fill_macroscopic_values() {
+        let mut f = AosPdfField::<D3Q19>::new(Shape::cube(3));
+        f.fill_equilibrium(1.1, [0.05, 0.0, -0.02]);
+        assert!((f.density(1, 1, 1) - 1.1).abs() < 1e-14);
+        let u = f.velocity(2, 0, 1);
+        assert!((u[0] - 0.05).abs() < 1e-14);
+        assert!((u[2] + 0.02).abs() < 1e-14);
+        let expected_mass = 1.1 * f.shape().interior_cells() as f64;
+        assert!((f.total_mass() - expected_mass).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cross_layout_copy() {
+        let shape = Shape::cube(3);
+        let mut a = AosPdfField::<D3Q19>::new(shape);
+        a.fill_equilibrium(0.9, [0.01, 0.02, 0.03]);
+        a.set(0, 1, 2, 5, 42.0);
+        let mut s = SoaPdfField::<D3Q19>::new(shape);
+        copy_pdf_field::<D3Q19, _, _>(&a, &mut s);
+        assert_eq!(s.get(0, 1, 2, 5), 42.0);
+        assert_eq!(s.get(2, 2, 2, 11), a.get(2, 2, 2, 11));
+    }
+
+    #[test]
+    fn swap_exchanges_contents() {
+        let shape = Shape::cube(2);
+        let mut a = SoaPdfField::<D3Q19>::new(shape);
+        let mut b = SoaPdfField::<D3Q19>::new(shape);
+        a.set(0, 0, 0, 1, 7.0);
+        b.set(0, 0, 0, 1, 9.0);
+        a.swap(&mut b);
+        assert_eq!(a.get(0, 0, 0, 1), 9.0);
+        assert_eq!(b.get(0, 0, 0, 1), 7.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Axis-aligned cell regions (index-space boxes).
+
+use std::ops::Range;
+
+/// A box of cell coordinates, half-open in each axis.
+///
+/// Used to describe ghost/boundary slabs for communication and sub-grids for
+/// sweeps. Iteration order matches storage order: x fastest, then y, then z.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Coordinate range in x.
+    pub x: Range<i32>,
+    /// Coordinate range in y.
+    pub y: Range<i32>,
+    /// Coordinate range in z.
+    pub z: Range<i32>,
+}
+
+impl Region {
+    /// Creates a region from per-axis ranges.
+    pub fn new(x: Range<i32>, y: Range<i32>, z: Range<i32>) -> Self {
+        Region { x, y, z }
+    }
+
+    /// Number of cells in the region (0 if any range is empty or reversed).
+    pub fn num_cells(&self) -> usize {
+        let len = |r: &Range<i32>| (r.end.max(r.start) - r.start) as usize;
+        len(&self.x) * len(&self.y) * len(&self.z)
+    }
+
+    /// True if the region contains no cells.
+    pub fn is_empty(&self) -> bool {
+        self.num_cells() == 0
+    }
+
+    /// True if `(x, y, z)` lies inside the region.
+    pub fn contains(&self, x: i32, y: i32, z: i32) -> bool {
+        self.x.contains(&x) && self.y.contains(&y) && self.z.contains(&z)
+    }
+
+    /// Intersection with another region (may be empty).
+    pub fn intersect(&self, other: &Region) -> Region {
+        let cut = |a: &Range<i32>, b: &Range<i32>| a.start.max(b.start)..a.end.min(b.end);
+        Region::new(cut(&self.x, &other.x), cut(&self.y, &other.y), cut(&self.z, &other.z))
+    }
+
+    /// The region translated by `(dx, dy, dz)`.
+    pub fn shifted(&self, dx: i32, dy: i32, dz: i32) -> Region {
+        Region::new(
+            self.x.start + dx..self.x.end + dx,
+            self.y.start + dy..self.y.end + dy,
+            self.z.start + dz..self.z.end + dz,
+        )
+    }
+
+    /// Iterates all `(x, y, z)` coordinates, x fastest.
+    pub fn iter(&self) -> impl Iterator<Item = (i32, i32, i32)> + '_ {
+        let xr = self.x.clone();
+        self.z.clone().flat_map(move |z| {
+            let xr = xr.clone();
+            self.y.clone().flat_map(move |y| xr.clone().map(move |x| (x, y, z)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_count_and_emptiness() {
+        let r = Region::new(0..3, 1..3, -1..1);
+        assert_eq!(r.num_cells(), 12);
+        assert!(!r.is_empty());
+        assert!(Region::new(0..0, 0..5, 0..5).is_empty());
+    }
+
+    #[test]
+    fn iteration_order_is_x_fastest() {
+        let r = Region::new(0..2, 0..2, 0..1);
+        let v: Vec<_> = r.iter().collect();
+        assert_eq!(v, vec![(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0)]);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Region::new(0..4, 0..4, 0..4);
+        let b = Region::new(2..6, -1..3, 1..9);
+        let i = a.intersect(&b);
+        assert_eq!(i, Region::new(2..4, 0..3, 1..4));
+        assert!(a.intersect(&Region::new(10..12, 0..1, 0..1)).is_empty());
+    }
+
+    #[test]
+    fn shift_and_contains() {
+        let r = Region::new(0..2, 0..2, 0..2).shifted(1, -1, 0);
+        assert!(r.contains(1, -1, 0));
+        assert!(!r.contains(0, 0, 0));
+        assert_eq!(r.num_cells(), 8);
+    }
+}

@@ -1,0 +1,89 @@
+//! Generic per-cell scalar fields.
+
+use crate::shape::Shape;
+
+/// A dense per-cell field of values of type `T` with the same ghost-layer
+/// geometry as the PDF fields. Used for densities, boundary parameters and
+/// (with `T = u8`) cell flags.
+#[derive(Clone, Debug)]
+pub struct ScalarField<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default + PartialEq + Send + 'static> ScalarField<T> {
+    /// Allocates a field filled with `T::default()`.
+    pub fn new(shape: Shape) -> Self {
+        ScalarField { shape, data: vec![T::default(); shape.alloc_cells()] }
+    }
+
+    /// Allocates a field filled with `value`.
+    pub fn filled(shape: Shape, value: T) -> Self {
+        ScalarField { shape, data: vec![value; shape.alloc_cells()] }
+    }
+
+    /// Grid geometry.
+    #[inline(always)]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Value at `(x, y, z)` (ghost coordinates allowed).
+    #[inline(always)]
+    pub fn get(&self, x: i32, y: i32, z: i32) -> T {
+        self.data[self.shape.idx(x, y, z)]
+    }
+
+    /// Sets the value at `(x, y, z)`.
+    #[inline(always)]
+    pub fn set(&mut self, x: i32, y: i32, z: i32, v: T) {
+        let i = self.shape.idx(x, y, z);
+        self.data[i] = v;
+    }
+
+    /// Raw storage.
+    #[inline(always)]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    #[inline(always)]
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Counts interior cells equal to `v`.
+    pub fn count_interior(&self, v: T) -> usize {
+        self.shape.interior().iter().filter(|&(x, y, z)| self.get(x, y, z) == v).count()
+    }
+
+    /// Sets every cell (including ghosts) to `v`.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_filled_construction() {
+        let s = Shape::cube(3);
+        let z = ScalarField::<f64>::new(s);
+        assert_eq!(z.get(1, 1, 1), 0.0);
+        let f = ScalarField::<u8>::filled(s, 7);
+        assert_eq!(f.get(-1, -1, -1), 7);
+    }
+
+    #[test]
+    fn set_get_and_count() {
+        let mut f = ScalarField::<u8>::new(Shape::cube(2));
+        f.set(0, 0, 0, 3);
+        f.set(1, 1, 1, 3);
+        f.set(-1, 0, 0, 3); // ghost, must not count
+        assert_eq!(f.count_interior(3), 2);
+        assert_eq!(f.count_interior(0), 6);
+    }
+}

@@ -1,0 +1,237 @@
+//! Marching-tetrahedra isosurface extraction.
+//!
+//! Turns an implicit domain (a [`SignedDistance`]) into a watertight,
+//! outward-oriented triangle mesh. This substitutes for the paper's CTA
+//! segmentation pipeline: the procedural vascular tree is defined
+//! implicitly and extracted here, after which the *mesh-based* machinery
+//! (octree, pseudonormals, voxelization) operates exactly as it would on a
+//! clinical dataset.
+//!
+//! Each grid cube is decomposed into six tetrahedra sharing the main
+//! diagonal; the decomposition is mirror-consistent across cube faces, so
+//! shared face diagonals match between neighboring cubes and the extracted
+//! surface is closed. Surface vertices are deduplicated per grid edge,
+//! which makes the connectivity watertight by construction.
+
+use crate::mesh::TriMesh;
+use crate::sdf::SignedDistance;
+use crate::vec3::Vec3;
+use std::collections::HashMap;
+
+/// The six tetrahedra of a cube, as cube-corner indices. Corner `i` has
+/// coordinates `((i & 1), (i >> 1) & 1, (i >> 2) & 1)` — note this is x in
+/// bit 0, y in bit 1, z in bit 2. All six share the main diagonal 0–7.
+const TETS: [[usize; 4]; 6] = [
+    [0, 1, 3, 7],
+    [0, 3, 2, 7],
+    [0, 2, 6, 7],
+    [0, 6, 4, 7],
+    [0, 4, 5, 7],
+    [0, 5, 1, 7],
+];
+
+/// Extracts the zero isosurface of `sdf` on a regular grid with `cell`
+/// spacing covering the domain's bounding box (inflated by two cells).
+pub fn marching_tetrahedra<S: SignedDistance + ?Sized>(sdf: &S, cell: f64) -> TriMesh {
+    assert!(cell > 0.0);
+    let bb = sdf.bounding_box().inflated(2.0 * cell);
+    let ext = bb.extents();
+    let nx = (ext.x / cell).ceil() as usize + 1;
+    let ny = (ext.y / cell).ceil() as usize + 1;
+    let nz = (ext.z / cell).ceil() as usize + 1;
+
+    // Sample the SDF at all grid points; nudge exact zeros so no surface
+    // vertex coincides with a grid point (keeps triangles non-degenerate).
+    let point = |i: usize, j: usize, k: usize| {
+        bb.min + Vec3 { x: i as f64 * cell, y: j as f64 * cell, z: k as f64 * cell }
+    };
+    let mut values = vec![0.0f64; nx * ny * nz];
+    let vidx = |i: usize, j: usize, k: usize| (k * ny + j) * nx + i;
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let mut v = sdf.signed_distance(point(i, j, k));
+                if v == 0.0 {
+                    v = 1e-12;
+                }
+                values[vidx(i, j, k)] = v;
+            }
+        }
+    }
+
+    let mut mesh = TriMesh::default();
+    // Deduplicate surface vertices by the (sorted) grid-point index pair of
+    // the edge they sit on.
+    let mut edge_vertices: HashMap<(usize, usize), u32> = HashMap::new();
+
+    let mut vertex_on_edge = |mesh: &mut TriMesh,
+                              ga: usize,
+                              gb: usize,
+                              pa: Vec3,
+                              pb: Vec3,
+                              va: f64,
+                              vb: f64|
+     -> u32 {
+        let key = (ga.min(gb), ga.max(gb));
+        *edge_vertices.entry(key).or_insert_with(|| {
+            let t = va / (va - vb);
+            let p = pa + (pb - pa) * t;
+            mesh.vertices.push(p);
+            mesh.colors.push(0);
+            (mesh.vertices.len() - 1) as u32
+        })
+    };
+
+    let emit = |mesh: &mut TriMesh, a: u32, b: u32, c: u32, inside_ref: Vec3| {
+        if a == b || b == c || a == c {
+            return;
+        }
+        let (pa, pb, pc) =
+            (mesh.vertices[a as usize], mesh.vertices[b as usize], mesh.vertices[c as usize]);
+        let n = (pb - pa).cross(pc - pa);
+        let centroid = (pa + pb + pc) / 3.0;
+        // Outward orientation: normal points away from the inside
+        // reference point.
+        if n.dot(centroid - inside_ref) >= 0.0 {
+            mesh.triangles.push([a, b, c]);
+        } else {
+            mesh.triangles.push([a, c, b]);
+        }
+    };
+
+    for k in 0..nz - 1 {
+        for j in 0..ny - 1 {
+            for i in 0..nx - 1 {
+                // Cube corner grid ids, positions and values.
+                let mut gid = [0usize; 8];
+                let mut pos = [Vec3::ZERO; 8];
+                let mut val = [0.0f64; 8];
+                for c in 0..8 {
+                    let (di, dj, dk) = (c & 1, (c >> 1) & 1, (c >> 2) & 1);
+                    gid[c] = vidx(i + di, j + dj, k + dk);
+                    pos[c] = point(i + di, j + dj, k + dk);
+                    val[c] = values[gid[c]];
+                }
+                // Quick reject: cube entirely on one side.
+                if val.iter().all(|&v| v > 0.0) || val.iter().all(|&v| v < 0.0) {
+                    continue;
+                }
+
+                for tet in &TETS {
+                    let ins: Vec<usize> = tet.iter().copied().filter(|&c| val[c] < 0.0).collect();
+                    let outs: Vec<usize> = tet.iter().copied().filter(|&c| val[c] >= 0.0).collect();
+                    match ins.len() {
+                        0 | 4 => {}
+                        1 => {
+                            let a = ins[0];
+                            let vs: Vec<u32> = outs
+                                .iter()
+                                .map(|&o| {
+                                    vertex_on_edge(
+                                        &mut mesh, gid[a], gid[o], pos[a], pos[o], val[a], val[o],
+                                    )
+                                })
+                                .collect();
+                            emit(&mut mesh, vs[0], vs[1], vs[2], pos[a]);
+                        }
+                        3 => {
+                            let o = outs[0];
+                            let vs: Vec<u32> = ins
+                                .iter()
+                                .map(|&a| {
+                                    vertex_on_edge(
+                                        &mut mesh, gid[a], gid[o], pos[a], pos[o], val[a], val[o],
+                                    )
+                                })
+                                .collect();
+                            let inside_ref = (pos[ins[0]] + pos[ins[1]] + pos[ins[2]]) / 3.0;
+                            emit(&mut mesh, vs[0], vs[1], vs[2], inside_ref);
+                        }
+                        2 => {
+                            let (a, b) = (ins[0], ins[1]);
+                            let (c, d) = (outs[0], outs[1]);
+                            let pac = vertex_on_edge(
+                                &mut mesh, gid[a], gid[c], pos[a], pos[c], val[a], val[c],
+                            );
+                            let pad = vertex_on_edge(
+                                &mut mesh, gid[a], gid[d], pos[a], pos[d], val[a], val[d],
+                            );
+                            let pbd = vertex_on_edge(
+                                &mut mesh, gid[b], gid[d], pos[b], pos[d], val[b], val[d],
+                            );
+                            let pbc = vertex_on_edge(
+                                &mut mesh, gid[b], gid[c], pos[b], pos[c], val[b], val[c],
+                            );
+                            let inside_ref = (pos[a] + pos[b]) * 0.5;
+                            // Quad p_ac → p_ad → p_bd → p_bc, split along a
+                            // private diagonal.
+                            emit(&mut mesh, pac, pad, pbd, inside_ref);
+                            emit(&mut mesh, pac, pbd, pbc, inside_ref);
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdf::AnalyticSdf;
+    use crate::vec3::vec3;
+
+    #[test]
+    fn sphere_extraction_is_watertight_with_correct_volume() {
+        let sdf = AnalyticSdf::Sphere { center: vec3(0.0, 0.0, 0.0), radius: 1.0 };
+        let mesh = marching_tetrahedra(&sdf, 0.1);
+        assert!(mesh.num_triangles() > 100);
+        assert!(mesh.is_watertight(), "extracted sphere not watertight");
+        let vol = 4.0 / 3.0 * std::f64::consts::PI;
+        let v = mesh.signed_volume();
+        assert!(v > 0.0, "inward oriented: {v}");
+        assert!((v - vol).abs() / vol < 0.05, "volume {v} vs {vol}");
+    }
+
+    #[test]
+    fn capsule_extraction_is_watertight() {
+        let sdf = AnalyticSdf::Capsule {
+            a: vec3(0.0, 0.0, 0.0),
+            b: vec3(0.0, 0.0, 3.0),
+            radius: 0.5,
+        };
+        let mesh = marching_tetrahedra(&sdf, 0.08);
+        assert!(mesh.is_watertight());
+        // Cylinder volume + sphere volume.
+        let vol = std::f64::consts::PI * 0.25 * 3.0 + 4.0 / 3.0 * std::f64::consts::PI * 0.125;
+        let v = mesh.signed_volume();
+        assert!((v - vol).abs() / vol < 0.05, "volume {v} vs {vol}");
+    }
+
+    #[test]
+    fn union_extraction_is_watertight() {
+        let sdf = AnalyticSdf::Union(vec![
+            AnalyticSdf::Sphere { center: vec3(0.0, 0.0, 0.0), radius: 0.8 },
+            AnalyticSdf::Sphere { center: vec3(1.0, 0.0, 0.0), radius: 0.8 },
+        ]);
+        let mesh = marching_tetrahedra(&sdf, 0.07);
+        assert!(mesh.is_watertight());
+        assert!(mesh.signed_volume() > 4.0 / 3.0 * std::f64::consts::PI * 0.512);
+    }
+
+    /// The extracted mesh feeds the mesh SDF; round-tripping through
+    /// extraction must approximately reproduce the analytic distances.
+    #[test]
+    fn extracted_mesh_sdf_roundtrip() {
+        use crate::sdf::{MeshSdf, SignedDistance};
+        let exact = AnalyticSdf::Sphere { center: vec3(0.0, 0.0, 0.0), radius: 1.0 };
+        let mesh = marching_tetrahedra(&exact, 0.1);
+        let sdf = MeshSdf::new(mesh);
+        for p in [vec3(0.0, 0.0, 0.0), vec3(0.0, 1.6, 0.0), vec3(0.5, 0.5, 0.0)] {
+            let (dm, de) = (sdf.signed_distance(p), exact.signed_distance(p));
+            assert!((dm - de).abs() < 0.06, "at {p:?}: {dm} vs {de}");
+        }
+    }
+}

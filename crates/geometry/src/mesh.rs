@@ -1,0 +1,400 @@
+//! Indexed triangle surface meshes with per-vertex colors.
+
+use crate::vec3::{vec3, Vec3};
+use std::collections::HashMap;
+
+/// An axis-aligned bounding box.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// The empty box (inverted bounds); extend with [`Aabb::grow`].
+    pub const EMPTY: Aabb = Aabb {
+        min: vec3(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+        max: vec3(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+    };
+
+    /// Creates a box from two corners.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        Aabb { min, max }
+    }
+
+    /// Extends the box to contain `p`.
+    pub fn grow(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Extends the box to contain another box.
+    pub fn grow_box(&mut self, b: &Aabb) {
+        self.min = self.min.min(b.min);
+        self.max = self.max.max(b.max);
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Edge lengths.
+    pub fn extents(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Volume (0 for degenerate boxes).
+    pub fn volume(&self) -> f64 {
+        let e = self.extents();
+        (e.x.max(0.0)) * (e.y.max(0.0)) * (e.z.max(0.0))
+    }
+
+    /// True if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Squared distance from `p` to the box (0 if inside).
+    pub fn dist_sq(&self, p: Vec3) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        let dz = (self.min.z - p.z).max(0.0).max(p.z - self.max.z);
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Radius of the circumscribed sphere around the box center.
+    pub fn circumradius(&self) -> f64 {
+        self.extents().norm() * 0.5
+    }
+
+    /// Radius of the inscribed sphere around the box center.
+    pub fn inradius(&self) -> f64 {
+        let e = self.extents();
+        0.5 * e.x.min(e.y).min(e.z)
+    }
+
+    /// The box grown by `margin` on all sides.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        let m = vec3(margin, margin, margin);
+        Aabb::new(self.min - m, self.max + m)
+    }
+}
+
+/// An indexed triangle mesh. Vertices may carry a color used to encode
+/// boundary-condition regions (the paper colors inflow and outflow
+/// surfaces).
+#[derive(Clone, Debug, Default)]
+pub struct TriMesh {
+    /// Vertex positions.
+    pub vertices: Vec<Vec3>,
+    /// Per-vertex color tags (same length as `vertices`, 0 = uncolored).
+    pub colors: Vec<u32>,
+    /// Triangles as CCW vertex index triples (outward-facing normals).
+    pub triangles: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    /// Number of triangles.
+    pub fn num_triangles(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// The three corner positions of triangle `t`.
+    #[inline(always)]
+    pub fn tri(&self, t: usize) -> [Vec3; 3] {
+        let [a, b, c] = self.triangles[t];
+        [self.vertices[a as usize], self.vertices[b as usize], self.vertices[c as usize]]
+    }
+
+    /// (Non-normalized) face normal of triangle `t` — CCW orientation gives
+    /// outward normals for a properly oriented closed mesh.
+    pub fn face_normal(&self, t: usize) -> Vec3 {
+        let [a, b, c] = self.tri(t);
+        (b - a).cross(c - a)
+    }
+
+    /// Area of triangle `t`.
+    pub fn tri_area(&self, t: usize) -> f64 {
+        0.5 * self.face_normal(t).norm()
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f64 {
+        (0..self.num_triangles()).map(|t| self.tri_area(t)).sum()
+    }
+
+    /// Bounding box of a single triangle.
+    pub fn tri_aabb(&self, t: usize) -> Aabb {
+        let [a, b, c] = self.tri(t);
+        Aabb::new(a.min(b).min(c), a.max(b).max(c))
+    }
+
+    /// Bounding box of the whole mesh.
+    pub fn aabb(&self) -> Aabb {
+        let mut bb = Aabb::EMPTY;
+        for &v in &self.vertices {
+            bb.grow(v);
+        }
+        bb
+    }
+
+    /// Signed volume enclosed by the mesh (divergence theorem); positive
+    /// for a closed, outward-oriented mesh.
+    pub fn signed_volume(&self) -> f64 {
+        let mut v6 = 0.0;
+        for t in 0..self.num_triangles() {
+            let [a, b, c] = self.tri(t);
+            v6 += a.dot(b.cross(c));
+        }
+        v6 / 6.0
+    }
+
+    /// Checks 2-manifold watertightness: every undirected edge is shared by
+    /// exactly two triangles, with opposite orientations.
+    pub fn is_watertight(&self) -> bool {
+        let mut directed: HashMap<(u32, u32), i32> = HashMap::new();
+        for t in &self.triangles {
+            for e in 0..3 {
+                let a = t[e];
+                let b = t[(e + 1) % 3];
+                *directed.entry((a.min(b), a.max(b))).or_insert(0) +=
+                    if a < b { 1 } else { -1 };
+            }
+        }
+        // Each undirected edge must appear exactly once in each direction;
+        // verify counts: net orientation 0 and total multiplicity 2.
+        let mut undirected: HashMap<(u32, u32), u32> = HashMap::new();
+        for t in &self.triangles {
+            for e in 0..3 {
+                let a = t[e];
+                let b = t[(e + 1) % 3];
+                *undirected.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+            }
+        }
+        directed.values().all(|&net| net == 0) && undirected.values().all(|&n| n == 2)
+    }
+
+    /// Applies a uniform scale followed by a translation to all vertices —
+    /// unit conversion of imported meshes (e.g. a CTA dataset in
+    /// millimetres into the solver's metres).
+    pub fn transform(&mut self, scale: f64, translate: Vec3) {
+        assert!(scale > 0.0, "mirroring would flip the orientation");
+        for v in &mut self.vertices {
+            *v = *v * scale + translate;
+        }
+    }
+
+    /// An axis-aligned box mesh (12 triangles, outward CCW orientation).
+    pub fn make_box(bb: Aabb) -> TriMesh {
+        let (lo, hi) = (bb.min, bb.max);
+        let v = vec![
+            vec3(lo.x, lo.y, lo.z), // 0
+            vec3(hi.x, lo.y, lo.z), // 1
+            vec3(hi.x, hi.y, lo.z), // 2
+            vec3(lo.x, hi.y, lo.z), // 3
+            vec3(lo.x, lo.y, hi.z), // 4
+            vec3(hi.x, lo.y, hi.z), // 5
+            vec3(hi.x, hi.y, hi.z), // 6
+            vec3(lo.x, hi.y, hi.z), // 7
+        ];
+        let triangles = vec![
+            // bottom (z = lo): outward is −z
+            [0, 2, 1],
+            [0, 3, 2],
+            // top (z = hi): outward is +z
+            [4, 5, 6],
+            [4, 6, 7],
+            // front (y = lo): outward −y
+            [0, 1, 5],
+            [0, 5, 4],
+            // back (y = hi): outward +y
+            [2, 3, 7],
+            [2, 7, 6],
+            // left (x = lo): outward −x
+            [0, 4, 7],
+            [0, 7, 3],
+            // right (x = hi): outward +x
+            [1, 2, 6],
+            [1, 6, 5],
+        ];
+        let colors = vec![0; v.len()];
+        TriMesh { vertices: v, colors, triangles }
+    }
+
+    /// A UV-sphere mesh with `rings × segments` resolution, outward CCW.
+    pub fn make_sphere(center: Vec3, radius: f64, rings: usize, segments: usize) -> TriMesh {
+        assert!(rings >= 2 && segments >= 3);
+        let mut vertices = vec![center + vec3(0.0, 0.0, radius)];
+        for r in 1..rings {
+            let theta = std::f64::consts::PI * r as f64 / rings as f64;
+            for s in 0..segments {
+                let phi = 2.0 * std::f64::consts::PI * s as f64 / segments as f64;
+                vertices.push(
+                    center
+                        + radius
+                            * vec3(theta.sin() * phi.cos(), theta.sin() * phi.sin(), theta.cos()),
+                );
+            }
+        }
+        vertices.push(center + vec3(0.0, 0.0, -radius));
+        let south = (vertices.len() - 1) as u32;
+        let ring = |r: usize, s: usize| -> u32 { (1 + (r - 1) * segments + (s % segments)) as u32 };
+
+        let mut triangles = Vec::new();
+        // Top cap.
+        for s in 0..segments {
+            triangles.push([0, ring(1, s), ring(1, s + 1)]);
+        }
+        // Body.
+        for r in 1..rings - 1 {
+            for s in 0..segments {
+                let (a, b) = (ring(r, s), ring(r, s + 1));
+                let (c, d) = (ring(r + 1, s), ring(r + 1, s + 1));
+                triangles.push([a, c, d]);
+                triangles.push([a, d, b]);
+            }
+        }
+        // Bottom cap.
+        for s in 0..segments {
+            triangles.push([south, ring(rings - 1, s + 1), ring(rings - 1, s)]);
+        }
+        let colors = vec![0; vertices.len()];
+        TriMesh { vertices, colors, triangles }
+    }
+
+    /// A closed tube (cylinder with flat end caps) from `p0` to `p1` with
+    /// radius `r`. End-cap vertices are colored `color0` (at `p0`) and
+    /// `color1` (at `p1`) so the caps can carry inflow/outflow boundary
+    /// conditions; the lateral wall is subdivided into four uncolored
+    /// bands so wall triangles vote "uncolored" in the closest-triangle
+    /// majority used for boundary-condition assignment.
+    pub fn make_tube(p0: Vec3, p1: Vec3, r: f64, segments: usize, color0: u32, color1: u32) -> TriMesh {
+        assert!(segments >= 3);
+        const BANDS: usize = 4; // lateral subdivisions along the axis
+        let axis_vec = p1 - p0;
+        let axis = axis_vec.normalized();
+        let u = axis.any_orthonormal();
+        let v = axis.cross(u);
+        let mut vertices = Vec::new();
+        let mut colors = Vec::new();
+        // Rings 0..=BANDS along the axis; only the end rings are colored.
+        for ring in 0..=BANDS {
+            let t = ring as f64 / BANDS as f64;
+            let center = p0 + axis_vec * t;
+            let color = if ring == 0 {
+                color0
+            } else if ring == BANDS {
+                color1
+            } else {
+                0
+            };
+            for s in 0..segments {
+                let phi = 2.0 * std::f64::consts::PI * s as f64 / segments as f64;
+                vertices.push(center + r * (phi.cos() * u + phi.sin() * v));
+                colors.push(color);
+            }
+        }
+        vertices.push(p0);
+        colors.push(color0);
+        vertices.push(p1);
+        colors.push(color1);
+        let c0 = ((BANDS + 1) * segments) as u32;
+        let c1 = c0 + 1;
+
+        let ring = |rg: usize, s: usize| (rg * segments + s % segments) as u32;
+        let mut triangles = Vec::new();
+        for rg in 0..BANDS {
+            for s in 0..segments {
+                // Lateral wall (outward).
+                triangles.push([ring(rg, s), ring(rg, s + 1), ring(rg + 1, s + 1)]);
+                triangles.push([ring(rg, s), ring(rg + 1, s + 1), ring(rg + 1, s)]);
+            }
+        }
+        for s in 0..segments {
+            // Cap at p0 (outward is −axis).
+            triangles.push([c0, ring(0, s + 1), ring(0, s)]);
+            // Cap at p1 (outward is +axis).
+            triangles.push([c1, ring(BANDS, s), ring(BANDS, s + 1)]);
+        }
+        TriMesh { vertices, colors, triangles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aabb_basics() {
+        let mut bb = Aabb::EMPTY;
+        bb.grow(vec3(1.0, 2.0, 3.0));
+        bb.grow(vec3(-1.0, 0.0, 5.0));
+        assert_eq!(bb.min, vec3(-1.0, 0.0, 3.0));
+        assert_eq!(bb.max, vec3(1.0, 2.0, 5.0));
+        assert!(bb.contains(vec3(0.0, 1.0, 4.0)));
+        assert!(!bb.contains(vec3(0.0, 1.0, 6.0)));
+        assert_eq!(bb.dist_sq(vec3(2.0, 1.0, 4.0)), 1.0);
+        assert_eq!(bb.dist_sq(bb.center()), 0.0);
+        assert_eq!(bb.volume(), 2.0 * 2.0 * 2.0);
+    }
+
+    #[test]
+    fn box_mesh_is_watertight_with_correct_volume_and_area() {
+        let bb = Aabb::new(vec3(0.0, 0.0, 0.0), vec3(2.0, 3.0, 4.0));
+        let m = TriMesh::make_box(bb);
+        assert!(m.is_watertight());
+        assert!((m.signed_volume() - 24.0).abs() < 1e-12);
+        let area = 2.0 * (2.0 * 3.0 + 3.0 * 4.0 + 2.0 * 4.0);
+        assert!((m.surface_area() - area).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sphere_mesh_converges_to_analytic_volume() {
+        let m = TriMesh::make_sphere(vec3(1.0, -2.0, 0.5), 1.5, 32, 64);
+        assert!(m.is_watertight());
+        let vol = 4.0 / 3.0 * std::f64::consts::PI * 1.5f64.powi(3);
+        assert!((m.signed_volume() - vol).abs() / vol < 0.01, "vol = {}", m.signed_volume());
+    }
+
+    #[test]
+    fn tube_mesh_is_watertight_and_colored() {
+        let m = TriMesh::make_tube(vec3(0.0, 0.0, 0.0), vec3(0.0, 0.0, 5.0), 1.0, 24, 1, 2);
+        assert!(m.is_watertight());
+        let vol = std::f64::consts::PI * 5.0;
+        assert!((m.signed_volume() - vol).abs() / vol < 0.03);
+        // Cap colors present.
+        assert!(m.colors.iter().any(|&c| c == 1));
+        assert!(m.colors.iter().any(|&c| c == 2));
+    }
+
+    #[test]
+    fn transform_scales_volume_cubically() {
+        let mut m = TriMesh::make_box(Aabb::new(vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0)));
+        m.transform(2.0, vec3(10.0, 0.0, -5.0));
+        assert!((m.signed_volume() - 8.0).abs() < 1e-12);
+        assert!(m.is_watertight());
+        let bb = m.aabb();
+        assert_eq!(bb.min, vec3(10.0, 0.0, -5.0));
+        assert_eq!(bb.max, vec3(12.0, 2.0, -3.0));
+    }
+
+    #[test]
+    fn outward_orientation() {
+        // All face normals of a box around origin must point away from the
+        // center.
+        let m = TriMesh::make_box(Aabb::new(vec3(-1.0, -1.0, -1.0), vec3(1.0, 1.0, 1.0)));
+        for t in 0..m.num_triangles() {
+            let [a, b, c] = m.tri(t);
+            let centroid = (a + b + c) / 3.0;
+            assert!(m.face_normal(t).dot(centroid) > 0.0, "triangle {t} inward");
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Surface-mesh file I/O: binary/ASCII STL and OFF.
+//!
+//! The paper's pipeline starts from a triangle surface mesh on disk ("the
+//! only communication required is the initial broadcast of S, which is
+//! read by a single process from file", §2.3). STL is the ubiquitous
+//! exchange format for watertight surfaces; OFF additionally preserves
+//! indexed connectivity and per-vertex colors (which the paper uses to
+//! tag inflow/outflow regions), so OFF is the lossless format here.
+
+use crate::mesh::TriMesh;
+use crate::vec3::{vec3, Vec3};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// Errors from the mesh readers.
+#[derive(Debug)]
+pub enum MeshIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The data does not parse as the expected format.
+    Parse(String),
+}
+
+impl From<std::io::Error> for MeshIoError {
+    fn from(e: std::io::Error) -> Self {
+        MeshIoError::Io(e)
+    }
+}
+
+fn parse_err<T>(msg: impl Into<String>) -> Result<T, MeshIoError> {
+    Err(MeshIoError::Parse(msg.into()))
+}
+
+// ---------------------------------------------------------------- binary STL
+
+/// Writes the mesh as binary STL (80-byte header, triangle soup; vertex
+/// colors are not representable in STL and are dropped).
+pub fn write_stl<W: Write>(mut w: W, mesh: &TriMesh) -> std::io::Result<()> {
+    let mut header = [0u8; 80];
+    let tag = b"trillium binary STL";
+    header[..tag.len()].copy_from_slice(tag);
+    w.write_all(&header)?;
+    w.write_all(&(mesh.num_triangles() as u32).to_le_bytes())?;
+    for t in 0..mesh.num_triangles() {
+        let n = mesh.face_normal(t);
+        let n = if n.norm_sq() > 0.0 { n.normalized() } else { Vec3::ZERO };
+        for v in [n, mesh.tri(t)[0], mesh.tri(t)[1], mesh.tri(t)[2]] {
+            w.write_all(&(v.x as f32).to_le_bytes())?;
+            w.write_all(&(v.y as f32).to_le_bytes())?;
+            w.write_all(&(v.z as f32).to_le_bytes())?;
+        }
+        w.write_all(&0u16.to_le_bytes())?; // attribute byte count
+    }
+    Ok(())
+}
+
+/// Reads a binary STL, welding identical vertices so the result is an
+/// indexed mesh again (bitwise-equal f32 positions weld; this restores
+/// watertight connectivity for meshes written by [`write_stl`]).
+pub fn read_stl(data: &[u8]) -> Result<TriMesh, MeshIoError> {
+    if data.len() < 84 {
+        return parse_err("STL too short");
+    }
+    let n = u32::from_le_bytes(data[80..84].try_into().unwrap()) as usize;
+    let need = 84 + n * 50;
+    if data.len() < need {
+        return parse_err(format!("STL truncated: {} < {}", data.len(), need));
+    }
+    let mut mesh = TriMesh::default();
+    let mut index: HashMap<[u32; 3], u32> = HashMap::new();
+    let mut vertex = |mesh: &mut TriMesh, bits: [u32; 3]| -> u32 {
+        *index.entry(bits).or_insert_with(|| {
+            mesh.vertices.push(vec3(
+                f32::from_bits(bits[0]) as f64,
+                f32::from_bits(bits[1]) as f64,
+                f32::from_bits(bits[2]) as f64,
+            ));
+            mesh.colors.push(0);
+            (mesh.vertices.len() - 1) as u32
+        })
+    };
+    for t in 0..n {
+        let base = 84 + t * 50 + 12; // skip the normal
+        let mut ids = [0u32; 3];
+        for (v, id) in ids.iter_mut().enumerate() {
+            let o = base + v * 12;
+            let bits = [
+                u32::from_le_bytes(data[o..o + 4].try_into().unwrap()),
+                u32::from_le_bytes(data[o + 4..o + 8].try_into().unwrap()),
+                u32::from_le_bytes(data[o + 8..o + 12].try_into().unwrap()),
+            ];
+            *id = vertex(&mut mesh, bits);
+        }
+        mesh.triangles.push(ids);
+    }
+    Ok(mesh)
+}
+
+// ------------------------------------------------------------------- OFF
+
+/// Writes the mesh as (C)OFF: indexed vertices with optional per-vertex
+/// colors (written when any vertex carries a nonzero color tag; the tag
+/// is stored in the red channel so it round-trips exactly for tags < 256).
+pub fn write_off<W: Write>(mut w: W, mesh: &TriMesh) -> std::io::Result<()> {
+    let colored = mesh.colors.iter().any(|&c| c != 0);
+    writeln!(w, "{}", if colored { "COFF" } else { "OFF" })?;
+    writeln!(w, "{} {} 0", mesh.vertices.len(), mesh.num_triangles())?;
+    for (i, v) in mesh.vertices.iter().enumerate() {
+        if colored {
+            writeln!(w, "{} {} {} {} 0 0 255", v.x, v.y, v.z, mesh.colors[i])?;
+        } else {
+            writeln!(w, "{} {} {}", v.x, v.y, v.z)?;
+        }
+    }
+    for t in &mesh.triangles {
+        writeln!(w, "3 {} {} {}", t[0], t[1], t[2])?;
+    }
+    Ok(())
+}
+
+/// Reads an OFF/COFF mesh written by [`write_off`] (or any standard OFF
+/// with triangle faces).
+pub fn read_off<R: BufRead>(r: R) -> Result<TriMesh, MeshIoError> {
+    let mut lines = r
+        .lines()
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or_else(|| MeshIoError::Parse("empty OFF".into()))?;
+    let colored = match header.as_str() {
+        "OFF" => false,
+        "COFF" => true,
+        h => return parse_err(format!("not an OFF file: {h}")),
+    };
+    let counts = lines.next().ok_or_else(|| MeshIoError::Parse("missing counts".into()))?;
+    let mut it = counts.split_whitespace();
+    let nv: usize = it.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let nf: usize = it.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    let mut mesh = TriMesh::default();
+    for _ in 0..nv {
+        let line = lines.next().ok_or_else(|| MeshIoError::Parse("missing vertex".into()))?;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 3 {
+            return parse_err(format!("bad vertex line: {line}"));
+        }
+        let p = vec3(
+            toks[0].parse().map_err(|_| MeshIoError::Parse("bad coord".into()))?,
+            toks[1].parse().map_err(|_| MeshIoError::Parse("bad coord".into()))?,
+            toks[2].parse().map_err(|_| MeshIoError::Parse("bad coord".into()))?,
+        );
+        mesh.vertices.push(p);
+        let color = if colored && toks.len() >= 4 {
+            toks[3].parse().unwrap_or(0)
+        } else {
+            0
+        };
+        mesh.colors.push(color);
+    }
+    for _ in 0..nf {
+        let line = lines.next().ok_or_else(|| MeshIoError::Parse("missing face".into()))?;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.first() != Some(&"3") || toks.len() < 4 {
+            return parse_err(format!("non-triangle face: {line}"));
+        }
+        let t = [
+            toks[1].parse().map_err(|_| MeshIoError::Parse("bad index".into()))?,
+            toks[2].parse().map_err(|_| MeshIoError::Parse("bad index".into()))?,
+            toks[3].parse().map_err(|_| MeshIoError::Parse("bad index".into()))?,
+        ];
+        for &i in &t {
+            if i as usize >= mesh.vertices.len() {
+                return parse_err("face index out of range");
+            }
+        }
+        mesh.triangles.push(t);
+    }
+    Ok(mesh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Aabb;
+
+    fn sample() -> TriMesh {
+        let mut m = TriMesh::make_sphere(vec3(0.5, -1.0, 2.0), 1.3, 10, 14);
+        // Tag a few vertices with colors.
+        m.colors[0] = 1;
+        m.colors[5] = 2;
+        m
+    }
+
+    #[test]
+    fn stl_roundtrip_preserves_geometry_and_watertightness() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_stl(&mut buf, &m).unwrap();
+        assert_eq!(buf.len(), 84 + 50 * m.num_triangles());
+        let back = read_stl(&buf).unwrap();
+        assert_eq!(back.num_triangles(), m.num_triangles());
+        // Vertex welding restores connectivity: watertight again.
+        assert!(back.is_watertight());
+        // Geometry within f32 precision.
+        assert!((back.signed_volume() - m.signed_volume()).abs() < 1e-4 * m.signed_volume());
+        let (a, b) = (m.aabb(), back.aabb());
+        assert!((a.min - b.min).norm() < 1e-5);
+        assert!((a.max - b.max).norm() < 1e-5);
+    }
+
+    #[test]
+    fn off_roundtrip_is_lossless_with_colors() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_off(&mut buf, &m).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("COFF"));
+        let back = read_off(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.vertices.len(), m.vertices.len());
+        assert_eq!(back.triangles, m.triangles);
+        assert_eq!(back.colors, m.colors);
+        for (a, b) in m.vertices.iter().zip(&back.vertices) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+        assert!(back.is_watertight());
+    }
+
+    #[test]
+    fn uncolored_mesh_writes_plain_off() {
+        let m = TriMesh::make_box(Aabb::new(vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 1.0)));
+        let mut buf = Vec::new();
+        write_off(&mut buf, &m).unwrap();
+        assert!(String::from_utf8(buf.clone()).unwrap().starts_with("OFF\n8 12 0"));
+        let back = read_off(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.signed_volume(), m.signed_volume());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(matches!(read_stl(&[0u8; 10]), Err(MeshIoError::Parse(_))));
+        let not_off = b"PLY\n1 2 3\n";
+        assert!(matches!(
+            read_off(std::io::BufReader::new(&not_off[..])),
+            Err(MeshIoError::Parse(_))
+        ));
+        // Truncated STL (claims 5 triangles, has 1).
+        let m = sample();
+        let mut buf = Vec::new();
+        write_stl(&mut buf, &m).unwrap();
+        buf.truncate(84 + 50);
+        assert!(matches!(read_stl(&buf), Err(MeshIoError::Parse(_))));
+        // Face index out of range in OFF.
+        let bad = b"OFF\n1 1 0\n0 0 0\n3 0 1 2\n";
+        assert!(matches!(
+            read_off(std::io::BufReader::new(&bad[..])),
+            Err(MeshIoError::Parse(_))
+        ));
+    }
+
+    /// The paper's workflow: write the colored vascular mesh, read it
+    /// back, and drive the mesh-based SDF from the file contents.
+    #[test]
+    fn file_based_vascular_pipeline() {
+        use crate::sdf::{MeshSdf, SignedDistance};
+        use crate::vascular::{VascularTree, VascularTreeParams};
+        let tree = VascularTree::generate(&VascularTreeParams {
+            generations: 2,
+            segments_per_branch: 1,
+            tortuosity: 0.0,
+            ..Default::default()
+        });
+        let mesh = tree.to_mesh(0.3);
+        let mut buf = Vec::new();
+        write_off(&mut buf, &mesh).unwrap();
+        let back = read_off(std::io::BufReader::new(&buf[..])).unwrap();
+        let sdf = MeshSdf::new(back);
+        // Inside the root vessel.
+        let (inlet, _) = tree.inlet;
+        let p = vec3(inlet.x, inlet.y, inlet.z + 2.0);
+        assert!(sdf.signed_distance(p) < 0.0);
+        // Far outside.
+        let far = tree.bounding_box().max + vec3(5.0, 5.0, 5.0);
+        assert!(sdf.signed_distance(far) > 1.0);
+    }
+}

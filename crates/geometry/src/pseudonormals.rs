@@ -1,0 +1,126 @@
+//! Angle-weighted pseudonormals (Bærentzen & Aanæs, paper §2.3).
+//!
+//! The sign of the distance of a point `p` to a closed mesh is determined
+//! by the dot product of `p − closest_point` with the normal of the
+//! closest *feature*. For faces the face normal works, but when the
+//! closest feature is an edge or a vertex the face normal is ambiguous;
+//! the angle-weighted pseudonormal — the sum of incident face normals
+//! weighted by their incident angle — "guarantees a numerically stable
+//! sign computation".
+
+use crate::mesh::TriMesh;
+use crate::tri_dist::Feature;
+use crate::vec3::Vec3;
+use std::collections::HashMap;
+
+/// Precomputed face, edge and vertex pseudonormals of a mesh.
+#[derive(Clone, Debug)]
+pub struct Pseudonormals {
+    /// Normalized face normals, one per triangle.
+    pub face: Vec<Vec3>,
+    /// Angle-weighted vertex pseudonormals, one per vertex (not normalized;
+    /// only the direction matters for the sign test).
+    pub vertex: Vec<Vec3>,
+    /// Edge pseudonormals keyed by the sorted vertex-index pair: the sum of
+    /// the (normalized) normals of the two incident faces.
+    pub edge: HashMap<(u32, u32), Vec3>,
+}
+
+impl Pseudonormals {
+    /// Computes all pseudonormals of `mesh`.
+    pub fn build(mesh: &TriMesh) -> Self {
+        let nt = mesh.num_triangles();
+        let mut face = Vec::with_capacity(nt);
+        let mut vertex = vec![Vec3::ZERO; mesh.vertices.len()];
+        let mut edge: HashMap<(u32, u32), Vec3> = HashMap::new();
+
+        for t in 0..nt {
+            let [ia, ib, ic] = mesh.triangles[t];
+            let [a, b, c] = mesh.tri(t);
+            let n = mesh.face_normal(t);
+            let n_unit = if n.norm_sq() > 0.0 { n.normalized() } else { Vec3::ZERO };
+            face.push(n_unit);
+
+            // Vertex pseudonormals: weight by the interior angle at each
+            // corner.
+            let corners = [(ia, a, b, c), (ib, b, c, a), (ic, c, a, b)];
+            for (iv, v, w0, w1) in corners {
+                let e0 = (w0 - v).normalized();
+                let e1 = (w1 - v).normalized();
+                let angle = e0.dot(e1).clamp(-1.0, 1.0).acos();
+                vertex[iv as usize] += n_unit * angle;
+            }
+
+            // Edge pseudonormals: sum of incident face normals.
+            for (u, v) in [(ia, ib), (ib, ic), (ic, ia)] {
+                let key = (u.min(v), u.max(v));
+                *edge.entry(key).or_insert(Vec3::ZERO) += n_unit;
+            }
+        }
+        Pseudonormals { face, vertex, edge }
+    }
+
+    /// The pseudonormal of the feature of triangle `t` closest to a query.
+    pub fn of_feature(&self, mesh: &TriMesh, t: usize, feature: Feature) -> Vec3 {
+        let tri = mesh.triangles[t];
+        match feature {
+            Feature::Face => self.face[t],
+            Feature::Vertex(i) => self.vertex[tri[i as usize] as usize],
+            Feature::Edge(i) => {
+                let u = tri[i as usize];
+                let v = tri[(i as usize + 1) % 3];
+                self.edge[&(u.min(v), u.max(v))]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Aabb;
+    use crate::vec3::vec3;
+
+    #[test]
+    fn box_vertex_pseudonormals_point_outward_diagonally() {
+        let m = TriMesh::make_box(Aabb::new(vec3(-1.0, -1.0, -1.0), vec3(1.0, 1.0, 1.0)));
+        let pn = Pseudonormals::build(&m);
+        // Every vertex of a centered box lies on a space diagonal; its
+        // pseudonormal must point in the same diagonal direction.
+        for (i, &v) in m.vertices.iter().enumerate() {
+            let n = pn.vertex[i].normalized();
+            let d = v.normalized();
+            assert!(n.dot(d) > 0.9, "vertex {i}: {n:?} vs diagonal {d:?}");
+        }
+    }
+
+    #[test]
+    fn box_edge_pseudonormals_bisect_faces() {
+        let m = TriMesh::make_box(Aabb::new(vec3(-1.0, -1.0, -1.0), vec3(1.0, 1.0, 1.0)));
+        let pn = Pseudonormals::build(&m);
+        // Edge between two faces: normal must point outward (positive dot
+        // with the edge midpoint direction). Diagonal face edges lie inside
+        // one flat face and their pseudonormal equals that face normal.
+        for (&(u, v), &n) in &pn.edge {
+            let mid = (m.vertices[u as usize] + m.vertices[v as usize]) * 0.5;
+            assert!(n.dot(mid) > 0.0, "edge ({u},{v}) pseudonormal not outward");
+        }
+    }
+
+    #[test]
+    fn sphere_pseudonormals_are_radial() {
+        let c = vec3(0.5, -1.0, 2.0);
+        let m = TriMesh::make_sphere(c, 2.0, 12, 24);
+        let pn = Pseudonormals::build(&m);
+        for (i, &v) in m.vertices.iter().enumerate() {
+            let radial = (v - c).normalized();
+            let n = pn.vertex[i].normalized();
+            assert!(n.dot(radial) > 0.9, "vertex {i}");
+        }
+        for (t, n) in pn.face.iter().enumerate() {
+            let [a, b, cc] = m.tri(t);
+            let radial = ((a + b + cc) / 3.0 - c).normalized();
+            assert!(n.dot(radial) > 0.9, "face {t}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! 3-D point-to-triangle distance (paper §2.3, citing Jones 1995).
+//!
+//! Implements the Voronoi-region closest-point algorithm: the query point
+//! is classified against the seven Voronoi regions of the triangle (three
+//! vertices, three edges, face) and the closest point and the *feature* it
+//! lies on are returned. The feature is needed downstream to select the
+//! correct angle-weighted pseudonormal for the inside/outside sign.
+
+use crate::vec3::Vec3;
+
+/// The triangle feature the closest point lies on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Feature {
+    /// Corner `i ∈ {0, 1, 2}` of the triangle.
+    Vertex(u8),
+    /// Edge between corners `i` and `(i + 1) % 3`.
+    Edge(u8),
+    /// Interior of the face.
+    Face,
+}
+
+/// Closest point on triangle `(a, b, c)` to `p`, and the feature it lies
+/// on. Follows the real-time-collision-detection formulation of the
+/// region test; numerically robust for degenerate query positions.
+pub fn closest_point_triangle(p: Vec3, a: Vec3, b: Vec3, c: Vec3) -> (Vec3, Feature) {
+    let ab = b - a;
+    let ac = c - a;
+    let ap = p - a;
+    let d1 = ab.dot(ap);
+    let d2 = ac.dot(ap);
+    if d1 <= 0.0 && d2 <= 0.0 {
+        return (a, Feature::Vertex(0));
+    }
+
+    let bp = p - b;
+    let d3 = ab.dot(bp);
+    let d4 = ac.dot(bp);
+    if d3 >= 0.0 && d4 <= d3 {
+        return (b, Feature::Vertex(1));
+    }
+
+    let vc = d1 * d4 - d3 * d2;
+    if vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0 {
+        let t = d1 / (d1 - d3);
+        return (a + ab * t, Feature::Edge(0));
+    }
+
+    let cp = p - c;
+    let d5 = ab.dot(cp);
+    let d6 = ac.dot(cp);
+    if d6 >= 0.0 && d5 <= d6 {
+        return (c, Feature::Vertex(2));
+    }
+
+    let vb = d5 * d2 - d1 * d6;
+    if vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0 {
+        let t = d2 / (d2 - d6);
+        return (a + ac * t, Feature::Edge(2));
+    }
+
+    let va = d3 * d6 - d5 * d4;
+    if va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0 {
+        let t = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+        return (b + (c - b) * t, Feature::Edge(1));
+    }
+
+    let denom = 1.0 / (va + vb + vc);
+    let v = vb * denom;
+    let w = vc * denom;
+    (a + ab * v + ac * w, Feature::Face)
+}
+
+/// Squared distance from `p` to triangle `(a, b, c)`.
+pub fn dist_sq_triangle(p: Vec3, a: Vec3, b: Vec3, c: Vec3) -> f64 {
+    closest_point_triangle(p, a, b, c).0.dist_sq(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::vec3;
+
+    const A: Vec3 = vec3(0.0, 0.0, 0.0);
+    const B: Vec3 = vec3(2.0, 0.0, 0.0);
+    const C: Vec3 = vec3(0.0, 2.0, 0.0);
+
+    #[test]
+    fn face_region() {
+        let p = vec3(0.5, 0.5, 3.0);
+        let (cp, f) = closest_point_triangle(p, A, B, C);
+        assert_eq!(f, Feature::Face);
+        assert_eq!(cp, vec3(0.5, 0.5, 0.0));
+        assert!((dist_sq_triangle(p, A, B, C) - 9.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn vertex_regions() {
+        let (cp, f) = closest_point_triangle(vec3(-1.0, -1.0, 1.0), A, B, C);
+        assert_eq!(f, Feature::Vertex(0));
+        assert_eq!(cp, A);
+        let (cp, f) = closest_point_triangle(vec3(4.0, -1.0, 0.0), A, B, C);
+        assert_eq!(f, Feature::Vertex(1));
+        assert_eq!(cp, B);
+        let (cp, f) = closest_point_triangle(vec3(-0.5, 4.0, 0.0), A, B, C);
+        assert_eq!(f, Feature::Vertex(2));
+        assert_eq!(cp, C);
+    }
+
+    #[test]
+    fn edge_regions() {
+        // Below edge AB.
+        let (cp, f) = closest_point_triangle(vec3(1.0, -2.0, 0.0), A, B, C);
+        assert_eq!(f, Feature::Edge(0));
+        assert_eq!(cp, vec3(1.0, 0.0, 0.0));
+        // Beyond hypotenuse BC.
+        let (cp, f) = closest_point_triangle(vec3(2.0, 2.0, 0.0), A, B, C);
+        assert_eq!(f, Feature::Edge(1));
+        assert!((cp - vec3(1.0, 1.0, 0.0)).norm() < 1e-12);
+        // Left of edge CA.
+        let (cp, f) = closest_point_triangle(vec3(-1.0, 1.0, 0.0), A, B, C);
+        assert_eq!(f, Feature::Edge(2));
+        assert_eq!(cp, vec3(0.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn point_on_triangle_has_zero_distance() {
+        for p in [A, B, C, vec3(0.5, 0.5, 0.0), vec3(1.0, 0.0, 0.0)] {
+            assert!(dist_sq_triangle(p, A, B, C) < 1e-24);
+        }
+    }
+
+    /// The closest point must always lie on the triangle plane patch and
+    /// be at least as close as all three corners.
+    #[test]
+    fn closest_point_beats_corners() {
+        let pts = [
+            vec3(3.7, -2.1, 0.4),
+            vec3(-5.0, 8.0, -3.0),
+            vec3(0.3, 0.1, -0.7),
+            vec3(10.0, 10.0, 10.0),
+        ];
+        for p in pts {
+            let d2 = dist_sq_triangle(p, A, B, C);
+            for corner in [A, B, C] {
+                assert!(d2 <= p.dist_sq(corner) + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Minimal 3-D vector math used throughout the geometry pipeline.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A 3-D vector / point with `f64` components.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+/// Shorthand constructor.
+pub const fn vec3(x: f64, y: f64, z: f64) -> Vec3 {
+    Vec3 { x, y, z }
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = vec3(0.0, 0.0, 0.0);
+
+    /// Creates a vector from an array.
+    pub const fn from_array(a: [f64; 3]) -> Vec3 {
+        vec3(a[0], a[1], a[2])
+    }
+
+    /// The components as an array.
+    pub const fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Dot product.
+    #[inline(always)]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline(always)]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        vec3(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Squared Euclidean norm.
+    #[inline(always)]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline(always)]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Unit vector in the same direction; panics on the zero vector in
+    /// debug builds.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalize the zero vector");
+        self / n
+    }
+
+    /// Squared distance to another point.
+    #[inline(always)]
+    pub fn dist_sq(self, o: Vec3) -> f64 {
+        (self - o).norm_sq()
+    }
+
+    /// Distance to another point.
+    #[inline(always)]
+    pub fn dist(self, o: Vec3) -> f64 {
+        self.dist_sq(o).sqrt()
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, o: Vec3) -> Vec3 {
+        vec3(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, o: Vec3) -> Vec3 {
+        vec3(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// An arbitrary unit vector orthogonal to `self` (which must be
+    /// nonzero).
+    pub fn any_orthonormal(self) -> Vec3 {
+        let a = if self.x.abs() < 0.9 { vec3(1.0, 0.0, 0.0) } else { vec3(0.0, 1.0, 0.0) };
+        self.cross(a).normalized()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn add(self, o: Vec3) -> Vec3 {
+        vec3(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn sub(self, o: Vec3) -> Vec3 {
+        vec3(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn neg(self) -> Vec3 {
+        vec3(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn mul(self, s: f64) -> Vec3 {
+        vec3(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn div(self, s: f64) -> Vec3 {
+        vec3(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_cross() {
+        let e1 = vec3(1.0, 0.0, 0.0);
+        let e2 = vec3(0.0, 1.0, 0.0);
+        assert_eq!(e1.dot(e2), 0.0);
+        assert_eq!(e1.cross(e2), vec3(0.0, 0.0, 1.0));
+        assert_eq!(e2.cross(e1), vec3(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let v = vec3(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.normalized().norm(), 1.0);
+        assert_eq!(vec3(1.0, 0.0, 0.0).dist(vec3(1.0, 1.0, 0.0)), 1.0);
+    }
+
+    #[test]
+    fn orthonormal_is_orthogonal_unit() {
+        for v in [vec3(1.0, 2.0, 3.0), vec3(0.0, 0.0, 1.0), vec3(-5.0, 0.1, 0.0)] {
+            let o = v.any_orthonormal();
+            assert!(v.dot(o).abs() < 1e-12);
+            assert!((o.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+}

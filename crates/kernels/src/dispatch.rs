@@ -1,0 +1,137 @@
+//! Runtime kernel selection: maps (tier, collision operator) to the
+//! corresponding sweep function — the programmatic face of the Fig 3
+//! comparison, used by benches and by applications that want to pin a
+//! tier explicitly.
+
+use crate::stats::SweepStats;
+use crate::Collision;
+use trillium_field::{AosPdfField, SoaPdfField};
+use trillium_lattice::{Relaxation, D3Q19};
+
+/// The three optimization stages of paper §4.1 plus the explicit
+/// intrinsics variant.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Textbook kernel over the lattice-model abstraction (AoS).
+    Generic,
+    /// Fused, D3Q19-specialized kernel (AoS).
+    Specialized,
+    /// Portable split-loop SoA kernel.
+    Soa,
+    /// AVX2+FMA intrinsics (falls back to `Soa` when unavailable).
+    Avx,
+}
+
+impl Tier {
+    /// All tiers in ascending optimization order.
+    pub const ALL: [Tier; 4] = [Tier::Generic, Tier::Specialized, Tier::Soa, Tier::Avx];
+
+    /// Whether this tier operates on AoS fields (`true`) or SoA (`false`).
+    pub fn uses_aos(self) -> bool {
+        matches!(self, Tier::Generic | Tier::Specialized)
+    }
+}
+
+/// Runs one sweep of the chosen AoS tier. Panics if the tier is SoA-based.
+pub fn sweep_aos(
+    tier: Tier,
+    collision: Collision,
+    src: &AosPdfField<D3Q19>,
+    dst: &mut AosPdfField<D3Q19>,
+    rel: Relaxation,
+) -> SweepStats {
+    match (tier, collision) {
+        (Tier::Generic, Collision::Srt) => crate::generic::stream_collide_srt(src, dst, rel),
+        (Tier::Generic, Collision::Trt) => crate::generic::stream_collide_trt(src, dst, rel),
+        (Tier::Specialized, Collision::Srt) => crate::d3q19::stream_collide_srt(src, dst, rel),
+        (Tier::Specialized, Collision::Trt) => crate::d3q19::stream_collide_trt(src, dst, rel),
+        _ => panic!("{tier:?} is an SoA tier; use sweep_soa"),
+    }
+}
+
+/// Runs one sweep of the chosen SoA tier. Panics if the tier is AoS-based.
+pub fn sweep_soa(
+    tier: Tier,
+    collision: Collision,
+    src: &SoaPdfField<D3Q19>,
+    dst: &mut SoaPdfField<D3Q19>,
+    rel: Relaxation,
+) -> SweepStats {
+    match (tier, collision) {
+        (Tier::Soa, Collision::Srt) => crate::soa::stream_collide_srt(src, dst, rel),
+        (Tier::Soa, Collision::Trt) => crate::soa::stream_collide_trt(src, dst, rel),
+        (Tier::Avx, Collision::Srt) => crate::avx::stream_collide_srt(src, dst, rel),
+        (Tier::Avx, Collision::Trt) => crate::avx::stream_collide_trt(src, dst, rel),
+        _ => panic!("{tier:?} is an AoS tier; use sweep_aos"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trillium_field::{PdfField, Shape};
+    use trillium_lattice::MAGIC_TRT;
+
+    /// Every (tier, collision) combination produces the same macroscopic
+    /// result through the dispatch layer.
+    #[test]
+    fn all_dispatch_paths_agree() {
+        let shape = Shape::cube(5);
+        let mut aos = AosPdfField::<D3Q19>::new(shape);
+        let mut soa = SoaPdfField::<D3Q19>::new(shape);
+        aos.fill_equilibrium(1.0, [0.02, -0.01, 0.01]);
+        soa.fill_equilibrium(1.0, [0.02, -0.01, 0.01]);
+        for (x, y, z) in shape.with_ghosts().iter() {
+            for q in 0..19 {
+                let v = aos.get(x, y, z, q) + 1e-4 * ((x + 2 * y + 3 * z + q as i32) % 5) as f64;
+                aos.set(x, y, z, q, v);
+                soa.set(x, y, z, q, v);
+            }
+        }
+        for collision in [Collision::Srt, Collision::Trt] {
+            let rel = match collision {
+                Collision::Srt => Relaxation::srt_from_tau(0.8),
+                Collision::Trt => Relaxation::trt_from_tau(0.8, MAGIC_TRT),
+            };
+            let mut reference: Option<Vec<f64>> = None;
+            for tier in Tier::ALL {
+                let result: Vec<f64> = if tier.uses_aos() {
+                    let mut dst = AosPdfField::<D3Q19>::new(shape);
+                    sweep_aos(tier, collision, &aos, &mut dst, rel);
+                    shape
+                        .interior()
+                        .iter()
+                        .flat_map(|(x, y, z)| (0..19).map(move |q| (x, y, z, q)))
+                        .map(|(x, y, z, q)| dst.get(x, y, z, q))
+                        .collect()
+                } else {
+                    let mut dst = SoaPdfField::<D3Q19>::new(shape);
+                    sweep_soa(tier, collision, &soa, &mut dst, rel);
+                    shape
+                        .interior()
+                        .iter()
+                        .flat_map(|(x, y, z)| (0..19).map(move |q| (x, y, z, q)))
+                        .map(|(x, y, z, q)| dst.get(x, y, z, q))
+                        .collect()
+                };
+                match &reference {
+                    None => reference = Some(result),
+                    Some(r) => {
+                        for (a, b) in r.iter().zip(&result) {
+                            assert!((a - b).abs() < 1e-13, "{tier:?}/{collision:?} deviates");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SoA tier")]
+    fn wrong_layout_is_rejected() {
+        let shape = Shape::cube(3);
+        let aos = AosPdfField::<D3Q19>::new(shape);
+        let mut dst = AosPdfField::<D3Q19>::new(shape);
+        sweep_aos(Tier::Avx, Collision::Trt, &aos, &mut dst, Relaxation::srt_from_tau(1.0));
+    }
+}

@@ -1,0 +1,64 @@
+//! Cell-update accounting for MLUPS / MFLUPS reporting.
+
+/// Counters returned by every kernel sweep.
+///
+/// The paper (§4) distinguishes MLUPS ("million lattice cell updates per
+/// second" — every cell *traversed* by the kernel, including non-fluid
+/// cells) from MFLUPS (only fluid cells actually processed). A sweep
+/// reports both so the harness can compute either rate.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Cells traversed by the kernel (the LUPS numerator).
+    pub cells: u64,
+    /// Fluid cells actually processed (the FLUPS numerator).
+    pub fluid_cells: u64,
+}
+
+impl SweepStats {
+    /// A sweep over a dense, all-fluid region of `n` cells.
+    pub fn dense(n: u64) -> Self {
+        SweepStats { cells: n, fluid_cells: n }
+    }
+
+    /// Accumulates another sweep's counters.
+    pub fn merge(&mut self, other: SweepStats) {
+        self.cells += other.cells;
+        self.fluid_cells += other.fluid_cells;
+    }
+
+    /// MLUPS given the elapsed wall time of the sweep(s).
+    pub fn mlups(&self, seconds: f64) -> f64 {
+        self.cells as f64 / seconds / 1e6
+    }
+
+    /// MFLUPS given the elapsed wall time of the sweep(s).
+    pub fn mflups(&self, seconds: f64) -> f64 {
+        self.fluid_cells as f64 / seconds / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_stats_count_all_cells_as_fluid() {
+        let s = SweepStats::dense(1000);
+        assert_eq!(s.cells, 1000);
+        assert_eq!(s.fluid_cells, 1000);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SweepStats { cells: 10, fluid_cells: 7 };
+        a.merge(SweepStats { cells: 5, fluid_cells: 5 });
+        assert_eq!(a, SweepStats { cells: 15, fluid_cells: 12 });
+    }
+
+    #[test]
+    fn rates() {
+        let s = SweepStats { cells: 2_000_000, fluid_cells: 1_000_000 };
+        assert!((s.mlups(1.0) - 2.0).abs() < 1e-12);
+        assert!((s.mflups(2.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! The D2Q9 lattice model (two-dimensional nine-velocity set).
+//!
+//! Two-dimensional problems are represented with a zero z-component; all
+//! generic kernels work unchanged on a grid of z-extent 1.
+
+use crate::model::LatticeModel;
+
+/// Marker type for the D2Q9 velocity set.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct D2Q9;
+
+/// Number of discrete velocities.
+pub const Q: usize = 9;
+
+const W0: f64 = 4.0 / 9.0;
+const W1: f64 = 1.0 / 9.0;
+const W2: f64 = 1.0 / 36.0;
+
+/// Discrete velocities: rest, 4 axis, 4 diagonal directions (z always 0).
+pub const C: [[i8; 3]; Q] = [
+    [0, 0, 0],
+    [0, 1, 0],   // N
+    [0, -1, 0],  // S
+    [-1, 0, 0],  // W
+    [1, 0, 0],   // E
+    [-1, 1, 0],  // NW
+    [1, 1, 0],   // NE
+    [-1, -1, 0], // SW
+    [1, -1, 0],  // SE
+];
+
+/// Lattice weights: 4/9 rest, 1/9 axis, 1/36 diagonal.
+pub const W: [f64; Q] = [W0, W1, W1, W1, W1, W2, W2, W2, W2];
+
+/// Opposite-direction lookup table.
+pub const INVERSE: [usize; Q] = [0, 2, 1, 4, 3, 8, 7, 6, 5];
+
+/// Antiparallel pairs `(q, q̄)` with `q < q̄`.
+pub const PAIRS: [(usize, usize); 4] = [(1, 2), (3, 4), (5, 8), (6, 7)];
+
+impl LatticeModel for D2Q9 {
+    const Q: usize = Q;
+    const D: usize = 2;
+    const NAME: &'static str = "D2Q9";
+
+    #[inline(always)]
+    fn velocities() -> &'static [[i8; 3]] {
+        &C
+    }
+    #[inline(always)]
+    fn weights() -> &'static [f64] {
+        &W
+    }
+    #[inline(always)]
+    fn inverse() -> &'static [usize] {
+        &INVERSE
+    }
+    #[inline(always)]
+    fn pairs() -> &'static [(usize, usize)] {
+        &PAIRS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::validate_model;
+
+    #[test]
+    fn model_is_consistent() {
+        validate_model::<D2Q9>();
+    }
+
+    #[test]
+    fn z_components_are_zero() {
+        for v in C {
+            assert_eq!(v[2], 0);
+        }
+    }
+}

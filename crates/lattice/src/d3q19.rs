@@ -1,0 +1,170 @@
+//! The D3Q19 lattice model of Qian, d'Humières and Lallemand.
+//!
+//! This is the model used for all simulations in the SC'13 paper: 19
+//! discrete velocities in three dimensions — the rest direction, the six
+//! axis-aligned directions and the twelve face-diagonal directions.
+
+use crate::model::LatticeModel;
+
+/// Marker type for the D3Q19 velocity set.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct D3Q19;
+
+/// Number of discrete velocities.
+pub const Q: usize = 19;
+
+/// Symbolic direction indices for readable kernel and boundary code.
+#[allow(missing_docs)] // names are the documentation (N/S/W/E/T/B compass)
+pub mod dir {
+    pub const C: usize = 0;
+    pub const N: usize = 1;
+    pub const S: usize = 2;
+    pub const W: usize = 3;
+    pub const E: usize = 4;
+    pub const T: usize = 5;
+    pub const B: usize = 6;
+    pub const NW: usize = 7;
+    pub const NE: usize = 8;
+    pub const SW: usize = 9;
+    pub const SE: usize = 10;
+    pub const TN: usize = 11;
+    pub const TS: usize = 12;
+    pub const TW: usize = 13;
+    pub const TE: usize = 14;
+    pub const BN: usize = 15;
+    pub const BS: usize = 16;
+    pub const BW: usize = 17;
+    pub const BE: usize = 18;
+}
+
+/// Discrete velocities: x is E(+)/W(−), y is N(+)/S(−), z is T(+)/B(−).
+pub const C: [[i8; 3]; Q] = [
+    [0, 0, 0],   // C
+    [0, 1, 0],   // N
+    [0, -1, 0],  // S
+    [-1, 0, 0],  // W
+    [1, 0, 0],   // E
+    [0, 0, 1],   // T
+    [0, 0, -1],  // B
+    [-1, 1, 0],  // NW
+    [1, 1, 0],   // NE
+    [-1, -1, 0], // SW
+    [1, -1, 0],  // SE
+    [0, 1, 1],   // TN
+    [0, -1, 1],  // TS
+    [-1, 0, 1],  // TW
+    [1, 0, 1],   // TE
+    [0, 1, -1],  // BN
+    [0, -1, -1], // BS
+    [-1, 0, -1], // BW
+    [1, 0, -1],  // BE
+];
+
+const W0: f64 = 1.0 / 3.0;
+const W1: f64 = 1.0 / 18.0;
+const W2: f64 = 1.0 / 36.0;
+
+/// Lattice weights: 1/3 for rest, 1/18 axis, 1/36 diagonal.
+pub const W: [f64; Q] = [
+    W0, W1, W1, W1, W1, W1, W1, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2,
+];
+
+/// Opposite-direction lookup table.
+pub const INVERSE: [usize; Q] = [
+    0,  // C
+    2,  // N -> S
+    1,  // S -> N
+    4,  // W -> E
+    3,  // E -> W
+    6,  // T -> B
+    5,  // B -> T
+    10, // NW -> SE
+    9,  // NE -> SW
+    8,  // SW -> NE
+    7,  // SE -> NW
+    16, // TN -> BS
+    15, // TS -> BN
+    18, // TW -> BE
+    17, // TE -> BW
+    12, // BN -> TS
+    11, // BS -> TN
+    14, // BW -> TE
+    13, // BE -> TW
+];
+
+/// Antiparallel pairs `(q, q̄)` with `q < q̄`.
+pub const PAIRS: [(usize, usize); 9] = [
+    (1, 2),   // N / S
+    (3, 4),   // W / E
+    (5, 6),   // T / B
+    (7, 10),  // NW / SE
+    (8, 9),   // NE / SW
+    (11, 16), // TN / BS
+    (12, 15), // TS / BN
+    (13, 18), // TW / BE
+    (14, 17), // TE / BW
+];
+
+impl LatticeModel for D3Q19 {
+    const Q: usize = Q;
+    const D: usize = 3;
+    const NAME: &'static str = "D3Q19";
+
+    #[inline(always)]
+    fn velocities() -> &'static [[i8; 3]] {
+        &C
+    }
+    #[inline(always)]
+    fn weights() -> &'static [f64] {
+        &W
+    }
+    #[inline(always)]
+    fn inverse() -> &'static [usize] {
+        &INVERSE
+    }
+    #[inline(always)]
+    fn pairs() -> &'static [(usize, usize)] {
+        &PAIRS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::validate_model;
+
+    #[test]
+    fn model_is_consistent() {
+        validate_model::<D3Q19>();
+    }
+
+    #[test]
+    fn direction_constants_match_table() {
+        assert_eq!(C[dir::E], [1, 0, 0]);
+        assert_eq!(C[dir::W], [-1, 0, 0]);
+        assert_eq!(C[dir::N], [0, 1, 0]);
+        assert_eq!(C[dir::S], [0, -1, 0]);
+        assert_eq!(C[dir::T], [0, 0, 1]);
+        assert_eq!(C[dir::B], [0, 0, -1]);
+        assert_eq!(C[dir::NE], [1, 1, 0]);
+        assert_eq!(C[dir::BS], [0, -1, -1]);
+    }
+
+    #[test]
+    fn axis_and_diagonal_weight_counts() {
+        let axis = W.iter().filter(|&&w| w == W1).count();
+        let diag = W.iter().filter(|&&w| w == W2).count();
+        assert_eq!(axis, 6);
+        assert_eq!(diag, 12);
+    }
+
+    #[test]
+    fn no_velocity_has_three_nonzero_components() {
+        // D3Q19 excludes the cube corners (that is what distinguishes it
+        // from D3Q27).
+        for v in C {
+            let nonzero = v.iter().filter(|&&x| x != 0).count();
+            assert!(nonzero <= 2);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The D3Q27 lattice model (full three-dimensional neighborhood).
+//!
+//! Not used for the paper's production runs but part of the framework's
+//! stencil family (the paper notes the stencil code for "D3Q19, D3Q27,
+//! D2Q9, etc." is generated); we provide it as a hand-validated table.
+
+use crate::model::LatticeModel;
+
+/// Marker type for the D3Q27 velocity set.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct D3Q27;
+
+/// Number of discrete velocities.
+pub const Q: usize = 27;
+
+const W0: f64 = 8.0 / 27.0;
+const W1: f64 = 2.0 / 27.0;
+const W2: f64 = 1.0 / 54.0;
+const W3: f64 = 1.0 / 216.0;
+
+/// Discrete velocities: rest, 6 axis, 12 face-diagonal, 8 corner directions.
+/// The first 19 entries coincide with the D3Q19 ordering so code written for
+/// D3Q19 direction indices remains meaningful.
+pub const C: [[i8; 3]; Q] = [
+    [0, 0, 0],
+    [0, 1, 0],
+    [0, -1, 0],
+    [-1, 0, 0],
+    [1, 0, 0],
+    [0, 0, 1],
+    [0, 0, -1],
+    [-1, 1, 0],
+    [1, 1, 0],
+    [-1, -1, 0],
+    [1, -1, 0],
+    [0, 1, 1],
+    [0, -1, 1],
+    [-1, 0, 1],
+    [1, 0, 1],
+    [0, 1, -1],
+    [0, -1, -1],
+    [-1, 0, -1],
+    [1, 0, -1],
+    // corners
+    [1, 1, 1],
+    [-1, -1, -1],
+    [1, 1, -1],
+    [-1, -1, 1],
+    [1, -1, 1],
+    [-1, 1, -1],
+    [-1, 1, 1],
+    [1, -1, -1],
+];
+
+/// Lattice weights: 8/27 rest, 2/27 axis, 1/54 face-diagonal, 1/216 corner.
+pub const W: [f64; Q] = [
+    W0, W1, W1, W1, W1, W1, W1, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W3, W3, W3, W3,
+    W3, W3, W3, W3,
+];
+
+/// Opposite-direction lookup table.
+pub const INVERSE: [usize; Q] = [
+    0, 2, 1, 4, 3, 6, 5, 10, 9, 8, 7, 16, 15, 18, 17, 12, 11, 14, 13, 20, 19, 22, 21, 24, 23,
+    26, 25,
+];
+
+/// Antiparallel pairs `(q, q̄)` with `q < q̄`.
+pub const PAIRS: [(usize, usize); 13] = [
+    (1, 2),
+    (3, 4),
+    (5, 6),
+    (7, 10),
+    (8, 9),
+    (11, 16),
+    (12, 15),
+    (13, 18),
+    (14, 17),
+    (19, 20),
+    (21, 22),
+    (23, 24),
+    (25, 26),
+];
+
+impl LatticeModel for D3Q27 {
+    const Q: usize = Q;
+    const D: usize = 3;
+    const NAME: &'static str = "D3Q27";
+
+    #[inline(always)]
+    fn velocities() -> &'static [[i8; 3]] {
+        &C
+    }
+    #[inline(always)]
+    fn weights() -> &'static [f64] {
+        &W
+    }
+    #[inline(always)]
+    fn inverse() -> &'static [usize] {
+        &INVERSE
+    }
+    #[inline(always)]
+    fn pairs() -> &'static [(usize, usize)] {
+        &PAIRS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::validate_model;
+
+    #[test]
+    fn model_is_consistent() {
+        validate_model::<D3Q27>();
+    }
+
+    #[test]
+    fn first_19_directions_match_d3q19() {
+        for q in 0..19 {
+            assert_eq!(C[q], crate::d3q19::C[q]);
+        }
+    }
+
+    #[test]
+    fn corner_count() {
+        let corners = C
+            .iter()
+            .filter(|v| v.iter().filter(|&&x| x != 0).count() == 3)
+            .count();
+        assert_eq!(corners, 8);
+    }
+}

@@ -1,0 +1,165 @@
+//! Equilibrium distribution and macroscopic moments.
+//!
+//! The second-order Maxwell–Boltzmann expansion used by the standard LBGK
+//! and TRT schemes:
+//!
+//! ```text
+//! f_q^eq(ρ, u) = w_q ρ (1 + 3 (c_q · u) + 9/2 (c_q · u)² − 3/2 u²)
+//! ```
+
+use crate::model::LatticeModel;
+
+/// Equilibrium distribution for a single direction `q` given density `rho`
+/// and velocity `u` (lattice units).
+#[inline(always)]
+pub fn equilibrium<M: LatticeModel>(q: usize, rho: f64, u: [f64; 3]) -> f64 {
+    let c = M::c(q);
+    let cu = c[0] * u[0] + c[1] * u[1] + c[2] * u[2];
+    let u2 = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+    M::w(q) * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * u2)
+}
+
+/// Fills `out[..M::Q]` with the full equilibrium distribution.
+#[inline]
+pub fn equilibrium_all<M: LatticeModel>(rho: f64, u: [f64; 3], out: &mut [f64]) {
+    assert!(out.len() >= M::Q);
+    for q in 0..M::Q {
+        out[q] = equilibrium::<M>(q, rho, u);
+    }
+}
+
+/// Density `ρ = Σ_q f_q`.
+#[inline(always)]
+pub fn density<M: LatticeModel>(f: &[f64]) -> f64 {
+    f[..M::Q].iter().sum()
+}
+
+/// Momentum `j = Σ_q f_q c_q`.
+#[inline(always)]
+pub fn momentum<M: LatticeModel>(f: &[f64]) -> [f64; 3] {
+    let mut j = [0.0; 3];
+    for q in 0..M::Q {
+        let c = M::c(q);
+        j[0] += f[q] * c[0];
+        j[1] += f[q] * c[1];
+        j[2] += f[q] * c[2];
+    }
+    j
+}
+
+/// Velocity `u = j / ρ`.
+#[inline(always)]
+pub fn velocity<M: LatticeModel>(f: &[f64]) -> [f64; 3] {
+    let rho = density::<M>(f);
+    let j = momentum::<M>(f);
+    [j[0] / rho, j[1] / rho, j[2] / rho]
+}
+
+/// The symmetric ("even") part of the equilibrium for a direction pair,
+/// `f_q^{eq+} = (f_q^eq + f_{q̄}^eq) / 2`, used by the TRT operator.
+///
+/// Because the odd-order velocity terms cancel, this has the closed form
+/// `w_q ρ (1 + 9/2 (c_q·u)² − 3/2 u²)`.
+#[inline(always)]
+pub fn equilibrium_even<M: LatticeModel>(q: usize, rho: f64, u: [f64; 3]) -> f64 {
+    let c = M::c(q);
+    let cu = c[0] * u[0] + c[1] * u[1] + c[2] * u[2];
+    let u2 = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+    M::w(q) * rho * (1.0 + 4.5 * cu * cu - 1.5 * u2)
+}
+
+/// The antisymmetric ("odd") part of the equilibrium for a direction pair,
+/// `f_q^{eq−} = (f_q^eq − f_{q̄}^eq) / 2 = 3 w_q ρ (c_q·u)`.
+#[inline(always)]
+pub fn equilibrium_odd<M: LatticeModel>(q: usize, rho: f64, u: [f64; 3]) -> f64 {
+    let c = M::c(q);
+    let cu = c[0] * u[0] + c[1] * u[1] + c[2] * u[2];
+    3.0 * M::w(q) * rho * cu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{D2Q9, D3Q19, D3Q27};
+
+    fn check_moments<M: LatticeModel>() {
+        let rho = 1.07;
+        let u = [0.03, -0.02, 0.01];
+        let mut f = vec![0.0; M::Q];
+        equilibrium_all::<M>(rho, u, &mut f);
+
+        // Zeroth moment reproduces the density exactly.
+        assert!((density::<M>(&f) - rho).abs() < 1e-14);
+        // First moment reproduces the momentum exactly.
+        let j = momentum::<M>(&f);
+        for d in 0..3 {
+            assert!((j[d] - rho * u[d]).abs() < 1e-14, "axis {d}");
+        }
+        let v = velocity::<M>(&f);
+        for d in 0..3 {
+            assert!((v[d] - u[d]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn equilibrium_moments_d3q19() {
+        check_moments::<D3Q19>();
+    }
+
+    #[test]
+    fn equilibrium_moments_d3q27() {
+        check_moments::<D3Q27>();
+    }
+
+    #[test]
+    fn equilibrium_moments_d2q9() {
+        let rho = 0.93;
+        let u = [0.05, 0.02, 0.0]; // z must be zero in 2-D
+        let mut f = vec![0.0; 9];
+        equilibrium_all::<D2Q9>(rho, u, &mut f);
+        assert!((density::<D2Q9>(&f) - rho).abs() < 1e-14);
+        let j = momentum::<D2Q9>(&f);
+        assert!((j[0] - rho * u[0]).abs() < 1e-14);
+        assert!((j[1] - rho * u[1]).abs() < 1e-14);
+        assert_eq!(j[2], 0.0);
+    }
+
+    #[test]
+    fn rest_state_equilibrium_equals_weights() {
+        for q in 0..19 {
+            let feq = equilibrium::<D3Q19>(q, 1.0, [0.0; 3]);
+            assert!((feq - D3Q19::w(q)).abs() < 1e-15);
+        }
+    }
+
+    fn check_even_odd_split<M: LatticeModel>() {
+        let rho = 1.11;
+        let u = [0.04, 0.01, -0.03];
+        for &(a, b) in M::pairs() {
+            let fa = equilibrium::<M>(a, rho, u);
+            let fb = equilibrium::<M>(b, rho, u);
+            let even = equilibrium_even::<M>(a, rho, u);
+            let odd = equilibrium_odd::<M>(a, rho, u);
+            assert!((even - 0.5 * (fa + fb)).abs() < 1e-14);
+            assert!((odd - 0.5 * (fa - fb)).abs() < 1e-14);
+            // Even part is symmetric, odd antisymmetric, under q -> q̄.
+            assert!((equilibrium_even::<M>(b, rho, u) - even).abs() < 1e-14);
+            assert!((equilibrium_odd::<M>(b, rho, u) + odd).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn even_odd_split_d3q19() {
+        check_even_odd_split::<D3Q19>();
+    }
+
+    #[test]
+    fn even_odd_split_d3q27() {
+        check_even_odd_split::<D3Q27>();
+    }
+
+    #[test]
+    fn even_odd_split_d2q9() {
+        check_even_odd_split::<D2Q9>();
+    }
+}

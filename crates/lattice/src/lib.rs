@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Lattice models for the lattice Boltzmann method.
+//!
+//! This crate provides the discrete velocity sets ("lattice models") used by
+//! the LBM: the three-dimensional D3Q19 and D3Q27 models and the
+//! two-dimensional D2Q9 model, together with the equilibrium distribution,
+//! macroscopic moment computation, relaxation-parameter math for the
+//! single-relaxation-time (SRT/LBGK) and two-relaxation-time (TRT) collision
+//! operators, and conversion between physical and lattice units.
+//!
+//! The design mirrors the compile-time lattice-model parameterization of the
+//! waLBerla framework: a model is a zero-sized type implementing
+//! [`LatticeModel`], so kernels generic over the model are monomorphized with
+//! all stencil information available to the optimizer as constants.
+
+pub mod d2q9;
+pub mod d3q19;
+pub mod d3q27;
+pub mod equilibrium;
+pub mod model;
+pub mod relaxation;
+pub mod units;
+
+pub use d2q9::D2Q9;
+pub use d3q19::D3Q19;
+pub use d3q27::D3Q27;
+pub use equilibrium::{density, equilibrium, equilibrium_all, momentum, velocity};
+pub use model::LatticeModel;
+pub use relaxation::{Relaxation, MAGIC_TRT};
+pub use units::UnitConverter;
+
+/// Speed of sound squared in lattice units, `c_s^2 = 1/3`, common to all
+/// standard DdQq models used here.
+pub const CS2: f64 = 1.0 / 3.0;
+
+/// Inverse of [`CS2`].
+pub const INV_CS2: f64 = 3.0;

@@ -1,0 +1,114 @@
+//! The [`LatticeModel`] trait describing a DdQq discrete velocity set.
+
+/// A discrete velocity set (stencil) for the lattice Boltzmann method.
+///
+/// Implementors are zero-sized marker types (e.g. [`crate::D3Q19`]); all
+/// stencil data is exposed through associated constants and `'static` slices
+/// so that kernels monomorphized over a model see the stencil as compile-time
+/// constants.
+///
+/// # Conventions
+///
+/// * Direction 0 is always the rest direction `(0, 0, 0)`.
+/// * Velocities are stored as `[i8; 3]`; 2-D models use a zero z-component.
+/// * `INVERSE[q]` is the index `q̄` with `c_{q̄} = -c_q`.
+/// * `PAIRS` lists each antiparallel pair exactly once as `(q, q̄)` with
+///   `q < q̄`; the rest direction is not part of any pair. This is the
+///   decomposition used by the two-relaxation-time collision operator.
+pub trait LatticeModel: Copy + Clone + Default + Send + Sync + 'static {
+    /// Number of discrete velocities (the "Q" in DdQq).
+    const Q: usize;
+    /// Spatial dimension (the "D" in DdQq).
+    const D: usize;
+    /// Human-readable model name, e.g. `"D3Q19"`.
+    const NAME: &'static str;
+
+    /// The discrete velocity vectors, `Q` entries.
+    fn velocities() -> &'static [[i8; 3]];
+    /// The lattice weights, `Q` entries summing to 1.
+    fn weights() -> &'static [f64];
+    /// For each direction the index of the opposite direction.
+    fn inverse() -> &'static [usize];
+    /// Antiparallel direction pairs `(q, q̄)`, `q < q̄`, `(Q - 1) / 2` entries.
+    fn pairs() -> &'static [(usize, usize)];
+
+    /// Velocity vector of direction `q` as `f64` components.
+    #[inline(always)]
+    fn c(q: usize) -> [f64; 3] {
+        let v = Self::velocities()[q];
+        [v[0] as f64, v[1] as f64, v[2] as f64]
+    }
+
+    /// Lattice weight of direction `q`.
+    #[inline(always)]
+    fn w(q: usize) -> f64 {
+        Self::weights()[q]
+    }
+
+    /// Index of the direction opposite to `q`.
+    #[inline(always)]
+    fn inv(q: usize) -> usize {
+        Self::inverse()[q]
+    }
+}
+
+/// Validates the internal consistency of a lattice model. Used by the test
+/// suites of each concrete model; exposed so downstream crates can check
+/// custom models too.
+pub fn validate_model<M: LatticeModel>() {
+    let c = M::velocities();
+    let w = M::weights();
+    let inv = M::inverse();
+    assert_eq!(c.len(), M::Q, "{}: velocity count", M::NAME);
+    assert_eq!(w.len(), M::Q, "{}: weight count", M::NAME);
+    assert_eq!(inv.len(), M::Q, "{}: inverse count", M::NAME);
+    assert_eq!(c[0], [0, 0, 0], "{}: direction 0 must be rest", M::NAME);
+
+    // Weights are positive and sum to 1.
+    let sum: f64 = w.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-14, "{}: weights sum to {sum}", M::NAME);
+    assert!(w.iter().all(|&x| x > 0.0), "{}: weights positive", M::NAME);
+
+    // Inverse directions are truly antiparallel and involutive.
+    for q in 0..M::Q {
+        let qi = inv[q];
+        assert_eq!(inv[qi], q, "{}: inverse not involutive at {q}", M::NAME);
+        for d in 0..3 {
+            assert_eq!(c[q][d], -c[qi][d], "{}: dir {q} not opposite to {qi}", M::NAME);
+        }
+        // Opposite directions carry equal weights (parity symmetry).
+        assert_eq!(w[q], w[qi], "{}: weight asymmetry at {q}", M::NAME);
+    }
+
+    // Pairs cover all non-rest directions exactly once.
+    let pairs = M::pairs();
+    assert_eq!(pairs.len(), (M::Q - 1) / 2, "{}: pair count", M::NAME);
+    let mut seen = vec![false; M::Q];
+    seen[0] = true;
+    for &(a, b) in pairs {
+        assert!(a < b, "{}: pair not ordered: ({a}, {b})", M::NAME);
+        assert_eq!(inv[a], b, "{}: pair ({a}, {b}) not antiparallel", M::NAME);
+        assert!(!seen[a] && !seen[b], "{}: direction repeated in pairs", M::NAME);
+        seen[a] = true;
+        seen[b] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "{}: pairs do not cover all directions", M::NAME);
+
+    // First and second moment isotropy conditions:
+    //   Σ w_q c_q = 0,   Σ w_q c_q c_q = c_s² I  with c_s² = 1/3 (3-D models)
+    for d in 0..3 {
+        let m1: f64 = (0..M::Q).map(|q| w[q] * c[q][d] as f64).sum();
+        assert!(m1.abs() < 1e-14, "{}: first moment nonzero in axis {d}", M::NAME);
+    }
+    for d0 in 0..M::D {
+        for d1 in 0..M::D {
+            let m2: f64 = (0..M::Q).map(|q| w[q] * c[q][d0] as f64 * c[q][d1] as f64).sum();
+            let expect = if d0 == d1 { crate::CS2 } else { 0.0 };
+            assert!(
+                (m2 - expect).abs() < 1e-14,
+                "{}: second moment ({d0},{d1}) = {m2}, expected {expect}",
+                M::NAME
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Relaxation parameters for the SRT (LBGK) and TRT collision operators.
+//!
+//! The paper uses two collision schemes (§2.1): the single-relaxation-time
+//! model of Bhatnagar–Gross–Krook and the two-relaxation-time model of
+//! Ginzburg et al. For TRT, the even (symmetric) and odd (antisymmetric)
+//! parts of the distribution relax with separate rates `λ_e` and `λ_o`; with
+//! `λ_e = λ_o = −1/τ` TRT reduces exactly to SRT (paper Eq. 8).
+
+use crate::CS2;
+
+/// The "magic parameter" `Λ = (1/ω_e − 1/2)(1/ω_o − 1/2)` fixing the odd
+/// relaxation rate from the even one. `Λ = 3/16` places the no-slip wall of
+/// the bounce-back rule exactly halfway between lattice nodes, independent
+/// of viscosity — the standard choice for TRT.
+pub const MAGIC_TRT: f64 = 3.0 / 16.0;
+
+/// Relaxation configuration for a collision operator.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Relaxation {
+    /// Even (symmetric) collision parameter `λ_e ∈ (−2, 0)`.
+    pub lambda_e: f64,
+    /// Odd (antisymmetric) collision parameter `λ_o ∈ (−2, 0)`.
+    pub lambda_o: f64,
+}
+
+impl Relaxation {
+    /// SRT parameters from the relaxation time `τ`: `λ_e = λ_o = −1/τ`.
+    ///
+    /// # Panics
+    /// Panics if `tau <= 0.5` (linearly unstable regime).
+    pub fn srt_from_tau(tau: f64) -> Self {
+        assert!(tau > 0.5, "SRT requires tau > 1/2, got {tau}");
+        let l = -1.0 / tau;
+        Relaxation { lambda_e: l, lambda_o: l }
+    }
+
+    /// SRT parameters from the kinematic lattice viscosity
+    /// `ν = c_s² (τ − 1/2)`.
+    pub fn srt_from_viscosity(nu: f64) -> Self {
+        Self::srt_from_tau(Self::tau_from_viscosity(nu))
+    }
+
+    /// TRT parameters: the even rate is fixed by the viscosity through `τ`,
+    /// the odd rate follows from the magic parameter `Λ`:
+    /// `1/ω_o − 1/2 = Λ / (1/ω_e − 1/2)` with `ω = −λ`.
+    ///
+    /// # Panics
+    /// Panics if `tau <= 0.5` or `magic <= 0`.
+    pub fn trt_from_tau(tau: f64, magic: f64) -> Self {
+        assert!(tau > 0.5, "TRT requires tau > 1/2, got {tau}");
+        assert!(magic > 0.0, "magic parameter must be positive, got {magic}");
+        let omega_e = 1.0 / tau;
+        // (1/ω_e − 1/2)(1/ω_o − 1/2) = Λ
+        let half_e = 1.0 / omega_e - 0.5;
+        let half_o = magic / half_e;
+        let omega_o = 1.0 / (half_o + 0.5);
+        Relaxation { lambda_e: -omega_e, lambda_o: -omega_o }
+    }
+
+    /// TRT parameters from the kinematic lattice viscosity with the standard
+    /// magic parameter [`MAGIC_TRT`].
+    pub fn trt_from_viscosity(nu: f64) -> Self {
+        Self::trt_from_tau(Self::tau_from_viscosity(nu), MAGIC_TRT)
+    }
+
+    /// Relaxation time from kinematic lattice viscosity: `τ = ν/c_s² + 1/2`.
+    pub fn tau_from_viscosity(nu: f64) -> f64 {
+        assert!(nu > 0.0, "viscosity must be positive, got {nu}");
+        nu / CS2 + 0.5
+    }
+
+    /// Kinematic lattice viscosity from relaxation time: `ν = c_s² (τ − 1/2)`.
+    pub fn viscosity_from_tau(tau: f64) -> f64 {
+        CS2 * (tau - 0.5)
+    }
+
+    /// The relaxation time `τ = −1/λ_e` associated with the even rate.
+    pub fn tau(&self) -> f64 {
+        -1.0 / self.lambda_e
+    }
+
+    /// Kinematic lattice viscosity implied by the even rate.
+    pub fn viscosity(&self) -> f64 {
+        Self::viscosity_from_tau(self.tau())
+    }
+
+    /// The magic parameter `Λ` implied by the pair of rates.
+    pub fn magic(&self) -> f64 {
+        (-1.0 / self.lambda_e - 0.5) * (-1.0 / self.lambda_o - 0.5)
+    }
+
+    /// True if the parameters describe an SRT operator (`λ_e == λ_o`).
+    pub fn is_srt(&self) -> bool {
+        self.lambda_e == self.lambda_o
+    }
+
+    /// True if both rates are in the linearly stable interval `(−2, 0)`.
+    pub fn is_stable(&self) -> bool {
+        (-2.0 < self.lambda_e && self.lambda_e < 0.0)
+            && (-2.0 < self.lambda_o && self.lambda_o < 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srt_rates_equal() {
+        let r = Relaxation::srt_from_tau(0.9);
+        assert!(r.is_srt());
+        assert!((r.lambda_e + 1.0 / 0.9).abs() < 1e-15);
+        assert!(r.is_stable());
+    }
+
+    #[test]
+    fn viscosity_tau_roundtrip() {
+        for &nu in &[0.001, 0.01, 0.1, 1.0 / 6.0, 0.5] {
+            let tau = Relaxation::tau_from_viscosity(nu);
+            assert!((Relaxation::viscosity_from_tau(tau) - nu).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn trt_magic_recovered() {
+        let r = Relaxation::trt_from_tau(0.77, MAGIC_TRT);
+        assert!((r.magic() - MAGIC_TRT).abs() < 1e-14);
+        assert!(!r.is_srt());
+        assert!(r.is_stable());
+        assert!((r.tau() - 0.77).abs() < 1e-15);
+    }
+
+    #[test]
+    fn trt_reduces_to_srt_when_rates_match() {
+        // Choose Λ so that λ_o = λ_e: Λ = (1/ω − 1/2)².
+        let tau = 0.8;
+        let half = tau - 0.5;
+        let r = Relaxation::trt_from_tau(tau, half * half);
+        assert!((r.lambda_e - r.lambda_o).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn srt_rejects_unstable_tau() {
+        Relaxation::srt_from_tau(0.5);
+    }
+
+    #[test]
+    fn trt_from_viscosity_consistent() {
+        let r = Relaxation::trt_from_viscosity(0.05);
+        assert!((r.viscosity() - 0.05).abs() < 1e-14);
+        assert!((r.magic() - MAGIC_TRT).abs() < 1e-13);
+    }
+}

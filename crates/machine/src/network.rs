@@ -1,0 +1,186 @@
+//! Interconnect time models.
+//!
+//! The scaling harness needs the wall time of one ghost exchange as a
+//! function of message sizes and job size. The structural features come
+//! from the paper's §3: JUQUEEN's 5-D torus gives every node constant
+//! bisection-per-node, so per-process exchange time is essentially
+//! independent of the job size ("we expect our LBM MPI communication to
+//! scale to the entire machine"); SuperMUC is non-blocking within a
+//! 512-node island but islands connect through a 4:1 pruned tree, so "we
+//! expect to see a drop in the parallel efficiency when scaling up to
+//! multiple islands".
+//!
+//! Free constants (effective per-process bandwidth, latency, and the
+//! inter-island penalty coefficient) are calibrated so the model
+//! reproduces the paper's observed endpoints (92 % parallel efficiency on
+//! the full JUQUEEN; the multi-island efficiency decline on SuperMUC);
+//! the calibration is documented in EXPERIMENTS.md.
+
+/// Time model of one interconnect.
+#[derive(Clone, Debug)]
+pub enum NetworkModel {
+    /// 5-D torus (JUQUEEN): constant per-process capacity at any scale.
+    Torus5D {
+        /// Per-message latency in seconds.
+        latency_s: f64,
+        /// Effective per-process bandwidth in bytes/s.
+        proc_bw: f64,
+    },
+    /// Island fat-tree with pruned inter-island links (SuperMUC).
+    PrunedFatTree {
+        /// Per-message latency in seconds.
+        latency_s: f64,
+        /// Effective per-process bandwidth within one island, bytes/s.
+        proc_bw: f64,
+        /// Cores per island.
+        island_cores: u64,
+        /// Extra communication-time factor per doubling of the island
+        /// count (calibrated).
+        inter_island_penalty: f64,
+    },
+    /// No network (single-process host runs).
+    Loopback,
+}
+
+impl NetworkModel {
+    /// JUQUEEN's torus: latencies "in the range of a few hundred
+    /// nanoseconds up to 2.6 µs" (§3.1). The effective per-process
+    /// bandwidth (64 processes per node share the torus injection
+    /// bandwidth) is calibrated to the paper's ~8 % communication share
+    /// at 1.7 M cells/core (92 % parallel efficiency at full machine).
+    pub fn torus5d_juqueen() -> Self {
+        NetworkModel::Torus5D { latency_s: 1.5e-6, proc_bw: 0.037e9 }
+    }
+
+    /// SuperMUC's island tree: non-blocking FDR10 within 512-node islands
+    /// (8192 cores), 4:1 pruned between islands. Intra-island bandwidth
+    /// and the inter-island penalty are calibrated to the paper's Fig 6a
+    /// (≈4–5 % MPI at one island growing to ≈20 % at 16 islands).
+    pub fn pruned_fat_tree_supermuc() -> Self {
+        NetworkModel::PrunedFatTree {
+            latency_s: 2.0e-6,
+            proc_bw: 0.27e9,
+            island_cores: 8192,
+            inter_island_penalty: 0.85,
+        }
+    }
+
+    /// No communication cost (local runs).
+    pub fn loopback() -> Self {
+        NetworkModel::Loopback
+    }
+
+    /// Wall time of one ghost exchange for a process sending
+    /// `bytes_per_neighbor` to each of its neighbors, in a job using
+    /// `job_cores` cores total.
+    pub fn exchange_time(&self, bytes_per_neighbor: &[u64], job_cores: u64) -> f64 {
+        let total_bytes: u64 = bytes_per_neighbor.iter().sum();
+        let n_msgs = bytes_per_neighbor.iter().filter(|&&b| b > 0).count() as f64;
+        match self {
+            NetworkModel::Torus5D { latency_s, proc_bw } => {
+                n_msgs * latency_s + total_bytes as f64 / proc_bw
+            }
+            NetworkModel::PrunedFatTree {
+                latency_s,
+                proc_bw,
+                island_cores,
+                inter_island_penalty,
+            } => {
+                let islands = (job_cores as f64 / *island_cores as f64).max(1.0);
+                // Within one island the tree is non-blocking: flat cost.
+                // Across islands, crossing traffic shares pruned uplinks;
+                // the penalty grows with the logarithm of the island count
+                // (deeper tree stages become shared).
+                let penalty = 1.0 + inter_island_penalty * islands.log2().max(0.0);
+                n_msgs * latency_s + total_bytes as f64 / proc_bw * penalty
+            }
+            NetworkModel::Loopback => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_time_is_scale_invariant() {
+        let net = NetworkModel::torus5d_juqueen();
+        let msgs = vec![1_000_000u64; 6];
+        let t_small = net.exchange_time(&msgs, 1024);
+        let t_full = net.exchange_time(&msgs, 458_752);
+        assert_eq!(t_small, t_full, "torus exchange must not depend on job size");
+        assert!(t_small > 0.0);
+    }
+
+    #[test]
+    fn fat_tree_penalizes_multiple_islands() {
+        let net = NetworkModel::pruned_fat_tree_supermuc();
+        let msgs = vec![1_000_000u64; 6];
+        let one_island = net.exchange_time(&msgs, 8192);
+        let two_islands = net.exchange_time(&msgs, 16_384);
+        let many = net.exchange_time(&msgs, 131_072);
+        assert!(two_islands > one_island);
+        assert!(many > 2.0 * one_island, "16 islands must cost substantially more");
+    }
+
+    #[test]
+    fn latency_counts_only_nonempty_messages() {
+        let net = NetworkModel::Torus5D { latency_s: 1e-6, proc_bw: 1e9 };
+        // D3Q19: corner links carry no data.
+        let msgs = vec![100, 100, 0, 0];
+        let t = net.exchange_time(&msgs, 64);
+        assert!((t - (2.0 * 1e-6 + 200.0 / 1e9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        assert_eq!(NetworkModel::loopback().exchange_time(&[123, 456], 1), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod calibration_tests {
+    use super::*;
+
+    /// The calibrated JUQUEEN constants produce the paper's ~8 % MPI share
+    /// for the Fig 6b configuration (64 processes/node, 432k cells each).
+    #[test]
+    fn juqueen_share_matches_paper_regime() {
+        let net = NetworkModel::torus5d_juqueen();
+        let edge = 432_000f64.cbrt();
+        let mut msgs = vec![(edge * edge * 40.0) as u64; 6];
+        msgs.extend(vec![(edge * 8.0) as u64; 12]);
+        let t_comm = net.exchange_time(&msgs, 458_752);
+        // Per-process kernel time: 64 processes share a node running at
+        // the overhead-adjusted roofline; processes communicate
+        // concurrently, so the share is per process.
+        let t_kernel = 432_000.0 * 64.0 * 1.28 / 76.2e6;
+        let share = t_comm / (t_kernel + t_comm);
+        assert!((0.05..0.12).contains(&share), "MPI share {share}");
+    }
+
+    /// Single-island SuperMUC share sits near the paper's ~5 %.
+    #[test]
+    fn supermuc_share_within_island() {
+        let net = NetworkModel::pruned_fat_tree_supermuc();
+        let edge = 3_430_000f64.cbrt();
+        let mut msgs = vec![(edge * edge * 40.0) as u64; 6];
+        msgs.extend(vec![(edge * 8.0) as u64; 12]);
+        let t_comm = net.exchange_time(&msgs, 4096);
+        let t_kernel = 3_430_000.0 / (87.8e6 * 2.0 / 16.0 / 1.28);
+        let share = t_comm / (t_kernel + t_comm);
+        assert!((0.03..0.08).contains(&share), "MPI share {share}");
+    }
+
+    /// Doubling the message volume doubles the bandwidth term but not the
+    /// latency term.
+    #[test]
+    fn latency_and_bandwidth_terms_separate() {
+        let net = NetworkModel::Torus5D { latency_s: 1e-5, proc_bw: 1e9 };
+        let small = net.exchange_time(&[1000; 6], 64);
+        let large = net.exchange_time(&[2000; 6], 64);
+        let lat = 6.0 * 1e-5;
+        assert!(((large - lat) / (small - lat) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! Machine descriptions with the constants published in the paper.
+
+use crate::network::NetworkModel;
+
+/// Description of one (super)computer, with everything the performance
+/// models need.
+#[derive(Clone, Debug)]
+pub struct MachineSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Sockets per node.
+    pub sockets_per_node: u32,
+    /// Hardware threads per core (SMT ways).
+    pub smt_ways: u32,
+    /// Nominal clock in GHz.
+    pub clock_ghz: f64,
+    /// STREAM bandwidth per socket in GiB/s (plain copy).
+    pub stream_bw_gib: f64,
+    /// Bandwidth per socket under LBM-like concurrent load/store streams,
+    /// in GiB/s — the bandwidth the kernels can actually draw.
+    pub lbm_bw_gib: f64,
+    /// Peak double-precision GFLOP/s per core.
+    pub peak_gflops_per_core: f64,
+    /// Main memory per core in GiB.
+    pub mem_per_core_gib: f64,
+    /// Total cores of the full machine.
+    pub total_cores: u64,
+    /// Interconnect model.
+    pub network: NetworkModel,
+}
+
+impl MachineSpec {
+    /// Cores per node.
+    pub fn cores_per_node(&self) -> u32 {
+        self.cores_per_socket * self.sockets_per_node
+    }
+
+    /// Total nodes of the machine.
+    pub fn total_nodes(&self) -> u64 {
+        self.total_cores / self.cores_per_node() as u64
+    }
+
+    /// Peak double-precision PFLOP/s of the whole machine.
+    pub fn peak_pflops(&self) -> f64 {
+        self.total_cores as f64 * self.peak_gflops_per_core / 1e6
+    }
+
+    /// SuperMUC (LRZ Munich): 18,432 Xeon E5-2680 (Sandy Bridge) sockets,
+    /// 2.7 GHz, 16 cores/node, 147,456 cores, 3.2 PFLOPS peak, islands of
+    /// 512 nodes with a non-blocking tree inside and a 4:1 pruned tree
+    /// between islands (paper §3.2). Bandwidths from §4.1: 40 GiB/s STREAM,
+    /// 37.3 GiB/s with LBM-like concurrent streams.
+    pub fn supermuc() -> Self {
+        MachineSpec {
+            name: "SuperMUC",
+            cores_per_socket: 8,
+            sockets_per_node: 2,
+            smt_ways: 1, // SMT exists but yields no LBM gain on this machine (§4.1)
+            clock_ghz: 2.7,
+            stream_bw_gib: 40.0,
+            lbm_bw_gib: 37.3,
+            // 8 DP flops/cycle (AVX) × 2.7 GHz = 21.6 GFLOP/s.
+            peak_gflops_per_core: 21.6,
+            mem_per_core_gib: 2.0,
+            total_cores: 147_456,
+            network: NetworkModel::pruned_fat_tree_supermuc(),
+        }
+    }
+
+    /// JUQUEEN (JSC Jülich): 28-rack Blue Gene/Q, 458,752 PowerPC A2 cores
+    /// at 1.6 GHz, 16 cores/node, 4-way SMT, 1 GiB/core, 5.9 PFLOPS peak,
+    /// 5-D torus at up to 40 GB/s (paper §3.1). Bandwidths from §4.1:
+    /// 42.4 GiB/s STREAM, 32.4 GiB/s with concurrent store streams.
+    pub fn juqueen() -> Self {
+        MachineSpec {
+            name: "JUQUEEN",
+            cores_per_socket: 16,
+            sockets_per_node: 1,
+            smt_ways: 4,
+            clock_ghz: 1.6,
+            stream_bw_gib: 42.4,
+            lbm_bw_gib: 32.4,
+            // 204.8 GFLOPS per 16-core node.
+            peak_gflops_per_core: 12.8,
+            mem_per_core_gib: 1.0,
+            total_cores: 458_752,
+            network: NetworkModel::torus5d_juqueen(),
+        }
+    }
+
+    /// The machine this code runs on: a single-socket container whose
+    /// bandwidth should be measured with [`crate::streambench`] rather
+    /// than assumed. The given bandwidths are placeholders overridden by
+    /// measurement in the benchmark harnesses.
+    pub fn host(cores: u32, measured_stream_gib: f64, measured_lbm_gib: f64) -> Self {
+        MachineSpec {
+            name: "host",
+            cores_per_socket: cores,
+            sockets_per_node: 1,
+            smt_ways: 1,
+            clock_ghz: 0.0, // unknown / variable
+            stream_bw_gib: measured_stream_gib,
+            lbm_bw_gib: measured_lbm_gib,
+            peak_gflops_per_core: 0.0,
+            mem_per_core_gib: 0.0,
+            total_cores: cores as u64,
+            network: NetworkModel::loopback(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The specs must reproduce the paper's headline machine numbers.
+    #[test]
+    fn supermuc_matches_paper() {
+        let m = MachineSpec::supermuc();
+        assert_eq!(m.cores_per_node(), 16);
+        assert_eq!(m.total_cores, 147_456);
+        assert_eq!(m.total_nodes(), 9216);
+        // "Peak performance of 3.2 PFLOPS".
+        assert!((m.peak_pflops() - 3.19).abs() < 0.05, "{}", m.peak_pflops());
+        // 18432 sockets.
+        assert_eq!(m.total_nodes() * m.sockets_per_node as u64, 18_432);
+    }
+
+    #[test]
+    fn juqueen_matches_paper() {
+        let m = MachineSpec::juqueen();
+        assert_eq!(m.cores_per_node(), 16);
+        assert_eq!(m.total_cores, 458_752);
+        // "Theoretical peak performance of 5.9 PFLOPS".
+        assert!((m.peak_pflops() - 5.87).abs() < 0.05, "{}", m.peak_pflops());
+        // "Up to 204.8 GFLOPS per node".
+        let per_node = m.peak_gflops_per_core * m.cores_per_node() as f64;
+        assert!((per_node - 204.8).abs() < 0.1);
+        // 448 TiB of memory: 1 GiB per core.
+        assert_eq!(m.total_cores as f64 * m.mem_per_core_gib, 458_752.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Coarsening by heavy-edge matching (Karypis & Kumar).
+//!
+//! Vertices are visited in random order; each unmatched vertex matches the
+//! unmatched neighbor connected by the heaviest edge. Matched pairs
+//! collapse into one coarse vertex whose weight is the sum of the pair's
+//! weights; parallel coarse edges merge by summing weights. Heavy edges
+//! disappear inside coarse vertices, so the coarse graph's cut structure
+//! approximates the fine graph's.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// One coarsening step. Returns the coarser graph and the fine→coarse
+/// vertex map.
+pub fn heavy_edge_coarsen(g: &Graph, rng: &mut StdRng) -> (Graph, Vec<usize>) {
+    let n = g.num_vertices();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    const UNMATCHED: usize = usize::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    for &v in &order {
+        if mate[v] != UNMATCHED {
+            continue;
+        }
+        // Heaviest unmatched neighbor.
+        let mut best: Option<(u32, f64)> = None;
+        for (u, w) in g.neighbors(v) {
+            if mate[u as usize] == UNMATCHED && best.map_or(true, |(_, bw)| w > bw) {
+                best = Some((u, w));
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                mate[v] = u as usize;
+                mate[u as usize] = v;
+            }
+            None => mate[v] = v, // matched with itself
+        }
+    }
+
+    // Assign coarse indices.
+    let mut map = vec![usize::MAX; n];
+    let mut nc = 0usize;
+    for v in 0..n {
+        if map[v] != usize::MAX {
+            continue;
+        }
+        map[v] = nc;
+        let m = mate[v];
+        if m != v && m != UNMATCHED {
+            map[m] = nc;
+        }
+        nc += 1;
+    }
+
+    // Coarse vertex weights and edges.
+    let mut vwgt = vec![0.0; nc];
+    for v in 0..n {
+        vwgt[map[v]] += g.vwgt[v];
+    }
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for (u, w) in g.neighbors(v) {
+            let (cv, cu) = (map[v], map[u as usize]);
+            if cv < cu {
+                edges.push((cv as u32, cu as u32, w));
+            }
+        }
+    }
+    (Graph::from_edges(nc, &edges, Some(vwgt)), map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<(u32, u32, f64)> =
+            (0..n as u32).map(|i| (i, (i + 1) % n as u32, 1.0)).collect();
+        Graph::from_edges(n, &edges, None)
+    }
+
+    #[test]
+    fn coarsening_halves_ring_size() {
+        let g = ring(64);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (c, map) = heavy_edge_coarsen(&g, &mut rng);
+        assert!(c.num_vertices() <= 40, "coarse size {}", c.num_vertices());
+        assert!(c.num_vertices() >= 32);
+        assert_eq!(map.len(), 64);
+        // Total vertex weight conserved.
+        assert!((c.total_vwgt() - g.total_vwgt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_edges_collapse_first() {
+        // Two vertices joined by a heavy edge plus light fringe edges: the
+        // heavy pair must merge.
+        let g = Graph::from_edges(
+            4,
+            &[(0, 1, 100.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
+            None,
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let (_, map) = heavy_edge_coarsen(&g, &mut rng);
+        assert_eq!(map[0], map[1], "heavy edge not contracted");
+    }
+
+    #[test]
+    fn map_is_surjective_onto_coarse_vertices() {
+        let g = ring(33);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (c, map) = heavy_edge_coarsen(&g, &mut rng);
+        let mut seen = vec![false; c.num_vertices()];
+        for &m in &map {
+            seen[m] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

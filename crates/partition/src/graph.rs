@@ -1,0 +1,151 @@
+//! Weighted undirected graphs in compressed sparse row form.
+
+/// An undirected graph with vertex and edge weights, stored CSR-style
+/// (every undirected edge appears in both adjacency lists).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Adjacency offsets: neighbors of `v` are
+    /// `adjncy[xadj[v] .. xadj[v + 1]]`.
+    pub xadj: Vec<usize>,
+    /// Flattened adjacency lists.
+    pub adjncy: Vec<u32>,
+    /// Edge weights, parallel to `adjncy`.
+    pub adjwgt: Vec<f64>,
+    /// Vertex weights.
+    pub vwgt: Vec<f64>,
+}
+
+impl Graph {
+    /// Builds a graph from an undirected edge list `(u, v, weight)`.
+    /// Duplicate edges are merged by summing weights; self-loops are
+    /// ignored. `vwgt` defaults to 1 per vertex.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, f64)], vwgt: Option<Vec<f64>>) -> Self {
+        use std::collections::HashMap;
+        let mut merged: HashMap<(u32, u32), f64> = HashMap::new();
+        for &(u, v, w) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            if u == v {
+                continue;
+            }
+            *merged.entry((u.min(v), u.max(v))).or_insert(0.0) += w;
+        }
+        // Deterministic adjacency order regardless of hash-map iteration.
+        let mut merged: Vec<((u32, u32), f64)> = merged.into_iter().collect();
+        merged.sort_by_key(|&(k, _)| k);
+        let mut degree = vec![0usize; n];
+        for &((u, v), _) in &merged {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for v in 0..n {
+            xadj[v + 1] = xadj[v] + degree[v];
+        }
+        let m2 = xadj[n];
+        let mut adjncy = vec![0u32; m2];
+        let mut adjwgt = vec![0.0; m2];
+        let mut cursor = xadj.clone();
+        for &((u, v), w) in &merged {
+            adjncy[cursor[u as usize]] = v;
+            adjwgt[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            adjncy[cursor[v as usize]] = u;
+            adjwgt[cursor[v as usize]] = w;
+            cursor[v as usize] += 1;
+        }
+        let vwgt = vwgt.unwrap_or_else(|| vec![1.0; n]);
+        assert_eq!(vwgt.len(), n);
+        Graph { xadj, adjncy, adjwgt, vwgt }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbors of `v` with edge weights.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let r = self.xadj[v]..self.xadj[v + 1];
+        self.adjncy[r.clone()].iter().copied().zip(self.adjwgt[r].iter().copied())
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwgt(&self) -> f64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Sum of edge weights crossing between different parts of
+    /// `assignment`.
+    pub fn edge_cut(&self, assignment: &[u32]) -> f64 {
+        let mut cut = 0.0;
+        for v in 0..self.num_vertices() {
+            for (u, w) in self.neighbors(v) {
+                if assignment[v] != assignment[u as usize] {
+                    cut += w;
+                }
+            }
+        }
+        cut / 2.0
+    }
+
+    /// Per-part vertex-weight totals.
+    pub fn part_weights(&self, assignment: &[u32], k: usize) -> Vec<f64> {
+        let mut w = vec![0.0; k];
+        for (v, &a) in assignment.iter().enumerate() {
+            w[a as usize] += self.vwgt[v];
+        }
+        w
+    }
+
+    /// Balance: max part weight over average part weight (1.0 = perfect).
+    pub fn balance(&self, assignment: &[u32], k: usize) -> f64 {
+        let w = self.part_weights(assignment, k);
+        let max = w.iter().cloned().fold(0.0, f64::max);
+        let avg = self.total_vwgt() / k as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_symmetric_csr() {
+        let g = Graph::from_edges(4, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0)], None);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        let n1: Vec<_> = g.neighbors(1).collect();
+        assert_eq!(n1.len(), 2);
+        assert!(n1.contains(&(0, 2.0)));
+        assert!(n1.contains(&(2, 3.0)));
+    }
+
+    #[test]
+    fn duplicate_edges_merge_and_loops_drop() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 0, 2.0), (2, 2, 9.0)], None);
+        assert_eq!(g.num_edges(), 1);
+        let n0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 3.0)]);
+        assert_eq!(g.neighbors(2).count(), 0);
+    }
+
+    #[test]
+    fn cut_and_balance() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 5.0), (2, 3, 1.0)], None);
+        let assign = vec![0, 0, 1, 1];
+        assert_eq!(g.edge_cut(&assign), 5.0);
+        assert_eq!(g.balance(&assign, 2), 1.0);
+        let skew = vec![0, 0, 0, 1];
+        assert_eq!(g.balance(&skew, 2), 1.5);
+    }
+}

@@ -1,0 +1,147 @@
+//! The Execution–Cache–Memory (ECM) model (Treibig & Hager; paper §4.1).
+//!
+//! The single-core runtime of a bandwidth-limited loop kernel is split
+//! into three contributions, accounted in CPU cycles per unit of work
+//! (here: eight lattice-cell updates, one cache line of each PDF stream):
+//!
+//! 1. `t_core` — in-core execution assuming all data in L1,
+//! 2. `t_cache` — cache-line transfers through the cache hierarchy
+//!    (the paper counts 57 cache lines × 2 cycles × 2 inter-cache hops),
+//! 3. `t_mem` — transfers over the memory interface, converted from the
+//!    measured (concurrent-stream) bandwidth into cycles.
+//!
+//! With the no-overlap assumption the contributions add. Multi-core
+//! scaling is linear until the memory interface saturates at the roofline
+//! bound; clock frequency scales `t_core` and `t_cache` (cycles take
+//! longer) but not the memory time, which is why a lower clock costs so
+//! little for this kernel — the basis for the paper's 1.6 GHz
+//! energy-optimal operating point (Fig 4).
+
+use crate::roofline::roofline_mlups;
+
+/// Work unit: eight lattice-cell updates (one AVX cache line per stream).
+pub const LUPS_PER_UNIT: f64 = 8.0;
+/// Cache lines moved per work unit: 19 loads + 19 stores + 19 write-allocates.
+pub const CACHELINES_PER_UNIT: f64 = 57.0;
+
+/// ECM model of one kernel on one machine.
+#[derive(Copy, Clone, Debug)]
+pub struct EcmModel {
+    /// In-core cycles per work unit (IACA-style static analysis or
+    /// calibrated from a single-core measurement).
+    pub t_core_cycles: f64,
+    /// Inter-cache transfer cycles per work unit (2 cycles per cache line
+    /// per hop; 2 hops on Sandy Bridge: L1↔L2, L2↔L3).
+    pub t_cache_cycles: f64,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Saturated memory bandwidth under the kernel's access pattern, GiB/s.
+    pub mem_bw_gib: f64,
+}
+
+impl EcmModel {
+    /// The paper's SuperMUC TRT-SIMD model: IACA reports 448 in-core
+    /// cycles per 8 updates; 57 cache lines × 2 cycles × 2 hops = 228
+    /// cache cycles. We additionally calibrate an in-L1 load/store
+    /// component such that the single-core prediction matches the paper's
+    /// Fig 4 measurement (≈15 MLUPS at 2.7 GHz); the calibration constant
+    /// is documented in EXPERIMENTS.md.
+    pub fn supermuc_trt_simd(clock_ghz: f64) -> Self {
+        EcmModel {
+            t_core_cycles: 448.0 + 412.0, // IACA + calibrated L1 traffic
+            t_cache_cycles: 228.0,
+            clock_ghz,
+            mem_bw_gib: Self::supermuc_bw_at(clock_ghz),
+        }
+    }
+
+    /// SuperMUC's memory bandwidth depends (slightly) on the core clock
+    /// (paper cites Schöne et al.; "the main memory bandwidth decreases
+    /// slightly at lower clock frequencies"). Linear interpolation through
+    /// the two published operating points: 37.3 GiB/s at 2.7 GHz and 7 %
+    /// less at 1.6 GHz (the "performance penalty of 7 %" of Fig 4).
+    pub fn supermuc_bw_at(clock_ghz: f64) -> f64 {
+        let (f0, b0) = (1.6, 37.3 * 0.93);
+        let (f1, b1) = (2.7, 37.3);
+        b0 + (clock_ghz - f0) * (b1 - b0) / (f1 - f0)
+    }
+
+    /// Single-core cycles per work unit (no-overlap sum).
+    pub fn cycles_per_unit(&self) -> f64 {
+        self.t_core_cycles + self.t_cache_cycles + self.mem_cycles_per_unit()
+    }
+
+    /// Memory-transfer cycles per work unit at this clock.
+    pub fn mem_cycles_per_unit(&self) -> f64 {
+        let bytes = CACHELINES_PER_UNIT * 64.0;
+        let secs = bytes / (self.mem_bw_gib * 1024.0 * 1024.0 * 1024.0);
+        secs * self.clock_ghz * 1e9
+    }
+
+    /// Predicted single-core performance in MLUPS.
+    pub fn single_core_mlups(&self) -> f64 {
+        self.clock_ghz * 1e9 * LUPS_PER_UNIT / self.cycles_per_unit() / 1e6
+    }
+
+    /// Predicted performance of `n` cores in MLUPS: linear scaling capped
+    /// by the roofline bound.
+    pub fn mlups(&self, n: u32) -> f64 {
+        (n as f64 * self.single_core_mlups()).min(roofline_mlups(self.mem_bw_gib, 19))
+    }
+
+    /// Number of cores needed to saturate the memory interface.
+    pub fn cores_to_saturate(&self) -> u32 {
+        (roofline_mlups(self.mem_bw_gib, 19) / self.single_core_mlups()).ceil() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_matches_calibration_point() {
+        let m = EcmModel::supermuc_trt_simd(2.7);
+        let p1 = m.single_core_mlups();
+        assert!((14.0..=18.0).contains(&p1), "single core {p1} MLUPS");
+    }
+
+    /// Paper §4.1: "the memory interface can be saturated using only six
+    /// of the eight cores available on each socket."
+    #[test]
+    fn saturation_at_six_cores_at_full_clock() {
+        let m = EcmModel::supermuc_trt_simd(2.7);
+        let sat = m.cores_to_saturate();
+        assert!((5..=7).contains(&sat), "saturation at {sat} cores");
+        // And the socket bound equals the roofline.
+        assert!((m.mlups(8) - 87.8).abs() < 0.1);
+    }
+
+    /// Paper Fig 4: at 1.6 GHz all eight cores are needed and the socket
+    /// still reaches 93 % of the full-clock performance.
+    #[test]
+    fn reduced_clock_keeps_93_percent() {
+        let full = EcmModel::supermuc_trt_simd(2.7);
+        let low = EcmModel::supermuc_trt_simd(1.6);
+        let ratio = low.mlups(8) / full.mlups(8);
+        assert!((ratio - 0.93).abs() < 0.01, "ratio {ratio}");
+        assert!(low.cores_to_saturate() >= 7, "low clock must need (almost) all cores");
+    }
+
+    #[test]
+    fn memory_cycles_shrink_with_clock() {
+        let full = EcmModel::supermuc_trt_simd(2.7);
+        let low = EcmModel::supermuc_trt_simd(1.6);
+        // Same work, fewer cycles at lower clock (cycles are longer).
+        assert!(low.mem_cycles_per_unit() < full.mem_cycles_per_unit());
+        // Core/cache cycles are clock-invariant by definition.
+        assert_eq!(low.t_core_cycles, full.t_core_cycles);
+    }
+
+    #[test]
+    fn scaling_is_linear_then_flat() {
+        let m = EcmModel::supermuc_trt_simd(2.7);
+        assert!((m.mlups(2) - 2.0 * m.mlups(1)).abs() < 1e-9);
+        assert_eq!(m.mlups(7), m.mlups(8));
+    }
+}

@@ -1,0 +1,108 @@
+//! Energy model behind the Fig 4 operating-point analysis.
+//!
+//! The paper: "the ECM model suggests an optimal clock frequency of
+//! 1.6 GHz, at which 25 % less energy is consumed and still 93 % of the
+//! performance can be achieved." The underlying trade-off: CPU dynamic
+//! power scales superlinearly with clock (P ≈ P_static + c·f³ per
+//! socket), while a bandwidth-saturated kernel barely slows down at a
+//! lower clock — so energy per lattice update drops until the cores can
+//! no longer saturate the memory interface.
+
+use crate::ecm::EcmModel;
+
+/// Socket-plus-share-of-node power model in watts at clock `f` (GHz):
+/// static power (uncore, DRAM, board share — clock-independent) plus
+/// dynamic core power ∝ f³. Total at full clock is pinned to 130 W; the
+/// static/dynamic split is calibrated so the model reproduces the paper's
+/// observed ~25 % energy saving at 1.6 GHz, which implies roughly 80 W
+/// static — consistent with wall-level measurements of DRAM-heavy nodes.
+#[derive(Copy, Clone, Debug)]
+pub struct PowerModel {
+    /// Static + uncore + DRAM power in watts (clock-independent).
+    pub p_static: f64,
+    /// Dynamic coefficient: `P_dyn = dyn_coeff · f³` (f in GHz).
+    pub dyn_coeff: f64,
+}
+
+impl PowerModel {
+    /// Sandy Bridge EP (SuperMUC node socket incl. its node share):
+    /// 130 W at 2.7 GHz, 80 W static (see struct docs for calibration).
+    pub fn sandy_bridge() -> Self {
+        let p_static = 80.0;
+        let dyn_coeff = (130.0 - p_static) / 2.7f64.powi(3);
+        PowerModel { p_static, dyn_coeff }
+    }
+
+    /// Socket power at clock `f_ghz`.
+    pub fn power(&self, f_ghz: f64) -> f64 {
+        self.p_static + self.dyn_coeff * f_ghz.powi(3)
+    }
+
+    /// Energy per million lattice updates (joules) when the socket runs
+    /// the TRT-SIMD kernel at `f_ghz` on all 8 cores.
+    pub fn energy_per_mlup(&self, f_ghz: f64) -> f64 {
+        let perf = EcmModel::supermuc_trt_simd(f_ghz).mlups(8); // MLUPS
+        self.power(f_ghz) / perf
+    }
+
+    /// Relative energy saving of running at `low` instead of `high` GHz.
+    pub fn energy_saving(&self, low: f64, high: f64) -> f64 {
+        1.0 - self.energy_per_mlup(low) / self.energy_per_mlup(high)
+    }
+
+    /// The energy-optimal clock in a frequency range (left edge wins ties);
+    /// scanned at 0.1 GHz resolution.
+    pub fn optimal_clock(&self, lo: f64, hi: f64) -> f64 {
+        let mut best = (lo, self.energy_per_mlup(lo));
+        let steps = ((hi - lo) / 0.1).round() as usize;
+        for i in 1..=steps {
+            let f = lo + i as f64 * 0.1;
+            let e = self.energy_per_mlup(f);
+            if e < best.1 {
+                best = (f, e);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's operating point: ~25 % energy saving at 1.6 GHz.
+    #[test]
+    fn quarter_energy_saving_at_1_6_ghz() {
+        let p = PowerModel::sandy_bridge();
+        let saving = p.energy_saving(1.6, 2.7);
+        assert!((saving - 0.25).abs() < 0.08, "saving {saving}");
+    }
+
+    /// The optimum sits near 1.6 GHz — low enough to cut dynamic power,
+    /// high enough that 8 cores still (almost) saturate the memory bus.
+    #[test]
+    fn optimal_clock_near_1_6() {
+        let p = PowerModel::sandy_bridge();
+        let f = p.optimal_clock(1.2, 2.7);
+        assert!((1.3..=1.9).contains(&f), "optimal clock {f}");
+    }
+
+    /// Sanity: power increases monotonically with clock, and energy per
+    /// update is worse at the extremes than at the optimum.
+    #[test]
+    fn power_monotone_energy_convex() {
+        let p = PowerModel::sandy_bridge();
+        assert!(p.power(1.6) < p.power(2.0));
+        assert!(p.power(2.0) < p.power(2.7));
+        let e_opt = p.energy_per_mlup(p.optimal_clock(1.0, 2.7));
+        assert!(p.energy_per_mlup(2.7) > e_opt);
+        assert!(p.energy_per_mlup(1.0) > e_opt);
+    }
+
+    /// Calibration sanity: 130 W at full clock.
+    #[test]
+    fn tdp_calibration() {
+        let p = PowerModel::sandy_bridge();
+        assert!((p.power(2.7) - 130.0).abs() < 1e-9);
+    }
+}

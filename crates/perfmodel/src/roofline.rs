@@ -1,0 +1,44 @@
+//! The roofline bound for memory-bound LBM kernels.
+//!
+//! "To update one fluid cell, 19 double values have to be streamed from
+//! memory and back. Assuming a write allocate cache strategy and a double
+//! size of 8 bytes, a total amount of 456 bytes per cell has to be
+//! transferred over the memory interface." (paper §4.1)
+
+/// Bytes transferred over the memory interface per lattice-cell update
+/// for a `q`-velocity model: load + store + write-allocate, 8-byte doubles.
+pub fn bytes_per_lup(q: usize) -> f64 {
+    (q * 3 * 8) as f64
+}
+
+/// Roofline performance bound in MLUPS for a memory bandwidth given in
+/// GiB/s (D3Q19 unless another `q` is passed through [`bytes_per_lup`]).
+pub fn roofline_mlups(bw_gib: f64, q: usize) -> f64 {
+    bw_gib * 1024.0 * 1024.0 * 1024.0 / bytes_per_lup(q) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d3q19_costs_456_bytes_per_update() {
+        assert_eq!(bytes_per_lup(19), 456.0);
+        assert_eq!(bytes_per_lup(27), 648.0);
+    }
+
+    /// Paper §4.1: "37.3 GiB/s : 456 B/LUP = 87.8 MLUPS" on SuperMUC.
+    #[test]
+    fn supermuc_roofline_is_87_8_mlups() {
+        let p = roofline_mlups(37.3, 19);
+        assert!((p - 87.8).abs() < 0.05, "got {p}");
+    }
+
+    /// Paper §4.1: 32.4 GiB/s concurrent-store bandwidth on JUQUEEN gives
+    /// "76.2 MLUPS of theoretically attainable performance".
+    #[test]
+    fn juqueen_roofline_is_76_2_mlups() {
+        let p = roofline_mlups(32.4, 19);
+        assert!((p - 76.2).abs() < 0.15, "got {p}");
+    }
+}

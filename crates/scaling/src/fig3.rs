@@ -1,0 +1,88 @@
+//! Fig 3: single-node comparison of the kernel optimization ladder.
+//!
+//! Model series (tier models calibrated from the paper's anchor points);
+//! the `fig3_kernels` bench binary adds real measured series for the host
+//! using the actual kernels of `trillium-kernels`.
+
+use serde::Serialize;
+use trillium_machine::MachineSpec;
+use trillium_perfmodel::{KernelTier, TierModel};
+
+/// One point of a kernel-ladder curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig3Row {
+    /// Machine name.
+    pub machine: String,
+    /// Kernel tier label.
+    pub tier: String,
+    /// Collision operator label.
+    pub collision: String,
+    /// Active cores.
+    pub cores: u32,
+    /// Modeled MLUPS.
+    pub mlups: f64,
+}
+
+/// All tier × collision × core-count series for one machine
+/// (SuperMUC: one socket, 1–8 cores; JUQUEEN: one node, 1–16 cores,
+/// matching the paper's measurement setup).
+pub fn fig3_series(machine: &MachineSpec) -> Vec<Fig3Row> {
+    let max_cores = match machine.name {
+        "SuperMUC" => 8, // one socket, "to be comparable to literature"
+        _ => machine.cores_per_node(),
+    };
+    let mut rows = Vec::new();
+    for (tier, tname) in [
+        (KernelTier::Generic, "Generic"),
+        (KernelTier::Specialized, "D3Q19"),
+        (KernelTier::Simd, "SIMD"),
+    ] {
+        for (trt, cname) in [(false, "SRT"), (true, "TRT")] {
+            let model = TierModel::new(machine, tier, trt);
+            for cores in 1..=max_cores {
+                rows.push(Fig3Row {
+                    machine: machine.name.to_string(),
+                    tier: tname.to_string(),
+                    collision: cname.to_string(),
+                    cores,
+                    mlups: model.mlups(cores),
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_cover_all_combinations() {
+        let rows = fig3_series(&MachineSpec::supermuc());
+        assert_eq!(rows.len(), 3 * 2 * 8);
+        let rows = fig3_series(&MachineSpec::juqueen());
+        assert_eq!(rows.len(), 3 * 2 * 16);
+    }
+
+    /// The headline property of Fig 3: at the full socket/node the SIMD
+    /// SRT and TRT kernels coincide ("despite the increased complexity of
+    /// the TRT kernel, it is as fast as the SRT kernel").
+    #[test]
+    fn simd_srt_equals_trt_at_full_socket() {
+        for m in [MachineSpec::supermuc(), MachineSpec::juqueen()] {
+            let rows = fig3_series(&m);
+            let max = rows.iter().map(|r| r.cores).max().unwrap();
+            let at = |t: &str, c: &str| {
+                rows.iter()
+                    .find(|r| r.tier == t && r.collision == c && r.cores == max)
+                    .unwrap()
+                    .mlups
+            };
+            assert_eq!(at("SIMD", "SRT"), at("SIMD", "TRT"), "{}", m.name);
+            // And the ladder is ordered at the top.
+            assert!(at("Generic", "TRT") < at("D3Q19", "TRT"));
+            assert!(at("D3Q19", "TRT") < at("SIMD", "TRT"));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig 5: SMT levels of the optimized TRT kernel on a JUQUEEN node.
+
+use serde::Serialize;
+use trillium_perfmodel::smt::SmtModel;
+
+/// One point of an SMT curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5Row {
+    /// SMT ways (1, 2 or 4).
+    pub ways: u32,
+    /// Active cores.
+    pub cores: u32,
+    /// Modeled MLUPS.
+    pub mlups: f64,
+}
+
+/// SMT curves for 1–16 cores at 1-, 2- and 4-way SMT.
+pub fn fig5_series() -> Vec<Fig5Row> {
+    let m = SmtModel::juqueen_trt();
+    let mut rows = Vec::new();
+    for ways in [1, 2, 4] {
+        for cores in 1..=16 {
+            rows.push(Fig5Row { ways, cores, mlups: m.mlups(cores, ways) });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_shape() {
+        let rows = fig5_series();
+        assert_eq!(rows.len(), 48);
+        let at = |w: u32, c: u32| rows.iter().find(|r| r.ways == w && r.cores == c).unwrap().mlups;
+        // Monotone in SMT level everywhere.
+        for c in [1, 4, 8, 16] {
+            assert!(at(1, c) <= at(2, c));
+            assert!(at(2, c) <= at(4, c));
+        }
+        // 4-way at the full node sits at the bandwidth limit (§4.1:
+        // utilizing 4-way SMT is crucial).
+        assert!((at(4, 16) - 76.2).abs() < 2.5);
+        // 1-way cannot come close.
+        assert!(at(1, 16) < 0.65 * at(4, 16));
+    }
+}

@@ -1,0 +1,220 @@
+//! Fig 6: weak scaling on dense, regular domains.
+//!
+//! "We performed weak scaling experiments with two simple scenarios: the
+//! lid-driven cavity problem and channel flow around a fixed obstacle
+//! [...] On SuperMUC we compare three different versions of our framework:
+//! one pure MPI parallelization (16 processes per node) and two
+//! MPI/OpenMP hybrid versions" (§4.2). The model combines the
+//! bandwidth-saturated node kernel rate, a calibrated framework/boundary
+//! overhead, a per-thread hybrid overhead, and the machine's network
+//! model for the ghost-exchange time — producing MLUPS/core and the MPI
+//! communication share per configuration and core count.
+
+use serde::Serialize;
+use trillium_machine::MachineSpec;
+use trillium_perfmodel::roofline_mlups;
+
+/// Calibrated ratio of total sweep time (kernel + boundary handling +
+/// framework) to the pure bandwidth-bound kernel time on dense domains.
+/// From the paper's Fig 6 baselines: 16×8.3 MLUPS/core ≈ 76 % of the
+/// 2×87.8 MLUPS socket roofline on SuperMUC, and similarly on JUQUEEN.
+pub const DENSE_OVERHEAD: f64 = 1.28;
+
+/// Per-additional-thread hybrid overhead (thread fork/join and NUMA
+/// effects), calibrated so the 2P8T curve of Fig 6a sits visibly below
+/// pure MPI.
+pub const THREAD_OVERHEAD: f64 = 0.013;
+
+/// One weak-scaling configuration: α processes per node, β threads each.
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct HybridConfig {
+    /// Processes per node.
+    pub procs_per_node: u32,
+    /// Threads per process.
+    pub threads: u32,
+}
+
+impl HybridConfig {
+    /// Display label, e.g. "16P1T".
+    pub fn label(&self) -> String {
+        format!("{}P{}T", self.procs_per_node, self.threads)
+    }
+}
+
+/// The paper's three configurations per machine.
+pub fn paper_configs(machine: &MachineSpec) -> Vec<HybridConfig> {
+    match machine.name {
+        "SuperMUC" => vec![
+            HybridConfig { procs_per_node: 16, threads: 1 },
+            HybridConfig { procs_per_node: 4, threads: 4 },
+            HybridConfig { procs_per_node: 2, threads: 8 },
+        ],
+        "JUQUEEN" => vec![
+            HybridConfig { procs_per_node: 64, threads: 1 },
+            HybridConfig { procs_per_node: 16, threads: 4 },
+            HybridConfig { procs_per_node: 8, threads: 8 },
+        ],
+        _ => vec![HybridConfig { procs_per_node: machine.cores_per_node(), threads: 1 }],
+    }
+}
+
+/// One point of a weak-scaling curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig6Row {
+    /// Configuration label (αPβT).
+    pub config: String,
+    /// Total cores.
+    pub cores: u64,
+    /// MLUPS per core (parallel efficiency proxy, as plotted).
+    pub mlups_per_core: f64,
+    /// Fraction of step time spent in MPI communication.
+    pub mpi_fraction: f64,
+}
+
+/// Evaluates the weak-scaling model for one machine at the paper's
+/// per-core cell count.
+pub fn fig6_series(machine: &MachineSpec, cells_per_core: f64) -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    let max_pow = (machine.total_cores as f64).log2().floor() as u32;
+    for config in paper_configs(machine) {
+        for p in 5..=max_pow {
+            let cores = 1u64 << p;
+            rows.push(evaluate(machine, &config, cores, cells_per_core));
+        }
+        // Full machine if it is not a power of two.
+        if machine.total_cores != 1 << max_pow {
+            rows.push(evaluate(machine, &config, machine.total_cores, cells_per_core));
+        }
+    }
+    rows
+}
+
+/// Evaluates one (config, cores) point.
+pub fn evaluate(
+    machine: &MachineSpec,
+    config: &HybridConfig,
+    cores: u64,
+    cells_per_core: f64,
+) -> Fig6Row {
+    let cores_per_node = machine.cores_per_node() as f64;
+    // Node kernel rate: sockets saturate their memory interfaces.
+    let node_roof = roofline_mlups(machine.lbm_bw_gib, 19) * machine.sockets_per_node as f64;
+    let hybrid = 1.0 + THREAD_OVERHEAD * (config.threads as f64 - 1.0);
+    let node_rate = node_roof / DENSE_OVERHEAD / hybrid * 1e6; // cells/s
+
+    let cells_per_node = cells_per_core * cores_per_node;
+    let t_kernel = cells_per_node / node_rate;
+
+    // Ghost messages of one process: a cube of cells_per_proc cells sends
+    // 6 faces × 5 PDFs and 12 edges × 1 PDF.
+    let cells_per_proc = cells_per_node / config.procs_per_node as f64;
+    let edge = cells_per_proc.cbrt();
+    let face_bytes = (edge * edge * 5.0 * 8.0) as u64;
+    let edge_bytes = (edge * 8.0) as u64;
+    let mut msgs = vec![face_bytes; 6];
+    msgs.extend(vec![edge_bytes; 12]);
+    // Per-process bandwidth share grows with threads (fewer processes per
+    // node share the same injection bandwidth).
+    let bw_scale = config.threads as f64;
+    let t_comm = machine.network.exchange_time(&msgs, cores) / bw_scale;
+
+    let t = t_kernel + t_comm;
+    Fig6Row {
+        config: config.label(),
+        cores,
+        mlups_per_core: cells_per_core / t / 1e6,
+        mpi_fraction: t_comm / t,
+    }
+}
+
+/// The paper's cells-per-core for each machine (§4.2).
+pub fn paper_cells_per_core(machine: &MachineSpec) -> f64 {
+    match machine.name {
+        "SuperMUC" => 3_430_000.0,
+        "JUQUEEN" => 1_728_000.0,
+        _ => 1_000_000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(machine: MachineSpec) -> Vec<Fig6Row> {
+        let c = paper_cells_per_core(&machine);
+        fig6_series(&machine, c)
+    }
+
+    /// Fig 6a shape: MLUPS/core starts above 8, declines past one island,
+    /// and the MPI share grows with the core count.
+    #[test]
+    fn supermuc_declines_across_islands() {
+        let rows = series(MachineSpec::supermuc());
+        let mpi: Vec<&Fig6Row> = rows.iter().filter(|r| r.config == "16P1T").collect();
+        let first = mpi.first().unwrap();
+        let last = mpi.last().unwrap();
+        assert!(first.cores == 32 && last.cores >= 131_072);
+        assert!((8.0..9.5).contains(&first.mlups_per_core), "baseline {}", first.mlups_per_core);
+        // Efficiency declines noticeably (paper: ~8.3 -> ~6.6).
+        let eff = last.mlups_per_core / first.mlups_per_core;
+        assert!((0.70..0.92).contains(&eff), "efficiency {eff}");
+        // MPI fraction grows monotonically in the multi-island regime.
+        assert!(last.mpi_fraction > 2.0 * first.mpi_fraction);
+        assert!((0.10..0.30).contains(&last.mpi_fraction), "{}", last.mpi_fraction);
+    }
+
+    /// Fig 6b shape: JUQUEEN is nearly flat — parallel efficiency ≥ 90 %
+    /// at the full machine, stable MPI share.
+    #[test]
+    fn juqueen_stays_efficient_to_full_machine() {
+        let rows = series(MachineSpec::juqueen());
+        let mpi: Vec<&Fig6Row> = rows.iter().filter(|r| r.config == "64P1T").collect();
+        let first = mpi.first().unwrap();
+        let last = mpi.iter().find(|r| r.cores == 458_752).unwrap();
+        assert!((3.2..4.2).contains(&first.mlups_per_core), "baseline {}", first.mlups_per_core);
+        let eff = last.mlups_per_core / first.mlups_per_core;
+        assert!(eff > 0.90, "parallel efficiency {eff} (paper: 92 %)");
+        // MPI share stable: within 1.5x across the whole range.
+        let fr: Vec<f64> = mpi.iter().map(|r| r.mpi_fraction).collect();
+        let (lo, hi) = (fr.iter().cloned().fold(1.0, f64::min), fr.iter().cloned().fold(0.0, f64::max));
+        assert!(hi / lo < 1.5, "MPI share varies too much: {lo}..{hi}");
+        assert!((0.04..0.12).contains(&hi));
+    }
+
+    /// The headline rate: the largest JUQUEEN weak-scaling run updates
+    /// close to 1.93 trillion cells per second (§4.2).
+    #[test]
+    fn juqueen_full_machine_approaches_paper_rate() {
+        let m = MachineSpec::juqueen();
+        let cfg = HybridConfig { procs_per_node: 64, threads: 1 };
+        let row = evaluate(&m, &cfg, m.total_cores, 1_728_000.0);
+        let total_glups = row.mlups_per_core * m.total_cores as f64 / 1e3;
+        // Paper: 1.93 TLUPS = 1930 GLUPS.
+        assert!((1500.0..2200.0).contains(&total_glups), "total {total_glups} GLUPS");
+    }
+
+    /// SuperMUC's largest run: ~837 GLUPS over 2^17 cores (§4.2).
+    #[test]
+    fn supermuc_full_run_approaches_paper_rate() {
+        let m = MachineSpec::supermuc();
+        let cfg = HybridConfig { procs_per_node: 16, threads: 1 };
+        let row = evaluate(&m, &cfg, 1 << 17, 3_430_000.0);
+        let total_glups = row.mlups_per_core * (1u64 << 17) as f64 / 1e3;
+        assert!((700.0..1000.0).contains(&total_glups), "total {total_glups} GLUPS");
+    }
+
+    /// Hybrid configurations sit slightly below pure MPI at the baseline
+    /// (thread overhead) — the Fig 6a ordering.
+    #[test]
+    fn hybrid_versions_slightly_slower_at_baseline() {
+        let m = MachineSpec::supermuc();
+        let c = 3_430_000.0;
+        let pure = evaluate(&m, &HybridConfig { procs_per_node: 16, threads: 1 }, 1024, c);
+        let h4 = evaluate(&m, &HybridConfig { procs_per_node: 4, threads: 4 }, 1024, c);
+        let h8 = evaluate(&m, &HybridConfig { procs_per_node: 2, threads: 8 }, 1024, c);
+        assert!(pure.mlups_per_core > h4.mlups_per_core);
+        assert!(h4.mlups_per_core > h8.mlups_per_core);
+        // But the gap stays small (within ~12 %).
+        assert!(h8.mlups_per_core > 0.88 * pure.mlups_per_core);
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration: distributed runs must be exactly equivalent
+//! to serial ones under every decomposition, balancer and thread count,
+//! and setup artifacts must survive the file format.
+
+use trillium_blockforest::{distribute, file, morton_balance};
+use trillium_core::driver::{run_distributed, run_distributed_probed};
+use trillium_core::prelude::*;
+
+/// 27 ranks in a 3×3×3 decomposition against the single-rank reference —
+/// exercises every link type (faces, edges) in every orientation.
+#[test]
+fn twenty_seven_ranks_bitwise_equal() {
+    let probes: Vec<[i64; 3]> = vec![
+        [0, 0, 0],
+        [17, 17, 17],
+        [9, 8, 7],
+        [5, 12, 9],
+        [17, 0, 9],
+        [6, 6, 6],
+        [11, 12, 13],
+    ];
+    let r1 = run_distributed_probed(&Scenario::lid_driven_cavity(18, 1, 0.07, 0.06), 1, 1, 30, &probes);
+    let r27 =
+        run_distributed_probed(&Scenario::lid_driven_cavity(18, 3, 0.07, 0.06), 27, 1, 30, &probes);
+    let (p1, p27) = (r1.probes(), r27.probes());
+    assert_eq!(p1.len(), probes.len());
+    for ((c1, u1), (c2, u2)) in p1.iter().zip(&p27) {
+        assert_eq!(c1, c2);
+        assert_eq!(u1, u2, "velocity mismatch at {c1:?}");
+    }
+}
+
+/// Unbalanced rank counts: 5 ranks over 8 blocks (some ranks own 2
+/// blocks, mixing local and remote links on the same rank).
+#[test]
+fn uneven_rank_block_ratio_equals_reference() {
+    let probes: Vec<[i64; 3]> = vec![[2, 3, 4], [12, 13, 14], [8, 8, 8]];
+    let r1 = run_distributed_probed(&Scenario::lid_driven_cavity(16, 1, 0.05, 0.08), 1, 1, 25, &probes);
+    let r5 =
+        run_distributed_probed(&Scenario::lid_driven_cavity(16, 2, 0.05, 0.08), 5, 1, 25, &probes);
+    for ((_, u1), (_, u5)) in r1.probes().iter().zip(&r5.probes()) {
+        assert_eq!(u1, u5);
+    }
+}
+
+/// The channel scenario (sparse blocks from the obstacle, mixed boundary
+/// condition types) across decompositions.
+#[test]
+fn channel_obstacle_decomposition_invariant() {
+    // Note: all probes lie in fluid (the obstacle is a radius-3.2 sphere
+    // at [16, 8, 8]; solid cells hold meaningless PDF data).
+    let probes: Vec<[i64; 3]> = vec![[4, 4, 4], [20, 10, 8], [30, 3, 12], [16, 14, 8]];
+    let s1 = Scenario::channel_with_obstacle([32, 16, 16], [1, 1, 1], 0.07, 0.03, 0.2);
+    let s8 = Scenario::channel_with_obstacle([32, 16, 16], [2, 2, 2], 0.07, 0.03, 0.2);
+    let r1 = run_distributed_probed(&s1, 1, 1, 40, &probes);
+    let r8 = run_distributed_probed(&s8, 8, 1, 40, &probes);
+    assert!(!r1.has_nan() && !r8.has_nan());
+    for ((c, u1), (_, u8)) in r1.probes().iter().zip(&r8.probes()) {
+        for d in 0..3 {
+            assert!(
+                (u1[d] - u8[d]).abs() < 1e-13,
+                "mismatch at {c:?} axis {d}: {} vs {}",
+                u1[d],
+                u8[d]
+            );
+        }
+    }
+    // Identical fluid-cell accounting.
+    assert_eq!(r1.total_stats().fluid_cells, r8.total_stats().fluid_cells);
+}
+
+/// A forest written to the §2.2 binary format and loaded back drives an
+/// identical distribution (the "setup on one machine, simulate on
+/// another" workflow).
+#[test]
+fn forest_file_roundtrip_preserves_distribution() {
+    let scenario = Scenario::lid_driven_cavity(24, 2, 0.05, 0.1);
+    let mut forest = scenario.make_forest(4);
+    morton_balance(&mut forest, 4);
+    let data = file::save(&forest);
+    let loaded = file::load(&data).expect("load");
+    let views_a = distribute(&forest);
+    let views_b = distribute(&loaded);
+    assert_eq!(views_a.len(), views_b.len());
+    for (a, b) in views_a.iter().zip(&views_b) {
+        assert_eq!(a.rank, b.rank);
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        for (ba, bb) in a.blocks.iter().zip(&b.blocks) {
+            assert_eq!(ba.id, bb.id);
+            assert_eq!(ba.coords, bb.coords);
+            assert_eq!(ba.links, bb.links);
+        }
+    }
+}
+
+/// Graph-partitioner balancing also yields a correct distributed run
+/// (different block-to-rank mapping, same physics).
+#[test]
+fn graph_balanced_sphere_runs_clean() {
+    use std::sync::Arc;
+    use trillium_core::pipeline::{setup_domain, Balancer};
+    use trillium_geometry::vec3::vec3;
+    use trillium_geometry::AnalyticSdf;
+    let sdf = Arc::new(AnalyticSdf::Sphere { center: vec3(0.0, 0.0, 0.0), radius: 1.0 });
+    let setup = setup_domain("sphere", sdf, 0.09, [8, 8, 8], 3, Balancer::Graph, 0.06, [0.0; 3]);
+    let r = run_distributed(&setup.scenario, 3, 1, 15);
+    assert!(!r.has_nan());
+    assert!(r.mass_drift().abs() < 1e-10, "closed sphere must conserve mass");
+    assert!(r.total_stats().fluid_cells > 0);
+}
+
+/// Hybrid threading (the αPβT configurations) changes nothing about the
+/// results, only the execution.
+#[test]
+fn thread_count_does_not_change_results() {
+    let s = Scenario::lid_driven_cavity(16, 2, 0.06, 0.07);
+    let probes: Vec<[i64; 3]> = vec![[3, 3, 3], [12, 4, 9]];
+    let a = run_distributed_probed(&s, 2, 1, 20, &probes);
+    let b = run_distributed_probed(&s, 2, 4, 20, &probes);
+    for ((_, ua), (_, ub)) in a.probes().iter().zip(&b.probes()) {
+        assert_eq!(ua, ub);
+    }
+}
