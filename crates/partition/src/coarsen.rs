@@ -1,11 +1,12 @@
 //! Coarsening by heavy-edge matching (Karypis & Kumar).
 //!
-//! Vertices are visited in random order; each unmatched vertex matches the
-//! unmatched neighbor connected by the heaviest edge. Matched pairs
-//! collapse into one coarse vertex whose weight is the sum of the pair's
-//! weights; parallel coarse edges merge by summing weights. Heavy edges
-//! disappear inside coarse vertices, so the coarse graph's cut structure
-//! approximates the fine graph's.
+//! Edges are visited heaviest-first (random order among equal weights);
+//! an edge whose endpoints are both unmatched collapses them into one
+//! coarse vertex whose weight is the sum of the pair's weights. Parallel
+//! coarse edges merge by summing weights. Visiting edges rather than
+//! vertices guarantees the heaviest edges contract — a vertex-ordered
+//! sweep can let a light fringe edge claim an endpoint of a heavy edge
+//! first, leaving the heavy edge in the cut.
 
 use crate::graph::Graph;
 use rand::rngs::StdRng;
@@ -15,28 +16,31 @@ use rand::seq::SliceRandom;
 /// vertex map.
 pub fn heavy_edge_coarsen(g: &Graph, rng: &mut StdRng) -> (Graph, Vec<usize>) {
     let n = g.num_vertices();
-    let mut order: Vec<usize> = (0..n).collect();
+    // Each undirected edge once; shuffle first so the stable sort breaks
+    // weight ties randomly.
+    let mut order: Vec<(u32, u32, f64)> = Vec::new();
+    for v in 0..n {
+        for (u, w) in g.neighbors(v) {
+            if (v as u32) < u {
+                order.push((v as u32, u, w));
+            }
+        }
+    }
     order.shuffle(rng);
+    order.sort_by(|a, b| b.2.total_cmp(&a.2));
 
     const UNMATCHED: usize = usize::MAX;
     let mut mate = vec![UNMATCHED; n];
-    for &v in &order {
-        if mate[v] != UNMATCHED {
-            continue;
+    for &(v, u, _) in &order {
+        let (v, u) = (v as usize, u as usize);
+        if mate[v] == UNMATCHED && mate[u] == UNMATCHED {
+            mate[v] = u;
+            mate[u] = v;
         }
-        // Heaviest unmatched neighbor.
-        let mut best: Option<(u32, f64)> = None;
-        for (u, w) in g.neighbors(v) {
-            if mate[u as usize] == UNMATCHED && best.map_or(true, |(_, bw)| w > bw) {
-                best = Some((u, w));
-            }
-        }
-        match best {
-            Some((u, _)) => {
-                mate[v] = u as usize;
-                mate[u as usize] = v;
-            }
-            None => mate[v] = v, // matched with itself
+    }
+    for v in 0..n {
+        if mate[v] == UNMATCHED {
+            mate[v] = v; // matched with itself
         }
     }
 

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny subset of `bytes` it actually uses: little-endian
+//! `put_*`/`get_*` accessors on `Vec<u8>` and `&[u8]`. Semantics match the
+//! upstream crate for the implemented methods (panics on underflow, same
+//! byte order, same variable-width integer encoding).
+
+/// Writing primitive values to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends the low `nbytes` bytes of `v`, little-endian.
+    fn put_uint_le(&mut self, v: u64, nbytes: usize) {
+        assert!(nbytes <= 8, "put_uint_le width out of range");
+        self.put_slice(&v.to_le_bytes()[..nbytes]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Reading primitive values from a byte slice, consuming as it goes.
+pub trait Buf {
+    /// Remaining bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Discards the first `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Number of remaining bytes.
+    fn remaining(&self) -> usize {
+        self.chunk().len()
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().expect("buffer underflow"));
+        self.advance(4);
+        v
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().expect("buffer underflow"));
+        self.advance(8);
+        v
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    /// Reads an unsigned integer of `nbytes` bytes, little-endian.
+    fn get_uint_le(&mut self, nbytes: usize) -> u64 {
+        assert!(nbytes <= 8, "get_uint_le width out of range");
+        let mut bytes = [0u8; 8];
+        bytes[..nbytes].copy_from_slice(&self.chunk()[..nbytes]);
+        self.advance(nbytes);
+        u64::from_le_bytes(bytes)
+    }
+}
+
+impl Buf for &[u8] {
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u64_le(0x0123_4567_89ab_cdef);
+        buf.put_f64_le(-1.5);
+        buf.put_uint_le(0x0a0b0c, 3);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_f64_le(), -1.5);
+        assert_eq!(r.get_uint_le(3), 0x0a0b0c);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_consumes() {
+        let data = [1u8, 2, 3, 4];
+        let mut r: &[u8] = &data;
+        r.advance(2);
+        assert_eq!(r.chunk(), &[3, 4]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API this workspace uses —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, throughput
+//! annotations, and `Bencher::iter` — implemented as simple timed loops.
+//! Each benchmark runs a warmup pass plus `sample_size` timed samples and
+//! prints the median per-iteration time (with derived throughput when
+//! annotated). There is no statistical analysis or report output; the
+//! point is that `cargo bench` compiles and produces comparable numbers.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation: turns per-iteration time into a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier, printed as `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    #[doc(hidden)]
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the supplied routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the most recent `iter` call.
+    last: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one warmup call, then `samples` timed calls;
+    /// records the median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut times: Vec<Duration> = (0..self.samples.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(routine());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        self.last = times[times.len() / 2];
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(group: &str, id: &str, elapsed: Duration, throughput: Option<Throughput>) {
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let secs = elapsed.as_secs_f64();
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if secs > 0.0 => {
+            format!("  {:.2} GiB/s", b as f64 / secs / (1u64 << 30) as f64)
+        }
+        Some(Throughput::Elements(n)) if secs > 0.0 => {
+            format!("  {:.2} Melem/s", n as f64 / secs / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<40} {:>12}{rate}", human_time(elapsed));
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&self.name, &id.into_id(), b.last, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I, T: ?Sized, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.into_id(), b.last, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the upstream API).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// Benchmark driver configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: Duration::ZERO,
+        };
+        f(&mut b);
+        report("", id, b.last, None);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(3);
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function(BenchmarkId::new("f", 7), |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("in", 1), &41, |b, x| {
+            b.iter(|| black_box(x + 1))
+        });
+        g.finish();
+    }
+
+    criterion_group!(plain_form, trivial);
+    criterion_group! {
+        name = config_form;
+        config = Criterion::default().sample_size(2);
+        targets = trivial, trivial
+    }
+
+    #[test]
+    fn groups_run() {
+        plain_form();
+        config_form();
+    }
+
+    #[test]
+    fn bencher_records_time() {
+        let mut b = Bencher {
+            samples: 2,
+            last: Duration::ZERO,
+        };
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        assert!(b.last >= Duration::from_micros(50));
+    }
+}

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset of the 0.8 API this workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen_range` over integer/float
+//! ranges, and `SliceRandom::shuffle` — on top of xoshiro256++ seeded via
+//! SplitMix64. Streams are deterministic per seed (the property every
+//! test and the partitioner rely on) but are *not* the same streams as
+//! upstream `rand`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Derives a full RNG state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling interface.
+pub trait Rng {
+    /// The core 64-bit generator step.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+        Self: Sized,
+    {
+        let r = range.into();
+        T::sample(self, r.low, r.high, r.inclusive)
+    }
+
+    /// A uniform sample of the type's full "standard" distribution
+    /// (`[0, 1)` for floats).
+    fn gen<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+
+    /// A bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+}
+
+/// A half-open or inclusive uniform range, the argument of
+/// [`Rng::gen_range`].
+pub struct UniformRange<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T> From<Range<T>> for UniformRange<T> {
+    fn from(r: Range<T>) -> Self {
+        UniformRange { low: r.start, high: r.end, inclusive: false }
+    }
+}
+
+impl<T: Copy> From<RangeInclusive<T>> for UniformRange<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        UniformRange { low: *r.start(), high: *r.end(), inclusive: true }
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[low, high)` (or `[low, high]` when
+    /// `inclusive`).
+    fn sample<R: Rng>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+
+    /// The "standard" distribution sample ( `[0,1)` for floats, full range
+    /// for integers).
+    fn standard<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample<R: Rng>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+        // Treat inclusive float ranges like half-open ones (upstream rand
+        // does almost the same; the endpoint has measure zero).
+        assert!(low <= high, "gen_range: empty range");
+        low + (high - low) * rng.next_f64()
+    }
+
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: Rng>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+        assert!(low <= high, "gen_range: empty range");
+        low + (high - low) * rng.next_f64() as f32
+    }
+
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_f64() as f32
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                let span_end = if inclusive {
+                    (high as i128) + 1
+                } else {
+                    high as i128
+                };
+                let span = span_end - low as i128;
+                assert!(span > 0, "gen_range: empty range");
+                // Modulo bias is negligible for the small spans used here
+                // (and irrelevant for reproducibility).
+                (low as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+
+            fn standard<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Standard RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — a small, fast, high-quality generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` on an empty slice.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y: f64 = rng.gen_range(0.5..=1.5);
+            assert!((0.5..=1.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let v: u32 = rng.gen_range(0..8u32);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniformity_rough() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order (astronomically unlikely)");
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde is a zero-copy serialization *framework*; this shim is a
+//! much smaller thing: a [`Serialize`] trait that lowers values into an
+//! owned JSON-like [`value::Value`] tree, which `serde_json` then prints.
+//! That is the only capability this workspace uses (deriving `Serialize`
+//! on plain result structs and dumping them with `serde_json::json!`).
+
+pub use serde_derive::Serialize;
+
+pub mod value;
+
+use value::Value;
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Produces the value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_ser_float!(f32, f64);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Integer(*self as i128)
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(3u32.serialize_value().to_string(), "3");
+        assert_eq!((-4i64).serialize_value().to_string(), "-4");
+        assert_eq!(true.serialize_value().to_string(), "true");
+        assert_eq!(1.5f64.serialize_value().to_string(), "1.5");
+        assert_eq!("hi".serialize_value().to_string(), "\"hi\"");
+        assert_eq!(Option::<u32>::None.serialize_value().to_string(), "null");
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        assert_eq!(v.serialize_value().to_string(), "[[1,\"a\"],[2,\"b\"]]");
+    }
+}

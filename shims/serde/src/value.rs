@@ -1,0 +1,116 @@
+//! The owned JSON-like value tree and its compact-JSON printer.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact, printed without a decimal point).
+    Integer(i128),
+    /// A float. Non-finite values print as `null`, as upstream
+    /// `serde_json` rejects them.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Integer(i) => out.push_str(&i.to_string()),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    // `{}` on f64 prints integers without a fraction —
+                    // still valid JSON.
+                    out.push_str(&n.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_into(&mut s);
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_compact_json() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Integer(1)),
+            ("b".into(), Value::Array(vec![Value::Bool(false), Value::Null])),
+            ("c".into(), Value::Number(2.25)),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[false,null],"c":2.25}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::String("a\"b\\c\nd".into());
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn nonfinite_floats_print_null() {
+        assert_eq!(Value::Number(f64::NAN).to_string(), "null");
+        assert_eq!(Value::Number(f64::INFINITY).to_string(), "null");
+    }
+}

@@ -1,0 +1,103 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` for
+//! structs with named fields.
+//!
+//! The workspace derives `Serialize` only on plain result structs
+//! (figures/table rows), so this macro supports exactly that shape and
+//! fails loudly on anything else. No `syn`/`quote` — the struct is parsed
+//! directly from the token stream.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting one object entry per named
+/// field, in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Find `struct <Name>` and the following brace group.
+    let mut name = None;
+    let mut body = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = tt {
+            if id.to_string() == "struct" {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => panic!("derive(Serialize): expected struct name"),
+                }
+                // Skip anything (e.g. generics are unsupported and will
+                // fail below) until the brace group.
+                for rest in iter.by_ref() {
+                    if let TokenTree::Group(g) = rest {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            panic!("derive(Serialize) shim supports named-field structs only");
+                        }
+                    }
+                }
+                break;
+            }
+            if id.to_string() == "enum" {
+                panic!("derive(Serialize) shim supports structs only");
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize): no struct found");
+    let body = body.expect("derive(Serialize): struct has no named-field body");
+
+    // Collect field names: idents that appear immediately before a
+    // top-level `:` at depth 0 (attribute groups are TokenTree::Group and
+    // are skipped naturally; generic args inside types never appear at
+    // top level between commas before the first colon).
+    let mut fields = Vec::new();
+    let mut expecting_name = true;
+    let mut last_ident: Option<String> = None;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if expecting_name && angle_depth == 0 => {
+                    if let Some(f) = last_ident.take() {
+                        fields.push(f);
+                        expecting_name = false;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    expecting_name = true;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                // Skip visibility and keep the most recent ident before ':'.
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), serde::Serialize::serialize_value(&self.{f})),"
+            )
+        })
+        .collect();
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> serde::value::Value {{\n\
+                 serde::value::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("derive(Serialize): generated impl failed to parse")
+}

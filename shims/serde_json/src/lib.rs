@@ -1,0 +1,178 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the [`Value`] tree from the serde shim and provides
+//! [`to_value`] / [`to_string`] plus a [`json!`] macro covering the forms
+//! used in this workspace: `json!(expr)`, `json!([..])`, and arbitrarily
+//! nested `json!({ "key": value, .. })` object literals whose values may
+//! be expressions, literals, arrays, or further objects.
+
+pub use serde::value::Value;
+
+/// Lowers any `Serialize` value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(v: &T) -> Value {
+    v.serialize_value()
+}
+
+/// Serializes to a compact JSON string. Infallible in this shim; the
+/// `Result` mirrors the upstream signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    Ok(v.serialize_value().to_string())
+}
+
+/// Serialization error (never produced by this shim).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Builds a [`Value`] from a JSON-ish literal or any `Serialize`
+/// expression.
+#[macro_export]
+macro_rules! json {
+    ($($t:tt)+) => { $crate::json_internal!($($t)+) };
+}
+
+/// Token muncher behind [`json!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- object entries -------------------------------------------------
+    (@object $obj:ident ()) => {};
+    (@object $obj:ident (, $($rest:tt)*)) => {
+        $crate::json_internal!(@object $obj ($($rest)*));
+    };
+    (@object $obj:ident ($key:tt : null $($rest:tt)*)) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_internal!(@object $obj ($($rest)*));
+    };
+    (@object $obj:ident ($key:tt : true $($rest:tt)*)) => {
+        $obj.push(($key.to_string(), $crate::Value::Bool(true)));
+        $crate::json_internal!(@object $obj ($($rest)*));
+    };
+    (@object $obj:ident ($key:tt : false $($rest:tt)*)) => {
+        $obj.push(($key.to_string(), $crate::Value::Bool(false)));
+        $crate::json_internal!(@object $obj ($($rest)*));
+    };
+    (@object $obj:ident ($key:tt : [$($arr:tt)*] $($rest:tt)*)) => {
+        $obj.push(($key.to_string(), $crate::json_internal!([$($arr)*])));
+        $crate::json_internal!(@object $obj ($($rest)*));
+    };
+    (@object $obj:ident ($key:tt : {$($map:tt)*} $($rest:tt)*)) => {
+        $obj.push(($key.to_string(), $crate::json_internal!({$($map)*})));
+        $crate::json_internal!(@object $obj ($($rest)*));
+    };
+    (@object $obj:ident ($key:tt : $value:expr , $($rest:tt)*)) => {
+        $obj.push(($key.to_string(), $crate::to_value(&$value)));
+        $crate::json_internal!(@object $obj ($($rest)*));
+    };
+    (@object $obj:ident ($key:tt : $value:expr)) => {
+        $obj.push(($key.to_string(), $crate::to_value(&$value)));
+    };
+
+    // ---- array elements -------------------------------------------------
+    (@array $arr:ident ()) => {};
+    (@array $arr:ident (, $($rest:tt)*)) => {
+        $crate::json_internal!(@array $arr ($($rest)*));
+    };
+    (@array $arr:ident (null $($rest:tt)*)) => {
+        $arr.push($crate::Value::Null);
+        $crate::json_internal!(@array $arr ($($rest)*));
+    };
+    (@array $arr:ident (true $($rest:tt)*)) => {
+        $arr.push($crate::Value::Bool(true));
+        $crate::json_internal!(@array $arr ($($rest)*));
+    };
+    (@array $arr:ident (false $($rest:tt)*)) => {
+        $arr.push($crate::Value::Bool(false));
+        $crate::json_internal!(@array $arr ($($rest)*));
+    };
+    (@array $arr:ident ([$($a:tt)*] $($rest:tt)*)) => {
+        $arr.push($crate::json_internal!([$($a)*]));
+        $crate::json_internal!(@array $arr ($($rest)*));
+    };
+    (@array $arr:ident ({$($m:tt)*} $($rest:tt)*)) => {
+        $arr.push($crate::json_internal!({$($m)*}));
+        $crate::json_internal!(@array $arr ($($rest)*));
+    };
+    (@array $arr:ident ($next:expr , $($rest:tt)*)) => {
+        $arr.push($crate::to_value(&$next));
+        $crate::json_internal!(@array $arr ($($rest)*));
+    };
+    (@array $arr:ident ($last:expr)) => {
+        $arr.push($crate::to_value(&$last));
+    };
+
+    // ---- entry points ---------------------------------------------------
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut array: Vec<$crate::Value> = Vec::new();
+        $crate::json_internal!(@array array ($($tt)*));
+        $crate::Value::Array(array)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_internal!(@object object ($($tt)*));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_form() {
+        let rows = vec![1u32, 2, 3];
+        assert_eq!(json!(rows).to_string(), "[1,2,3]");
+    }
+
+    fn helper(a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    #[test]
+    fn object_form_with_exprs_and_nesting() {
+        let x = 2.5f64;
+        let rows = vec![1u32, 2];
+        let v = json!({
+            "a": x,
+            "call": helper(1.0, 2.0),
+            "b": {"c": 1, "d": [true, null]},
+            "rows": rows,
+            "e": "s",
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"a":2.5,"call":3,"b":{"c":1,"d":[true,null]},"rows":[1,2],"e":"s"}"#
+        );
+    }
+
+    #[test]
+    fn array_form() {
+        let v = json!([1, {"k": 2.5}, [null, false], "x"]);
+        assert_eq!(v.to_string(), r#"[1,{"k":2.5},[null,false],"x"]"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(json!({}).to_string(), "{}");
+        assert_eq!(json!([]).to_string(), "[]");
+    }
+
+    #[test]
+    fn to_string_matches_display() {
+        let v = vec![("k".to_string(), 1u64)];
+        assert_eq!(to_string(&v).unwrap(), to_value(&v).to_string());
+    }
+}

@@ -1,32 +1,43 @@
-//! Property-based tests (proptest) of the core invariants.
+//! Randomized property tests of the core invariants.
+//!
+//! Each property runs over a deterministic sweep of seeded random cases
+//! (a lightweight stand-in for proptest, which is unavailable offline).
+//! The invariants and case counts match the original proptest suite.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
 use trillium_field::{AosPdfField, PdfField, Shape, SoaPdfField};
 use trillium_kernels as kernels;
 use trillium_lattice::{Relaxation, D3Q19, MAGIC_TRT};
 
-/// Strategy: physically plausible PDF perturbations around equilibrium.
-fn pdf_state(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    let cells = (n + 2) * (n + 2) * (n + 2) * 19;
-    proptest::collection::vec(-1e-3..1e-3f64, cells)
+const CASES: u64 = 16;
+
+/// Fills a field with equilibrium plus a bounded random perturbation.
+fn perturbed_field(n: usize, u0: [f64; 3], rng: &mut rand::rngs::StdRng) -> AosPdfField<D3Q19> {
+    let shape = Shape::cube(n);
+    let mut src = AosPdfField::<D3Q19>::new(shape);
+    src.fill_equilibrium(1.0, u0);
+    for v in src.data_mut().iter_mut() {
+        *v += rng.gen_range(-1e-3..1e-3);
+    }
+    src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Collision conserves mass and momentum for arbitrary (bounded)
-    /// states — cell-local invariants of the TRT operator.
-    #[test]
-    fn collision_invariants_hold(perturbation in pdf_state(5), tau in 0.55f64..2.5) {
+/// Collision conserves mass and momentum for arbitrary (bounded)
+/// states — cell-local invariants of the TRT operator.
+#[test]
+fn collision_invariants_hold() {
+    for seed in 0..CASES {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let n = 5;
         let shape = Shape::cube(n);
-        let mut src = AosPdfField::<D3Q19>::new(shape);
-        src.fill_equilibrium(1.0, [0.0; 3]);
-        for (v, p) in src.data_mut().iter_mut().zip(&perturbation) {
-            *v += p;
-        }
+        let src = perturbed_field(n, [0.0; 3], &mut rng);
+        let tau = rng.gen_range(0.55..2.5);
         let mut dst = AosPdfField::<D3Q19>::new(shape);
-        kernels::generic::stream_collide_trt(&src, &mut dst, Relaxation::trt_from_tau(tau, MAGIC_TRT));
+        kernels::generic::stream_collide_trt(
+            &src,
+            &mut dst,
+            Relaxation::trt_from_tau(tau, MAGIC_TRT),
+        );
         for (x, y, z) in shape.interior().iter() {
             // Pre-collision (pulled) state.
             let mut f = [0.0; 19];
@@ -38,26 +49,26 @@ proptest! {
             let j_pre = trillium_lattice::momentum::<D3Q19>(&f);
             let rho_post = dst.density(x, y, z);
             let u_post = dst.velocity(x, y, z);
-            prop_assert!((rho_pre - rho_post).abs() < 1e-12);
+            assert!((rho_pre - rho_post).abs() < 1e-12);
             for d in 0..3 {
-                prop_assert!((j_pre[d] - rho_post * u_post[d]).abs() < 1e-12);
+                assert!((j_pre[d] - rho_post * u_post[d]).abs() < 1e-12);
             }
         }
     }
+}
 
-    /// All kernel tiers agree on arbitrary states (not only near-
-    /// equilibrium ones): the optimization ladder is semantics-preserving.
-    #[test]
-    fn kernel_tiers_agree(perturbation in pdf_state(6), tau in 0.6f64..2.0) {
+/// All kernel tiers agree on arbitrary states (not only near-
+/// equilibrium ones): the optimization ladder is semantics-preserving.
+#[test]
+fn kernel_tiers_agree() {
+    for seed in 0..CASES {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100 + seed);
         let n = 6;
         let shape = Shape::cube(n);
+        let tau = rng.gen_range(0.6..2.0);
         let rel = Relaxation::trt_from_tau(tau, MAGIC_TRT);
-        let mut aos = AosPdfField::<D3Q19>::new(shape);
+        let aos = perturbed_field(n, [0.01, 0.0, -0.01], &mut rng);
         let mut soa = SoaPdfField::<D3Q19>::new(shape);
-        aos.fill_equilibrium(1.0, [0.01, 0.0, -0.01]);
-        for (v, p) in aos.data_mut().iter_mut().zip(&perturbation) {
-            *v += p;
-        }
         let mut buf = vec![0.0; 19];
         for (x, y, z) in shape.with_ghosts().iter() {
             aos.get_cell(x, y, z, &mut buf);
@@ -74,22 +85,24 @@ proptest! {
         for (x, y, z) in shape.interior().iter() {
             for q in 0..19 {
                 let g = d_gen.get(x, y, z, q);
-                prop_assert!((d_spec.get(x, y, z, q) - g).abs() < 1e-13);
-                prop_assert!((d_soa.get(x, y, z, q) - g).abs() < 1e-13);
-                prop_assert!((d_avx.get(x, y, z, q) - g).abs() < 1e-13);
+                assert!((d_spec.get(x, y, z, q) - g).abs() < 1e-13);
+                assert!((d_soa.get(x, y, z, q) - g).abs() < 1e-13);
+                assert!((d_avx.get(x, y, z, q) - g).abs() < 1e-13);
             }
         }
     }
+}
 
-    /// Ghost pack → unpack is the identity on the transferred PDFs, for
-    /// every direction and any block size.
-    #[test]
-    fn ghost_roundtrip_identity(n in 3usize..8, seed in 0u64..1000) {
-        use trillium_comm::{pack_face, pdfs_crossing, unpack_face};
-        use rand::{Rng, SeedableRng};
+/// Ghost pack → unpack is the identity on the transferred PDFs, for
+/// every direction and any block size.
+#[test]
+fn ghost_roundtrip_identity() {
+    use trillium_comm::{pack_face, pdfs_crossing, unpack_face};
+    for seed in 0..CASES {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(200 + seed);
+        let n = rng.gen_range(3usize..8);
         let shape = Shape::cube(n);
         let mut a = AosPdfField::<D3Q19>::new(shape);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         for (x, y, z) in shape.with_ghosts().iter() {
             for q in 0..19 {
                 a.set(x, y, z, q, rng.gen_range(-1.0..1.0));
@@ -99,7 +112,7 @@ proptest! {
             let qs = pdfs_crossing::<D3Q19>(d);
             let mut buf = Vec::new();
             pack_face::<D3Q19, _>(&a, d, &mut buf);
-            prop_assert_eq!(buf.len(), shape.boundary_slab(d, 1).num_cells() * qs.len() * 8);
+            assert_eq!(buf.len(), shape.boundary_slab(d, 1).num_cells() * qs.len() * 8);
             let mut b = AosPdfField::<D3Q19>::new(shape);
             // Receiver sees the sender in direction −d.
             unpack_face::<D3Q19, _>(&mut b, [-d[0], -d[1], -d[2]], &buf);
@@ -108,78 +121,101 @@ proptest! {
             let dregion = shape.ghost_slab([-d[0], -d[1], -d[2]], 1);
             for ((sx, sy, sz), (dx, dy, dz)) in sregion.iter().zip(dregion.iter()) {
                 for &q in &qs {
-                    prop_assert_eq!(a.get(sx, sy, sz, q), b.get(dx, dy, dz, q));
+                    assert_eq!(a.get(sx, sy, sz, q), b.get(dx, dy, dz, q));
                 }
             }
         }
     }
+}
 
-    /// BlockId navigation: arbitrary child paths pack/unpack and walk up
-    /// to the original root.
-    #[test]
-    fn block_id_paths(root in 0u64..1_000_000, path in proptest::collection::vec(0u8..8, 0..10)) {
-        use trillium_blockforest::BlockId;
+/// BlockId navigation: arbitrary child paths pack/unpack and walk up
+/// to the original root.
+#[test]
+fn block_id_paths() {
+    use trillium_blockforest::BlockId;
+    for seed in 0..CASES {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(300 + seed);
+        let root = rng.gen_range(0u64..1_000_000);
+        let len = rng.gen_range(0usize..10);
+        let path: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..8)).collect();
         let mut id = BlockId::root(root);
         for &o in &path {
             id = id.child(o);
         }
-        prop_assert_eq!(id.level() as usize, path.len());
-        prop_assert_eq!(id.root_index(), root);
-        prop_assert_eq!(BlockId::unpack(id.pack()), id);
+        assert_eq!(id.level() as usize, path.len());
+        assert_eq!(id.root_index(), root);
+        assert_eq!(BlockId::unpack(id.pack()), id);
         for (l, &o) in path.iter().enumerate() {
-            prop_assert_eq!(id.octant_at(l as u8), o);
+            assert_eq!(id.octant_at(l as u8), o);
         }
         let mut up = id;
         for _ in 0..path.len() {
             up = up.parent().unwrap();
         }
-        prop_assert_eq!(up, BlockId::root(root));
-        prop_assert!(up.parent().is_none());
+        assert_eq!(up, BlockId::root(root));
+        assert!(up.parent().is_none());
     }
+}
 
-    /// Graph partitioner: any connected grid graph is split into k
-    /// non-empty, balanced parts.
-    #[test]
-    fn partitioner_balance_property(nx in 4usize..9, ny in 4usize..9, k in 2usize..9) {
-        use trillium_partition::{partition_kway, Graph, PartitionOptions};
+/// Graph partitioner: any connected grid graph is split into k
+/// non-empty, balanced parts.
+#[test]
+fn partitioner_balance_property() {
+    use trillium_partition::{partition_kway, Graph, PartitionOptions};
+    for seed in 0..CASES {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(400 + seed);
+        let nx = rng.gen_range(4usize..9);
+        let ny = rng.gen_range(4usize..9);
+        let k = rng.gen_range(2usize..9);
         let idx = |x: usize, y: usize| (y * nx + x) as u32;
         let mut edges = Vec::new();
         for y in 0..ny {
             for x in 0..nx {
-                if x + 1 < nx { edges.push((idx(x, y), idx(x + 1, y), 1.0)); }
-                if y + 1 < ny { edges.push((idx(x, y), idx(x, y + 1), 1.0)); }
+                if x + 1 < nx {
+                    edges.push((idx(x, y), idx(x + 1, y), 1.0));
+                }
+                if y + 1 < ny {
+                    edges.push((idx(x, y), idx(x, y + 1), 1.0));
+                }
             }
         }
         let g = Graph::from_edges(nx * ny, &edges, None);
         let assign = partition_kway(&g, k, &PartitionOptions::default());
-        prop_assert_eq!(assign.len(), nx * ny);
+        assert_eq!(assign.len(), nx * ny);
         let mut seen = vec![false; k];
         for &a in &assign {
-            prop_assert!((a as usize) < k);
+            assert!((a as usize) < k);
             seen[a as usize] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s));
-        prop_assert!(g.balance(&assign, k) <= 1.35);
+        assert!(seen.iter().all(|&s| s));
+        assert!(g.balance(&assign, k) <= 1.35);
     }
+}
 
-    /// Relaxation parameter algebra round-trips for arbitrary valid
-    /// viscosities and magic parameters.
-    #[test]
-    fn relaxation_roundtrips(nu in 1e-4f64..1.0, magic in 0.05f64..0.5) {
+/// Relaxation parameter algebra round-trips for arbitrary valid
+/// viscosities and magic parameters.
+#[test]
+fn relaxation_roundtrips() {
+    for seed in 0..CASES {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(500 + seed);
+        let nu = rng.gen_range(1e-4f64..1.0);
+        let magic = rng.gen_range(0.05f64..0.5);
         let tau = Relaxation::tau_from_viscosity(nu);
-        prop_assert!((Relaxation::viscosity_from_tau(tau) - nu).abs() < 1e-12);
+        assert!((Relaxation::viscosity_from_tau(tau) - nu).abs() < 1e-12);
         let r = Relaxation::trt_from_tau(tau, magic);
-        prop_assert!((r.magic() - magic).abs() < 1e-9);
-        prop_assert!(r.is_stable());
+        assert!((r.magic() - magic).abs() < 1e-9);
+        assert!(r.is_stable());
     }
+}
 
-    /// The forest file format round-trips arbitrary rank/workload data.
-    #[test]
-    fn forest_file_roundtrip(procs in 1u32..100_000, seed in 0u64..500) {
-        use rand::{Rng, SeedableRng};
-        use trillium_blockforest::{file, SetupForest};
-        use trillium_geometry::{vec3::vec3, Aabb};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// The forest file format round-trips arbitrary rank/workload data.
+#[test]
+fn forest_file_roundtrip() {
+    use trillium_blockforest::{file, SetupForest};
+    use trillium_geometry::{vec3::vec3, Aabb};
+    for seed in 0..CASES {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(600 + seed);
+        let procs = rng.gen_range(1u32..100_000);
         let domain = Aabb::new(vec3(0.0, 0.0, 0.0), vec3(3.0, 3.0, 3.0));
         let mut f = SetupForest::uniform(domain, [3, 3, 3], [12, 12, 12]);
         f.num_processes = procs;
@@ -189,11 +225,11 @@ proptest! {
         }
         let data = file::save(&f);
         let g = file::load(&data).unwrap();
-        prop_assert_eq!(g.num_processes, procs);
+        assert_eq!(g.num_processes, procs);
         for (a, b) in f.blocks.iter().zip(&g.blocks) {
-            prop_assert_eq!(a.rank, b.rank);
-            prop_assert_eq!(a.workload, b.workload);
-            prop_assert_eq!(a.id, b.id);
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.id, b.id);
         }
     }
 }
