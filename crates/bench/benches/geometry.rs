@@ -29,8 +29,9 @@ fn bench_sdf(c: &mut Criterion) {
     });
 
     let mesh_sdf = MeshSdf::new(TriMesh::make_sphere(vec3(0.0, 0.0, 0.0), 1.0, 32, 64));
-    let sphere_queries: Vec<_> =
-        (0..256).map(|i| vec3((i % 16) as f64 * 0.2 - 1.6, (i / 16) as f64 * 0.2 - 1.6, 0.3)).collect();
+    let sphere_queries: Vec<_> = (0..256)
+        .map(|i| vec3((i % 16) as f64 * 0.2 - 1.6, (i / 16) as f64 * 0.2 - 1.6, 0.3))
+        .collect();
     g.bench_function("mesh_signed_distance", |b| {
         b.iter(|| sphere_queries.iter().map(|&p| mesh_sdf.signed_distance(p)).sum::<f64>())
     });
@@ -44,9 +45,7 @@ fn bench_voxelize(c: &mut Criterion) {
     let block = Aabb::new(center - vec3(2.0, 2.0, 2.0), center + vec3(2.0, 2.0, 2.0));
 
     let mut g = c.benchmark_group("voxelize");
-    g.bench_function("classify_block", |b| {
-        b.iter(|| classify_block(&t, &block, [16, 16, 16]))
-    });
+    g.bench_function("classify_block", |b| b.iter(|| classify_block(&t, &block, [16, 16, 16])));
     let shape = Shape::cube(24);
     let dx = 4.0 / 24.0;
     g.bench_function("voxelize_block_24", |b| {

@@ -1,0 +1,173 @@
+//! Ablation: runtime load rebalancing on a skewed vascular run.
+//!
+//! The static balancer assigns blocks from a-priori workload estimates
+//! (§2.3); this ablation starts from a deliberately bad assignment (rank
+//! 0 overloaded) of a small synthetic vascular tree and compares the same
+//! run with the runtime rebalancer off (monitoring only) and on. The
+//! rebalancer samples wall-clock cost per block per sweep, feeds the
+//! measured costs — not static cell counts — to the repartitioner, and
+//! migrates whole blocks (PDF state and all) between ranks.
+//!
+//! Reports achieved MLUPS, the measured max/avg load-ratio history, and
+//! the final per-block measured costs. Pass `--json` for the raw series.
+
+use std::sync::Arc;
+use trillium_bench::{section, HarnessArgs};
+use trillium_core::driver::{run_distributed_rebalanced, RebalanceConfig, RunResult};
+use trillium_core::prelude::*;
+use trillium_geometry::voxelize::VoxelizeConfig;
+use trillium_geometry::{VascularTree, VascularTreeParams};
+
+const RANKS: u32 = 4;
+const SKEW: f64 = 0.7;
+
+fn vascular_scenario(full: bool) -> Scenario {
+    let tree = VascularTree::generate(&VascularTreeParams {
+        generations: if full { 6 } else { 4 },
+        root_radius: 1.2,
+        root_length: 7.0,
+        ..Default::default()
+    });
+    let dx = if full { 0.1 } else { 0.25 };
+    Scenario::from_sdf(
+        "vascular-rebalance",
+        Arc::new(tree),
+        dx,
+        [16, 16, 16],
+        0.06,
+        [0.0, 0.0, 0.05],
+        1.0,
+        VoxelizeConfig::default(),
+    )
+    .with_skewed_balance(SKEW)
+}
+
+/// Achieved MLUPS over the critical-path *work* time: the slowest rank's
+/// compute + ghost-work + rebalance-epoch seconds (`RunResult::work_wall`).
+/// The harness emulates ranks as time-sliced threads on one host, so raw
+/// elapsed time per rank counts every other rank's work as recv-wait and
+/// is flat regardless of the assignment; on a real machine the waiting
+/// overlaps the slow rank's work and wall clock is this maximum. Note the
+/// rebalanced run's epochs (all-reduce, planning, serialization,
+/// migration) are charged in full — the overhead is not hidden.
+fn mlups(r: &RunResult) -> f64 {
+    r.total_stats().mlups(r.work_wall())
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let steps = if args.full { 300 } else { 120 };
+    section("Runtime-rebalance ablation on a skewed vascular tree");
+    println!(
+        "{RANKS} ranks, rank 0 statically assigned ~{:.0} % of the workload, {steps} steps",
+        100.0 * SKEW
+    );
+
+    let epoch = 5;
+    let off = run_distributed_rebalanced(
+        &vascular_scenario(args.full),
+        RANKS,
+        1,
+        steps,
+        RebalanceConfig { every_n_steps: epoch, ..RebalanceConfig::monitor_only() },
+    );
+    let on = run_distributed_rebalanced(
+        &vascular_scenario(args.full),
+        RANKS,
+        1,
+        steps,
+        RebalanceConfig {
+            every_n_steps: epoch,
+            // Fire on the initial ~2.5x skew but not on the granularity-
+            // limited residual (~1.3-1.5 with ~7 heterogeneous blocks per
+            // rank): re-firing on the residual churns blocks for no gain.
+            threshold: 1.6,
+            hysteresis: 2,
+            cooldown_epochs: 3,
+            ..RebalanceConfig::default()
+        },
+    );
+    assert!(!off.has_nan() && !on.has_nan(), "run went unstable");
+
+    let (m_off, m_on) = (mlups(&off), mlups(&on));
+    println!();
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12}",
+        "rebalance", "MLUPS", "final ratio", "migrations", "mass drift"
+    );
+    for (label, r, m) in [("off", &off, m_off), ("on", &on, m_on)] {
+        println!(
+            "{:<12} {:>10.2} {:>12.3} {:>12} {:>12.2e}",
+            label,
+            m,
+            r.final_load_ratio().unwrap_or(1.0),
+            r.total_migrations(),
+            r.mass_drift().abs()
+        );
+    }
+
+    println!();
+    println!("max/avg load ratio over time (measured, EWMA costs):");
+    println!("{:<8} {:>12} {:>12}", "step", "off", "on");
+    for (a, b) in off.imbalance_history().iter().zip(on.imbalance_history()) {
+        println!("{:<8} {:>12.3} {:>12.3}", a.0, a.1, b.1);
+    }
+
+    // The planner input: measured seconds per block, not cell counts.
+    let costs: Vec<(u64, f64, u64)> = on
+        .ranks
+        .iter()
+        .filter_map(|r| r.rebalance.as_ref())
+        .flat_map(|rb| rb.final_costs.iter().copied())
+        .collect();
+    println!();
+    println!("sample of measured per-block costs driving the repartitioner:");
+    println!("{:<12} {:>16} {:>12}", "block", "cost (us/step)", "fluid cells");
+    for (id, cost, fluid) in costs.iter().take(8) {
+        println!("{:<12} {:>16.2} {:>12}", id, cost * 1e6, fluid);
+    }
+
+    println!();
+    println!("expect: the monitor-only run stays pinned at its skewed ratio while");
+    println!("the rebalanced run migrates blocks off rank 0 within a few epochs,");
+    println!("drops the measured ratio toward 1, and finishes with higher MLUPS.");
+
+    if args.json {
+        let history_off: Vec<_> =
+            off.imbalance_history().iter().map(|&(s, r)| vec![s as f64, r]).collect();
+        let history_on: Vec<_> =
+            on.imbalance_history().iter().map(|&(s, r)| vec![s as f64, r]).collect();
+        let block_costs: Vec<_> = costs
+            .iter()
+            .map(|&(id, cost, fluid)| {
+                serde_json::json!({
+                    "block": id,
+                    "measured_cost_seconds": cost,
+                    "fluid_cells": fluid
+                })
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::json!({
+                "scenario": "skewed vascular tree",
+                "ranks": RANKS,
+                "steps": steps,
+                "skew_fraction": SKEW,
+                "cost_source": "measured EWMA wall-clock per block (not cell counts)",
+                "mlups_metric": "critical-path work time, rebalance epochs charged (RunResult::work_wall)",
+                "mlups_off": m_off,
+                "mlups_on": m_on,
+                "mlups_gain": m_on / m_off,
+                "migrations": on.total_migrations(),
+                "rebalance_rounds": on.rebalance_count(),
+                "final_ratio_off": off.final_load_ratio().unwrap_or(1.0),
+                "final_ratio_on": on.final_load_ratio().unwrap_or(1.0),
+                "mass_drift_on": on.mass_drift(),
+                "imbalance_history_off": history_off,
+                "imbalance_history_on": history_on,
+                "measured_block_costs": block_costs
+            })
+        );
+    }
+}

@@ -33,10 +33,10 @@ fn main() {
         let mut dense_total = 0usize;
         let mut sparse_total = 0usize;
         let mut fluid = 0.0;
-        let sample: Vec<_> = forest.blocks.iter().step_by((forest.num_blocks() / 24).max(1)).collect();
+        let sample: Vec<_> =
+            forest.blocks.iter().step_by((forest.num_blocks() / 24).max(1)).collect();
         for b in &sample {
-            let flags =
-                voxelize_block(&tree, b.aabb.min, dx, shape, &VoxelizeConfig::default());
+            let flags = voxelize_block(&tree, b.aabb.min, dx, shape, &VoxelizeConfig::default());
             fluid += b.workload / (edge * edge * edge) as f64;
             for d in [[1i8, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0], [0, 0, 1], [0, 0, -1]] {
                 let mut buf = Vec::new();

@@ -48,14 +48,9 @@ fn render_slice(tree: &trillium_geometry::VascularTree, dx: f64) {
         .collect();
     let (rx, ry) = (forest.roots[0].min(72), forest.roots[1]);
     for y in (0..ry as i64).rev() {
-        let row: String = (0..rx as i64)
-            .map(|x| if kept.contains(&(x, y)) { '#' } else { '.' })
-            .collect();
+        let row: String =
+            (0..rx as i64).map(|x| if kept.contains(&(x, y)) { '#' } else { '.' }).collect();
         println!("{row}");
     }
-    println!(
-        "({} of {} candidate blocks in this slice belong to the domain)",
-        kept.len(),
-        rx * ry
-    );
+    println!("({} of {} candidate blocks in this slice belong to the domain)", kept.len(), rx * ry);
 }

@@ -27,10 +27,8 @@ fn main() {
     let total_cells = nblocks as f64 * (cells[0] * cells[1] * cells[2]) as f64;
 
     section("stage 1: block division (global, cheap)");
-    let domain = Aabb::new(
-        vec3(0.0, 0.0, 0.0),
-        vec3(roots[0] as f64, roots[1] as f64, roots[2] as f64),
-    );
+    let domain =
+        Aabb::new(vec3(0.0, 0.0, 0.0), vec3(roots[0] as f64, roots[1] as f64, roots[2] as f64));
     let t0 = std::time::Instant::now();
     let mut forest = SetupForest::uniform(domain, roots, cells);
     let procs = (nblocks / 4) as u32;
@@ -38,7 +36,10 @@ fn main() {
     let setup_time = t0.elapsed();
     let block_bytes = nblocks * std::mem::size_of::<trillium_blockforest::SetupBlock>();
     let grid_bytes = total_cells * 19.0 * 8.0 * 2.0; // two PDF fields
-    println!("domain: {} blocks of {}^3 cells = {:.3e} cells total", nblocks, cells[0], total_cells);
+    println!(
+        "domain: {} blocks of {}^3 cells = {:.3e} cells total",
+        nblocks, cells[0], total_cells
+    );
     println!(
         "stage-1 memory: {:.1} MiB of block metadata (vs {:.1} TiB if the grid were global)",
         block_bytes as f64 / (1 << 20) as f64,
@@ -50,8 +51,7 @@ fn main() {
     let views = distribute(&forest);
     let rank = 0usize;
     let v = &views[rank];
-    let local_cells: f64 =
-        v.blocks.len() as f64 * (cells[0] * cells[1] * cells[2]) as f64;
+    let local_cells: f64 = v.blocks.len() as f64 * (cells[0] * cells[1] * cells[2]) as f64;
     println!(
         "rank 0 owns {} of {} blocks -> would allocate {:.1} MiB of PDF data ({:.6} % of the global grid)",
         v.blocks.len(),

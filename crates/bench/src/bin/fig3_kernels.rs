@@ -46,14 +46,10 @@ fn main() {
     );
 
     // Tier 2: D3Q19-specialized kernel (AoS).
-    let spec_srt = measure_mlups(
-        || kernels::d3q19::stream_collide_srt(&aos_src, &mut aos_dst, rel_srt),
-        reps,
-    );
-    let spec_trt = measure_mlups(
-        || kernels::d3q19::stream_collide_trt(&aos_src, &mut aos_dst, rel_trt),
-        reps,
-    );
+    let spec_srt =
+        measure_mlups(|| kernels::d3q19::stream_collide_srt(&aos_src, &mut aos_dst, rel_srt), reps);
+    let spec_trt =
+        measure_mlups(|| kernels::d3q19::stream_collide_trt(&aos_src, &mut aos_dst, rel_trt), reps);
 
     // Tier 3: SoA split-loop (portable SIMD) and AVX2 intrinsics.
     let (soa_src, mut soa_dst) = trillium_bench::bench_fields(n);
@@ -86,10 +82,7 @@ fn main() {
     println!(
         "host bandwidth: copy {bw_copy:.1} GiB/s, LBM-pattern {bw_lbm:.1} GiB/s -> roofline {roof:.1} MLUPS"
     );
-    println!(
-        "SIMD tier reaches {:.0} % of the host roofline",
-        100.0 * avx_trt.max(soa_trt) / roof
-    );
+    println!("SIMD tier reaches {:.0} % of the host roofline", 100.0 * avx_trt.max(soa_trt) / roof);
 
     if args.json {
         let payload = serde_json::json!({
@@ -110,7 +103,10 @@ fn main() {
 
 fn print_model(rows: &[trillium_scaling::fig3::Fig3Row]) {
     let max_cores = rows.iter().map(|r| r.cores).max().unwrap();
-    println!("{:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "cores", "genS", "genT", "d19S", "d19T", "simdS", "simdT");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "cores", "genS", "genT", "d19S", "d19T", "simdS", "simdT"
+    );
     for c in 1..=max_cores {
         let at = |tier: &str, coll: &str| {
             rows.iter()

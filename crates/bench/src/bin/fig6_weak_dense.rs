@@ -13,10 +13,7 @@ fn main() {
     let mut all = Vec::new();
     for machine in [MachineSpec::supermuc(), MachineSpec::juqueen()] {
         let cells = paper_cells_per_core(&machine);
-        section(&format!(
-            "Fig 6: weak scaling on {} ({} cells/core)",
-            machine.name, cells
-        ));
+        section(&format!("Fig 6: weak scaling on {} ({} cells/core)", machine.name, cells));
         let rows = fig6_series(&machine, cells);
         for config in paper_configs(&machine) {
             println!("-- {} --", config.label());

@@ -23,8 +23,11 @@ fn main() {
     for (blocks, procs) in sizes {
         let n = (blocks as f64).cbrt().round() as usize;
         let e = n as f64;
-        let mut f =
-            SetupForest::uniform(Aabb::new(vec3(0.0, 0.0, 0.0), vec3(e, e, e)), [n, n, n], [100; 3]);
+        let mut f = SetupForest::uniform(
+            Aabb::new(vec3(0.0, 0.0, 0.0), vec3(e, e, e)),
+            [n, n, n],
+            [100; 3],
+        );
         morton_balance(&mut f, procs);
         let data = file::save(&f);
         let ok = file::load(&data).map(|g| g.num_blocks() == f.num_blocks()).unwrap_or(false);
@@ -39,9 +42,5 @@ fn main() {
     }
     println!();
     println!("rank byte-width examples: 65,536 processes -> 2 bytes; 65,537 -> 3 bytes");
-    println!(
-        "byte widths: {} / {}",
-        file::byte_width(65_535),
-        file::byte_width(65_536)
-    );
+    println!("byte widths: {} / {}", file::byte_width(65_535), file::byte_width(65_536));
 }

@@ -9,13 +9,7 @@ fn main() {
     println!("{:<38} {:>12} {:>12} {:>8}", "quantity", "paper", "ours", "ratio");
     let rows = headlines();
     for r in &rows {
-        println!(
-            "{:<38} {:>12.1} {:>12.1} {:>8.2}",
-            r.quantity,
-            r.paper,
-            r.ours,
-            r.ours / r.paper
-        );
+        println!("{:<38} {:>12.1} {:>12.1} {:>8.2}", r.quantity, r.paper, r.ours, r.ours / r.paper);
     }
     if args.json {
         println!("{}", serde_json::json!(rows));

@@ -15,7 +15,10 @@ fn main() {
 
     section("time-step arithmetic at the paper's finest resolution (§4.3)");
     let uc = UnitConverter::from_velocity_limit(1.276e-6, 0.2, 0.1);
-    println!("dx = 1.276 um, u_max = 0.2 m/s, lattice limit 0.1 -> dt = {:.3} us (paper: 0.64 us)", uc.dt * 1e6);
+    println!(
+        "dx = 1.276 um, u_max = 0.2 m/s, lattice limit 0.1 -> dt = {:.3} us (paper: 0.64 us)",
+        uc.dt * 1e6
+    );
 
     section("largest vascular weak-scaling point (model; --full for paper scale)");
     let m = MachineSpec::juqueen();

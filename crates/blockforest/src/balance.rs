@@ -40,10 +40,7 @@ pub fn morton_balance(forest: &mut SetupForest, num_processes: u32) {
         let b = &forest.blocks[i];
         let c = b.coords;
         let shift = (max_level - b.id.level()) as u64;
-        (
-            morton_code((c[0] as u64) << shift, (c[1] as u64) << shift, (c[2] as u64) << shift),
-            b.id,
-        )
+        (morton_code((c[0] as u64) << shift, (c[1] as u64) << shift, (c[2] as u64) << shift), b.id)
     });
 
     let total: f64 = forest.total_workload();
@@ -53,12 +50,48 @@ pub fn morton_balance(forest: &mut SetupForest, num_processes: u32) {
     for &i in &order {
         // Advance to the rank whose quota this block's start falls into,
         // never beyond the last rank.
-        while rank + 1 < num_processes && acc + forest.blocks[i].workload * 0.5 >= per_rank * (rank + 1) as f64
+        while rank + 1 < num_processes
+            && acc + forest.blocks[i].workload * 0.5 >= per_rank * (rank + 1) as f64
         {
             rank += 1;
         }
         forest.blocks[i].rank = rank;
         acc += forest.blocks[i].workload;
+    }
+    forest.num_processes = num_processes;
+}
+
+/// Deliberately *unbalances* the Morton assignment: rank 0 receives the
+/// first `fraction` of the total workload along the curve and the
+/// remaining ranks split the rest evenly. This is a test/ablation
+/// fixture for the runtime rebalancer — it reproduces the skew that
+/// develops in practice when per-cell cost drifts away from the static
+/// cell-count estimate, without needing a cost model to do so.
+pub fn skewed_balance(forest: &mut SetupForest, num_processes: u32, fraction: f64) {
+    assert!(num_processes > 0);
+    assert!((0.0..1.0).contains(&fraction));
+    morton_balance(forest, num_processes);
+    if num_processes == 1 {
+        return;
+    }
+    // Re-cut the curve: rank 0's quota is `fraction` of the total, the
+    // others share the remainder. Reuse the Morton order by sorting rank
+    // assignments (morton_balance made them contiguous along the curve).
+    let total = forest.total_workload();
+    let mut order: Vec<usize> = (0..forest.blocks.len()).collect();
+    order.sort_by_key(|&i| (forest.blocks[i].rank, forest.blocks[i].id));
+    let rest = total * (1.0 - fraction) / (num_processes - 1) as f64;
+    let quota = |rank: u32| if rank == 0 { total * fraction } else { rest };
+    let mut rank = 0u32;
+    let mut acc = 0.0;
+    for &i in &order {
+        let w = forest.blocks[i].workload;
+        while rank + 1 < num_processes && acc + 0.5 * w >= quota(rank) {
+            rank += 1;
+            acc = 0.0;
+        }
+        forest.blocks[i].rank = rank;
+        acc += w;
     }
     forest.num_processes = num_processes;
 }
@@ -138,6 +171,19 @@ mod tests {
         // All ranks used.
         let w = f.rank_workloads();
         assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn skewed_balance_overloads_rank_zero() {
+        let domain = Aabb::new(vec3(0.0, 0.0, 0.0), vec3(8.0, 8.0, 8.0));
+        let mut f = SetupForest::uniform(domain, [8, 8, 8], [10, 10, 10]);
+        skewed_balance(&mut f, 4, 0.6);
+        let w = f.rank_workloads();
+        let total: f64 = w.iter().sum();
+        // Rank 0 holds roughly 60% of the work; every rank holds some.
+        assert!(w[0] / total > 0.5, "{w:?}");
+        assert!(w.iter().all(|&x| x > 0.0), "{w:?}");
+        assert!(f.imbalance() > 1.8, "imbalance {}", f.imbalance());
     }
 
     #[test]

@@ -136,12 +136,8 @@ pub fn distribute(forest: &SetupForest) -> Vec<DistributedForest> {
     assert!(forest.is_uniform_level(), "distribution requires a uniform-level forest");
 
     // Index blocks by integer grid coordinates.
-    let by_coords: HashMap<[i64; 3], usize> = forest
-        .blocks
-        .iter()
-        .enumerate()
-        .map(|(i, b)| (b.coords, i))
-        .collect();
+    let by_coords: HashMap<[i64; 3], usize> =
+        forest.blocks.iter().enumerate().map(|(i, b)| (b.coords, i)).collect();
 
     let mut out: Vec<DistributedForest> = (0..forest.num_processes)
         .map(|rank| DistributedForest {
@@ -155,11 +151,8 @@ pub fn distribute(forest: &SetupForest) -> Vec<DistributedForest> {
     for b in &forest.blocks {
         let mut links = [BlockLink::Border; 26];
         for (i, d) in NEIGHBOR_DIRS.iter().enumerate() {
-            let nc = [
-                b.coords[0] + d[0] as i64,
-                b.coords[1] + d[1] as i64,
-                b.coords[2] + d[2] as i64,
-            ];
+            let nc =
+                [b.coords[0] + d[0] as i64, b.coords[1] + d[1] as i64, b.coords[2] + d[2] as i64];
             if let Some(&ni) = by_coords.get(&nc) {
                 let nb = &forest.blocks[ni];
                 links[i] = if nb.rank == b.rank {
@@ -251,10 +244,8 @@ mod tests {
     #[test]
     fn remote_links_carry_correct_owner() {
         let views = forest(4, 4);
-        let owner: HashMap<BlockId, u32> = views
-            .iter()
-            .flat_map(|v| v.blocks.iter().map(move |b| (b.id, v.rank)))
-            .collect();
+        let owner: HashMap<BlockId, u32> =
+            views.iter().flat_map(|v| v.blocks.iter().map(move |b| (b.id, v.rank))).collect();
         for v in &views {
             for b in &v.blocks {
                 for l in &b.links {
@@ -286,9 +277,6 @@ mod tests {
             .find(|(_, b)| b.coords == [3, 3, 3])
             .unwrap();
         // Same knowledge despite 8x the machine size.
-        assert_eq!(
-            interior_small.0.knowledge_size(),
-            interior_large.0.knowledge_size()
-        );
+        assert_eq!(interior_small.0.knowledge_size(), interior_large.0.knowledge_size());
     }
 }

@@ -102,7 +102,8 @@ pub fn load(data: &[u8]) -> Result<SetupForest, LoadError> {
         return Err(LoadError::BadMagic);
     }
     buf.advance(4);
-    let need = |buf: &&[u8], n: usize| if buf.len() < n { Err(LoadError::Truncated) } else { Ok(()) };
+    let need =
+        |buf: &&[u8], n: usize| if buf.len() < n { Err(LoadError::Truncated) } else { Ok(()) };
 
     need(&buf, 6 * 8 + 3 * 4 + 3 * 4 + 4 + 8 + 3)?;
     let min = Vec3 { x: get_f64(&mut buf), y: get_f64(&mut buf), z: get_f64(&mut buf) };

@@ -26,8 +26,10 @@ pub mod id;
 pub mod search;
 pub mod setup;
 
-pub use balance::{balance_with, morton_balance};
-pub use distribute::{distribute, dir_index, BlockLink, DistributedForest, LocalBlock, NEIGHBOR_DIRS};
+pub use balance::{balance_with, morton_balance, skewed_balance};
+pub use distribute::{
+    dir_index, distribute, BlockLink, DistributedForest, LocalBlock, NEIGHBOR_DIRS,
+};
 pub use id::BlockId;
 pub use search::{search_strong_partition, search_weak_partition, search_weak_partition_sampled};
 pub use setup::{SetupBlock, SetupForest};

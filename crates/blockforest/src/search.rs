@@ -149,8 +149,7 @@ pub fn search_strong_partition<S: SignedDistance + ?Sized>(
             break; // exact hit
         }
     }
-    let (forest, block_edge) =
-        best.expect("strong-scaling search found no feasible partitioning");
+    let (forest, block_edge) = best.expect("strong-scaling search found no feasible partitioning");
     PartitionSearch { forest, dx, block_edge }
 }
 
@@ -196,8 +195,7 @@ mod tests {
         // Total fluid cells is resolution-determined, independent of the
         // partitioning.
         let fluid = r.forest.total_workload();
-        let expect = (std::f64::consts::PI * 0.25 * 6.0
-            + 4.0 / 3.0 * std::f64::consts::PI * 0.125)
+        let expect = (std::f64::consts::PI * 0.25 * 6.0 + 4.0 / 3.0 * std::f64::consts::PI * 0.125)
             / dx.powi(3);
         assert!((fluid - expect).abs() / expect < 0.05, "{fluid} vs {expect}");
     }

@@ -283,11 +283,8 @@ impl SetupForest {
         rank: u32,
     ) -> SetupBlock {
         let e = domain.extents();
-        let step = Vec3 {
-            x: e.x / roots[0] as f64,
-            y: e.y / roots[1] as f64,
-            z: e.z / roots[2] as f64,
-        };
+        let step =
+            Vec3 { x: e.x / roots[0] as f64, y: e.y / roots[1] as f64, z: e.z / roots[2] as f64 };
         let ridx = id.root_index();
         let (i, j, k) = (
             (ridx as usize % roots[0]) as i64,
@@ -303,8 +300,7 @@ impl SetupForest {
         for l in 0..id.level() {
             let oct = id.octant_at(l);
             let c = bb.center();
-            let (ox, oy, oz) =
-                ((oct & 1) as i64, ((oct >> 1) & 1) as i64, ((oct >> 2) & 1) as i64);
+            let (ox, oy, oz) = ((oct & 1) as i64, ((oct >> 1) & 1) as i64, ((oct >> 2) & 1) as i64);
             coords = [2 * coords[0] + ox, 2 * coords[1] + oy, 2 * coords[2] + oz];
             bb = Aabb::new(
                 Vec3 {
@@ -326,11 +322,8 @@ impl SetupForest {
     /// Physical box of root block `(i, j, k)`.
     fn root_aabb(domain: &Aabb, roots: [usize; 3], ijk: [usize; 3]) -> Aabb {
         let e = domain.extents();
-        let step = Vec3 {
-            x: e.x / roots[0] as f64,
-            y: e.y / roots[1] as f64,
-            z: e.z / roots[2] as f64,
-        };
+        let step =
+            Vec3 { x: e.x / roots[0] as f64, y: e.y / roots[1] as f64, z: e.z / roots[2] as f64 };
         let min = domain.min
             + Vec3 {
                 x: ijk[0] as f64 * step.x,
@@ -370,7 +363,8 @@ impl SetupForest {
             }
             let c = b.aabb.center();
             for oct in 0..8u8 {
-                let (ox, oy, oz) = ((oct & 1) as i64, ((oct >> 1) & 1) as i64, ((oct >> 2) & 1) as i64);
+                let (ox, oy, oz) =
+                    ((oct & 1) as i64, ((oct >> 1) & 1) as i64, ((oct >> 2) & 1) as i64);
                 let min = Vec3 {
                     x: if ox == 0 { b.aabb.min.x } else { c.x },
                     y: if oy == 0 { b.aabb.min.y } else { c.y },
@@ -453,11 +447,8 @@ mod tests {
 
     #[test]
     fn hierarchical_descent_matches_exhaustive() {
-        let s = AnalyticSdf::Capsule {
-            a: vec3(0.0, 0.0, 0.0),
-            b: vec3(3.0, 1.0, 0.5),
-            radius: 0.3,
-        };
+        let s =
+            AnalyticSdf::Capsule { a: vec3(0.0, 0.0, 0.0), b: vec3(3.0, 1.0, 0.5), radius: 0.3 };
         let f = SetupForest::from_domain(&s, 0.04, [6, 6, 6]);
         // Exhaustively enumerate the root grid and compare the kept set.
         let mut expect = Vec::new();

@@ -86,8 +86,7 @@ impl Communicator {
             let mut all = Vec::with_capacity(self.size() as usize);
             let mut off = 0usize;
             for _ in 0..self.size() {
-                let len =
-                    u64::from_le_bytes(frame[off..off + 8].try_into().unwrap()) as usize;
+                let len = u64::from_le_bytes(frame[off..off + 8].try_into().unwrap()) as usize;
                 off += 8;
                 all.push(frame[off..off + len].to_vec());
                 off += len;
@@ -104,6 +103,23 @@ impl Communicator {
     /// All-reduce of a single `f64` with maximum.
     pub fn allreduce_max_f64(&mut self, value: f64) -> f64 {
         self.allgather_f64(value).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Fused all-reduce of a single `f64` under min, max, and sum at once
+    /// (one collective round instead of three). This is the load-imbalance
+    /// probe: with per-rank epoch cost `t`, the imbalance ratio is
+    /// `max * size / sum` and the spread is `max / min`.
+    pub fn allreduce_minmaxsum_f64(&mut self, value: f64) -> (f64, f64, f64) {
+        let all = self.allgather_f64(value);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for v in all {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        (min, max, sum)
     }
 
     /// Gathers one byte payload from every rank onto `root` only (other
@@ -213,6 +229,16 @@ mod tests {
         assert!(maxs.iter().all(|&m| m == 0.0));
         let usums = World::run(4, |mut c| c.allreduce_sum_u64(1 << c.rank()));
         assert!(usums.iter().all(|&s| s == 0b1111));
+    }
+
+    #[test]
+    fn fused_minmaxsum_reduction() {
+        let out = World::run(5, |mut c| c.allreduce_minmaxsum_f64((c.rank() + 1) as f64));
+        for (min, max, sum) in out {
+            assert_eq!(min, 1.0);
+            assert_eq!(max, 5.0);
+            assert_eq!(sum, 15.0);
+        }
     }
 
     #[test]

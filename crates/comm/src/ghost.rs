@@ -185,6 +185,70 @@ mod tests {
         }
     }
 
+    /// Ghost exchange across an *edge* link (D3Q19: exactly one PDF per
+    /// cell) and a *corner* link (D3Q19: nothing; D3Q27: one PDF). Edge
+    /// and corner slabs are thin — one cell line / one cell — and index
+    /// bugs there don't show up in face-only tests.
+    #[test]
+    fn edge_and_corner_links_transfer_exactly_their_pdfs() {
+        use trillium_lattice::{LatticeModel, D3Q27};
+        let shape = Shape::cube(4);
+
+        // --- edge [1, 1, 0] on D3Q19: the single NE-pointing PDF -------
+        let mut a = AosPdfField::<D3Q19>::new(shape);
+        for (x, y, z) in shape.with_ghosts().iter() {
+            for q in 0..19 {
+                a.set(x, y, z, q, (x + 10 * y + 100 * z) as f64 + 0.001 * q as f64);
+            }
+        }
+        let mut b = AosPdfField::<D3Q19>::new(shape);
+        let mut buf = Vec::new();
+        pack_face::<D3Q19, _>(&a, [1, 1, 0], &mut buf);
+        // The edge slab is a 1×1×4 line of cells carrying one PDF each.
+        assert_eq!(buf.len(), 4 * 8);
+        unpack_face::<D3Q19, _>(&mut b, [-1, -1, 0], &buf);
+        let qs = pdfs_crossing::<D3Q19>([1, 1, 0]);
+        assert_eq!(qs, vec![dir::NE]);
+        let sslab = shape.boundary_slab([1, 1, 0], 1);
+        let gslab = shape.ghost_slab([-1, -1, 0], 1);
+        for ((sx, sy, sz), (gx, gy, gz)) in sslab.iter().zip(gslab.iter()) {
+            assert_eq!(b.get(gx, gy, gz, dir::NE), a.get(sx, sy, sz, dir::NE));
+            // Everything else in the ghost cell stays zero.
+            for q in (0..19).filter(|&q| q != dir::NE) {
+                assert_eq!(b.get(gx, gy, gz, q), 0.0, "q={q} leaked across the edge");
+            }
+        }
+
+        // --- corner [1, 1, 1] ------------------------------------------
+        // D3Q19 has no corner velocities: the message is empty.
+        assert!(pdfs_crossing::<D3Q19>([1, 1, 1]).is_empty());
+        let mut buf = Vec::new();
+        pack_face::<D3Q19, _>(&a, [1, 1, 1], &mut buf);
+        assert!(buf.is_empty(), "D3Q19 corner message must carry nothing");
+
+        // D3Q27 has one: the (1,1,1) velocity, for the single corner cell.
+        let q27 = pdfs_crossing::<D3Q27>([1, 1, 1]);
+        assert_eq!(q27.len(), 1);
+        assert_eq!(D3Q27::velocities()[q27[0]], [1, 1, 1]);
+        let mut a27 = AosPdfField::<D3Q27>::new(shape);
+        for (x, y, z) in shape.with_ghosts().iter() {
+            for q in 0..27 {
+                a27.set(x, y, z, q, (x + 10 * y + 100 * z) as f64 + 0.001 * q as f64);
+            }
+        }
+        let mut b27 = AosPdfField::<D3Q27>::new(shape);
+        let mut buf = Vec::new();
+        pack_face::<D3Q27, _>(&a27, [1, 1, 1], &mut buf);
+        assert_eq!(buf.len(), 8, "one corner cell, one PDF");
+        unpack_face::<D3Q27, _>(&mut b27, [-1, -1, -1], &buf);
+        // Corner boundary cell (3,3,3) lands in ghost cell (−1,−1,−1).
+        assert_eq!(b27.get(-1, -1, -1, q27[0]), a27.get(3, 3, 3, q27[0]));
+        let others = (0..27).filter(|&q| q != q27[0]);
+        for q in others {
+            assert_eq!(b27.get(-1, -1, -1, q), 0.0, "q={q} leaked across the corner");
+        }
+    }
+
     #[test]
     fn local_copy_equals_pack_unpack() {
         let shape = Shape::cube(5);

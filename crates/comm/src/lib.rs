@@ -21,5 +21,7 @@ pub mod collectives;
 pub mod ghost;
 pub mod runtime;
 
-pub use ghost::{copy_face_local, pack_face, pack_face_sparse, pdfs_crossing, unpack_face, unpack_face_sparse};
+pub use ghost::{
+    copy_face_local, pack_face, pack_face_sparse, pdfs_crossing, unpack_face, unpack_face_sparse,
+};
 pub use runtime::{Communicator, World};

@@ -127,14 +127,9 @@ impl World {
 
         std::thread::scope(|scope| {
             let f = &f;
-            let handles: Vec<_> = comms
-                .drain(..)
-                .map(|comm| scope.spawn(move || f(comm)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
-                .collect()
+            let handles: Vec<_> =
+                comms.drain(..).map(|comm| scope.spawn(move || f(comm))).collect();
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
         })
     }
 }

@@ -87,21 +87,25 @@ impl BlockSim {
     }
 
     /// Runs the fused stream–collide sweep (TRT; SRT via equal rates) and
-    /// swaps the buffers.
+    /// swaps the buffers. The returned stats carry the measured wall time
+    /// of the sweep, the per-block load signal used for rebalancing.
     pub fn stream_collide(&mut self, rel: Relaxation) -> SweepStats {
+        let t0 = std::time::Instant::now();
         let stats = match self.kernel {
             BlockKernel::Dense => {
                 trillium_kernels::avx::stream_collide_trt(&self.src, &mut self.dst, rel)
             }
-            BlockKernel::RowIntervals => trillium_kernels::sparse::stream_collide_trt_row_intervals(
-                &self.src,
-                &mut self.dst,
-                &self.intervals,
-                rel,
-            ),
+            BlockKernel::RowIntervals => {
+                trillium_kernels::sparse::stream_collide_trt_row_intervals(
+                    &self.src,
+                    &mut self.dst,
+                    &self.intervals,
+                    rel,
+                )
+            }
         };
         self.src.swap(&mut self.dst);
-        stats
+        stats.timed(t0.elapsed().as_secs_f64())
     }
 
     /// Total mass over interior fluid cells.

@@ -71,6 +71,65 @@ pub fn restore_block(block: &mut BlockSim, data: &[u8]) -> Result<(), RestoreErr
     Ok(())
 }
 
+/// Magic bytes of the self-contained block format used for migration.
+pub const MAGIC_FULL: &[u8; 4] = b"TCP2";
+
+/// Serializes a block *completely*: shape, flag field, and PDF state.
+///
+/// Unlike [`save_block`], the receiver needs no prior copy of the block —
+/// this is the wire format for runtime block migration, where the new
+/// owner has never voxelized the block's geometry. Boundary parameters
+/// are not included; they are scenario-global and every rank already has
+/// them.
+pub fn save_block_full(block: &BlockSim) -> Vec<u8> {
+    let s = block.shape;
+    let mut buf = Vec::with_capacity(4 + 16 + s.alloc_cells() * (1 + 19 * 8));
+    buf.extend_from_slice(MAGIC_FULL);
+    buf.put_u32_le(s.nx as u32);
+    buf.put_u32_le(s.ny as u32);
+    buf.put_u32_le(s.nz as u32);
+    buf.put_u32_le(s.ghost as u32);
+    buf.extend_from_slice(block.flags.data());
+    for v in block.src.data() {
+        buf.put_f64_le(*v);
+    }
+    buf
+}
+
+/// Rebuilds a [`BlockSim`] from a [`save_block_full`] payload.
+///
+/// The flag field is reconstructed from the wire bytes, the sparse row
+/// intervals and kernel tier are re-derived from it (exactly as
+/// [`BlockSim::from_flags`] would on first build), then the transported
+/// PDF state overwrites the freshly initialized field bit-for-bit.
+pub fn restore_block_full(
+    data: &[u8],
+    boundary: trillium_kernels::BoundaryParams,
+) -> Result<BlockSim, RestoreError> {
+    use trillium_field::Shape;
+    let mut buf = data;
+    if buf.len() < 4 + 16 || &buf[..4] != MAGIC_FULL {
+        return Err(RestoreError::BadMagic);
+    }
+    buf.advance(4);
+    let (nx, ny, nz, ghost) =
+        (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le());
+    let shape = Shape::new(nx as usize, ny as usize, nz as usize, ghost as usize);
+    let cells = shape.alloc_cells();
+    if buf.len() < cells * (1 + 19 * 8) {
+        return Err(RestoreError::Truncated);
+    }
+    let mut flags = trillium_field::FlagField::new(shape);
+    flags.data_mut().copy_from_slice(&buf[..cells]);
+    buf.advance(cells);
+    // rho/u only seed the equilibrium that the wire PDFs overwrite next.
+    let mut block = BlockSim::from_flags(flags, boundary, 1.0, [0.0; 3]);
+    for v in block.src.data_mut() {
+        *v = buf.get_f64_le();
+    }
+    Ok(block)
+}
+
 /// FNV-1a digest of the flag field (cheap structural fingerprint).
 fn flag_digest(block: &BlockSim) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -136,6 +195,42 @@ mod tests {
         }
     }
 
+    /// The migration serializer: a fully serialized block restores on a
+    /// rank that has never seen it, bit-identical in flags and PDFs, and
+    /// evolves identically afterwards.
+    #[test]
+    fn full_roundtrip_is_bitwise_identical() {
+        let rel = Relaxation::trt_from_viscosity(0.05);
+        let mut a = cavity_block(8);
+        for _ in 0..25 {
+            a.apply_boundaries();
+            a.stream_collide(rel);
+        }
+        let wire = save_block_full(&a);
+        let boundary = BoundaryParams { wall_velocity: [0.05, 0.0, 0.0], ..Default::default() };
+        let mut b = restore_block_full(&wire, boundary).unwrap();
+        assert_eq!(a.flags.data(), b.flags.data());
+        assert_eq!(a.src.data(), b.src.data());
+        assert_eq!(a.fluid_cells(), b.fluid_cells());
+        for _ in 0..10 {
+            a.apply_boundaries();
+            a.stream_collide(rel);
+            b.apply_boundaries();
+            b.stream_collide(rel);
+        }
+        assert_eq!(a.src.data(), b.src.data());
+        assert!((a.fluid_mass() - b.fluid_mass()).abs() == 0.0);
+    }
+
+    #[test]
+    fn full_restore_rejects_corruption() {
+        let a = cavity_block(8);
+        let wire = save_block_full(&a);
+        let boundary = BoundaryParams::default();
+        assert!(matches!(restore_block_full(&wire[..40], boundary), Err(RestoreError::Truncated)));
+        assert!(matches!(restore_block_full(b"TCP1....", boundary), Err(RestoreError::BadMagic)));
+    }
+
     #[test]
     fn mismatches_are_rejected() {
         let a = cavity_block(8);
@@ -145,8 +240,7 @@ mod tests {
         assert_eq!(restore_block(&mut wrong_size, &ckpt), Err(RestoreError::ShapeMismatch));
         // Different flags (all-noslip box, no lid).
         let flags = boxed_block_flags(Shape::cube(8), [Some(CellFlags::NOSLIP); 6]);
-        let mut wrong_flags =
-            BlockSim::from_flags(flags, BoundaryParams::default(), 1.0, [0.0; 3]);
+        let mut wrong_flags = BlockSim::from_flags(flags, BoundaryParams::default(), 1.0, [0.0; 3]);
         assert_eq!(restore_block(&mut wrong_flags, &ckpt), Err(RestoreError::FlagMismatch));
         // Corruption.
         let mut short = cavity_block(8);

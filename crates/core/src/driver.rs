@@ -10,13 +10,20 @@
 //! are produced for real runs.
 
 use crate::blocksim::BlockSim;
+use crate::migrate::execute_migrations;
 use crate::scenario::Scenario;
 use std::collections::HashMap;
 use std::time::Instant;
-use trillium_blockforest::{dir_index, distribute, BlockId, BlockLink, DistributedForest, NEIGHBOR_DIRS};
+use trillium_blockforest::{
+    dir_index, distribute, BlockId, BlockLink, DistributedForest, SetupForest, NEIGHBOR_DIRS,
+};
 use trillium_comm::{pack_face, pdfs_crossing, unpack_face, Communicator, World};
 use trillium_kernels::SweepStats;
 use trillium_lattice::D3Q19;
+use trillium_rebalance::plan::{decode_records, encode_records};
+use trillium_rebalance::{
+    plan_rebalance, BlockRecord, EwmaCostModel, ImbalanceDetector, PlanOptions,
+};
 
 /// Per-rank outcome of a run.
 #[derive(Clone, Debug)]
@@ -42,6 +49,89 @@ pub struct RankResult {
     pub probes: Vec<([i64; 3], [f64; 3])>,
     /// True if any local block contains non-finite PDFs after the run.
     pub has_nan: bool,
+    /// Runtime-rebalance accounting, present only for runs started via
+    /// [`run_distributed_rebalanced`].
+    pub rebalance: Option<RebalanceReport>,
+}
+
+/// Configuration of the runtime load balancer (see `trillium-rebalance`).
+#[derive(Clone, Copy, Debug)]
+pub struct RebalanceConfig {
+    /// Steps per monitoring epoch: the global load ratio is measured (one
+    /// fused min/max/sum all-reduce) every `every_n_steps` steps.
+    pub every_n_steps: u64,
+    /// Max/avg load ratio above which an epoch counts as imbalanced.
+    /// `f64::INFINITY` turns the subsystem into a pure monitor: costs and
+    /// ratios are recorded but nothing ever migrates.
+    pub threshold: f64,
+    /// Consecutive imbalanced epochs required before migration fires.
+    pub hysteresis: u32,
+    /// Epochs to ignore entirely after a migration round, while the EWMA
+    /// cost model re-learns the new assignment. Prevents thrash: the
+    /// measured ratio bounces for a few epochs after blocks move (migrated
+    /// blocks re-seed from one sample) and would otherwise re-fire.
+    pub cooldown_epochs: u32,
+    /// EWMA smoothing factor for the per-block cost model.
+    pub ewma_alpha: f64,
+    /// Planner knobs (graph-gain floor, partitioner seed, minimum ratio).
+    pub plan: PlanOptions,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        Self {
+            every_n_steps: 10,
+            threshold: 1.15,
+            hysteresis: 2,
+            cooldown_epochs: 2,
+            ewma_alpha: 0.25,
+            plan: PlanOptions::default(),
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// A configuration that measures per-block costs and the imbalance
+    /// history but never migrates — the baseline for ablations.
+    pub fn monitor_only() -> Self {
+        Self { threshold: f64::INFINITY, ..Self::default() }
+    }
+}
+
+/// One monitoring epoch as seen by every rank (the ratio is global).
+#[derive(Clone, Copy, Debug)]
+pub struct EpochReport {
+    /// Time step at the end of the epoch.
+    pub step: u64,
+    /// Measured max/avg load ratio across ranks at that step.
+    pub ratio: f64,
+    /// Blocks migrated (globally) at this epoch boundary.
+    pub migrated: u32,
+}
+
+/// Per-rank rebalance accounting over a whole run.
+#[derive(Clone, Debug, Default)]
+pub struct RebalanceReport {
+    /// One entry per monitoring epoch.
+    pub epochs: Vec<EpochReport>,
+    /// Blocks this rank received from other ranks.
+    pub migrations_in: u32,
+    /// Blocks this rank sent to other ranks.
+    pub migrations_out: u32,
+    /// Number of migration rounds executed.
+    pub rebalances: u32,
+    /// Final measured (EWMA) cost per local block: `(packed_id,
+    /// seconds_per_step, fluid_cells)`. This is exactly what the planner
+    /// consumes — wall-clock cost, not static cell counts.
+    pub final_costs: Vec<(u64, f64, u64)>,
+    /// Seconds of ghost-exchange *work* (pack, send, local unpack) —
+    /// excludes time blocked in `recv` waiting for neighbors, which on an
+    /// oversubscribed emulation host measures the thread scheduler rather
+    /// than the network.
+    pub comm_work_time: f64,
+    /// Seconds spent at epoch boundaries: the load all-reduce, planning,
+    /// and (when a round fires) block serialization and migration.
+    pub epoch_time: f64,
 }
 
 /// Whole-run outcome: per-rank results plus global accounting.
@@ -96,6 +186,59 @@ impl RunResult {
     /// True if any rank observed non-finite values.
     pub fn has_nan(&self) -> bool {
         self.ranks.iter().any(|r| r.has_nan)
+    }
+
+    /// Measured imbalance history `(step, max/avg ratio)`, one entry per
+    /// monitoring epoch. Empty for runs without rebalancing. The ratio is
+    /// a global quantity, identical on every rank, so rank 0's copy is
+    /// authoritative.
+    pub fn imbalance_history(&self) -> Vec<(u64, f64)> {
+        self.ranks
+            .first()
+            .and_then(|r| r.rebalance.as_ref())
+            .map(|rb| rb.epochs.iter().map(|e| (e.step, e.ratio)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The measured load ratio of the last monitoring epoch, if any.
+    pub fn final_load_ratio(&self) -> Option<f64> {
+        self.ranks
+            .first()
+            .and_then(|r| r.rebalance.as_ref())
+            .and_then(|rb| rb.epochs.last())
+            .map(|e| e.ratio)
+    }
+
+    /// Total blocks that changed owner over the run.
+    pub fn total_migrations(&self) -> u32 {
+        self.ranks.iter().filter_map(|r| r.rebalance.as_ref()).map(|rb| rb.migrations_in).sum()
+    }
+
+    /// Number of migration rounds (identical on all ranks).
+    pub fn rebalance_count(&self) -> u32 {
+        self.ranks.first().and_then(|r| r.rebalance.as_ref()).map(|rb| rb.rebalances).unwrap_or(0)
+    }
+
+    /// Critical-path *work* seconds: the maximum over ranks of the time
+    /// spent computing (kernel + boundary sweeps), doing ghost-exchange
+    /// work, and running rebalance epochs (all-reduce, planning,
+    /// migration). Excludes time blocked in `recv` waiting on neighbors.
+    ///
+    /// On a real machine wall clock ≈ this maximum, because ranks run
+    /// concurrently and the waiting happens *in parallel with* the slow
+    /// rank's work. In this emulation harness ranks are time-sliced
+    /// threads, so raw per-rank elapsed time double-counts every other
+    /// rank's work as "wait" and hides imbalance entirely. For runs
+    /// without a rebalance report this falls back to kernel + comm +
+    /// boundary elapsed time.
+    pub fn work_wall(&self) -> f64 {
+        self.ranks
+            .iter()
+            .map(|r| match &r.rebalance {
+                Some(rb) => r.kernel_time + r.boundary_time + rb.comm_work_time + rb.epoch_time,
+                None => r.kernel_time + r.comm_time + r.boundary_time,
+            })
+            .fold(0.0f64, f64::max)
     }
 }
 
@@ -179,27 +322,7 @@ fn rank_loop(
         }
     }
 
-    // ---- probes --------------------------------------------------------
-    let cells = [
-        scenario.cells[0] as i64,
-        scenario.cells[1] as i64,
-        scenario.cells[2] as i64,
-    ];
-    let mut probe_out = Vec::new();
-    for &p in probes {
-        for (i, lb) in view.blocks.iter().enumerate() {
-            let local = [
-                p[0] - lb.coords[0] * cells[0],
-                p[1] - lb.coords[1] * cells[1],
-                p[2] - lb.coords[2] * cells[2],
-            ];
-            if (0..3).all(|d| local[d] >= 0 && local[d] < cells[d]) {
-                let u = blocks[i].velocity(local[0] as i32, local[1] as i32, local[2] as i32);
-                probe_out.push((p, u));
-            }
-        }
-    }
-
+    let probe_out = locate_probes(scenario, view, &blocks, probes);
     let mass_final: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
     let has_nan = blocks.iter().any(BlockSim::has_nan);
     RankResult {
@@ -213,20 +336,214 @@ fn rank_loop(
         mass_final,
         probes: probe_out,
         has_nan,
+        rebalance: None,
+    }
+}
+
+/// Evaluates the probes this rank owns (global cell → velocity).
+fn locate_probes(
+    scenario: &Scenario,
+    view: &DistributedForest,
+    blocks: &[BlockSim],
+    probes: &[[i64; 3]],
+) -> Vec<([i64; 3], [f64; 3])> {
+    let cells = [scenario.cells[0] as i64, scenario.cells[1] as i64, scenario.cells[2] as i64];
+    let mut out = Vec::new();
+    for &p in probes {
+        for (i, lb) in view.blocks.iter().enumerate() {
+            let local = [
+                p[0] - lb.coords[0] * cells[0],
+                p[1] - lb.coords[1] * cells[1],
+                p[2] - lb.coords[2] * cells[2],
+            ];
+            if (0..3).all(|d| local[d] >= 0 && local[d] < cells[d]) {
+                let u = blocks[i].velocity(local[0] as i32, local[1] as i32, local[2] as i32);
+                out.push((p, u));
+            }
+        }
+    }
+    out
+}
+
+/// Runs `scenario` with the runtime load balancer enabled: per-block
+/// costs are measured every step, the global imbalance is checked every
+/// [`RebalanceConfig::every_n_steps`] steps, and blocks migrate between
+/// ranks (state and all) when the measured imbalance persists. See
+/// `trillium-rebalance` for the monitoring/planning machinery and
+/// [`crate::migrate`] for the transfer protocol.
+pub fn run_distributed_rebalanced(
+    scenario: &Scenario,
+    num_procs: u32,
+    threads_per_rank: usize,
+    steps: u64,
+    cfg: RebalanceConfig,
+) -> RunResult {
+    let forest = scenario.make_forest(num_procs);
+    let views = distribute(&forest);
+    let results = World::run(num_procs, |comm| {
+        let rank = comm.rank() as usize;
+        rank_loop_rebalanced(
+            comm,
+            forest.clone(),
+            views[rank].clone(),
+            scenario,
+            threads_per_rank,
+            steps,
+            cfg,
+        )
+    });
+    RunResult { steps, ranks: results }
+}
+
+fn rank_loop_rebalanced(
+    mut comm: Communicator,
+    mut forest: SetupForest,
+    mut view: DistributedForest,
+    scenario: &Scenario,
+    threads_per_rank: usize,
+    steps: u64,
+    cfg: RebalanceConfig,
+) -> RankResult {
+    let rank = comm.rank();
+    let size = comm.size();
+    let mut blocks: Vec<BlockSim> = view.blocks.iter().map(|lb| scenario.build_block(lb)).collect();
+    let mut index_of: HashMap<BlockId, usize> =
+        view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
+
+    let mass_initial: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
+    let mut stats = SweepStats::default();
+    let mut kernel_time = 0.0;
+    let mut comm_time = 0.0;
+    let mut boundary_time = 0.0;
+
+    let mut model = EwmaCostModel::new(cfg.ewma_alpha);
+    let mut detector =
+        ImbalanceDetector::new(cfg.threshold, cfg.hysteresis).with_cooldown(cfg.cooldown_epochs);
+    let mut report = RebalanceReport::default();
+
+    for t in 0..steps {
+        let t0 = Instant::now();
+        let ghost_work = exchange_ghosts(&mut comm, &view, &mut blocks, &index_of);
+        comm_time += t0.elapsed().as_secs_f64();
+        report.comm_work_time += ghost_work;
+
+        let t0 = Instant::now();
+        for_each_block(&mut blocks, threads_per_rank, |b| b.apply_boundaries());
+        boundary_time += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let rel = scenario.relaxation;
+        let step_stats: Vec<SweepStats> =
+            map_each_block(&mut blocks, threads_per_rank, move |b| b.stream_collide(rel));
+        kernel_time += t0.elapsed().as_secs_f64();
+
+        // Feed the cost model: each block's measured sweep time plus an
+        // equal share of this step's ghost-exchange *work* (not the time
+        // spent blocked waiting for neighbors — see [`exchange_ghosts`]).
+        let ghost_share = if blocks.is_empty() { 0.0 } else { ghost_work / blocks.len() as f64 };
+        for (bi, s) in step_stats.iter().enumerate() {
+            model.update(view.blocks[bi].id.pack(), s.seconds + ghost_share);
+            stats.merge(*s);
+        }
+
+        // ---- epoch boundary: measure, decide, maybe migrate -----------
+        if (t + 1) % cfg.every_n_steps.max(1) == 0 {
+            let t0 = Instant::now();
+            let (_, max, sum) = comm.allreduce_minmaxsum_f64(model.total());
+            let ratio = if sum > 0.0 { max * size as f64 / sum } else { 1.0 };
+            let mut migrated = 0u32;
+            // The ratio is bitwise identical on every rank (same gathered
+            // values folded in the same order), so the detector decision
+            // and the plan need no extra agreement round.
+            if detector.observe(ratio) {
+                let records: Vec<BlockRecord> = view
+                    .blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, lb)| BlockRecord {
+                        id: lb.id.pack(),
+                        owner: rank,
+                        coords: [lb.coords[0] as u32, lb.coords[1] as u32, lb.coords[2] as u32],
+                        level: lb.id.level(),
+                        cost: model.cost(lb.id.pack()),
+                        fluid_cells: blocks[bi].fluid_cells() as u64,
+                    })
+                    .collect();
+                let gathered = comm.allgather_bytes(encode_records(&records));
+                let all: Vec<BlockRecord> =
+                    gathered.iter().flat_map(|b| decode_records(b)).collect();
+                let plan = plan_rebalance(all, size, &cfg.plan);
+                if !plan.migrations.is_empty() {
+                    migrated = plan.migrations.len() as u32;
+                    for m in &plan.migrations {
+                        if m.from == rank {
+                            model.forget(m.id);
+                        }
+                    }
+                    let ms = execute_migrations(
+                        &mut comm,
+                        &plan,
+                        &mut forest,
+                        &mut view,
+                        &mut blocks,
+                        &mut index_of,
+                        scenario.boundary,
+                    );
+                    report.migrations_out += ms.sent;
+                    report.migrations_in += ms.received;
+                    report.rebalances += 1;
+                }
+            }
+            let epoch_elapsed = t0.elapsed().as_secs_f64();
+            comm_time += epoch_elapsed;
+            report.epoch_time += epoch_elapsed;
+            report.epochs.push(EpochReport { step: t + 1, ratio, migrated });
+        }
+    }
+
+    report.final_costs = view
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(bi, lb)| (lb.id.pack(), model.cost(lb.id.pack()), blocks[bi].fluid_cells() as u64))
+        .collect();
+
+    let mass_final: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
+    let has_nan = blocks.iter().any(BlockSim::has_nan);
+    RankResult {
+        rank,
+        num_blocks: blocks.len(),
+        stats,
+        kernel_time,
+        comm_time,
+        boundary_time,
+        mass_initial,
+        mass_final,
+        probes: Vec::new(),
+        has_nan,
+        rebalance: Some(report),
     }
 }
 
 /// One full ghost exchange on the source fields of all local blocks.
+///
+/// Returns the seconds spent on this rank's own exchange *work* — packing,
+/// sending, and local unpacking — excluding the time blocked in `recv`
+/// waiting for neighbors. The distinction matters for load measurement:
+/// an underloaded rank spends most of the exchange *waiting* for its
+/// overloaded neighbors, and counting that wait as local cost would make
+/// every rank look equally busy and hide the imbalance completely.
 fn exchange_ghosts(
     comm: &mut Communicator,
     view: &DistributedForest,
     blocks: &mut [BlockSim],
     index_of: &HashMap<BlockId, usize>,
-) {
+) -> f64 {
     // Phase 1: pack everything. Local transfers are buffered the same way
     // as remote ones; packs read interior slabs only, unpacks write ghost
     // slabs only, so a two-phase scheme is race-free and identical in
     // result to any interleaving.
+    let work_t0 = Instant::now();
     let mut local_msgs: Vec<(usize, [i8; 3], Vec<u8>)> = Vec::new();
     let mut expected: Vec<(u32, u64, usize, [i8; 3])> = Vec::new();
     for (bi, lb) in view.blocks.iter().enumerate() {
@@ -258,10 +575,12 @@ fn exchange_ghosts(
     for (bi, d, buf) in local_msgs {
         unpack_face::<D3Q19, _>(&mut blocks[bi].src, d, &buf);
     }
+    let work = work_t0.elapsed().as_secs_f64();
     for (from, tag, bi, d) in expected {
         let data = comm.recv(from, tag);
         unpack_face::<D3Q19, _>(&mut blocks[bi].src, d, &data);
     }
+    work
 }
 
 /// Applies `f` to every block, optionally with thread parallelism (the
@@ -319,14 +638,8 @@ mod tests {
     /// is exact, not approximate.
     #[test]
     fn distributed_equals_single_block() {
-        let probes: Vec<[i64; 3]> = vec![
-            [1, 1, 1],
-            [8, 8, 14],
-            [7, 8, 8],
-            [8, 7, 3],
-            [15, 15, 15],
-            [0, 15, 8],
-        ];
+        let probes: Vec<[i64; 3]> =
+            vec![[1, 1, 1], [8, 8, 14], [7, 8, 8], [8, 7, 3], [15, 15, 15], [0, 15, 8]];
         // Reference: one rank, one block of 16³.
         let s1 = Scenario::lid_driven_cavity(16, 1, 0.06, 0.08);
         let r1 = crate::driver::run_distributed_probed(&s1, 1, 1, 40, &probes);

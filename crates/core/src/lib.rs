@@ -29,6 +29,9 @@
 //!   exchange, boundary sweep, fused stream–collide, buffer swap,
 //! * [`loadbalance`] — block-graph construction and graph-partitioning
 //!   balancing (the METIS path of §2.3),
+//! * [`migrate`] — distributed block migration: serialized PDF + flag
+//!   state moves between ranks when the runtime rebalancer
+//!   (`trillium-rebalance`, wired into [`driver`]) fires,
 //! * [`pipeline`] — the end-to-end setup pipeline from a signed-distance
 //!   domain to a balanced, distributed, voxelized simulation.
 
@@ -36,6 +39,7 @@ pub mod blocksim;
 pub mod checkpoint;
 pub mod driver;
 pub mod loadbalance;
+pub mod migrate;
 pub mod output;
 pub mod pipeline;
 pub mod scenario;
@@ -43,10 +47,12 @@ pub mod scenario;
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::blocksim::BlockSim;
-    pub use crate::driver::{run_distributed, RankResult, RunResult};
+    pub use crate::driver::{
+        run_distributed, run_distributed_rebalanced, RankResult, RebalanceConfig, RunResult,
+    };
     pub use crate::loadbalance::{block_graph, graph_balance};
     pub use crate::pipeline::{setup_domain, DomainSetup};
-    pub use crate::scenario::{KernelChoice, Scenario};
+    pub use crate::scenario::{BalanceStrategy, KernelChoice, Scenario};
     pub use trillium_field::{CellFlags, PdfField};
     pub use trillium_kernels::BoundaryParams;
     pub use trillium_lattice::{Relaxation, UnitConverter, D3Q19, MAGIC_TRT};

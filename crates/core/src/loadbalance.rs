@@ -26,11 +26,8 @@ pub fn block_graph(forest: &SetupForest) -> Graph {
     let mut edges = Vec::new();
     for (i, b) in forest.blocks.iter().enumerate() {
         for d in trillium_blockforest::NEIGHBOR_DIRS {
-            let nc = [
-                b.coords[0] + d[0] as i64,
-                b.coords[1] + d[1] as i64,
-                b.coords[2] + d[2] as i64,
-            ];
+            let nc =
+                [b.coords[0] + d[0] as i64, b.coords[1] + d[1] as i64, b.coords[2] + d[2] as i64];
             let Some(&j) = by_coords.get(&nc) else { continue };
             if j <= i {
                 continue; // count each undirected edge once
@@ -40,9 +37,7 @@ pub fn block_graph(forest: &SetupForest) -> Graph {
             if qs == 0 {
                 continue;
             }
-            let slab: usize = (0..3)
-                .map(|a| if d[a] == 0 { cells[a] } else { 1 })
-                .product();
+            let slab: usize = (0..3).map(|a| if d[a] == 0 { cells[a] } else { 1 }).product();
             edges.push((i as u32, j as u32, (slab * qs) as f64));
         }
     }
@@ -109,10 +104,7 @@ mod tests {
         let g = block_graph(&fm);
         let assign: Vec<u32> = fm.blocks.iter().map(|b| b.rank).collect();
         let cut_morton = g.edge_cut(&assign);
-        assert!(
-            cut_graph <= 1.5 * cut_morton,
-            "graph cut {cut_graph} vs morton cut {cut_morton}"
-        );
+        assert!(cut_graph <= 1.5 * cut_morton, "graph cut {cut_graph} vs morton cut {cut_morton}");
     }
 
     /// With unequal workloads (sparse geometry), the graph balancer beats

@@ -1,0 +1,124 @@
+//! Distributed block migration: acting on a [`RebalancePlan`].
+//!
+//! The plan (computed identically on every rank by
+//! `trillium_rebalance::plan_rebalance`) names blocks and their new
+//! owners; this module moves the actual simulation state. A migrating
+//! block is serialized completely — flag field and PDF state, via the
+//! `TCP2` wire format of [`crate::checkpoint`] — so the receiver never
+//! re-voxelizes geometry or re-runs initialization. After the transfers,
+//! every rank updates its copy of the global owner assignment and
+//! rebuilds its `DistributedForest` view, which refreshes the ghost
+//! exchange schedule (links may now cross different rank boundaries).
+//!
+//! Message tags live above the ghost-exchange tag space (`< 2^47`) and
+//! below the collective tag space (`>= 2^48`), so migration traffic can
+//! never be confused with either.
+
+use crate::blocksim::BlockSim;
+use crate::checkpoint::{restore_block_full, save_block_full};
+use std::collections::HashMap;
+use trillium_blockforest::{distribute, BlockId, DistributedForest, SetupForest};
+use trillium_comm::Communicator;
+use trillium_kernels::BoundaryParams;
+use trillium_rebalance::{Migration, RebalancePlan};
+
+/// Base of the migration tag space: ghost tags are `packed_id << 5 | dir`
+/// with `packed_id < 2^42` (so below `2^47`), collectives start at
+/// `2^48`.
+pub const MIGRATION_TAG_BASE: u64 = 1 << 47;
+
+/// Tag of the message carrying block `id` (packed) to its new owner.
+pub fn migration_tag(packed_id: u64) -> u64 {
+    assert!(packed_id < MIGRATION_TAG_BASE, "block ID too large for migration tags");
+    MIGRATION_TAG_BASE | packed_id
+}
+
+/// Outcome of one migration round on this rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Blocks this rank sent away.
+    pub sent: u32,
+    /// Blocks this rank received.
+    pub received: u32,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+}
+
+/// Executes `plan` on this rank: sends away blocks it no longer owns,
+/// receives blocks it gained, updates the shared owner assignment in
+/// `forest`, and rebuilds this rank's `view` (and with it the ghost
+/// schedule). `blocks` and `index_of` are remapped to the new view's
+/// block order.
+///
+/// Every rank must call this with the same plan in the same step, like a
+/// collective. Sends are posted before any receive, so the exchange
+/// cannot deadlock regardless of the migration pattern.
+pub fn execute_migrations(
+    comm: &mut Communicator,
+    plan: &RebalancePlan,
+    forest: &mut SetupForest,
+    view: &mut DistributedForest,
+    blocks: &mut Vec<BlockSim>,
+    index_of: &mut HashMap<BlockId, usize>,
+    boundary: BoundaryParams,
+) -> MigrationStats {
+    let rank = comm.rank();
+    let mut stats = MigrationStats::default();
+    let old_ids: Vec<u64> = view.blocks.iter().map(|b| b.id.pack()).collect();
+
+    // Phase 1: post all outgoing blocks.
+    let mut outgoing: Vec<usize> = Vec::new();
+    for m in &plan.migrations {
+        if m.from == rank {
+            let bi = index_of[&BlockId::unpack(m.id)];
+            let payload = save_block_full(&blocks[bi]);
+            stats.sent += 1;
+            stats.bytes_sent += payload.len() as u64;
+            comm.send(m.to, migration_tag(m.id), payload);
+            outgoing.push(bi);
+        }
+    }
+
+    // Phase 2: apply the new assignment to the global forest and rebuild
+    // this rank's view. `distribute` recomputes neighbor links, so ghost
+    // messages for the next step go to the right ranks automatically.
+    let new_owner: HashMap<u64, u32> =
+        plan.records.iter().zip(&plan.assignment).map(|(r, &a)| (r.id, a)).collect();
+    for b in &mut forest.blocks {
+        if let Some(&r) = new_owner.get(&b.id.pack()) {
+            b.rank = r;
+        }
+    }
+    let mut views = distribute(forest);
+    *view = views.swap_remove(rank as usize);
+
+    // Phase 3: rebuild the local block vector in the new view's order,
+    // reusing surviving blocks and receiving migrated ones.
+    let incoming: HashMap<u64, &Migration> =
+        plan.migrations.iter().filter(|m| m.to == rank).map(|m| (m.id, m)).collect();
+    let mut surviving: HashMap<u64, BlockSim> = blocks
+        .drain(..)
+        .enumerate()
+        .filter(|(bi, _)| !outgoing.contains(bi))
+        .map(|(bi, b)| (old_ids[bi], b))
+        .collect();
+    for lb in &view.blocks {
+        let packed = lb.id.pack();
+        let sim = match surviving.remove(&packed) {
+            Some(sim) => sim,
+            None => {
+                let m = incoming
+                    .get(&packed)
+                    .unwrap_or_else(|| panic!("block {packed} appeared without a migration"));
+                let data = comm.recv(m.from, migration_tag(packed));
+                stats.received += 1;
+                restore_block_full(&data, boundary).expect("migrated block failed to restore")
+            }
+        };
+        blocks.push(sim);
+    }
+    assert!(surviving.is_empty(), "owned blocks missing from the rebuilt view");
+
+    *index_of = view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
+    stats
+}

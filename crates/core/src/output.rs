@@ -35,11 +35,8 @@ pub fn write_vtk<W: Write>(
     writeln!(w, "SCALARS density double 1")?;
     writeln!(w, "LOOKUP_TABLE default")?;
     for (x, y, z) in s.interior().iter() {
-        let rho = if block.flags.flags(x, y, z).is_fluid() {
-            block.src.density(x, y, z)
-        } else {
-            0.0
-        };
+        let rho =
+            if block.flags.flags(x, y, z).is_fluid() { block.src.density(x, y, z) } else { 0.0 };
         writeln!(w, "{rho}")?;
     }
 
@@ -82,8 +79,12 @@ mod tests {
     #[test]
     fn vtk_output_is_well_formed() {
         let flags = boxed_block_flags(Shape::cube(4), [Some(CellFlags::NOSLIP); 6]);
-        let block =
-            crate::blocksim::BlockSim::from_flags(flags, BoundaryParams::default(), 1.25, [0.1, 0.0, 0.0]);
+        let block = crate::blocksim::BlockSim::from_flags(
+            flags,
+            BoundaryParams::default(),
+            1.25,
+            [0.1, 0.0, 0.0],
+        );
         let mut out = Vec::new();
         write_vtk(&mut out, &block, [1.0, 2.0, 3.0], 0.5).unwrap();
         let text = String::from_utf8(out).unwrap();
@@ -99,11 +100,7 @@ mod tests {
         assert_eq!(densities.len(), 64);
         assert!(densities.iter().all(|&d| (d - 1.25).abs() < 1e-12));
         // Velocity lines carry the initial velocity.
-        let vel_line = text
-            .lines()
-            .skip_while(|l| !l.starts_with("VECTORS"))
-            .nth(1)
-            .unwrap();
+        let vel_line = text.lines().skip_while(|l| !l.starts_with("VECTORS")).nth(1).unwrap();
         let u: Vec<f64> = vel_line.split_whitespace().map(|t| t.parse().unwrap()).collect();
         assert!((u[0] - 0.1).abs() < 1e-12 && u[1].abs() < 1e-12 && u[2].abs() < 1e-12);
     }

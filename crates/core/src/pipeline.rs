@@ -70,16 +70,8 @@ pub fn setup_domain(
         ],
         ..Default::default()
     };
-    let scenario = Scenario::from_sdf(
-        name,
-        sdf.clone(),
-        dx,
-        cells_per_block,
-        viscosity,
-        inflow,
-        1.0,
-        config,
-    );
+    let scenario =
+        Scenario::from_sdf(name, sdf.clone(), dx, cells_per_block, viscosity, inflow, 1.0, config);
     let mut forest = SetupForest::from_domain(sdf.as_ref(), dx, cells_per_block);
     match balancer {
         Balancer::Morton => morton_balance(&mut forest, num_procs),
@@ -234,11 +226,8 @@ mod tests {
 
     #[test]
     fn weak_scaling_setup_targets_one_block_per_process() {
-        let s = AnalyticSdf::Capsule {
-            a: vec3(0.0, 0.0, 0.0),
-            b: vec3(5.0, 0.0, 0.0),
-            radius: 0.4,
-        };
+        let s =
+            AnalyticSdf::Capsule { a: vec3(0.0, 0.0, 0.0), b: vec3(5.0, 0.0, 0.0), radius: 0.4 };
         let (forest, dx) = setup_weak_scaling(&s, [8, 8, 8], 32, 32);
         assert!(forest.num_blocks() <= 32);
         assert!(forest.num_blocks() >= 16);

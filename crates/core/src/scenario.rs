@@ -10,11 +10,11 @@
 
 use crate::blocksim::{boxed_block_flags, BlockSim};
 use std::sync::Arc;
-use trillium_blockforest::{morton_balance, LocalBlock, SetupForest};
+use trillium_blockforest::{morton_balance, skewed_balance, LocalBlock, SetupForest};
 use trillium_field::{CellFlags, FlagOps, Shape};
-use trillium_geometry::{Aabb, SignedDistance, Vec3};
 use trillium_geometry::vec3::vec3;
 use trillium_geometry::voxelize::{voxelize_block, VoxelizeConfig};
+use trillium_geometry::{Aabb, SignedDistance, Vec3};
 use trillium_kernels::BoundaryParams;
 use trillium_lattice::Relaxation;
 
@@ -23,6 +23,18 @@ use trillium_lattice::Relaxation;
 pub enum KernelChoice {
     /// Dense kernel for fully fluid blocks, sparse otherwise (default).
     Auto,
+}
+
+/// How the initial (static) balancer assigns blocks to ranks.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum BalanceStrategy {
+    /// Morton-curve cut with equal workload quotas (default).
+    Morton,
+    /// Deliberately skewed: rank 0 gets `fraction` of the total workload,
+    /// the rest is split evenly. Exists to exercise the runtime
+    /// rebalancer — a realistic stand-in for estimator error on complex
+    /// geometries, where static cell counts mispredict measured cost.
+    Skewed(f64),
 }
 
 /// A complete simulation scenario: domain, discretization, physics.
@@ -42,6 +54,8 @@ pub struct Scenario {
     pub rho0: f64,
     /// Initial velocity.
     pub u0: [f64; 3],
+    /// Static balancer used by [`Scenario::make_forest`].
+    pub balance: BalanceStrategy,
     kind: Kind,
 }
 
@@ -77,6 +91,7 @@ impl Scenario {
             },
             rho0: 1.0,
             u0: [0.0; 3],
+            balance: BalanceStrategy::Morton,
             kind: Kind::Cavity,
         }
     }
@@ -106,6 +121,7 @@ impl Scenario {
             boundary: BoundaryParams { wall_velocity: [inflow, 0.0, 0.0], ..Default::default() },
             rho0: 1.0,
             u0: [0.0; 3],
+            balance: BalanceStrategy::Morton,
             kind: Kind::Channel {
                 center: [n[0] as f64 / 2.0, n[1] as f64 / 2.0, n[2] as f64 / 2.0],
                 radius,
@@ -139,6 +155,7 @@ impl Scenario {
             },
             rho0: 1.0,
             u0: [0.0; 3],
+            balance: BalanceStrategy::Morton,
             kind: Kind::Domain { sdf, config, dx },
         }
     }
@@ -152,18 +169,22 @@ impl Scenario {
                     (self.blocks[1] * self.cells[1]) as f64,
                     (self.blocks[2] * self.cells[2]) as f64,
                 );
-                SetupForest::uniform(
-                    Aabb::new(Vec3::ZERO, ext),
-                    self.blocks,
-                    self.cells,
-                )
+                SetupForest::uniform(Aabb::new(Vec3::ZERO, ext), self.blocks, self.cells)
             }
-            Kind::Domain { sdf, dx, .. } => {
-                SetupForest::from_domain(sdf.as_ref(), *dx, self.cells)
-            }
+            Kind::Domain { sdf, dx, .. } => SetupForest::from_domain(sdf.as_ref(), *dx, self.cells),
         };
-        morton_balance(&mut forest, num_procs);
+        match self.balance {
+            BalanceStrategy::Morton => morton_balance(&mut forest, num_procs),
+            BalanceStrategy::Skewed(fraction) => skewed_balance(&mut forest, num_procs, fraction),
+        }
         forest
+    }
+
+    /// Replaces the static balancer with the deliberately skewed one (see
+    /// [`BalanceStrategy::Skewed`]).
+    pub fn with_skewed_balance(mut self, fraction: f64) -> Self {
+        self.balance = BalanceStrategy::Skewed(fraction);
+        self
     }
 
     /// Builds the simulation state of one local block.
@@ -289,11 +310,8 @@ mod tests {
         let s = Scenario::channel_with_obstacle([32, 16, 16], [2, 1, 1], 0.05, 0.05, 0.2);
         let f = s.make_forest(1);
         let views = distribute(&f);
-        let total_fluid: usize = views[0]
-            .blocks
-            .iter()
-            .map(|b| s.build_block(b).fluid_cells())
-            .sum();
+        let total_fluid: usize =
+            views[0].blocks.iter().map(|b| s.build_block(b).fluid_cells()).sum();
         let total = 32 * 16 * 16;
         assert!(total_fluid < total, "obstacle removed no cells");
         // Paper: obstacle-to-fluid ratio < 1 %? Here the sphere radius is

@@ -88,11 +88,7 @@ impl FlagOps for FlagField {
     }
 
     fn count_fluid(&self) -> usize {
-        self.shape()
-            .interior()
-            .iter()
-            .filter(|&(x, y, z)| self.flags(x, y, z).is_fluid())
-            .count()
+        self.shape().interior().iter().filter(|&(x, y, z)| self.flags(x, y, z).is_fluid()).count()
     }
 
     fn fluid_fraction(&self) -> f64 {

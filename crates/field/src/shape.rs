@@ -117,11 +117,7 @@ impl Shape {
     /// The full allocated region including ghosts.
     pub fn with_ghosts(&self) -> Region {
         let g = self.ghost as i32;
-        Region::new(
-            -g..self.nx as i32 + g,
-            -g..self.ny as i32 + g,
-            -g..self.nz as i32 + g,
-        )
+        Region::new(-g..self.nx as i32 + g, -g..self.ny as i32 + g, -g..self.nz as i32 + g)
     }
 
     /// The slab of interior cells adjacent to the face/edge/corner in

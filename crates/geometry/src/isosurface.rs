@@ -21,14 +21,8 @@ use std::collections::HashMap;
 /// The six tetrahedra of a cube, as cube-corner indices. Corner `i` has
 /// coordinates `((i & 1), (i >> 1) & 1, (i >> 2) & 1)` — note this is x in
 /// bit 0, y in bit 1, z in bit 2. All six share the main diagonal 0–7.
-const TETS: [[usize; 4]; 6] = [
-    [0, 1, 3, 7],
-    [0, 3, 2, 7],
-    [0, 2, 6, 7],
-    [0, 6, 4, 7],
-    [0, 4, 5, 7],
-    [0, 5, 1, 7],
-];
+const TETS: [[usize; 4]; 6] =
+    [[0, 1, 3, 7], [0, 3, 2, 7], [0, 2, 6, 7], [0, 6, 4, 7], [0, 4, 5, 7], [0, 5, 1, 7]];
 
 /// Extracts the zero isosurface of `sdf` on a regular grid with `cell`
 /// spacing covering the domain's bounding box (inflated by two cells).
@@ -64,23 +58,17 @@ pub fn marching_tetrahedra<S: SignedDistance + ?Sized>(sdf: &S, cell: f64) -> Tr
     // the edge they sit on.
     let mut edge_vertices: HashMap<(usize, usize), u32> = HashMap::new();
 
-    let mut vertex_on_edge = |mesh: &mut TriMesh,
-                              ga: usize,
-                              gb: usize,
-                              pa: Vec3,
-                              pb: Vec3,
-                              va: f64,
-                              vb: f64|
-     -> u32 {
-        let key = (ga.min(gb), ga.max(gb));
-        *edge_vertices.entry(key).or_insert_with(|| {
-            let t = va / (va - vb);
-            let p = pa + (pb - pa) * t;
-            mesh.vertices.push(p);
-            mesh.colors.push(0);
-            (mesh.vertices.len() - 1) as u32
-        })
-    };
+    let mut vertex_on_edge =
+        |mesh: &mut TriMesh, ga: usize, gb: usize, pa: Vec3, pb: Vec3, va: f64, vb: f64| -> u32 {
+            let key = (ga.min(gb), ga.max(gb));
+            *edge_vertices.entry(key).or_insert_with(|| {
+                let t = va / (va - vb);
+                let p = pa + (pb - pa) * t;
+                mesh.vertices.push(p);
+                mesh.colors.push(0);
+                (mesh.vertices.len() - 1) as u32
+            })
+        };
 
     let emit = |mesh: &mut TriMesh, a: u32, b: u32, c: u32, inside_ref: Vec3| {
         if a == b || b == c || a == c {
@@ -197,11 +185,8 @@ mod tests {
 
     #[test]
     fn capsule_extraction_is_watertight() {
-        let sdf = AnalyticSdf::Capsule {
-            a: vec3(0.0, 0.0, 0.0),
-            b: vec3(0.0, 0.0, 3.0),
-            radius: 0.5,
-        };
+        let sdf =
+            AnalyticSdf::Capsule { a: vec3(0.0, 0.0, 0.0), b: vec3(0.0, 0.0, 3.0), radius: 0.5 };
         let mesh = marching_tetrahedra(&sdf, 0.08);
         assert!(mesh.is_watertight());
         // Cylinder volume + sphere volume.

@@ -165,8 +165,7 @@ impl TriMesh {
             for e in 0..3 {
                 let a = t[e];
                 let b = t[(e + 1) % 3];
-                *directed.entry((a.min(b), a.max(b))).or_insert(0) +=
-                    if a < b { 1 } else { -1 };
+                *directed.entry((a.min(b), a.max(b))).or_insert(0) += if a < b { 1 } else { -1 };
             }
         }
         // Each undirected edge must appear exactly once in each direction;
@@ -276,7 +275,14 @@ impl TriMesh {
     /// conditions; the lateral wall is subdivided into four uncolored
     /// bands so wall triangles vote "uncolored" in the closest-triangle
     /// majority used for boundary-condition assignment.
-    pub fn make_tube(p0: Vec3, p1: Vec3, r: f64, segments: usize, color0: u32, color1: u32) -> TriMesh {
+    pub fn make_tube(
+        p0: Vec3,
+        p1: Vec3,
+        r: f64,
+        segments: usize,
+        color0: u32,
+        color1: u32,
+    ) -> TriMesh {
         assert!(segments >= 3);
         const BANDS: usize = 4; // lateral subdivisions along the axis
         let axis_vec = p1 - p0;

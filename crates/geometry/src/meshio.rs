@@ -151,11 +151,7 @@ pub fn read_off<R: BufRead>(r: R) -> Result<TriMesh, MeshIoError> {
             toks[2].parse().map_err(|_| MeshIoError::Parse("bad coord".into()))?,
         );
         mesh.vertices.push(p);
-        let color = if colored && toks.len() >= 4 {
-            toks[3].parse().unwrap_or(0)
-        } else {
-            0
-        };
+        let color = if colored && toks.len() >= 4 { toks[3].parse().unwrap_or(0) } else { 0 };
         mesh.colors.push(color);
     }
     for _ in 0..nf {
@@ -252,10 +248,7 @@ mod tests {
         assert!(matches!(read_stl(&buf), Err(MeshIoError::Parse(_))));
         // Face index out of range in OFF.
         let bad = b"OFF\n1 1 0\n0 0 0\n3 0 1 2\n";
-        assert!(matches!(
-            read_off(std::io::BufReader::new(&bad[..])),
-            Err(MeshIoError::Parse(_))
-        ));
+        assert!(matches!(read_off(std::io::BufReader::new(&bad[..])), Err(MeshIoError::Parse(_))));
     }
 
     /// The paper's workflow: write the colored vascular mesh, read it

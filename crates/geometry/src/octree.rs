@@ -125,11 +125,8 @@ impl Octree {
             }
             Node::Inner { children } => {
                 // Visit children closest-first for effective pruning.
-                let mut order: Vec<(f64, usize)> = children
-                    .iter()
-                    .enumerate()
-                    .map(|(i, (bb, _))| (bb.dist_sq(p), i))
-                    .collect();
+                let mut order: Vec<(f64, usize)> =
+                    children.iter().enumerate().map(|(i, (bb, _))| (bb.dist_sq(p), i)).collect();
                 order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
                 for (d2, i) in order {
                     if d2 >= best.1 {
@@ -254,11 +251,8 @@ mod tests {
         let m = TriMesh::make_tube(vec3(0.0, 0.0, 0.0), vec3(0.0, 0.0, 10.0), 1.0, 32, 1, 2);
         let tree = TriangleOctree::build(&m);
         for _ in 0..200 {
-            let p = vec3(
-                rng.gen_range(-3.0..3.0),
-                rng.gen_range(-3.0..3.0),
-                rng.gen_range(-2.0..12.0),
-            );
+            let p =
+                vec3(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0), rng.gen_range(-2.0..12.0));
             let fast = tree.nearest(&m, p);
             let slow = TriangleOctree::nearest_brute_force(&m, p);
             assert!((fast.dist_sq - slow.dist_sq).abs() < 1e-12, "mismatch at {p:?}");

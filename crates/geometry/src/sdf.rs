@@ -227,7 +227,8 @@ mod tests {
 
     #[test]
     fn capsule_sdf() {
-        let sdf = AnalyticSdf::Capsule { a: vec3(0.0, 0.0, 0.0), b: vec3(0.0, 0.0, 4.0), radius: 0.5 };
+        let sdf =
+            AnalyticSdf::Capsule { a: vec3(0.0, 0.0, 0.0), b: vec3(0.0, 0.0, 4.0), radius: 0.5 };
         assert!(sdf.contains(vec3(0.0, 0.0, 2.0)));
         assert!(sdf.contains(vec3(0.3, 0.0, 0.0)));
         assert!(!sdf.contains(vec3(0.6, 0.0, 2.0)));

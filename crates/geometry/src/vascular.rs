@@ -353,11 +353,8 @@ mod tests {
                     rng.gen_range(-0.1..=1.1) * e.z,
                 );
             let fast = t.signed_distance(p);
-            let slow = t
-                .segments
-                .iter()
-                .map(|s| s.signed_distance(p))
-                .fold(f64::INFINITY, f64::min);
+            let slow =
+                t.segments.iter().map(|s| s.signed_distance(p)).fold(f64::INFINITY, f64::min);
             assert!((fast - slow).abs() < 1e-10, "at {p:?}: {fast} vs {slow}");
         }
     }

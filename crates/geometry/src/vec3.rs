@@ -41,11 +41,7 @@ impl Vec3 {
     /// Cross product.
     #[inline(always)]
     pub fn cross(self, o: Vec3) -> Vec3 {
-        vec3(
-            self.y * o.z - self.z * o.y,
-            self.z * o.x - self.x * o.z,
-            self.x * o.y - self.y * o.x,
-        )
+        vec3(self.y * o.z - self.z * o.y, self.z * o.x - self.x * o.z, self.x * o.y - self.y * o.x)
     }
 
     /// Squared Euclidean norm.

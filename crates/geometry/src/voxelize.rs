@@ -94,10 +94,7 @@ pub struct VoxelizeConfig {
 
 impl Default for VoxelizeConfig {
     fn default() -> Self {
-        VoxelizeConfig {
-            stencil: trillium_lattice::d3q19::C.to_vec(),
-            color_map: Vec::new(),
-        }
+        VoxelizeConfig { stencil: trillium_lattice::d3q19::C.to_vec(), color_map: Vec::new() }
     }
 }
 
@@ -256,11 +253,7 @@ mod tests {
         let flags = voxelize_block(&sdf, origin, dx, shape, &config);
         assert!(flags.count_fluid() > 100);
         let count = |f: CellFlags| {
-            shape
-                .with_ghosts()
-                .iter()
-                .filter(|&(x, y, z)| flags.flags(x, y, z) == f)
-                .count()
+            shape.with_ghosts().iter().filter(|&(x, y, z)| flags.flags(x, y, z) == f).count()
         };
         assert!(count(CellFlags::VELOCITY) > 0, "no velocity cells");
         assert!(count(CellFlags::PRESSURE) > 0, "no pressure cells");

@@ -164,11 +164,8 @@ mod imp {
                         _mm256_storeu_pd(ux.as_mut_ptr().add(x), vx);
                         _mm256_storeu_pd(uy.as_mut_ptr().add(x), vy);
                         _mm256_storeu_pd(uz.as_mut_ptr().add(x), vz);
-                        let u2 = _mm256_fmadd_pd(
-                            vz,
-                            vz,
-                            _mm256_fmadd_pd(vy, vy, _mm256_mul_pd(vx, vx)),
-                        );
+                        let u2 =
+                            _mm256_fmadd_pd(vz, vz, _mm256_fmadd_pd(vy, vy, _mm256_mul_pd(vx, vx)));
                         let b = _mm256_fnmadd_pd(c15, u2, one);
                         _mm256_storeu_pd(ebase.as_mut_ptr().add(x), b);
                         x += LANES;
@@ -368,11 +365,8 @@ mod imp {
                         _mm256_storeu_pd(ux.as_mut_ptr().add(x), vx);
                         _mm256_storeu_pd(uy.as_mut_ptr().add(x), vy);
                         _mm256_storeu_pd(uz.as_mut_ptr().add(x), vz);
-                        let u2 = _mm256_fmadd_pd(
-                            vz,
-                            vz,
-                            _mm256_fmadd_pd(vy, vy, _mm256_mul_pd(vx, vx)),
-                        );
+                        let u2 =
+                            _mm256_fmadd_pd(vz, vz, _mm256_fmadd_pd(vy, vy, _mm256_mul_pd(vx, vx)));
                         let b = _mm256_fnmadd_pd(c15, u2, one);
                         _mm256_storeu_pd(ebase.as_mut_ptr().add(x), b);
                         x += LANES;

@@ -271,6 +271,9 @@ mod tests {
             step(&mut src, &mut dst, &flags, &params, rel);
         }
         let rho_after = src.density(0, 3, 3);
-        assert!(rho_after > rho_before + 0.01, "density not driven up: {rho_before} -> {rho_after}");
+        assert!(
+            rho_after > rho_before + 0.01,
+            "density not driven up: {rho_before} -> {rho_after}"
+        );
     }
 }

@@ -154,7 +154,17 @@ pub(crate) fn collide_trt_cell(
 
     // One antiparallel pair: a carries +cu, b carries −cu.
     #[inline(always)]
-    fn pair(f: &[f64; Q], out: &mut [f64], a: usize, b: usize, t: f64, cu: f64, base: f64, le: f64, lo: f64) {
+    fn pair(
+        f: &[f64; Q],
+        out: &mut [f64],
+        a: usize,
+        b: usize,
+        t: f64,
+        cu: f64,
+        base: f64,
+        le: f64,
+        lo: f64,
+    ) {
         let feq_even = t * (base + 4.5 * cu * cu);
         let feq_odd = t * 3.0 * cu;
         let fp = 0.5 * (f[a] + f[b]);

@@ -62,7 +62,14 @@ fn row_base(shape: &Shape, y: i32, z: i32) -> usize {
 /// The pull-shifted source line of direction `q` for a row starting at
 /// linear index `base`, `n` cells long.
 #[inline(always)]
-fn src_line<'a>(dirs: &'a [&'a [f64]], q: usize, base: usize, sy: isize, sz: isize, n: usize) -> &'a [f64] {
+fn src_line<'a>(
+    dirs: &'a [&'a [f64]],
+    q: usize,
+    base: usize,
+    sy: isize,
+    sz: isize,
+    n: usize,
+) -> &'a [f64] {
     let off = C[q][0] as isize + C[q][1] as isize * sy + C[q][2] as isize * sz;
     let start = (base as isize - off) as usize;
     &dirs[q][start..start + n]
@@ -79,7 +86,8 @@ fn moment_passes(
     n: usize,
     scr: &mut RowScratch,
 ) {
-    let (rho, ux, uy, uz) = (&mut scr.rho[..n], &mut scr.ux[..n], &mut scr.uy[..n], &mut scr.uz[..n]);
+    let (rho, ux, uy, uz) =
+        (&mut scr.rho[..n], &mut scr.ux[..n], &mut scr.uy[..n], &mut scr.uz[..n]);
     rho.fill(0.0);
     ux.fill(0.0);
     uy.fill(0.0);
@@ -128,7 +136,8 @@ fn trt_pair_row(
     lo: f64,
     n: usize,
 ) {
-    let (rho, ux, uy, uz, base) = (&scr.rho[..n], &scr.ux[..n], &scr.uy[..n], &scr.uz[..n], &scr.base[..n]);
+    let (rho, ux, uy, uz, base) =
+        (&scr.rho[..n], &scr.ux[..n], &scr.uy[..n], &scr.uz[..n], &scr.base[..n]);
     for x in 0..n {
         let cu = c[0] * ux[x] + c[1] * uy[x] + c[2] * uz[x];
         let t = wq * rho[x];

@@ -84,7 +84,7 @@ pub fn stream_collide_trt_conditional(
             fluid += 1;
         }
     }
-    SweepStats { cells: shape.interior_cells() as u64, fluid_cells: fluid }
+    SweepStats { cells: shape.interior_cells() as u64, fluid_cells: fluid, seconds: 0.0 }
 }
 
 /// Strategy 2: loop over an explicit fluid-cell list.
@@ -103,7 +103,7 @@ pub fn stream_collide_trt_cell_list(
     for &(x, y, z) in &list.cells {
         update_cell(&sdirs, &mut ddirs, shape.idx(x, y, z), &off, le, lo);
     }
-    SweepStats { cells: list.len() as u64, fluid_cells: list.len() as u64 }
+    SweepStats { cells: list.len() as u64, fluid_cells: list.len() as u64, seconds: 0.0 }
 }
 
 /// Strategy 3: vectorizable sweep over per-row first/last fluid intervals.
@@ -194,6 +194,7 @@ pub fn stream_collide_trt_row_intervals(
     SweepStats {
         cells: intervals.covered_cells() as u64,
         fluid_cells: intervals.fluid_cells as u64,
+        seconds: 0.0,
     }
 }
 

@@ -65,9 +65,8 @@ const W1: f64 = 1.0 / 18.0;
 const W2: f64 = 1.0 / 36.0;
 
 /// Lattice weights: 1/3 for rest, 1/18 axis, 1/36 diagonal.
-pub const W: [f64; Q] = [
-    W0, W1, W1, W1, W1, W1, W1, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2,
-];
+pub const W: [f64; Q] =
+    [W0, W1, W1, W1, W1, W1, W1, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2];
 
 /// Opposite-direction lookup table.
 pub const INVERSE: [usize; Q] = [

@@ -54,14 +54,14 @@ pub const C: [[i8; 3]; Q] = [
 
 /// Lattice weights: 8/27 rest, 2/27 axis, 1/54 face-diagonal, 1/216 corner.
 pub const W: [f64; Q] = [
-    W0, W1, W1, W1, W1, W1, W1, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W3, W3, W3, W3,
-    W3, W3, W3, W3,
+    W0, W1, W1, W1, W1, W1, W1, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W2, W3, W3, W3, W3, W3,
+    W3, W3, W3,
 ];
 
 /// Opposite-direction lookup table.
 pub const INVERSE: [usize; Q] = [
-    0, 2, 1, 4, 3, 6, 5, 10, 9, 8, 7, 16, 15, 18, 17, 12, 11, 14, 13, 20, 19, 22, 21, 24, 23,
-    26, 25,
+    0, 2, 1, 4, 3, 6, 5, 10, 9, 8, 7, 16, 15, 18, 17, 12, 11, 14, 13, 20, 19, 22, 21, 24, 23, 26,
+    25,
 ];
 
 /// Antiparallel pairs `(q, q̄)` with `q < q̄`.
@@ -123,10 +123,7 @@ mod tests {
 
     #[test]
     fn corner_count() {
-        let corners = C
-            .iter()
-            .filter(|v| v.iter().filter(|&&x| x != 0).count() == 3)
-            .count();
+        let corners = C.iter().filter(|v| v.iter().filter(|&&x| x != 0).count() == 3).count();
         assert_eq!(corners, 8);
     }
 }

@@ -103,11 +103,7 @@ mod tests {
     fn heavy_edges_collapse_first() {
         // Two vertices joined by a heavy edge plus light fringe edges: the
         // heavy pair must merge.
-        let g = Graph::from_edges(
-            4,
-            &[(0, 1, 100.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
-            None,
-        );
+        let g = Graph::from_edges(4, &[(0, 1, 100.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)], None);
         let mut rng = StdRng::seed_from_u64(0);
         let (_, map) = heavy_edge_coarsen(&g, &mut rng);
         assert_eq!(map[0], map[1], "heavy edge not contracted");

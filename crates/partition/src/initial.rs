@@ -23,11 +23,9 @@ pub fn greedy_growing(g: &Graph, k: usize, tolerance: f64, rng: &mut StdRng) -> 
     for part in 0..k as u32 {
         // Seed: unassigned vertex with the fewest assigned neighbors
         // (prefer fresh territory), ties broken by the shuffled order.
-        let seed = order
-            .iter()
-            .copied()
-            .filter(|&v| assign[v] == UNASSIGNED)
-            .min_by_key(|&v| g.neighbors(v).filter(|&(u, _)| assign[u as usize] != UNASSIGNED).count());
+        let seed = order.iter().copied().filter(|&v| assign[v] == UNASSIGNED).min_by_key(|&v| {
+            g.neighbors(v).filter(|&(u, _)| assign[u as usize] != UNASSIGNED).count()
+        });
         let Some(seed) = seed else { break };
 
         let mut weight = 0.0;
@@ -37,9 +35,8 @@ pub fn greedy_growing(g: &Graph, k: usize, tolerance: f64, rng: &mut StdRng) -> 
         conn.insert(seed, f64::INFINITY);
         while weight < quota {
             // Strongest-connected frontier vertex.
-            let Some((&v, _)) = conn
-                .iter()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+            let Some((&v, _)) =
+                conn.iter().max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
             else {
                 break;
             };
@@ -105,8 +102,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn path(n: usize) -> Graph {
-        let edges: Vec<(u32, u32, f64)> =
-            (0..n as u32 - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let edges: Vec<(u32, u32, f64)> = (0..n as u32 - 1).map(|i| (i, i + 1, 1.0)).collect();
         Graph::from_edges(n, &edges, None)
     }
 
@@ -137,6 +133,9 @@ mod tests {
         let g = path(100);
         let mut rng = StdRng::seed_from_u64(8);
         let assign = greedy_growing(&g, 5, 1.05, &mut rng);
-        assert!(g.balance(&assign, 5) < 1.6, "initial partitions are refined later; only gross imbalance is a bug");
+        assert!(
+            g.balance(&assign, 5) < 1.6,
+            "initial partitions are refined later; only gross imbalance is a bug"
+        );
     }
 }

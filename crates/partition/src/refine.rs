@@ -80,15 +80,11 @@ fn rebalance(g: &Graph, assign: &mut [u32], k: usize, tolerance: f64, part_w: &m
     let max_part = avg * tolerance.max(1.0);
     // Bounded iterations: each move strictly shrinks the heaviest part.
     for _ in 0..2 * n {
-        let from = (0..k)
-            .max_by(|&a, &b| part_w[a].partial_cmp(&part_w[b]).unwrap())
-            .unwrap();
+        let from = (0..k).max_by(|&a, &b| part_w[a].partial_cmp(&part_w[b]).unwrap()).unwrap();
         if part_w[from] <= max_part {
             break;
         }
-        let to = (0..k)
-            .min_by(|&a, &b| part_w[a].partial_cmp(&part_w[b]).unwrap())
-            .unwrap();
+        let to = (0..k).min_by(|&a, &b| part_w[a].partial_cmp(&part_w[b]).unwrap()).unwrap();
         // Cheapest vertex of `from` to evict: maximize conn[to] − conn[from]
         // (least cut damage), then prefer small weight. A move is
         // admissible if it keeps the target within tolerance — or, when

@@ -1,0 +1,111 @@
+//! Per-block cost model from measured sweep times.
+
+use std::collections::HashMap;
+
+/// Exponentially weighted moving average of per-block execution cost.
+///
+/// One sample per block per time step (the measured wall time of its
+/// `stream_collide` sweep plus its share of the ghost exchange). The
+/// EWMA absorbs timer jitter and OS noise while tracking real drift
+/// within a few epochs: `cost ← (1−α)·cost + α·sample`, seeded with the
+/// first sample directly so startup doesn't ramp from zero.
+#[derive(Clone, Debug)]
+pub struct EwmaCostModel {
+    alpha: f64,
+    costs: HashMap<u64, f64>,
+}
+
+impl EwmaCostModel {
+    /// Creates a model with smoothing factor `alpha` in `(0, 1]`; higher
+    /// alpha reacts faster but is noisier. `0.2` works well for per-step
+    /// sampling.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, costs: HashMap::new() }
+    }
+
+    /// Folds one measured sample (seconds) for the block into its cost.
+    pub fn update(&mut self, block: u64, seconds: f64) {
+        match self.costs.get_mut(&block) {
+            Some(c) => *c += self.alpha * (seconds - *c),
+            None => {
+                self.costs.insert(block, seconds);
+            }
+        }
+    }
+
+    /// Smoothed cost of one block, or zero if never sampled.
+    pub fn cost(&self, block: u64) -> f64 {
+        self.costs.get(&block).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all block costs: this rank's modeled load per step.
+    pub fn total(&self) -> f64 {
+        self.costs.values().sum()
+    }
+
+    /// Number of blocks with at least one sample.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// True if no block has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Drops a block that migrated away (its cost history moves with the
+    /// receiving rank only in the sense that the receiver re-learns it;
+    /// measured cost is machine-local, so carrying the number over would
+    /// be wrong on heterogeneous nodes).
+    pub fn forget(&mut self, block: u64) {
+        self.costs.remove(&block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_directly() {
+        let mut m = EwmaCostModel::new(0.2);
+        m.update(7, 1.0);
+        assert_eq!(m.cost(7), 1.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_new_level() {
+        let mut m = EwmaCostModel::new(0.5);
+        m.update(1, 1.0);
+        for _ in 0..20 {
+            m.update(1, 3.0);
+        }
+        assert!((m.cost(1) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ewma_damps_a_single_spike() {
+        let mut m = EwmaCostModel::new(0.2);
+        for _ in 0..10 {
+            m.update(1, 1.0);
+        }
+        m.update(1, 100.0);
+        // One outlier moves the estimate by at most alpha * jump.
+        assert!(m.cost(1) < 1.0 + 0.2 * 99.0 + 1e-9);
+        assert!(m.cost(1) > 1.0);
+    }
+
+    #[test]
+    fn totals_and_forget() {
+        let mut m = EwmaCostModel::new(1.0);
+        m.update(1, 2.0);
+        m.update(2, 3.0);
+        assert_eq!(m.len(), 2);
+        assert!((m.total() - 5.0).abs() < 1e-12);
+        m.forget(1);
+        assert_eq!(m.len(), 1);
+        assert!((m.total() - 3.0).abs() < 1e-12);
+        assert_eq!(m.cost(1), 0.0);
+    }
+}

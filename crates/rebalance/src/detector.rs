@@ -1,0 +1,140 @@
+//! Imbalance detection with hysteresis.
+
+/// Decides *when* to rebalance from the global load ratio.
+///
+/// The load ratio is `max_rank_cost / avg_rank_cost` (1.0 is perfect).
+/// Migration is expensive — serialized PDF fields cross the network and
+/// every rank rebuilds its communication schedule — so the detector only
+/// fires after the ratio has exceeded `threshold` for `hysteresis`
+/// *consecutive* observations. A single slow epoch (page faults, a
+/// competing job burst) therefore never triggers migration, while a
+/// structural imbalance fires after a bounded delay.
+#[derive(Clone, Debug)]
+pub struct ImbalanceDetector {
+    threshold: f64,
+    hysteresis: u32,
+    consecutive: u32,
+    cooldown: u32,
+    cooling: u32,
+}
+
+impl ImbalanceDetector {
+    /// `threshold` is the max/avg ratio above which an epoch counts as
+    /// imbalanced (must be ≥ 1); `hysteresis` is how many consecutive
+    /// imbalanced epochs arm the trigger (≥ 1).
+    pub fn new(threshold: f64, hysteresis: u32) -> Self {
+        assert!(threshold >= 1.0, "a max/avg ratio below 1 is impossible");
+        assert!(hysteresis >= 1);
+        Self { threshold, hysteresis, consecutive: 0, cooldown: 0, cooling: 0 }
+    }
+
+    /// After a trigger, ignore the next `epochs` observations entirely.
+    ///
+    /// Right after a migration the EWMA cost model is stale: migrated
+    /// blocks are re-seeded from a single sample and the remaining
+    /// blocks' averages still carry pre-migration history, so the
+    /// measured ratio bounces for a few epochs even when the new
+    /// assignment is good. Observing during that window re-fires on
+    /// noise and thrashes blocks back and forth.
+    pub fn with_cooldown(mut self, epochs: u32) -> Self {
+        self.cooldown = epochs;
+        self
+    }
+
+    /// Feeds one epoch's load ratio; returns true when a rebalance should
+    /// run now. Firing resets the streak, so the next trigger again needs
+    /// `hysteresis` consecutive bad epochs (measured post-migration, and
+    /// only after any configured cooldown window has passed).
+    pub fn observe(&mut self, ratio: f64) -> bool {
+        if self.cooling > 0 {
+            self.cooling -= 1;
+            return false;
+        }
+        if ratio > self.threshold {
+            self.consecutive += 1;
+            if self.consecutive >= self.hysteresis {
+                self.consecutive = 0;
+                self.cooling = self.cooldown;
+                return true;
+            }
+        } else {
+            self.consecutive = 0;
+        }
+        false
+    }
+
+    /// The configured trigger threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Current length of the imbalanced-epoch streak.
+    pub fn streak(&self) -> u32 {
+        self.consecutive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_after_consecutive_epochs() {
+        let mut d = ImbalanceDetector::new(1.5, 3);
+        assert!(!d.observe(2.0));
+        assert!(!d.observe(2.0));
+        assert!(d.observe(2.0));
+    }
+
+    #[test]
+    fn transient_spike_is_ignored() {
+        let mut d = ImbalanceDetector::new(1.5, 2);
+        assert!(!d.observe(3.0)); // spike
+        assert!(!d.observe(1.1)); // back to normal: streak resets
+        assert!(!d.observe(3.0));
+        assert!(d.observe(3.0));
+    }
+
+    #[test]
+    fn firing_resets_the_streak() {
+        let mut d = ImbalanceDetector::new(1.2, 2);
+        assert!(!d.observe(2.0));
+        assert!(d.observe(2.0));
+        // Needs two more bad epochs before firing again.
+        assert!(!d.observe(2.0));
+        assert!(d.observe(2.0));
+    }
+
+    #[test]
+    fn balanced_runs_never_fire() {
+        let mut d = ImbalanceDetector::new(1.3, 1);
+        for _ in 0..100 {
+            assert!(!d.observe(1.05));
+        }
+        assert_eq!(d.streak(), 0);
+    }
+
+    #[test]
+    fn cooldown_suppresses_refire_after_trigger() {
+        let mut d = ImbalanceDetector::new(1.2, 2).with_cooldown(3);
+        assert!(!d.observe(2.0));
+        assert!(d.observe(2.0));
+        // The next three observations fall in the cooldown window and are
+        // discarded, even though they exceed the threshold.
+        assert!(!d.observe(5.0));
+        assert!(!d.observe(5.0));
+        assert!(!d.observe(5.0));
+        assert_eq!(d.streak(), 0);
+        // After the window, a fresh streak is required again.
+        assert!(!d.observe(2.0));
+        assert!(d.observe(2.0));
+    }
+
+    #[test]
+    fn infinite_threshold_disables_triggering() {
+        let mut d = ImbalanceDetector::new(f64::INFINITY, 1);
+        for _ in 0..10 {
+            assert!(!d.observe(1e12));
+        }
+    }
+}

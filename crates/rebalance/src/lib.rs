@@ -1,0 +1,34 @@
+//! Runtime load monitoring and distributed rebalance planning.
+//!
+//! The static balancers in `trillium-blockforest` distribute blocks once,
+//! before the run, using cell counts as the workload estimate. At runtime
+//! the estimate drifts: boundary sweeps, sparse coverage, and machine
+//! noise make the *measured* cost per block diverge from its cell count,
+//! and on skewed vascular geometries the divergence is structural. This
+//! crate closes the loop (paper §2.3's "load balancing ... based on the
+//! measured execution times"):
+//!
+//! * [`EwmaCostModel`] — smooths per-block wall-clock samples taken from
+//!   each `stream_collide` sweep and ghost exchange into a stable cost.
+//! * [`ImbalanceDetector`] — turns the global max/avg load ratio into a
+//!   rebalance trigger with hysteresis, so transient spikes don't cause
+//!   migration storms.
+//! * [`plan_rebalance`] — computes a new owner for every block from the
+//!   measured costs, preferring the multilevel graph partitioner and
+//!   falling back to a Morton space-filling-curve cut when the graph
+//!   gain is below a floor.
+//!
+//! The crate is deliberately communication-free: callers allgather
+//! [`BlockRecord`]s (via `trillium-comm`) and every rank runs the same
+//! deterministic plan on the same sorted input, so no coordination round
+//! is needed to agree on the outcome. The migration protocol that acts
+//! on a plan lives in `trillium-core::migrate`, next to the block state
+//! it has to serialize.
+
+pub mod cost;
+pub mod detector;
+pub mod plan;
+
+pub use cost::EwmaCostModel;
+pub use detector::ImbalanceDetector;
+pub use plan::{plan_rebalance, BlockRecord, Migration, PlanMethod, PlanOptions, RebalancePlan};

@@ -53,12 +53,7 @@ mod tests {
         assert!(small.blocks <= small.processes);
         assert!(large.blocks <= large.processes);
         assert!(small.fill > 0.5, "small fill {}", small.fill);
-        assert!(
-            large.fill >= small.fill,
-            "fill regressed: {} vs {}",
-            small.fill,
-            large.fill
-        );
+        assert!(large.fill >= small.fill, "fill regressed: {} vs {}", small.fill, large.fill);
         assert!(large.fill > 0.85, "large fill {}", large.fill);
         // Finer resolution at larger scale.
         assert!(large.dx < small.dx);

@@ -60,9 +60,8 @@ mod tests {
     #[test]
     fn low_clock_saturates_later() {
         let rows = fig4_series();
-        let at = |f: f64, c: u32| {
-            rows.iter().find(|r| r.clock_ghz == f && r.cores == c).unwrap().mlups
-        };
+        let at =
+            |f: f64, c: u32| rows.iter().find(|r| r.clock_ghz == f && r.cores == c).unwrap().mlups;
         // At 2.7 GHz, going from 6 to 8 cores gains nothing.
         assert!((at(2.7, 6) - at(2.7, 8)).abs() < 1e-9);
         // At 1.6 GHz, 8 cores still add performance over 6.

@@ -176,7 +176,8 @@ mod tests {
         assert!(eff > 0.90, "parallel efficiency {eff} (paper: 92 %)");
         // MPI share stable: within 1.5x across the whole range.
         let fr: Vec<f64> = mpi.iter().map(|r| r.mpi_fraction).collect();
-        let (lo, hi) = (fr.iter().cloned().fold(1.0, f64::min), fr.iter().cloned().fold(0.0, f64::max));
+        let (lo, hi) =
+            (fr.iter().cloned().fold(1.0, f64::min), fr.iter().cloned().fold(0.0, f64::max));
         assert!(hi / lo < 1.5, "MPI share varies too much: {lo}..{hi}");
         assert!((0.04..0.12).contains(&hi));
     }

@@ -142,8 +142,7 @@ pub fn fig7_point(
     let edge_b = (e * 8) as u64;
     let mut msgs = vec![face; 6];
     msgs.extend(vec![edge_b; 12]);
-    let t_comm = machine.network.exchange_time(&msgs, cores) * blocks_per_proc
-        / cfg.threads as f64;
+    let t_comm = machine.network.exchange_time(&msgs, cores) * blocks_per_proc / cfg.threads as f64;
 
     let t = t_kernel + t_comm;
     Fig7Row {
@@ -162,9 +161,7 @@ pub fn fig7_series(
     cfg: &Fig7Config,
     core_range: (u32, u32),
 ) -> Vec<Fig7Row> {
-    (core_range.0..=core_range.1)
-        .map(|p| fig7_point(sdf, machine, cfg, 1u64 << p))
-        .collect()
+    (core_range.0..=core_range.1).map(|p| fig7_point(sdf, machine, cfg, 1u64 << p)).collect()
 }
 
 #[cfg(test)]
@@ -189,7 +186,12 @@ mod tests {
         };
         let lo = fig7_point(&t, &m, &cfg, 1 << 5);
         let hi = fig7_point(&t, &m, &cfg, 1 << 9);
-        assert!(hi.fluid_fraction > lo.fluid_fraction, "{} vs {}", lo.fluid_fraction, hi.fluid_fraction);
+        assert!(
+            hi.fluid_fraction > lo.fluid_fraction,
+            "{} vs {}",
+            lo.fluid_fraction,
+            hi.fluid_fraction
+        );
         assert!(
             hi.mflups_per_core > lo.mflups_per_core,
             "{} vs {}",

@@ -85,8 +85,7 @@ fn candidate(
     let edge_b = (edge * 8) as u64;
     let mut msgs = vec![face; 6];
     msgs.extend(vec![edge_b; 12]);
-    let t_comm =
-        machine.network.exchange_time(&msgs, cores) * blocks_per_proc / cfg.threads as f64;
+    let t_comm = machine.network.exchange_time(&msgs, cores) * blocks_per_proc / cfg.threads as f64;
 
     // Framework overhead per block.
     let t_ovh = blocks_per_proc * block_overhead(machine);

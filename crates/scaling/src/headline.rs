@@ -37,7 +37,11 @@ pub fn headlines() -> Vec<HeadlineRow> {
     let sm = MachineSpec::supermuc();
     let r = evaluate(&sm, &HybridConfig { procs_per_node: 16, threads: 1 }, 1 << 17, 3_430_000.0);
     let sm_glups = r.mlups_per_core * (1u64 << 17) as f64 / 1e3;
-    rows.push(HeadlineRow { quantity: "SuperMUC 2^17 cores GLUPS".into(), paper: 837.0, ours: sm_glups });
+    rows.push(HeadlineRow {
+        quantity: "SuperMUC 2^17 cores GLUPS".into(),
+        paper: 837.0,
+        ours: sm_glups,
+    });
     rows.push(HeadlineRow {
         quantity: "SuperMUC cells (1e11)".into(),
         paper: 4.5,
@@ -58,9 +62,18 @@ pub fn headlines() -> Vec<HeadlineRow> {
 
     // JUQUEEN full machine: 458,752 cores, 1.728 M cells/core.
     let jq = MachineSpec::juqueen();
-    let r = evaluate(&jq, &HybridConfig { procs_per_node: 64, threads: 1 }, jq.total_cores, 1_728_000.0);
+    let r = evaluate(
+        &jq,
+        &HybridConfig { procs_per_node: 64, threads: 1 },
+        jq.total_cores,
+        1_728_000.0,
+    );
     let jq_glups = r.mlups_per_core * jq.total_cores as f64 / 1e3;
-    rows.push(HeadlineRow { quantity: "JUQUEEN full machine GLUPS".into(), paper: 1930.0, ours: jq_glups });
+    rows.push(HeadlineRow {
+        quantity: "JUQUEEN full machine GLUPS".into(),
+        paper: 1930.0,
+        ours: jq_glups,
+    });
     rows.push(HeadlineRow {
         quantity: "JUQUEEN cells (1e11)".into(),
         paper: 7.9,

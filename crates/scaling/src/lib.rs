@@ -20,7 +20,9 @@
 //! * [`fig8`] — strong scaling on the vascular geometry (MFLUPS/core and
 //!   time steps per second, maximized over block sizes),
 //! * [`headline`] — the in-text headline numbers (§4.2/§4.3 and the
-//!   §2.2 file-size claims).
+//!   §2.2 file-size claims),
+//! * [`rebalance`] — predicted benefit of runtime load rebalancing
+//!   (extreme-value straggler model) up to 2^19 ranks.
 
 pub mod fig1;
 pub mod fig3;
@@ -30,6 +32,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod headline;
+pub mod rebalance;
 pub mod tree;
 
 pub use tree::paper_tree;

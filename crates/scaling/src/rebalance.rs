@@ -1,0 +1,197 @@
+//! Predicted benefit of runtime load rebalancing at scale.
+//!
+//! The paper's balancer assigns blocks from *a-priori* workload estimates
+//! (§2.3). At runtime the estimate is wrong by some relative error per
+//! block — boundary handling, sparse coverage, and machine noise — and on
+//! P ranks the *slowest* rank sets the pace. This module models how that
+//! straggler effect grows with machine size and how much of it runtime
+//! rebalancing (`trillium-rebalance`) recovers, up to the paper's full
+//! JUQUEEN scale of 2^19 ranks.
+//!
+//! The model: per-rank cost is a sum of `blocks_per_rank` independent
+//! per-block costs with coefficient of variation `block_cv`, so the
+//! per-rank relative spread is `block_cv / sqrt(blocks_per_rank)`. The
+//! expected maximum of P such (approximately normal) rank costs exceeds
+//! the mean by about `sqrt(2 ln P)` standard deviations — the classic
+//! extreme-value growth that makes the max/avg ratio creep up with scale
+//! even when each rank is individually well estimated. Measured-cost
+//! rebalancing re-cuts with *known* costs; its residual imbalance is set
+//! by block granularity (you cannot split a block) plus the detector's
+//! firing threshold.
+
+use serde::Serialize;
+use trillium_machine::MachineSpec;
+
+/// Inputs of the rebalance-benefit model.
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct RebalanceModel {
+    /// Relative error (coefficient of variation) of the static per-block
+    /// workload estimate. ~0.10–0.30 for sparse vascular geometries where
+    /// cell counts mispredict boundary-sweep cost.
+    pub block_cv: f64,
+    /// Blocks per rank (the paper typically runs a single block per
+    /// process at full scale, more on partially filled machines).
+    pub blocks_per_rank: u32,
+    /// Cells per block per axis (migration payload sizing).
+    pub cells_per_block: [usize; 3],
+    /// Steps between imbalance checks (amortization window for the
+    /// migration cost).
+    pub every_n_steps: u64,
+    /// Residual max/avg ratio the runtime rebalancer tolerates before it
+    /// fires (the detector threshold).
+    pub threshold: f64,
+}
+
+impl Default for RebalanceModel {
+    fn default() -> Self {
+        Self {
+            block_cv: 0.2,
+            blocks_per_rank: 4,
+            cells_per_block: [64, 64, 64],
+            every_n_steps: 100,
+            threshold: 1.05,
+        }
+    }
+}
+
+/// One row of the predicted-benefit table.
+#[derive(Clone, Debug, Serialize)]
+pub struct RebalanceRow {
+    /// Number of ranks.
+    pub ranks: u64,
+    /// Predicted max/avg load ratio without runtime rebalancing.
+    pub static_ratio: f64,
+    /// Predicted max/avg load ratio with measured-cost rebalancing.
+    pub rebalanced_ratio: f64,
+    /// Parallel efficiency without rebalancing (avg/max).
+    pub static_efficiency: f64,
+    /// Parallel efficiency with rebalancing.
+    pub rebalanced_efficiency: f64,
+    /// Predicted throughput gain from rebalancing (ratio of the two
+    /// efficiencies).
+    pub speedup: f64,
+    /// Migration cost amortized per time step, as a fraction of the step:
+    /// payload of the migrating blocks over the network, spread across
+    /// `every_n_steps` steps.
+    pub migration_overhead: f64,
+}
+
+/// Expected exceedance of the maximum of `p` standardized normal rank
+/// costs over their mean, in standard deviations: the Fisher–Tippett
+/// asymptotic `sqrt(2 ln p)` with the standard second-order correction.
+fn expected_max_sigma(p: f64) -> f64 {
+    if p <= 1.0 {
+        return 0.0;
+    }
+    let b = (2.0 * p.ln()).sqrt();
+    // Second-order term; clamp for very small p where it overshoots.
+    (b - (p.ln().ln() + (4.0 * std::f64::consts::PI).ln()) / (2.0 * b)).max(0.0)
+}
+
+/// Evaluates the model for `ranks` ranks.
+pub fn predict(model: &RebalanceModel, ranks: u64, machine: &MachineSpec) -> RebalanceRow {
+    let rank_cv = model.block_cv / (model.blocks_per_rank as f64).sqrt();
+    let static_ratio = 1.0 + rank_cv * expected_max_sigma(ranks as f64);
+
+    // Rebalancing with measured costs is limited by block granularity —
+    // the curve cut can misplace at most one block per rank boundary —
+    // and by the threshold below which the detector never fires.
+    let granularity = 1.0 + model.block_cv / model.blocks_per_rank as f64;
+    let rebalanced_ratio = model.threshold.max(granularity).min(static_ratio);
+
+    // Migration traffic: in steady state only the estimate *drift* moves,
+    // roughly the excess fraction of blocks on overloaded ranks. Each
+    // block ships its full PDF + flag state once per rebalance.
+    let cells: f64 = model.cells_per_block.iter().map(|&c| c as f64).product();
+    let payload_bytes = cells * (19.0 * 8.0 + 1.0);
+    let moving_fraction = ((static_ratio - rebalanced_ratio) / static_ratio).clamp(0.0, 1.0);
+    let migrate_seconds =
+        machine.network.exchange_time(&[(payload_bytes * moving_fraction) as u64], ranks);
+    // Step time scale: a bandwidth-bound sweep of one block per rank.
+    let step_seconds = cells * 19.0 * 8.0 * 2.0
+        / (machine.lbm_bw_gib * 1024.0 * 1024.0 * 1024.0 / machine.cores_per_node() as f64);
+    let migration_overhead = migrate_seconds / (step_seconds * model.every_n_steps as f64);
+
+    RebalanceRow {
+        ranks,
+        static_ratio,
+        rebalanced_ratio,
+        static_efficiency: 1.0 / static_ratio,
+        rebalanced_efficiency: 1.0 / rebalanced_ratio,
+        speedup: static_ratio / rebalanced_ratio,
+        migration_overhead,
+    }
+}
+
+/// The predicted-benefit table from 2^5 up to 2^19 ranks (the paper's
+/// full-machine JUQUEEN run uses 2^19 = 524,288 processes in its largest
+/// configuration class).
+pub fn rebalance_series(model: &RebalanceModel, machine: &MachineSpec) -> Vec<RebalanceRow> {
+    (5..=19).map(|p| predict(model, 1u64 << p, machine)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straggler_effect_grows_with_scale() {
+        let m = RebalanceModel::default();
+        let machine = MachineSpec::juqueen();
+        let rows = rebalance_series(&m, &machine);
+        assert_eq!(rows.len(), 15);
+        assert_eq!(rows.last().unwrap().ranks, 1 << 19);
+        for w in rows.windows(2) {
+            assert!(w[1].static_ratio > w[0].static_ratio, "max/avg must grow with P");
+        }
+        // At full scale the static straggler effect is material...
+        let last = rows.last().unwrap();
+        assert!(last.static_ratio > 1.4, "static ratio {}", last.static_ratio);
+        // ...and rebalancing recovers most of it.
+        assert!(last.speedup > 1.2, "speedup {}", last.speedup);
+        assert!(last.rebalanced_ratio < 1.15);
+    }
+
+    #[test]
+    fn rebalanced_ratio_is_bounded_by_granularity_and_threshold() {
+        let machine = MachineSpec::juqueen();
+        // One block per rank: granularity bound dominates (whole-block
+        // moves cannot fix intra-block skew).
+        let coarse = RebalanceModel { blocks_per_rank: 1, ..RebalanceModel::default() };
+        let r = predict(&coarse, 1 << 19, &machine);
+        assert!(r.rebalanced_ratio >= 1.0 + coarse.block_cv / 1.0 - 1e-12);
+        // Many blocks per rank: the threshold floor dominates.
+        let fine = RebalanceModel { blocks_per_rank: 64, ..RebalanceModel::default() };
+        let r = predict(&fine, 1 << 19, &machine);
+        assert!((r.rebalanced_ratio - fine.threshold).abs() < 1e-12);
+        // More blocks per rank always helps (or ties).
+        assert!(
+            predict(&fine, 1 << 19, &machine).rebalanced_ratio
+                <= predict(&coarse, 1 << 19, &machine).rebalanced_ratio
+        );
+    }
+
+    #[test]
+    fn migration_overhead_is_amortized_small() {
+        let m = RebalanceModel::default();
+        let machine = MachineSpec::juqueen();
+        for row in rebalance_series(&m, &machine) {
+            assert!(
+                row.migration_overhead < 0.1,
+                "overhead {} at {} ranks",
+                row.migration_overhead,
+                row.ranks
+            );
+            assert!(row.migration_overhead >= 0.0);
+        }
+    }
+
+    #[test]
+    fn perfectly_estimated_workload_needs_no_rebalancing() {
+        let machine = MachineSpec::supermuc();
+        let m = RebalanceModel { block_cv: 0.0, ..RebalanceModel::default() };
+        let r = predict(&m, 1 << 19, &machine);
+        assert!((r.static_ratio - 1.0).abs() < 1e-12);
+        assert!((r.speedup - 1.0).abs() < 1e-12);
+    }
+}

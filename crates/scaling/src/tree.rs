@@ -12,8 +12,8 @@ pub fn paper_tree() -> VascularTree {
     VascularTree::generate(&VascularTreeParams {
         seed: 20130817, // fixed: all experiments share one geometry
         generations: 10,
-        root_radius: 1.8,   // mm (left main coronary artery calibre)
-        root_length: 14.0,  // mm
+        root_radius: 1.8,  // mm (left main coronary artery calibre)
+        root_length: 14.0, // mm
         length_ratio: 0.78,
         murray_exponent: 3.0,
         asymmetry: 0.4,

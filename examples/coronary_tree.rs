@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --release --example coronary_tree`
 
+use std::sync::Arc;
 use trillium_core::pipeline::{setup_domain, Balancer};
 use trillium_core::prelude::*;
-use std::sync::Arc;
 use trillium_geometry::{SignedDistance, VascularTree, VascularTreeParams};
 
 fn main() {

@@ -34,8 +34,8 @@ fn profile_error(rel: Relaxation, ny: usize, steps: usize) -> f64 {
     );
     let boundary = BoundaryParams {
         wall_velocity: [0.0; 3],
-        pressure_density: 1.01,      // inlet
-        pressure_density_alt: 0.99,  // outlet
+        pressure_density: 1.01,     // inlet
+        pressure_density_alt: 0.99, // outlet
     };
     let mut block = BlockSim::from_flags(flags, boundary, 1.0, [0.0; 3]);
     for _ in 0..steps {
@@ -50,9 +50,8 @@ fn profile_error(rel: Relaxation, ny: usize, steps: usize) -> f64 {
     let profile: Vec<f64> = (0..ny as i32).map(|y| block.velocity(x, y, 1)[0]).collect();
     // Analytic shape: u(y) ∝ (y + 1/2)(H − 1/2 − y) with H = ny the
     // half-link wall positions. Fit the amplitude by least squares.
-    let shape_fn: Vec<f64> = (0..ny)
-        .map(|y| (y as f64 + 0.5) * (ny as f64 - 0.5 - y as f64))
-        .collect();
+    let shape_fn: Vec<f64> =
+        (0..ny).map(|y| (y as f64 + 0.5) * (ny as f64 - 0.5 - y as f64)).collect();
     let amp = profile.iter().zip(&shape_fn).map(|(u, s)| u * s).sum::<f64>()
         / shape_fn.iter().map(|s| s * s).sum::<f64>();
     let mut err2 = 0.0;

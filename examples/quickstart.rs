@@ -38,7 +38,13 @@ fn main() {
         if c[2] % 4 == 0 || c[2] == n as i64 - 1 {
             let bar_len = (40.0 * (u[0] / 0.08).abs()) as usize;
             let bar: String = std::iter::repeat('#').take(bar_len).collect();
-            println!("z={:>3}  u_x={:>9.5}  {}{}", c[2], u[0], if u[0] < 0.0 { "-" } else { "+" }, bar);
+            println!(
+                "z={:>3}  u_x={:>9.5}  {}{}",
+                c[2],
+                u[0],
+                if u[0] < 0.0 { "-" } else { "+" },
+                bar
+            );
         }
     }
     println!("\nexpect: strong +x flow under the lid (top), weak return flow below.");

@@ -34,16 +34,12 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id from a function name and a parameter.
     pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
-        Self {
-            id: format!("{function_name}/{parameter}"),
-        }
+        Self { id: format!("{function_name}/{parameter}") }
     }
 
     /// Creates an id from a parameter alone.
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        Self {
-            id: parameter.to_string(),
-        }
+        Self { id: parameter.to_string() }
     }
 }
 
@@ -109,11 +105,7 @@ fn human_time(d: Duration) -> String {
 }
 
 fn report(group: &str, id: &str, elapsed: Duration, throughput: Option<Throughput>) {
-    let name = if group.is_empty() {
-        id.to_string()
-    } else {
-        format!("{group}/{id}")
-    };
+    let name = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
     let secs = elapsed.as_secs_f64();
     let rate = match throughput {
         Some(Throughput::Bytes(b)) if secs > 0.0 => {
@@ -154,10 +146,7 @@ impl BenchmarkGroup<'_> {
         id: I,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher {
-            samples: self.sample_size,
-            last: Duration::ZERO,
-        };
+        let mut b = Bencher { samples: self.sample_size, last: Duration::ZERO };
         f(&mut b);
         report(&self.name, &id.into_id(), b.last, self.throughput);
         self
@@ -169,10 +158,7 @@ impl BenchmarkGroup<'_> {
         I: IntoBenchmarkId,
         F: FnMut(&mut Bencher, &T),
     {
-        let mut b = Bencher {
-            samples: self.sample_size,
-            last: Duration::ZERO,
-        };
+        let mut b = Bencher { samples: self.sample_size, last: Duration::ZERO };
         f(&mut b, input);
         report(&self.name, &id.into_id(), b.last, self.throughput);
         self
@@ -205,20 +191,12 @@ impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            throughput: None,
-            sample_size,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size }
     }
 
     /// Runs a standalone benchmark outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher {
-            samples: self.sample_size,
-            last: Duration::ZERO,
-        };
+        let mut b = Bencher { samples: self.sample_size, last: Duration::ZERO };
         f(&mut b);
         report("", id, b.last, None);
         self
@@ -263,9 +241,7 @@ mod tests {
         g.sample_size(3);
         g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
         g.bench_function(BenchmarkId::new("f", 7), |b| b.iter(|| black_box(2 * 2)));
-        g.bench_with_input(BenchmarkId::new("in", 1), &41, |b, x| {
-            b.iter(|| black_box(x + 1))
-        });
+        g.bench_with_input(BenchmarkId::new("in", 1), &41, |b, x| b.iter(|| black_box(x + 1)));
         g.finish();
     }
 
@@ -284,10 +260,7 @@ mod tests {
 
     #[test]
     fn bencher_records_time() {
-        let mut b = Bencher {
-            samples: 2,
-            last: Duration::ZERO,
-        };
+        let mut b = Bencher { samples: 2, last: Duration::ZERO };
         b.iter(|| std::thread::sleep(Duration::from_micros(50)));
         assert!(b.last >= Duration::from_micros(50));
     }

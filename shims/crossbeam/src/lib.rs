@@ -52,11 +52,7 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Inner {
-                items: VecDeque::new(),
-                senders: 1,
-                receiver_alive: true,
-            }),
+            queue: Mutex::new(Inner { items: VecDeque::new(), senders: 1, receiver_alive: true }),
             ready: Condvar::new(),
         });
         (Sender { shared: shared.clone() }, Receiver { shared })

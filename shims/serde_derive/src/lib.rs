@@ -86,11 +86,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
     let entries: String = fields
         .iter()
-        .map(|f| {
-            format!(
-                "(\"{f}\".to_string(), serde::Serialize::serialize_value(&self.{f})),"
-            )
-        })
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::serialize_value(&self.{f})),"))
         .collect();
     let out = format!(
         "impl serde::Serialize for {name} {{\n\

@@ -10,16 +10,10 @@ use trillium_core::prelude::*;
 /// exercises every link type (faces, edges) in every orientation.
 #[test]
 fn twenty_seven_ranks_bitwise_equal() {
-    let probes: Vec<[i64; 3]> = vec![
-        [0, 0, 0],
-        [17, 17, 17],
-        [9, 8, 7],
-        [5, 12, 9],
-        [17, 0, 9],
-        [6, 6, 6],
-        [11, 12, 13],
-    ];
-    let r1 = run_distributed_probed(&Scenario::lid_driven_cavity(18, 1, 0.07, 0.06), 1, 1, 30, &probes);
+    let probes: Vec<[i64; 3]> =
+        vec![[0, 0, 0], [17, 17, 17], [9, 8, 7], [5, 12, 9], [17, 0, 9], [6, 6, 6], [11, 12, 13]];
+    let r1 =
+        run_distributed_probed(&Scenario::lid_driven_cavity(18, 1, 0.07, 0.06), 1, 1, 30, &probes);
     let r27 =
         run_distributed_probed(&Scenario::lid_driven_cavity(18, 3, 0.07, 0.06), 27, 1, 30, &probes);
     let (p1, p27) = (r1.probes(), r27.probes());
@@ -35,7 +29,8 @@ fn twenty_seven_ranks_bitwise_equal() {
 #[test]
 fn uneven_rank_block_ratio_equals_reference() {
     let probes: Vec<[i64; 3]> = vec![[2, 3, 4], [12, 13, 14], [8, 8, 8]];
-    let r1 = run_distributed_probed(&Scenario::lid_driven_cavity(16, 1, 0.05, 0.08), 1, 1, 25, &probes);
+    let r1 =
+        run_distributed_probed(&Scenario::lid_driven_cavity(16, 1, 0.05, 0.08), 1, 1, 25, &probes);
     let r5 =
         run_distributed_probed(&Scenario::lid_driven_cavity(16, 2, 0.05, 0.08), 5, 1, 25, &probes);
     for ((_, u1), (_, u5)) in r1.probes().iter().zip(&r5.probes()) {

@@ -3,7 +3,7 @@
 
 use trillium_field::{AosPdfField, CellFlags, FlagField, FlagOps, PdfField, Shape};
 use trillium_kernels::{apply_boundaries, generic, BoundaryParams};
-use trillium_lattice::{Relaxation, D2Q9, D3Q27, LatticeModel, MAGIC_TRT};
+use trillium_lattice::{LatticeModel, Relaxation, D2Q9, D3Q27, MAGIC_TRT};
 
 fn boxed_flags<M: LatticeModel>(shape: Shape, lid: bool) -> FlagField {
     let mut flags = FlagField::new(shape);
@@ -16,8 +16,12 @@ fn boxed_flags<M: LatticeModel>(shape: Shape, lid: bool) -> FlagField {
         }
         // 2-D models: leave the z ghost planes fluid (handled by
         // periodic-like copies below) — walls only in x and y.
-        if M::D == 2 && (z < 0 || z >= shape.nz as i32) && x >= 0 && y >= 0
-            && (x as usize) < shape.nx && (y as usize) < shape.ny
+        if M::D == 2
+            && (z < 0 || z >= shape.nz as i32)
+            && x >= 0
+            && y >= 0
+            && (x as usize) < shape.nx
+            && (y as usize) < shape.ny
         {
             continue;
         }
@@ -98,11 +102,7 @@ fn d2q9_couette_linear_profile() {
     for y in 0..ny as i32 {
         let u = src.velocity(3, y, 0);
         let exact = u_wall * (y as f64 + 0.5) / ny as f64;
-        assert!(
-            (u[0] - exact).abs() < 3e-4 * u_wall + 1e-7,
-            "y={y}: {} vs {exact}",
-            u[0]
-        );
+        assert!((u[0] - exact).abs() < 3e-4 * u_wall + 1e-7, "y={y}: {} vs {exact}", u[0]);
         assert!(u[1].abs() < 1e-10);
         assert!(u[2] == 0.0, "2-D model must have zero z velocity");
     }

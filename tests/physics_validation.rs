@@ -20,7 +20,7 @@ fn couette_flow_linear_profile() {
             None,
             Some(CellFlags::NOSLIP),   // resting plate at −y
             Some(CellFlags::VELOCITY), // moving plate at +y
-            None, // periodic in z
+            None,                      // periodic in z
             None,
         ],
     );
@@ -38,11 +38,7 @@ fn couette_flow_linear_profile() {
     for y in 0..ny as i32 {
         let u = block.velocity(4, y, 1);
         let exact = u_wall * (y as f64 + 0.5) / ny as f64;
-        assert!(
-            (u[0] - exact).abs() < 2e-4 * u_wall + 1e-7,
-            "y={y}: u={} vs exact {exact}",
-            u[0]
-        );
+        assert!((u[0] - exact).abs() < 2e-4 * u_wall + 1e-7, "y={y}: u={} vs exact {exact}", u[0]);
         assert!(u[1].abs() < 1e-10 && u[2].abs() < 1e-10);
     }
 }
@@ -84,8 +80,7 @@ fn poiseuille_trt_beats_srt_at_large_tau() {
             (0..ny).map(|y| (y as f64 + 0.5) * (ny as f64 - 0.5 - y as f64)).collect();
         let amp = profile.iter().zip(&shape_fn).map(|(u, s)| u * s).sum::<f64>()
             / shape_fn.iter().map(|s| s * s).sum::<f64>();
-        let err2: f64 =
-            profile.iter().zip(&shape_fn).map(|(u, s)| (u - amp * s).powi(2)).sum();
+        let err2: f64 = profile.iter().zip(&shape_fn).map(|(u, s)| (u - amp * s).powi(2)).sum();
         let norm2: f64 = shape_fn.iter().map(|s| (amp * s).powi(2)).sum();
         (err2 / norm2).sqrt()
     }
@@ -204,7 +199,8 @@ fn obstacle_drag_points_downstream() {
     // compare total NOSLIP force with and without the obstacle.
     let carve = |flags: &mut FlagField| {
         for (x, y, z) in shape.with_ghosts().iter() {
-            let d2 = (x as f64 - 12.0).powi(2) + (y as f64 - 5.5).powi(2) + (z as f64 - 5.5).powi(2);
+            let d2 =
+                (x as f64 - 12.0).powi(2) + (y as f64 - 5.5).powi(2) + (z as f64 - 5.5).powi(2);
             if d2 < 2.5f64.powi(2) {
                 flags.set_flags(x, y, z, CellFlags::NOSLIP);
             }
