@@ -1,0 +1,152 @@
+//! Ablation: communication/compute overlap on a skewed vascular run.
+//!
+//! The synchronous driver stalls every step in a fixed-order blocking
+//! receive loop while neighbor data trickles in. The overlapped schedule
+//! posts all sends, sweeps each block's interior core (whose pull stencil
+//! never reads the ghost layer) while messages are in flight, then drains
+//! the network in *arrival* order and finishes each block's boundary
+//! shell as its last message lands. Both schedules are bitwise identical
+//! in their results (pinned by the driver and integration tests); this
+//! ablation measures what the overlap buys on a deliberately skewed
+//! vascular tree, where the overloaded rank's neighbors otherwise spend
+//! most of their step blocked.
+//!
+//! The headline metric is the *stall fraction*: the share of a rank's
+//! busy time spent blocked in a ghost receive while runnable local
+//! compute was still pending (max over ranks). The synchronous schedule
+//! exposes its entire receive wait as stall — it blocks with the whole
+//! stream-collide sweep still undone. The overlapped schedule only ever
+//! blocks after every interior is swept and every ready shell finished,
+//! so its exposed stall is zero and what remains in the comm fraction is
+//! pure neighbor imbalance, which no schedule can hide. On this
+//! thread-emulated MPI the wall clock of a blocked receive measures the
+//! host scheduler — every rank time-slices the same cores — so total
+//! wall time and MLUPS barely move; the stall fraction is the
+//! scheduler-independent signal. Pass `--json` for raw data.
+
+use std::sync::Arc;
+use trillium_bench::{section, HarnessArgs};
+use trillium_core::driver::{run_distributed_with, DriverConfig, RunResult};
+use trillium_core::prelude::*;
+use trillium_geometry::voxelize::VoxelizeConfig;
+use trillium_geometry::{VascularTree, VascularTreeParams};
+
+const RANKS: u32 = 4;
+const SKEW: f64 = 0.7;
+
+fn vascular_scenario(full: bool) -> Scenario {
+    let tree = VascularTree::generate(&VascularTreeParams {
+        generations: if full { 6 } else { 4 },
+        root_radius: 1.2,
+        root_length: 7.0,
+        ..Default::default()
+    });
+    let dx = if full { 0.1 } else { 0.25 };
+    Scenario::from_sdf(
+        "vascular-overlap",
+        Arc::new(tree),
+        dx,
+        [16, 16, 16],
+        0.06,
+        [0.0, 0.0, 0.05],
+        1.0,
+        VoxelizeConfig::default(),
+    )
+    .with_skewed_balance(SKEW)
+}
+
+/// Achieved MLUPS over the per-rank critical path (kernel + comm +
+/// boundary, max over ranks).
+fn mlups(r: &RunResult) -> f64 {
+    let wall = r
+        .ranks
+        .iter()
+        .map(|rr| rr.kernel_time + rr.comm_time + rr.boundary_time)
+        .fold(0.0f64, f64::max);
+    r.total_stats().mlups(wall)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let steps = if args.full { 300 } else { 120 };
+    section("Communication-overlap ablation on a skewed vascular tree");
+    println!(
+        "{RANKS} ranks, rank 0 statically assigned ~{:.0} % of the workload, {steps} steps",
+        100.0 * SKEW
+    );
+
+    let sync = run_distributed_with(
+        &vascular_scenario(args.full),
+        RANKS,
+        1,
+        steps,
+        &[],
+        DriverConfig::default(),
+    );
+    let over = run_distributed_with(
+        &vascular_scenario(args.full),
+        RANKS,
+        1,
+        steps,
+        &[],
+        DriverConfig::overlapped(),
+    );
+    assert!(!sync.has_nan() && !over.has_nan(), "run went unstable");
+    assert_eq!(
+        sync.total_stats().fluid_cells,
+        over.total_stats().fluid_cells,
+        "schedules must do identical work"
+    );
+
+    let (m_sync, m_over) = (mlups(&sync), mlups(&over));
+    let (sf_sync, sf_over) = (sync.stall_fraction(), over.stall_fraction());
+    let (cf_sync, cf_over) = (sync.comm_fraction(), over.comm_fraction());
+    println!();
+    println!(
+        "{:<10} {:>10} {:>14} {:>14} {:>12} {:>12}",
+        "overlap", "MLUPS", "stall fraction", "comm fraction", "hidden (s)", "mass drift"
+    );
+    for (label, r, m, sf, cf) in
+        [("off", &sync, m_sync, sf_sync, cf_sync), ("on", &over, m_over, sf_over, cf_over)]
+    {
+        println!(
+            "{:<10} {:>10.2} {:>14.4} {:>14.3} {:>12.4} {:>12.2e}",
+            label,
+            m,
+            sf,
+            cf,
+            r.overlap_hidden(),
+            r.mass_drift().abs()
+        );
+    }
+
+    println!();
+    println!("expect: the stall fraction (time blocked on ghost messages while runnable");
+    println!("compute was still pending) drops strictly below the synchronous run's —");
+    println!("the overlapped schedule never blocks while work remains — with bitwise-");
+    println!("identical physics. MLUPS moves little here: ranks are emulated as threads");
+    println!("on a shared host, so a blocked receive's wall time is scheduler time, not");
+    println!("network latency; the residual comm fraction is neighbor imbalance.");
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "scenario": "skewed vascular tree",
+                "ranks": RANKS,
+                "steps": steps,
+                "skew_fraction": SKEW,
+                "mlups_sync": m_sync,
+                "mlups_overlap": m_over,
+                "mlups_gain": m_over / m_sync,
+                "stall_fraction_sync": sf_sync,
+                "stall_fraction_overlap": sf_over,
+                "comm_fraction_sync": cf_sync,
+                "comm_fraction_overlap": cf_over,
+                "overlap_hidden_seconds": over.overlap_hidden(),
+                "mass_drift_overlap": over.mass_drift(),
+                "fluid_cells": over.total_stats().fluid_cells,
+            })
+        );
+    }
+}

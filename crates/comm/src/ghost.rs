@@ -24,15 +24,71 @@ pub fn pdfs_crossing<M: LatticeModel>(d: [i8; 3]) -> Vec<usize> {
         .collect()
 }
 
+/// Precomputed [`pdfs_crossing`] sets for all 26 link directions.
+///
+/// `pdfs_crossing` allocates a fresh `Vec` per call; computing it once per
+/// link per time step put a heap allocation on the ghost-exchange fast
+/// path. Build this table once at setup and hand its slices to
+/// [`pack_face_with`] / [`unpack_face_with`] instead.
+#[derive(Clone, Debug)]
+pub struct CrossingTable {
+    /// Indexed by `(d0+1)*9 + (d1+1)*3 + (d2+1)`; the center entry is empty.
+    sets: Vec<Vec<usize>>,
+}
+
+impl CrossingTable {
+    /// Builds the table for lattice model `M`.
+    pub fn new<M: LatticeModel>() -> Self {
+        let mut sets = Vec::with_capacity(27);
+        for dx in -1i8..=1 {
+            for dy in -1i8..=1 {
+                for dz in -1i8..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        sets.push(Vec::new());
+                    } else {
+                        sets.push(pdfs_crossing::<M>([dx, dy, dz]));
+                    }
+                }
+            }
+        }
+        CrossingTable { sets }
+    }
+
+    /// The crossing-PDF set for link direction `d`.
+    #[inline(always)]
+    pub fn qs(&self, d: [i8; 3]) -> &[usize] {
+        &self.sets[((d[0] + 1) as usize * 9) + ((d[1] + 1) as usize * 3) + (d[2] + 1) as usize]
+    }
+
+    /// The crossing-PDF set for the *reversed* direction `-d` — the set
+    /// [`unpack_face_with`] needs for data received from direction `d`.
+    #[inline(always)]
+    pub fn qs_reversed(&self, d: [i8; 3]) -> &[usize] {
+        self.qs([-d[0], -d[1], -d[2]])
+    }
+}
+
 /// Packs the PDFs crossing toward the neighbor in direction `d` from the
 /// sender's boundary slab into `buf` (little-endian `f64`).
 pub fn pack_face<M: LatticeModel, F: PdfField<M>>(f: &F, d: [i8; 3], buf: &mut Vec<u8>) {
+    let qs = pdfs_crossing::<M>(d);
+    pack_face_with::<M, F>(f, d, &qs, buf);
+}
+
+/// Allocation-free variant of [`pack_face`]: the caller supplies the
+/// crossing set (from a [`CrossingTable`]) and a reusable buffer, which is
+/// appended to (clear it first to reuse across steps).
+pub fn pack_face_with<M: LatticeModel, F: PdfField<M>>(
+    f: &F,
+    d: [i8; 3],
+    qs: &[usize],
+    buf: &mut Vec<u8>,
+) {
     let shape = f.shape();
     let region = shape.boundary_slab(d, shape.ghost);
-    let qs = pdfs_crossing::<M>(d);
     buf.reserve(region.num_cells() * qs.len() * 8);
     for (x, y, z) in region.iter() {
-        for &q in &qs {
+        for &q in qs {
             buf.put_f64_le(f.get(x, y, z, q));
         }
     }
@@ -42,15 +98,26 @@ pub fn pack_face<M: LatticeModel, F: PdfField<M>>(f: &F, d: [i8; 3], buf: &mut V
 /// receiver's ghost slab in direction `d`. The sender must have packed
 /// with direction `-d`; cell order and PDF sets then match exactly.
 pub fn unpack_face<M: LatticeModel, F: PdfField<M>>(f: &mut F, d: [i8; 3], data: &[u8]) {
-    let shape = f.shape();
-    let region = shape.ghost_slab(d, shape.ghost);
     // The receiver needs the PDFs pointing from the ghost slab into the
     // interior, which are exactly those the sender packed with `-d`.
     let qs = pdfs_crossing::<M>([-d[0], -d[1], -d[2]]);
+    unpack_face_with::<M, F>(f, d, &qs, data);
+}
+
+/// Allocation-free variant of [`unpack_face`]: the caller supplies the
+/// *reversed* crossing set ([`CrossingTable::qs_reversed`] of `d`).
+pub fn unpack_face_with<M: LatticeModel, F: PdfField<M>>(
+    f: &mut F,
+    d: [i8; 3],
+    qs: &[usize],
+    data: &[u8],
+) {
+    let shape = f.shape();
+    let region = shape.ghost_slab(d, shape.ghost);
     assert_eq!(data.len(), region.num_cells() * qs.len() * 8, "ghost message size mismatch");
     let mut buf = data;
     for (x, y, z) in region.iter() {
-        for &q in &qs {
+        for &q in qs {
             f.set(x, y, z, q, buf.get_f64_le());
         }
     }
@@ -316,6 +383,29 @@ mod tests {
                     assert_eq!(b.get(x, y, z, q), a.get(3, y, z, q));
                 } else {
                     assert_eq!(b.get(x, y, z, q), -7.0, "non-fluid ghost must keep its value");
+                }
+            }
+        }
+    }
+
+    /// The precomputed table must agree with `pdfs_crossing` for every
+    /// link direction, in both orientations.
+    #[test]
+    fn crossing_table_matches_per_call_computation() {
+        let table = CrossingTable::new::<D3Q19>();
+        for dx in -1i8..=1 {
+            for dy in -1i8..=1 {
+                for dz in -1i8..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        assert!(table.qs([0, 0, 0]).is_empty());
+                        continue;
+                    }
+                    let d = [dx, dy, dz];
+                    assert_eq!(table.qs(d), pdfs_crossing::<D3Q19>(d).as_slice());
+                    assert_eq!(
+                        table.qs_reversed(d),
+                        pdfs_crossing::<D3Q19>([-dx, -dy, -dz]).as_slice()
+                    );
                 }
             }
         }

@@ -22,6 +22,7 @@ pub mod ghost;
 pub mod runtime;
 
 pub use ghost::{
-    copy_face_local, pack_face, pack_face_sparse, pdfs_crossing, unpack_face, unpack_face_sparse,
+    copy_face_local, pack_face, pack_face_sparse, pack_face_with, pdfs_crossing, unpack_face,
+    unpack_face_sparse, unpack_face_with, CrossingTable,
 };
 pub use runtime::{Communicator, World};

@@ -69,6 +69,59 @@ impl Communicator {
         }
     }
 
+    /// Blocking receive of the *first available* message among `expected`
+    /// `(from, tag)` pairs — the `MPI_Waitany` analogue. Returns the index
+    /// of the matched pair and its payload.
+    ///
+    /// Already-buffered messages are preferred (scanned in list order);
+    /// otherwise the call blocks on the channel and returns messages in
+    /// arrival order, buffering non-matching ones. This is what lets the
+    /// overlapped driver drain ghost messages as they arrive instead of
+    /// stalling on a fixed receive order. FIFO order per `(from, tag)` is
+    /// preserved in all cases.
+    pub fn recv_any(&mut self, expected: &[(u32, u64)]) -> (usize, Vec<u8>) {
+        assert!(!expected.is_empty(), "recv_any needs at least one expected message");
+        for (i, &(from, tag)) in expected.iter().enumerate() {
+            assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below the collective range");
+            if let Some(q) = self.pending.get_mut(&(from, tag)) {
+                if let Some(m) = q.pop_front() {
+                    return (i, m);
+                }
+            }
+        }
+        loop {
+            let m = self.receiver.recv().expect("all senders dropped while receiving");
+            if let Some(i) = expected.iter().position(|&(f, t)| f == m.from && t == m.tag) {
+                return (i, m.payload);
+            }
+            self.pending.entry((m.from, m.tag)).or_default().push_back(m.payload);
+        }
+    }
+
+    /// Non-blocking [`Communicator::recv_any`]: returns the first already
+    /// available message among `expected` (pending buffer first, then
+    /// whatever has arrived on the channel, buffering non-matches), or
+    /// `None` without blocking. Lets the overlapped driver distinguish
+    /// messages *hidden* behind compute (already here when asked for)
+    /// from genuine stalls.
+    pub fn try_recv_any(&mut self, expected: &[(u32, u64)]) -> Option<(usize, Vec<u8>)> {
+        for (i, &(from, tag)) in expected.iter().enumerate() {
+            assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below the collective range");
+            if let Some(q) = self.pending.get_mut(&(from, tag)) {
+                if let Some(m) = q.pop_front() {
+                    return Some((i, m));
+                }
+            }
+        }
+        while let Ok(m) = self.receiver.try_recv() {
+            if let Some(i) = expected.iter().position(|&(f, t)| f == m.from && t == m.tag) {
+                return Some((i, m.payload));
+            }
+            self.pending.entry((m.from, m.tag)).or_default().push_back(m.payload);
+        }
+        None
+    }
+
     /// True if a message from `from` with `tag` can be received without
     /// blocking (already buffered or in the channel).
     pub fn try_recv(&mut self, from: u32, tag: u64) -> Option<Vec<u8>> {
@@ -187,6 +240,97 @@ mod tests {
             }
         });
         assert_eq!(out[1], (0..100).collect::<Vec<u8>>());
+    }
+
+    /// Same-tag messages must stay FIFO even when they detour through the
+    /// pending buffer because an out-of-order receive ran first. The
+    /// ghost-exchange correctness of step-parity tags rests on this.
+    #[test]
+    fn fifo_preserved_through_pending_buffer() {
+        let out = World::run(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 5, vec![0]);
+                c.send(1, 5, vec![1]);
+                c.send(1, 6, vec![66]);
+                c.send(1, 5, vec![2]);
+                vec![]
+            } else {
+                // Receiving tag 6 first forces the first two tag-5
+                // messages through the pending buffer.
+                let six = c.recv(0, 6);
+                assert_eq!(six, vec![66]);
+                (0..3).map(|_| c.recv(0, 5)[0]).collect::<Vec<u8>>()
+            }
+        });
+        assert_eq!(out[1], vec![0, 1, 2]);
+    }
+
+    /// `recv_any` returns messages in *arrival* order, not in the order
+    /// the expected list happens to enumerate them.
+    #[test]
+    fn recv_any_matches_arrival_order() {
+        let out = World::run(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 10, vec![10]);
+                c.send(1, 11, vec![11]);
+                0
+            } else {
+                // Tag 10 was sent first, so it arrives first even though
+                // it is listed second.
+                let expected = [(0u32, 11u64), (0u32, 10u64)];
+                let (i1, m1) = c.recv_any(&expected);
+                let (i2, m2) = c.recv_any(&[expected[0]]);
+                assert_eq!((i1, m1), (1, vec![10]));
+                assert_eq!((i2, m2), (0, vec![11]));
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    /// `recv_any` finds messages already parked in the pending buffer
+    /// without touching the channel.
+    #[test]
+    fn recv_any_prefers_pending_messages() {
+        let out = World::run(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![33]);
+                c.send(1, 4, vec![44]);
+                0
+            } else {
+                // Receiving tag 4 first parks the tag-3 message in the
+                // pending buffer; recv_any must then return it instantly.
+                assert_eq!(c.recv(0, 4), vec![44]);
+                let (i, m) = c.recv_any(&[(0, 3)]);
+                assert_eq!((i, m), (0, vec![33]));
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    /// `try_recv_any` returns already-arrived messages and never blocks.
+    #[test]
+    fn try_recv_any_does_not_block() {
+        let out = World::run(2, |mut c| {
+            if c.rank() == 0 {
+                // Rank 1 sends nothing until told to: must be None.
+                let empty = c.try_recv_any(&[(1, 7)]).is_none();
+                c.send(1, 1, vec![]);
+                // Receiving tag 8 parks the earlier tag-7 message in the
+                // pending buffer, where try_recv_any must find it.
+                let m = c.recv(1, 8);
+                assert_eq!(m, vec![88]);
+                let found = c.try_recv_any(&[(1, 7)]);
+                empty && found == Some((0, vec![77]))
+            } else {
+                c.recv(0, 1);
+                c.send(0, 7, vec![77]);
+                c.send(0, 8, vec![88]);
+                true
+            }
+        });
+        assert!(out[0]);
     }
 
     #[test]

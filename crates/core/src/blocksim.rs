@@ -1,7 +1,9 @@
 //! Per-block simulation state.
 
 use trillium_field::{CellFlags, FlagField, FlagOps, PdfField, RowIntervals, Shape, SoaPdfField};
-use trillium_kernels::{apply_boundaries, BoundaryParams, SweepStats};
+use trillium_kernels::{
+    apply_boundaries, apply_boundaries_ghost, apply_boundaries_interior, BoundaryParams, SweepStats,
+};
 use trillium_lattice::{Relaxation, D3Q19};
 
 /// Which compute kernel a block uses for its interior sweep.
@@ -61,6 +63,22 @@ impl BlockSim {
         apply_boundaries::<D3Q19, _>(&mut self.src, &self.flags, &self.boundary);
     }
 
+    /// Boundary sweep restricted to *interior* wall cells (obstacles).
+    /// These read only interior fluid PDFs, so the sweep is safe to run
+    /// while ghost messages are still in flight — the overlap window of
+    /// the overlapped driver. Pair with [`BlockSim::apply_boundaries_ghost`]
+    /// after the block's ghost slabs have been unpacked; the two together
+    /// are bitwise identical to one [`BlockSim::apply_boundaries`].
+    pub fn apply_boundaries_interior(&mut self) {
+        apply_boundaries_interior::<D3Q19, _>(&mut self.src, &self.flags, &self.boundary);
+    }
+
+    /// Boundary sweep restricted to *ghost-layer* wall cells. Must run
+    /// after the ghost exchange for this block has completed.
+    pub fn apply_boundaries_ghost(&mut self) {
+        apply_boundaries_ghost::<D3Q19, _>(&mut self.src, &self.flags, &self.boundary);
+    }
+
     /// Makes the block periodic along the selected axes by copying its own
     /// boundary slabs into the opposite ghost slabs (single-block periodic
     /// domains, e.g. 2-D channel validations). Call before
@@ -106,6 +124,87 @@ impl BlockSim {
         };
         self.src.swap(&mut self.dst);
         stats.timed(t0.elapsed().as_secs_f64())
+    }
+
+    /// Stream–collide over the interior core only: the cells whose pull
+    /// stencil never reads the ghost layer, so the sweep may run while
+    /// ghost messages are still in flight. Does *not* swap the buffers —
+    /// call [`BlockSim::stream_collide_shell`] once the block's ghost
+    /// slabs are complete, then [`BlockSim::swap_buffers`].
+    pub fn stream_collide_interior(&mut self, rel: Relaxation) -> SweepStats {
+        let t0 = std::time::Instant::now();
+        let core = self.shape.interior_core(1);
+        let stats = match self.kernel {
+            BlockKernel::Dense => trillium_kernels::avx::stream_collide_trt_region(
+                &self.src,
+                &mut self.dst,
+                rel,
+                &core,
+            ),
+            BlockKernel::RowIntervals => {
+                trillium_kernels::sparse::stream_collide_trt_row_intervals_region(
+                    &self.src,
+                    &mut self.dst,
+                    &self.intervals,
+                    rel,
+                    &core,
+                )
+            }
+        };
+        stats.timed(t0.elapsed().as_secs_f64())
+    }
+
+    /// Stream–collide over the boundary shell (the cells skipped by
+    /// [`BlockSim::stream_collide_interior`]). Requires the ghost layer to
+    /// be synchronized and the full boundary sweep to have run. Does not
+    /// swap the buffers.
+    pub fn stream_collide_shell(&mut self, rel: Relaxation) -> SweepStats {
+        let t0 = std::time::Instant::now();
+        let mut stats = SweepStats::default();
+        for region in self.shape.shell_regions(1) {
+            let s = match self.kernel {
+                BlockKernel::Dense => trillium_kernels::avx::stream_collide_trt_region(
+                    &self.src,
+                    &mut self.dst,
+                    rel,
+                    &region,
+                ),
+                BlockKernel::RowIntervals => {
+                    trillium_kernels::sparse::stream_collide_trt_row_intervals_region(
+                        &self.src,
+                        &mut self.dst,
+                        &self.intervals,
+                        rel,
+                        &region,
+                    )
+                }
+            };
+            stats.merge(s);
+        }
+        stats.timed(t0.elapsed().as_secs_f64())
+    }
+
+    /// Swaps the PDF double buffer; the split-sweep analogue of the swap
+    /// that [`BlockSim::stream_collide`] performs internally.
+    pub fn swap_buffers(&mut self) {
+        self.src.swap(&mut self.dst);
+    }
+
+    /// The `(cells, fluid_cells)` counters one *full* sweep of this block
+    /// reports. The split path's region sweeps count traversed cells but
+    /// cannot attribute fluid-ness per sub-span, so the overlapped driver
+    /// uses these totals to keep its accounting identical to the
+    /// synchronous path.
+    pub fn sweep_counts(&self) -> (u64, u64) {
+        match self.kernel {
+            BlockKernel::Dense => {
+                let n = self.shape.interior_cells() as u64;
+                (n, n)
+            }
+            BlockKernel::RowIntervals => {
+                (self.intervals.covered_cells() as u64, self.intervals.fluid_cells as u64)
+            }
+        }
     }
 
     /// Total mass over interior fluid cells.
@@ -256,6 +355,59 @@ mod tests {
         // A rough vortex signature: backflow in the lower half.
         let u_low = block.velocity(4, 4, 1);
         assert!(u_low[0] < u[0]);
+    }
+
+    /// The split path — interior boundary prep, interior-core sweep,
+    /// ghost boundary prep, shell sweep, explicit swap — must be bitwise
+    /// identical to the monolithic apply_boundaries + stream_collide
+    /// sequence, for both the dense and the row-interval kernel. This is
+    /// the per-block half of the overlapped-driver equivalence.
+    #[test]
+    fn split_sweep_is_bitwise_identical() {
+        let make_flags = |sparse: bool| {
+            let mut flags = cavity_flags(8);
+            if sparse {
+                // An interior obstacle forces the row-interval kernel.
+                flags.set_flags(3, 3, 3, CellFlags::NOSLIP);
+                flags.set_flags(4, 3, 3, CellFlags::NOSLIP);
+            }
+            flags
+        };
+        let boundary = BoundaryParams { wall_velocity: [0.05, 0.0, 0.0], ..Default::default() };
+        let rel = Relaxation::trt_from_tau(0.9, MAGIC_TRT);
+        for sparse in [false, true] {
+            let mut full = BlockSim::from_flags(make_flags(sparse), boundary, 1.0, [0.0; 3]);
+            let mut split = BlockSim::from_flags(make_flags(sparse), boundary, 1.0, [0.0; 3]);
+            assert_eq!(
+                split.kernel,
+                if sparse { BlockKernel::RowIntervals } else { BlockKernel::Dense }
+            );
+            for _ in 0..15 {
+                full.apply_boundaries();
+                let s_full = full.stream_collide(rel);
+
+                // Overlapped order: interior prep + core sweep may run
+                // before the ghost layer is touched.
+                split.apply_boundaries_interior();
+                let s_core = split.stream_collide_interior(rel);
+                split.apply_boundaries_ghost();
+                let s_shell = split.stream_collide_shell(rel);
+                split.swap_buffers();
+
+                assert_eq!(s_core.cells + s_shell.cells, s_full.cells);
+                let (cells, fluid) = split.sweep_counts();
+                assert_eq!(cells, s_full.cells);
+                assert_eq!(fluid, s_full.fluid_cells);
+            }
+            for (x, y, z) in full.shape.interior().iter() {
+                for q in 0..19 {
+                    assert!(
+                        full.src.get(x, y, z, q) == split.src.get(x, y, z, q),
+                        "sparse={sparse} differs at ({x},{y},{z}) q={q}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

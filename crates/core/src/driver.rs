@@ -17,9 +17,10 @@ use std::time::Instant;
 use trillium_blockforest::{
     dir_index, distribute, BlockId, BlockLink, DistributedForest, SetupForest, NEIGHBOR_DIRS,
 };
-use trillium_comm::{pack_face, pdfs_crossing, unpack_face, Communicator, World};
+use trillium_comm::{pack_face_with, unpack_face_with, Communicator, CrossingTable, World};
+use trillium_field::PdfField;
 use trillium_kernels::SweepStats;
-use trillium_lattice::D3Q19;
+use trillium_lattice::{Relaxation, D3Q19};
 use trillium_rebalance::plan::{decode_records, encode_records};
 use trillium_rebalance::{
     plan_rebalance, BlockRecord, EwmaCostModel, ImbalanceDetector, PlanOptions,
@@ -40,6 +41,24 @@ pub struct RankResult {
     pub comm_time: f64,
     /// Wall time in the boundary sweeps.
     pub boundary_time: f64,
+    /// Seconds of compute executed while ghost messages were still in
+    /// flight — the communication actually *hidden* by the overlapped
+    /// schedule. Zero for the synchronous path.
+    pub overlap_hidden: f64,
+    /// Seconds blocked in a ghost receive *while runnable local compute
+    /// was still pending* — the exposed stall the overlapped schedule
+    /// removes (a subset of [`RankResult::comm_time`]). The synchronous
+    /// schedule blocks with the entire stream-collide sweep still undone,
+    /// so every blocked receive counts (messages already arrived when
+    /// asked for cost nothing). The overlapped schedule only blocks once
+    /// every interior is swept and every block with a complete ghost
+    /// layer has finished its shell — no runnable work remains — so this
+    /// is zero by construction; its residual wait is neighbor imbalance,
+    /// accounted in [`RankResult::comm_time`]. This definition stays
+    /// meaningful on an oversubscribed emulation host, where raw
+    /// blocked-recv wall time measures the thread scheduler rather than
+    /// the network.
+    pub ghost_stall_time: f64,
     /// Total fluid mass before the first step.
     pub mass_initial: f64,
     /// Total fluid mass after the last step.
@@ -47,6 +66,10 @@ pub struct RankResult {
     /// Probed velocities: global cell → velocity, for the probes owned by
     /// this rank.
     pub probes: Vec<([i64; 3], [f64; 3])>,
+    /// Final interior PDFs per local block (`packed block id` → values in
+    /// interior iteration order × 19), only when
+    /// [`DriverConfig::collect_pdfs`] is set; empty otherwise.
+    pub pdfs: Vec<(u64, Vec<f64>)>,
     /// True if any local block contains non-finite PDFs after the run.
     pub has_nan: bool,
     /// Runtime-rebalance accounting, present only for runs started via
@@ -167,6 +190,41 @@ impl RunResult {
         all
     }
 
+    /// All collected block PDF dumps, sorted by packed block id (empty
+    /// unless the run used [`DriverConfig::collect_pdfs`]). Two runs of
+    /// the same problem are PDF-level bitwise identical iff their dumps
+    /// compare equal.
+    pub fn pdf_dump(&self) -> Vec<(u64, Vec<f64>)> {
+        let mut all: Vec<_> = self.ranks.iter().flat_map(|r| r.pdfs.iter().cloned()).collect();
+        all.sort_by_key(|(id, _)| *id);
+        all
+    }
+
+    /// Total seconds of compute hidden behind in-flight ghost messages,
+    /// summed over ranks (zero for synchronous runs).
+    pub fn overlap_hidden(&self) -> f64 {
+        self.ranks.iter().map(|r| r.overlap_hidden).sum()
+    }
+
+    /// Fraction of busy time spent blocked on ghost messages while
+    /// runnable local compute was still pending (max over ranks) — see
+    /// [`RankResult::ghost_stall_time`]. The overlap ablation's headline:
+    /// the synchronous schedule exposes its whole receive wait as stall,
+    /// the overlapped schedule never blocks while work remains.
+    pub fn stall_fraction(&self) -> f64 {
+        self.ranks
+            .iter()
+            .map(|r| {
+                let total = r.kernel_time + r.comm_time + r.boundary_time;
+                if total > 0.0 {
+                    r.ghost_stall_time / total
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
     /// Fraction of total wall time spent in communication (max over
     /// ranks, the value that limits scaling).
     pub fn comm_fraction(&self) -> f64 {
@@ -242,18 +300,68 @@ impl RunResult {
     }
 }
 
+/// How the distributed time loop schedules ghost exchange and compute.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriverConfig {
+    /// Overlap ghost communication with interior compute: post all sends,
+    /// sweep each block's interior core (whose pull stencil never reads
+    /// the ghost layer) while messages are in flight, then drain ghost
+    /// messages in *arrival* order and finish each block's boundary shell
+    /// as soon as its last message lands. Off by default; the synchronous
+    /// path is the bitwise reference the overlapped path must reproduce
+    /// exactly (pinned by `overlap_matches_sync_bitwise`).
+    pub overlap: bool,
+    /// Dump every block's final interior PDFs into
+    /// [`RankResult::pdfs`] — the raw data for PDF-level equivalence
+    /// tests. Off by default (the dump is large).
+    pub collect_pdfs: bool,
+}
+
+impl DriverConfig {
+    /// The overlapped schedule.
+    pub fn overlapped() -> Self {
+        DriverConfig { overlap: true, ..Default::default() }
+    }
+}
+
 /// Message tag for a ghost message destined for block `dst` arriving from
-/// its neighbor in direction `d` (receiver perspective).
-fn ghost_tag(dst: BlockId, d: [i8; 3]) -> u64 {
+/// its neighbor in direction `d` (receiver perspective). The low bits
+/// carry the direction; bit 5 carries the *step parity*, so a fast
+/// neighbor's step-`t+1` message can never be confused with a still
+/// outstanding step-`t` message of the same link while the overlapped
+/// drain is in progress. (FIFO per `(from, tag)` already orders same-tag
+/// messages — see `fifo_preserved_through_pending_buffer` in
+/// `trillium-comm` — the parity bit makes the separation structural.)
+fn ghost_tag(dst: BlockId, d: [i8; 3], parity: u64) -> u64 {
     let packed = dst.pack();
     assert!(packed < (1 << 42), "block ID too large for ghost tags");
-    (packed << 5) | dir_index(d) as u64
+    (packed << 6) | ((parity & 1) << 5) | dir_index(d) as u64
 }
 
 /// Runs `scenario` on `num_procs` ranks (threads) with
 /// `threads_per_rank`-fold block parallelism inside each rank, for
-/// `steps` time steps. `probes` are global cell coordinates whose final
-/// velocities are reported by the owning rank.
+/// `steps` time steps, under the given [`DriverConfig`]. `probes` are
+/// global cell coordinates whose final velocities are reported by the
+/// owning rank.
+pub fn run_distributed_with(
+    scenario: &Scenario,
+    num_procs: u32,
+    threads_per_rank: usize,
+    steps: u64,
+    probes: &[[i64; 3]],
+    cfg: DriverConfig,
+) -> RunResult {
+    let forest = scenario.make_forest(num_procs);
+    let views = distribute(&forest);
+    let results = World::run(num_procs, |comm| {
+        let view = &views[comm.rank() as usize];
+        rank_loop(comm, view, scenario, threads_per_rank, steps, probes, cfg)
+    });
+    RunResult { steps, ranks: results }
+}
+
+/// Runs `scenario` with the default (synchronous) schedule. See
+/// [`run_distributed_with`].
 pub fn run_distributed_probed(
     scenario: &Scenario,
     num_procs: u32,
@@ -261,13 +369,14 @@ pub fn run_distributed_probed(
     steps: u64,
     probes: &[[i64; 3]],
 ) -> RunResult {
-    let forest = scenario.make_forest(num_procs);
-    let views = distribute(&forest);
-    let results = World::run(num_procs, |comm| {
-        let view = &views[comm.rank() as usize];
-        rank_loop(comm, view, scenario, threads_per_rank, steps, probes)
-    });
-    RunResult { steps, ranks: results }
+    run_distributed_with(
+        scenario,
+        num_procs,
+        threads_per_rank,
+        steps,
+        probes,
+        DriverConfig::default(),
+    )
 }
 
 /// Runs `scenario` without probes. See [`run_distributed_probed`].
@@ -280,6 +389,17 @@ pub fn run_distributed(
     run_distributed_probed(scenario, num_procs, threads_per_rank, steps, &[])
 }
 
+/// Per-rank wall-time accounting shared by both schedules.
+#[derive(Default)]
+struct Timers {
+    kernel: f64,
+    comm: f64,
+    boundary: f64,
+    overlap_hidden: f64,
+    stall: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn rank_loop(
     mut comm: Communicator,
     view: &DistributedForest,
@@ -287,6 +407,7 @@ fn rank_loop(
     threads_per_rank: usize,
     steps: u64,
     probes: &[[i64; 3]],
+    cfg: DriverConfig,
 ) -> RankResult {
     let rank = comm.rank();
     // Build local blocks.
@@ -296,48 +417,238 @@ fn rank_loop(
 
     let mass_initial: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
     let mut stats = SweepStats::default();
-    let mut kernel_time = 0.0;
-    let mut comm_time = 0.0;
-    let mut boundary_time = 0.0;
+    let mut tm = Timers::default();
+    let mut ctx = GhostCtx::new();
+    let rel = scenario.relaxation;
 
-    for _ in 0..steps {
+    for t in 0..steps {
+        if cfg.overlap {
+            overlapped_step(
+                &mut comm,
+                view,
+                &mut blocks,
+                &index_of,
+                &mut ctx,
+                t,
+                rel,
+                threads_per_rank,
+                &mut tm,
+                &mut stats,
+            );
+            continue;
+        }
         // ---- ghost exchange ------------------------------------------
         let t0 = Instant::now();
-        exchange_ghosts(&mut comm, view, &mut blocks, &index_of);
-        comm_time += t0.elapsed().as_secs_f64();
+        let (_, stall) = exchange_ghosts(&mut comm, view, &mut blocks, &index_of, &mut ctx, t);
+        tm.comm += t0.elapsed().as_secs_f64();
+        tm.stall += stall;
 
         // ---- boundary sweep -------------------------------------------
         let t0 = Instant::now();
         for_each_block(&mut blocks, threads_per_rank, |b| b.apply_boundaries());
-        boundary_time += t0.elapsed().as_secs_f64();
+        tm.boundary += t0.elapsed().as_secs_f64();
 
         // ---- stream-collide -------------------------------------------
         let t0 = Instant::now();
-        let rel = scenario.relaxation;
         let step_stats: Vec<SweepStats> =
             map_each_block(&mut blocks, threads_per_rank, move |b| b.stream_collide(rel));
-        kernel_time += t0.elapsed().as_secs_f64();
+        tm.kernel += t0.elapsed().as_secs_f64();
         for s in step_stats {
             stats.merge(s);
         }
     }
 
     let probe_out = locate_probes(scenario, view, &blocks, probes);
+    let pdfs = if cfg.collect_pdfs { dump_pdfs(view, &blocks) } else { Vec::new() };
     let mass_final: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
     let has_nan = blocks.iter().any(BlockSim::has_nan);
     RankResult {
         rank,
         num_blocks: blocks.len(),
         stats,
-        kernel_time,
-        comm_time,
-        boundary_time,
+        kernel_time: tm.kernel,
+        comm_time: tm.comm,
+        boundary_time: tm.boundary,
+        overlap_hidden: tm.overlap_hidden,
+        ghost_stall_time: tm.stall,
         mass_initial,
         mass_final,
         probes: probe_out,
+        pdfs,
         has_nan,
         rebalance: None,
     }
+}
+
+/// Serializes every block's interior PDFs for bitwise comparison.
+fn dump_pdfs(view: &DistributedForest, blocks: &[BlockSim]) -> Vec<(u64, Vec<f64>)> {
+    view.blocks
+        .iter()
+        .zip(blocks)
+        .map(|(lb, b)| {
+            let mut vals = Vec::with_capacity(b.shape.interior_cells() * 19);
+            for (x, y, z) in b.shape.interior().iter() {
+                for q in 0..19 {
+                    vals.push(b.src.get(x, y, z, q));
+                }
+            }
+            (lb.id.pack(), vals)
+        })
+        .collect()
+}
+
+/// One time step of the overlapped schedule:
+///
+/// 1. pack and post *all* sends (remote links), unpack same-rank links;
+/// 2. while the remote messages are in flight, run the interior boundary
+///    prep (obstacle cells, which never read the ghost layer) and the
+///    interior-core stream–collide on every local block;
+/// 3. drain the expected ghost messages in **arrival order** via
+///    [`Communicator::recv_any`] — not in the fixed posting order the
+///    synchronous path blocks on — and finish each block's ghost boundary
+///    prep + shell sweep the moment its last message lands, so shell
+///    compute of early-completing blocks also hides late arrivals;
+/// 4. swap all double buffers.
+///
+/// The result is bitwise identical to the synchronous schedule: the
+/// interior/shell split partitions each block exactly once (pinned in
+/// `trillium-kernels::dispatch`), the boundary split is order-independent
+/// (pinned in `trillium-kernels::boundary`), and ghost slabs of distinct
+/// directions are disjoint, so arrival-order unpacking is race-free.
+#[allow(clippy::too_many_arguments)]
+fn overlapped_step(
+    comm: &mut Communicator,
+    view: &DistributedForest,
+    blocks: &mut [BlockSim],
+    index_of: &HashMap<BlockId, usize>,
+    ctx: &mut GhostCtx,
+    step: u64,
+    rel: Relaxation,
+    threads: usize,
+    tm: &mut Timers,
+    stats: &mut SweepStats,
+) {
+    // ---- post sends ---------------------------------------------------
+    let t0 = Instant::now();
+    ctx.begin_step(blocks.len());
+    for (bi, lb) in view.blocks.iter().enumerate() {
+        for (li, link) in lb.links.iter().enumerate() {
+            let d = NEIGHBOR_DIRS[li];
+            if ctx.table.qs(d).is_empty() {
+                continue; // corner links carry nothing for D3Q19
+            }
+            let rev = [-d[0], -d[1], -d[2]];
+            match link {
+                BlockLink::Border => {}
+                BlockLink::Local(nid) => {
+                    let mut buf = ctx.take_buf();
+                    pack_face_with::<D3Q19, _>(&blocks[bi].src, d, ctx.table.qs(d), &mut buf);
+                    ctx.local.push((index_of[nid], rev, buf));
+                }
+                BlockLink::Remote(nid, r) => {
+                    let mut buf = ctx.take_buf();
+                    pack_face_with::<D3Q19, _>(&blocks[bi].src, d, ctx.table.qs(d), &mut buf);
+                    comm.send(*r, ghost_tag(*nid, rev, step), buf);
+                    ctx.pairs.push((*r, ghost_tag(lb.id, d, step)));
+                    ctx.meta.push((bi, d));
+                    ctx.outstanding[bi] += 1;
+                }
+            }
+        }
+    }
+    // Same-rank links complete immediately.
+    let local = std::mem::take(&mut ctx.local);
+    for (bi, d, buf) in local {
+        unpack_face_with::<D3Q19, _>(&mut blocks[bi].src, d, ctx.table.qs_reversed(d), &buf);
+        ctx.recycle(buf);
+    }
+    tm.comm += t0.elapsed().as_secs_f64();
+    let in_flight = !ctx.pairs.is_empty();
+
+    // ---- overlap window: interior prep + interior sweeps ---------------
+    let t_hide = Instant::now();
+    let t0 = Instant::now();
+    for_each_block(blocks, threads, |b| b.apply_boundaries_interior());
+    tm.boundary += t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let interior: Vec<SweepStats> =
+        map_each_block(blocks, threads, move |b| b.stream_collide_interior(rel));
+    tm.kernel += t0.elapsed().as_secs_f64();
+    for (bi, s) in interior.iter().enumerate() {
+        ctx.seconds[bi] = s.seconds;
+    }
+    if in_flight {
+        tm.overlap_hidden += t_hide.elapsed().as_secs_f64();
+    }
+
+    // Blocks with no outstanding remote messages (ghosts already complete
+    // from local links) finish their shells now — still inside the
+    // overlap window of the other blocks' messages.
+    for bi in 0..blocks.len() {
+        if ctx.outstanding[bi] == 0 {
+            let hidden = finish_shell(&mut blocks[bi], bi, rel, ctx, tm);
+            if in_flight {
+                tm.overlap_hidden += hidden;
+            }
+        }
+    }
+
+    // ---- drain: arrival order, finish shells as blocks complete --------
+    while !ctx.pairs.is_empty() {
+        let t0 = Instant::now();
+        // Blocking here is *not* an exposed stall: every interior is
+        // already swept and every block with a complete ghost layer has
+        // finished its shell, so no runnable local work remains. The
+        // wait is neighbor imbalance and lands in `comm_time` (see
+        // [`RankResult::ghost_stall_time`]).
+        let (i, data) = match comm.try_recv_any(&ctx.pairs) {
+            Some(hit) => hit,
+            None => comm.recv_any(&ctx.pairs),
+        };
+        let (bi, d) = ctx.meta[i];
+        ctx.pairs.swap_remove(i);
+        ctx.meta.swap_remove(i);
+        unpack_face_with::<D3Q19, _>(&mut blocks[bi].src, d, ctx.table.qs_reversed(d), &data);
+        ctx.recycle(data);
+        tm.comm += t0.elapsed().as_secs_f64();
+        ctx.outstanding[bi] -= 1;
+        if ctx.outstanding[bi] == 0 {
+            let hidden = finish_shell(&mut blocks[bi], bi, rel, ctx, tm);
+            if !ctx.pairs.is_empty() {
+                tm.overlap_hidden += hidden;
+            }
+        }
+    }
+
+    // ---- swap + accounting --------------------------------------------
+    for_each_block(blocks, threads, |b| b.swap_buffers());
+    for (bi, b) in blocks.iter().enumerate() {
+        // Region sweeps count traversed cells but cannot attribute
+        // fluid-ness per sub-span; report the same totals as a full sweep.
+        let (cells, fluid_cells) = b.sweep_counts();
+        stats.merge(SweepStats { cells, fluid_cells, seconds: ctx.seconds[bi] });
+    }
+}
+
+/// Ghost boundary prep + shell sweep for one block whose ghost layer just
+/// became complete. Returns the seconds spent (the caller decides whether
+/// they were hidden behind still-outstanding messages).
+fn finish_shell(
+    block: &mut BlockSim,
+    bi: usize,
+    rel: Relaxation,
+    ctx: &mut GhostCtx,
+    tm: &mut Timers,
+) -> f64 {
+    let t_all = Instant::now();
+    let t0 = Instant::now();
+    block.apply_boundaries_ghost();
+    tm.boundary += t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let s = block.stream_collide_shell(rel);
+    tm.kernel += t0.elapsed().as_secs_f64();
+    ctx.seconds[bi] += s.seconds;
+    t_all.elapsed().as_secs_f64()
 }
 
 /// Evaluates the probes this rank owns (global cell → velocity).
@@ -415,16 +726,20 @@ fn rank_loop_rebalanced(
     let mut kernel_time = 0.0;
     let mut comm_time = 0.0;
     let mut boundary_time = 0.0;
+    let mut stall_time = 0.0;
 
     let mut model = EwmaCostModel::new(cfg.ewma_alpha);
     let mut detector =
         ImbalanceDetector::new(cfg.threshold, cfg.hysteresis).with_cooldown(cfg.cooldown_epochs);
     let mut report = RebalanceReport::default();
+    let mut ctx = GhostCtx::new();
 
     for t in 0..steps {
         let t0 = Instant::now();
-        let ghost_work = exchange_ghosts(&mut comm, &view, &mut blocks, &index_of);
+        let (ghost_work, ghost_stall) =
+            exchange_ghosts(&mut comm, &view, &mut blocks, &index_of, &mut ctx, t);
         comm_time += t0.elapsed().as_secs_f64();
+        stall_time += ghost_stall;
         report.comm_work_time += ghost_work;
 
         let t0 = Instant::now();
@@ -517,70 +832,173 @@ fn rank_loop_rebalanced(
         kernel_time,
         comm_time,
         boundary_time,
+        overlap_hidden: 0.0,
+        ghost_stall_time: stall_time,
         mass_initial,
         mass_final,
         probes: Vec::new(),
+        pdfs: Vec::new(),
         has_nan,
         rebalance: Some(report),
     }
 }
 
-/// One full ghost exchange on the source fields of all local blocks.
+/// Reusable ghost-exchange state: the precomputed 26-direction crossing
+/// table plus buffers and bookkeeping vectors recycled across steps, so
+/// the per-step exchange fast path performs **no heap allocation** after
+/// warm-up. Received payloads are recycled into the next step's send
+/// buffers — the per-step send and receive counts are equal (every remote
+/// link is symmetric), so the pool reaches a steady state after one step.
+struct GhostCtx {
+    table: CrossingTable,
+    pool: Vec<Vec<u8>>,
+    /// `(from, tag)` pairs still outstanding, parallel to `meta`.
+    pairs: Vec<(u32, u64)>,
+    /// `(block index, direction)` per outstanding pair.
+    meta: Vec<(usize, [i8; 3])>,
+    /// Packed same-rank transfers awaiting unpack.
+    local: Vec<(usize, [i8; 3], Vec<u8>)>,
+    /// Outstanding remote messages per local block.
+    outstanding: Vec<u32>,
+    /// Accumulated sweep seconds per local block this step.
+    seconds: Vec<f64>,
+}
+
+impl GhostCtx {
+    fn new() -> Self {
+        GhostCtx {
+            table: CrossingTable::new::<D3Q19>(),
+            pool: Vec::new(),
+            pairs: Vec::new(),
+            meta: Vec::new(),
+            local: Vec::new(),
+            outstanding: Vec::new(),
+            seconds: Vec::new(),
+        }
+    }
+
+    /// Resets the per-step bookkeeping for `num_blocks` local blocks.
+    fn begin_step(&mut self, num_blocks: usize) {
+        self.pairs.clear();
+        self.meta.clear();
+        self.local.clear();
+        self.outstanding.clear();
+        self.outstanding.resize(num_blocks, 0);
+        self.seconds.clear();
+        self.seconds.resize(num_blocks, 0.0);
+    }
+
+    fn take_buf(&mut self) -> Vec<u8> {
+        let mut b = self.pool.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    fn recycle(&mut self, buf: Vec<u8>) {
+        self.pool.push(buf);
+    }
+}
+
+/// One full ghost exchange on the source fields of all local blocks —
+/// the *synchronous* schedule: everything is packed and sent, then the
+/// expected messages are drained in posting order with blocking receives.
 ///
-/// Returns the seconds spent on this rank's own exchange *work* — packing,
-/// sending, and local unpacking — excluding the time blocked in `recv`
-/// waiting for neighbors. The distinction matters for load measurement:
-/// an underloaded rank spends most of the exchange *waiting* for its
-/// overloaded neighbors, and counting that wait as local cost would make
-/// every rank look equally busy and hide the imbalance completely.
+/// Returns `(work, stall)` seconds: `work` is this rank's own exchange
+/// effort — packing, sending, and local unpacking — excluding the time
+/// blocked in `recv` waiting for neighbors. The distinction matters for
+/// load measurement: an underloaded rank spends most of the exchange
+/// *waiting* for its overloaded neighbors, and counting that wait as
+/// local cost would make every rank look equally busy and hide the
+/// imbalance completely. `stall` is the time blocked on messages that had
+/// not yet arrived when asked for — exposed stall in the sense of
+/// [`RankResult::ghost_stall_time`], since the synchronous schedule runs
+/// this exchange with the whole stream-collide sweep still pending.
 fn exchange_ghosts(
     comm: &mut Communicator,
     view: &DistributedForest,
     blocks: &mut [BlockSim],
     index_of: &HashMap<BlockId, usize>,
-) -> f64 {
+    ctx: &mut GhostCtx,
+    step: u64,
+) -> (f64, f64) {
     // Phase 1: pack everything. Local transfers are buffered the same way
     // as remote ones; packs read interior slabs only, unpacks write ghost
     // slabs only, so a two-phase scheme is race-free and identical in
     // result to any interleaving.
     let work_t0 = Instant::now();
-    let mut local_msgs: Vec<(usize, [i8; 3], Vec<u8>)> = Vec::new();
-    let mut expected: Vec<(u32, u64, usize, [i8; 3])> = Vec::new();
+    ctx.begin_step(blocks.len());
     for (bi, lb) in view.blocks.iter().enumerate() {
         for (li, link) in lb.links.iter().enumerate() {
             let d = NEIGHBOR_DIRS[li];
-            if pdfs_crossing::<D3Q19>(d).is_empty() {
+            if ctx.table.qs(d).is_empty() {
                 continue; // corner links carry nothing for D3Q19
             }
+            let rev = [-d[0], -d[1], -d[2]];
             match link {
                 BlockLink::Border => {}
                 BlockLink::Local(nid) => {
-                    let mut buf = Vec::new();
-                    pack_face::<D3Q19, _>(&blocks[bi].src, d, &mut buf);
+                    let mut buf = ctx.take_buf();
+                    pack_face_with::<D3Q19, _>(&blocks[bi].src, d, ctx.table.qs(d), &mut buf);
                     // The neighbor receives from direction −d.
-                    local_msgs.push((index_of[nid], [-d[0], -d[1], -d[2]], buf));
+                    ctx.local.push((index_of[nid], rev, buf));
                 }
                 BlockLink::Remote(nid, r) => {
-                    let mut buf = Vec::new();
-                    pack_face::<D3Q19, _>(&blocks[bi].src, d, &mut buf);
-                    comm.send(*r, ghost_tag(*nid, [-d[0], -d[1], -d[2]]), buf);
+                    let mut buf = ctx.take_buf();
+                    pack_face_with::<D3Q19, _>(&blocks[bi].src, d, ctx.table.qs(d), &mut buf);
+                    comm.send(*r, ghost_tag(*nid, rev, step), buf);
                     // Symmetric link: we will receive the neighbor's data
                     // for our ghost slab in direction d.
-                    expected.push((*r, ghost_tag(lb.id, d), bi, d));
+                    ctx.pairs.push((*r, ghost_tag(lb.id, d, step)));
+                    ctx.meta.push((bi, d));
                 }
             }
         }
     }
     // Phase 2: unpack local transfers and receive remote ones.
-    for (bi, d, buf) in local_msgs {
-        unpack_face::<D3Q19, _>(&mut blocks[bi].src, d, &buf);
+    let local = std::mem::take(&mut ctx.local);
+    for (bi, d, buf) in local {
+        unpack_face_with::<D3Q19, _>(&mut blocks[bi].src, d, ctx.table.qs_reversed(d), &buf);
+        ctx.recycle(buf);
     }
     let work = work_t0.elapsed().as_secs_f64();
-    for (from, tag, bi, d) in expected {
-        let data = comm.recv(from, tag);
-        unpack_face::<D3Q19, _>(&mut blocks[bi].src, d, &data);
+    let mut stall = 0.0;
+    for i in 0..ctx.pairs.len() {
+        let (from, tag) = ctx.pairs[i];
+        let (bi, d) = ctx.meta[i];
+        let data = match comm.try_recv(from, tag) {
+            Some(data) => data,
+            None => {
+                let t_stall = Instant::now();
+                let data = comm.recv(from, tag);
+                stall += t_stall.elapsed().as_secs_f64();
+                data
+            }
+        };
+        unpack_face_with::<D3Q19, _>(&mut blocks[bi].src, d, ctx.table.qs_reversed(d), &data);
+        ctx.recycle(data);
     }
-    work
+    (work, stall)
+}
+
+/// Splits `items` into exactly `min(parts, len)` contiguous slices whose
+/// sizes differ by at most one (the first `len % parts` slices get the
+/// extra element). `div_ceil`-sized chunking could leave whole threads
+/// idle — 9 blocks on 4 threads gave chunks of 3/3/3 and an idle fourth
+/// worker; here they get 3/2/2/2.
+fn balanced_parts<T>(items: &mut [T], parts: usize) -> Vec<&mut [T]> {
+    let n = items.len();
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut rest = items;
+    let mut out = Vec::with_capacity(parts);
+    for i in 0..parts {
+        let take = base + usize::from(i < extra);
+        let (head, tail) = rest.split_at_mut(take);
+        out.push(head);
+        rest = tail;
+    }
+    out
 }
 
 /// Applies `f` to every block, optionally with thread parallelism (the
@@ -591,9 +1009,8 @@ fn for_each_block<F: Fn(&mut BlockSim) + Sync>(blocks: &mut [BlockSim], threads:
             f(b);
         }
     } else {
-        let chunk = blocks.len().div_ceil(threads);
         std::thread::scope(|scope| {
-            for part in blocks.chunks_mut(chunk) {
+            for part in balanced_parts(blocks, threads) {
                 scope.spawn(|| {
                     for b in part {
                         f(b);
@@ -613,11 +1030,10 @@ fn map_each_block<T: Send, F: Fn(&mut BlockSim) -> T + Sync>(
     if threads <= 1 || blocks.len() <= 1 {
         blocks.iter_mut().map(f).collect()
     } else {
-        let chunk = blocks.len().div_ceil(threads);
         let mut out: Vec<Vec<T>> = Vec::new();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = blocks
-                .chunks_mut(chunk)
+            let handles: Vec<_> = balanced_parts(blocks, threads)
+                .into_iter()
                 .map(|part| scope.spawn(|| part.iter_mut().map(&f).collect::<Vec<T>>()))
                 .collect();
             for h in handles {
@@ -706,8 +1122,77 @@ mod tests {
         for rr in &r.ranks {
             assert!(rr.kernel_time > 0.0);
             assert!(rr.comm_time > 0.0);
+            assert!(rr.overlap_hidden == 0.0, "sync path must not report hidden time");
             assert!(rr.num_blocks == 4);
         }
         assert!(r.comm_fraction() > 0.0 && r.comm_fraction() < 1.0);
+    }
+
+    /// The tentpole equivalence: the overlapped schedule must produce
+    /// *bitwise identical* PDFs to the synchronous reference, across
+    /// multiple ranks, multiple blocks per rank, and hybrid threading.
+    #[test]
+    fn overlap_matches_sync_bitwise() {
+        let s = Scenario::lid_driven_cavity(16, 2, 0.06, 0.08);
+        let cfg_sync = DriverConfig { collect_pdfs: true, ..Default::default() };
+        let cfg_over = DriverConfig { overlap: true, collect_pdfs: true };
+        let sync = run_distributed_with(&s, 4, 1, 30, &[], cfg_sync);
+        for threads in [1usize, 2] {
+            let over = run_distributed_with(&s, 4, threads, 30, &[], cfg_over);
+            assert!(!over.has_nan());
+            let a = sync.pdf_dump();
+            let b = over.pdf_dump();
+            assert_eq!(a.len(), b.len());
+            for ((id_a, va), (id_b, vb)) in a.iter().zip(&b) {
+                assert_eq!(id_a, id_b);
+                assert_eq!(va.len(), vb.len());
+                for (x, y) in va.iter().zip(vb) {
+                    assert!(x == y, "block {id_a}: overlap deviates ({threads} threads)");
+                }
+            }
+            // Identical accounting too: same cells and fluid cells swept.
+            assert_eq!(sync.total_stats().cells, over.total_stats().cells);
+            assert_eq!(sync.total_stats().fluid_cells, over.total_stats().fluid_cells);
+            // The overlapped run measured hidden compute, and it never
+            // blocked while runnable work remained.
+            assert!(over.overlap_hidden() > 0.0);
+            assert!(
+                over.ranks.iter().all(|rr| rr.ghost_stall_time == 0.0),
+                "overlap must not expose stall"
+            );
+        }
+    }
+
+    /// The overlapped schedule must also match on a sparse geometry
+    /// (row-interval kernels) with an interior obstacle — the shell/core
+    /// split interacts with both kernel types and the split boundary
+    /// sweeps.
+    #[test]
+    fn overlap_matches_sync_on_sparse_channel() {
+        let s = Scenario::channel_with_obstacle([24, 8, 8], [3, 1, 1], 0.08, 0.04, 0.18);
+        let cfg_sync = DriverConfig { collect_pdfs: true, ..Default::default() };
+        let cfg_over = DriverConfig { overlap: true, collect_pdfs: true };
+        let sync = run_distributed_with(&s, 3, 1, 40, &[], cfg_sync);
+        let over = run_distributed_with(&s, 3, 1, 40, &[], cfg_over);
+        assert!(!sync.has_nan() && !over.has_nan());
+        let (a, b) = (sync.pdf_dump(), over.pdf_dump());
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "sparse overlap deviates from sync");
+    }
+
+    #[test]
+    fn balanced_parts_use_every_thread() {
+        let mut v: Vec<u32> = (0..9).collect();
+        let parts = balanced_parts(&mut v, 4);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![3, 2, 2, 2]);
+        let mut v: Vec<u32> = (0..3).collect();
+        assert_eq!(balanced_parts(&mut v, 8).len(), 3, "never more parts than items");
+        let mut v: Vec<u32> = (0..8).collect();
+        let parts = balanced_parts(&mut v, 4);
+        assert!(parts.iter().all(|p| p.len() == 2));
+        // Order is preserved.
+        let flat: Vec<u32> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+        assert_eq!(flat, (0..8).collect::<Vec<u32>>());
     }
 }

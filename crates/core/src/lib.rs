@@ -48,7 +48,8 @@ pub mod scenario;
 pub mod prelude {
     pub use crate::blocksim::BlockSim;
     pub use crate::driver::{
-        run_distributed, run_distributed_rebalanced, RankResult, RebalanceConfig, RunResult,
+        run_distributed, run_distributed_rebalanced, run_distributed_with, DriverConfig,
+        RankResult, RebalanceConfig, RunResult,
     };
     pub use crate::loadbalance::{block_graph, graph_balance};
     pub use crate::pipeline::{setup_domain, DomainSetup};

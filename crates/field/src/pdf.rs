@@ -111,6 +111,12 @@ impl<M: LatticeModel> AosPdfField<M> {
     }
 }
 
+impl<M: LatticeModel> Clone for AosPdfField<M> {
+    fn clone(&self) -> Self {
+        AosPdfField { shape: self.shape, data: self.data.clone(), _model: std::marker::PhantomData }
+    }
+}
+
 impl<M: LatticeModel> PdfField<M> for AosPdfField<M> {
     #[inline(always)]
     fn shape(&self) -> Shape {
@@ -192,6 +198,12 @@ impl<M: LatticeModel> SoaPdfField<M> {
     pub fn swap(&mut self, other: &mut Self) {
         assert_eq!(self.shape, other.shape);
         std::mem::swap(&mut self.data, &mut other.data);
+    }
+}
+
+impl<M: LatticeModel> Clone for SoaPdfField<M> {
+    fn clone(&self) -> Self {
+        SoaPdfField { shape: self.shape, data: self.data.clone(), _model: std::marker::PhantomData }
     }
 }
 

@@ -135,6 +135,46 @@ impl Shape {
         Region::new(pick(d[0], self.nx), pick(d[1], self.ny), pick(d[2], self.nz))
     }
 
+    /// The interior *core*: interior cells whose pull stencil (reach
+    /// `reach` cells per axis) never reads the ghost layer. These cells
+    /// can be swept before ghost synchronization completes — the basis of
+    /// communication/computation overlap. May be empty for tiny blocks.
+    pub fn interior_core(&self, reach: usize) -> Region {
+        let r = reach as i32;
+        let clip = |n: usize| {
+            let lo = r.min(n as i32);
+            lo..(n as i32 - r).max(lo)
+        };
+        Region::new(clip(self.nx), clip(self.ny), clip(self.nz))
+    }
+
+    /// The boundary *shell*: the interior cells not in
+    /// [`Shape::interior_core`], i.e. those whose pull stencil reads the
+    /// ghost layer, decomposed into at most six disjoint slabs (low/high
+    /// per axis, each inner slab clipped against the outer ones). The
+    /// union of the returned regions and the core covers the interior
+    /// exactly once; empty slabs are omitted.
+    pub fn shell_regions(&self, reach: usize) -> Vec<Region> {
+        let core = self.interior_core(reach);
+        let (nx, ny, nz) = (self.nx as i32, self.ny as i32, self.nz as i32);
+        let mut out = Vec::with_capacity(6);
+        let mut push = |r: Region| {
+            if !r.is_empty() {
+                out.push(r);
+            }
+        };
+        // z-low and z-high slabs span the full xy extent.
+        push(Region::new(0..nx, 0..ny, 0..core.z.start));
+        push(Region::new(0..nx, 0..ny, core.z.end..nz));
+        // y slabs are clipped to the core z range.
+        push(Region::new(0..nx, 0..core.y.start, core.z.clone()));
+        push(Region::new(0..nx, core.y.end..ny, core.z.clone()));
+        // x slabs are clipped to the core y and z ranges.
+        push(Region::new(0..core.x.start, core.y.clone(), core.z.clone()));
+        push(Region::new(core.x.end..nx, core.y.clone(), core.z.clone()));
+        out
+    }
+
     /// The slab of ghost cells lying beyond the face/edge/corner in
     /// direction `d`, `width` cells thick. This is the region *written*
     /// when receiving ghost data from the neighbor in direction `d`.
@@ -217,6 +257,47 @@ mod tests {
         let c = s.ghost_slab([-1, -1, -1], 1);
         assert_eq!(c.num_cells(), 1);
         assert_eq!(c.x, -1..0);
+    }
+
+    /// Core ∪ shell must cover every interior cell exactly once, for
+    /// assorted extents including degenerate ones where the core is empty.
+    #[test]
+    fn core_and_shell_partition_interior() {
+        for (nx, ny, nz) in [(8, 8, 8), (4, 5, 6), (2, 7, 3), (1, 1, 1), (2, 2, 2), (16, 3, 1)] {
+            let s = Shape::new(nx, ny, nz, 1);
+            let core = s.interior_core(1);
+            let shells = s.shell_regions(1);
+            let mut count = vec![0u32; s.interior_cells()];
+            let lin = |x: i32, y: i32, z: i32| (z as usize * ny + y as usize) * nx + x as usize;
+            for (x, y, z) in core.iter() {
+                count[lin(x, y, z)] += 1;
+            }
+            for r in &shells {
+                for (x, y, z) in r.iter() {
+                    count[lin(x, y, z)] += 1;
+                }
+            }
+            assert!(
+                count.iter().all(|&c| c == 1),
+                "core+shell is not an exact partition for {nx}x{ny}x{nz}"
+            );
+            // Core cells never pull from the ghost layer.
+            for (x, y, z) in core.iter() {
+                for (dx, dy, dz) in
+                    [(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)]
+                {
+                    assert!(s.is_interior(x + dx, y + dy, z + dz));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_block_has_empty_core_and_full_shell() {
+        let s = Shape::new(2, 2, 2, 1);
+        assert!(s.interior_core(1).is_empty());
+        let shell_cells: usize = s.shell_regions(1).iter().map(Region::num_cells).sum();
+        assert_eq!(shell_cells, s.interior_cells());
     }
 
     #[test]

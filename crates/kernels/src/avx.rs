@@ -11,7 +11,7 @@
 //! finalize pass and per-pair collision passes over each x-row.
 
 use crate::stats::SweepStats;
-use trillium_field::{PdfField, SoaPdfField};
+use trillium_field::{PdfField, Region, SoaPdfField};
 use trillium_lattice::{Relaxation, D3Q19};
 
 /// True if the running CPU supports the AVX2+FMA kernel.
@@ -35,14 +35,28 @@ pub fn stream_collide_trt(
     dst: &mut SoaPdfField<D3Q19>,
     rel: Relaxation,
 ) -> SweepStats {
+    stream_collide_trt_region(src, dst, rel, &src.shape().interior())
+}
+
+/// [`stream_collide_trt`] restricted to `region` (a subset of the
+/// interior). The scalar tail performs the same fused operations as the
+/// vector lanes, so results do not depend on where a row is cut: sweeping
+/// a partition of the interior region by region is bitwise identical to
+/// one full sweep.
+pub fn stream_collide_trt_region(
+    src: &SoaPdfField<D3Q19>,
+    dst: &mut SoaPdfField<D3Q19>,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
     #[cfg(target_arch = "x86_64")]
     {
         if available() {
             // SAFETY: feature availability checked above.
-            return unsafe { imp::stream_collide_trt_avx2(src, dst, rel) };
+            return unsafe { imp::stream_collide_trt_avx2(src, dst, rel, region) };
         }
     }
-    crate::soa::stream_collide_trt(src, dst, rel)
+    crate::soa::stream_collide_trt_region(src, dst, rel, region)
 }
 
 /// One fused stream–collide SRT sweep using AVX2+FMA intrinsics (same
@@ -52,15 +66,26 @@ pub fn stream_collide_srt(
     dst: &mut SoaPdfField<D3Q19>,
     rel: Relaxation,
 ) -> SweepStats {
+    stream_collide_srt_region(src, dst, rel, &src.shape().interior())
+}
+
+/// [`stream_collide_srt`] restricted to `region`; see
+/// [`stream_collide_trt_region`] for the partition guarantee.
+pub fn stream_collide_srt_region(
+    src: &SoaPdfField<D3Q19>,
+    dst: &mut SoaPdfField<D3Q19>,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
     assert!(rel.is_srt(), "SRT kernel requires equal relaxation rates");
     #[cfg(target_arch = "x86_64")]
     {
         if available() {
             // SAFETY: feature availability checked above.
-            return unsafe { imp::stream_collide_srt_avx2(src, dst, rel) };
+            return unsafe { imp::stream_collide_srt_avx2(src, dst, rel, region) };
         }
     }
-    crate::soa::stream_collide_srt(src, dst, rel)
+    crate::soa::stream_collide_srt_region(src, dst, rel, region)
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -76,13 +101,18 @@ mod imp {
         src: &SoaPdfField<D3Q19>,
         dst: &mut SoaPdfField<D3Q19>,
         rel: Relaxation,
+        region: &Region,
     ) -> SweepStats {
         assert_eq!(src.shape(), dst.shape());
         let shape = src.shape();
         assert!(shape.ghost >= 1);
+        debug_assert_eq!(region.intersect(&shape.interior()), region.clone());
         let (le, lo) = (rel.lambda_e, rel.lambda_o);
         let (sy, sz) = (shape.stride_y() as isize, shape.stride_z() as isize);
-        let n = shape.nx;
+        let n = region.x.len();
+        if n == 0 {
+            return SweepStats::dense(0);
+        }
 
         let mut rho = vec![0.0f64; n];
         let mut ux = vec![0.0f64; n];
@@ -95,9 +125,9 @@ mod imp {
 
         let offq = |q: usize| C[q][0] as isize + C[q][1] as isize * sy + C[q][2] as isize * sz;
 
-        for z in 0..shape.nz as i32 {
-            for y in 0..shape.ny as i32 {
-                let base = shape.idx(0, y, z);
+        for z in region.z.clone() {
+            for y in region.y.clone() {
+                let base = shape.idx(region.x.start, y, z);
 
                 // ---- moment pass -------------------------------------
                 rho.fill(0.0);
@@ -274,7 +304,7 @@ mod imp {
                 }
             }
         }
-        SweepStats::dense(shape.interior_cells() as u64)
+        SweepStats::dense(region.num_cells() as u64)
     }
 
     #[target_feature(enable = "avx2", enable = "fma")]
@@ -282,14 +312,19 @@ mod imp {
         src: &SoaPdfField<D3Q19>,
         dst: &mut SoaPdfField<D3Q19>,
         rel: Relaxation,
+        region: &Region,
     ) -> SweepStats {
         assert_eq!(src.shape(), dst.shape());
         let shape = src.shape();
         assert!(shape.ghost >= 1);
+        debug_assert_eq!(region.intersect(&shape.interior()), region.clone());
         let omega = -rel.lambda_e;
         let om1 = 1.0 - omega;
         let (sy, sz) = (shape.stride_y() as isize, shape.stride_z() as isize);
-        let n = shape.nx;
+        let n = region.x.len();
+        if n == 0 {
+            return SweepStats::dense(0);
+        }
 
         let mut rho = vec![0.0f64; n];
         let mut ux = vec![0.0f64; n];
@@ -301,9 +336,9 @@ mod imp {
         let mut ddirs = dst.dirs_mut();
         let offq = |q: usize| C[q][0] as isize + C[q][1] as isize * sy + C[q][2] as isize * sz;
 
-        for z in 0..shape.nz as i32 {
-            for y in 0..shape.ny as i32 {
-                let base = shape.idx(0, y, z);
+        for z in region.z.clone() {
+            for y in region.y.clone() {
+                let base = shape.idx(region.x.start, y, z);
 
                 // ---- moment pass (identical to the TRT kernel) --------
                 rho.fill(0.0);
@@ -431,7 +466,7 @@ mod imp {
                 }
             }
         }
-        SweepStats::dense(shape.interior_cells() as u64)
+        SweepStats::dense(region.num_cells() as u64)
     }
 }
 

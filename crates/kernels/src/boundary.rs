@@ -46,6 +46,18 @@ impl Default for BoundaryParams {
     }
 }
 
+/// Which wall cells a preparatory sweep visits; see
+/// [`apply_boundaries_interior`] / [`apply_boundaries_ghost`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum WallSelection {
+    /// All wall cells (ghost layer and interior obstacles).
+    All,
+    /// Only wall cells at interior coordinates (obstacles).
+    Interior,
+    /// Only wall cells in the ghost layer.
+    Ghost,
+}
+
 /// Runs the preparatory boundary sweep on the (source) field `f`.
 ///
 /// Must be called after ghost-layer synchronization and before the
@@ -55,9 +67,60 @@ pub fn apply_boundaries<M: LatticeModel, F: PdfField<M>>(
     flags: &FlagField,
     params: &BoundaryParams,
 ) {
+    apply_boundaries_selected::<M, F>(f, flags, params, WallSelection::All)
+}
+
+/// The preparatory sweep restricted to wall cells at *interior*
+/// coordinates (in-block obstacles). These cells are never written by
+/// ghost-layer unpacking, and every value written depends only on interior
+/// fluid PDFs, so this half can run before ghost synchronization
+/// completes — the boundary-prep part of the communication-hiding step.
+pub fn apply_boundaries_interior<M: LatticeModel, F: PdfField<M>>(
+    f: &mut F,
+    flags: &FlagField,
+    params: &BoundaryParams,
+) {
+    apply_boundaries_selected::<M, F>(f, flags, params, WallSelection::Interior)
+}
+
+/// The preparatory sweep restricted to wall cells in the *ghost layer*
+/// (domain hull and remote wall slabs). Must run after ghost unpacking:
+/// on wall cells inside exchanged slabs the boundary value overwrites the
+/// neighbor's PDFs, exactly as in the synchronous step order. Together
+/// with [`apply_boundaries_interior`] this visits every wall cell that
+/// [`apply_boundaries`] visits, exactly once, writing bitwise the same
+/// values (each `(w, q)` write depends only on interior fluid PDFs, which
+/// neither half modifies).
+pub fn apply_boundaries_ghost<M: LatticeModel, F: PdfField<M>>(
+    f: &mut F,
+    flags: &FlagField,
+    params: &BoundaryParams,
+) {
+    apply_boundaries_selected::<M, F>(f, flags, params, WallSelection::Ghost)
+}
+
+fn apply_boundaries_selected<M: LatticeModel, F: PdfField<M>>(
+    f: &mut F,
+    flags: &FlagField,
+    params: &BoundaryParams,
+    sel: WallSelection,
+) {
     let shape = f.shape();
     let mut fluid_pdfs = vec![0.0; M::Q];
     for (wx, wy, wz) in shape.with_ghosts().iter() {
+        match sel {
+            WallSelection::All => {}
+            WallSelection::Interior => {
+                if !shape.is_interior(wx, wy, wz) {
+                    continue;
+                }
+            }
+            WallSelection::Ghost => {
+                if shape.is_interior(wx, wy, wz) {
+                    continue;
+                }
+            }
+        }
         let flag = flags.flags(wx, wy, wz);
         if !flag.is_boundary() {
             continue;
@@ -247,6 +310,49 @@ mod tests {
         // Fluid at the bottom moves much less.
         let u_bot = src.velocity(4, 4, 0);
         assert!(u_top[0] > 5.0 * u_bot[0].abs());
+    }
+
+    /// The split preparatory sweep (interior wall cells, then ghost-layer
+    /// wall cells) must write bitwise the same field as the single full
+    /// sweep — in either order, since all writes depend only on fluid
+    /// PDFs. This is the property the overlapped driver relies on.
+    #[test]
+    fn split_boundary_sweep_is_bitwise_identical() {
+        let shape = Shape::cube(6);
+        let mut flags = boxed_flags(shape, CellFlags::NOSLIP);
+        // An interior obstacle so the interior half is non-trivial.
+        flags.set_flags(2, 3, 3, CellFlags::NOSLIP);
+        flags.set_flags(3, 3, 3, CellFlags::VELOCITY);
+        // A pressure opening on one ghost face.
+        for y in -1..=(shape.ny as i32) {
+            for z in -1..=(shape.nz as i32) {
+                flags.set_flags(-1, y, z, CellFlags::PRESSURE);
+            }
+        }
+        let mut full = AosPdfField::<D3Q19>::new(shape);
+        full.fill_equilibrium(1.0, [0.0; 3]);
+        for (i, v) in full.data_mut().iter_mut().enumerate() {
+            *v += 1e-4 * (((i * 2654435761) % 997) as f64 / 997.0 - 0.5);
+        }
+        let mut split_a = full.clone();
+        let mut split_b = full.clone();
+        let params = BoundaryParams {
+            wall_velocity: [0.03, -0.01, 0.0],
+            pressure_density: 1.02,
+            ..Default::default()
+        };
+        apply_boundaries::<D3Q19, _>(&mut full, &flags, &params);
+        apply_boundaries_interior::<D3Q19, _>(&mut split_a, &flags, &params);
+        apply_boundaries_ghost::<D3Q19, _>(&mut split_a, &flags, &params);
+        apply_boundaries_ghost::<D3Q19, _>(&mut split_b, &flags, &params);
+        apply_boundaries_interior::<D3Q19, _>(&mut split_b, &flags, &params);
+        for (x, y, z) in shape.with_ghosts().iter() {
+            for q in 0..19 {
+                let r = full.get(x, y, z, q);
+                assert!(r == split_a.get(x, y, z, q), "interior-first at ({x},{y},{z}) q={q}");
+                assert!(r == split_b.get(x, y, z, q), "ghost-first at ({x},{y},{z}) q={q}");
+            }
+        }
     }
 
     /// Pressure anti bounce back drives the local density toward the

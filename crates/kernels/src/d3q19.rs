@@ -8,7 +8,7 @@
 //! are shared between antiparallel directions.
 
 use crate::stats::SweepStats;
-use trillium_field::{AosPdfField, PdfField};
+use trillium_field::{AosPdfField, PdfField, Region};
 use trillium_lattice::d3q19::{dir, C, Q, W as WEIGHTS};
 use trillium_lattice::{Relaxation, D3Q19};
 
@@ -64,19 +64,33 @@ pub fn stream_collide_srt(
     dst: &mut AosPdfField<D3Q19>,
     rel: Relaxation,
 ) -> SweepStats {
+    stream_collide_srt_region(src, dst, rel, &src.shape().interior())
+}
+
+/// [`stream_collide_srt`] restricted to `region` (a subset of the
+/// interior). Cell updates are independent, so sweeping a partition of
+/// the interior region by region is bitwise identical to one full sweep.
+pub fn stream_collide_srt_region(
+    src: &AosPdfField<D3Q19>,
+    dst: &mut AosPdfField<D3Q19>,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
     assert!(rel.is_srt(), "SRT kernel requires equal relaxation rates");
     assert_eq!(src.shape(), dst.shape());
     let shape = src.shape();
     assert!(shape.ghost >= 1);
+    debug_assert_eq!(region.intersect(&shape.interior()), region.clone());
     let omega = -rel.lambda_e;
     let off = pull_offsets(shape.stride_y() as isize, shape.stride_z() as isize);
     let s = src.data();
     let d = dst.data_mut();
+    let nx = region.x.len();
 
-    for z in 0..shape.nz as i32 {
-        for y in 0..shape.ny as i32 {
-            let row = shape.idx(0, y, z);
-            for x in 0..shape.nx {
+    for z in region.z.clone() {
+        for y in region.y.clone() {
+            let row = shape.idx(region.x.start, y, z);
+            for x in 0..nx {
                 let cell = row + x;
                 let f = gather(s, cell, &off);
                 let (rho, u) = moments(&f);
@@ -84,7 +98,7 @@ pub fn stream_collide_srt(
             }
         }
     }
-    SweepStats::dense(shape.interior_cells() as u64)
+    SweepStats::dense(region.num_cells() as u64)
 }
 
 /// SRT collision of one cell, shared with the sparse kernels.
@@ -198,18 +212,31 @@ pub fn stream_collide_trt(
     dst: &mut AosPdfField<D3Q19>,
     rel: Relaxation,
 ) -> SweepStats {
+    stream_collide_trt_region(src, dst, rel, &src.shape().interior())
+}
+
+/// [`stream_collide_trt`] restricted to `region`; see
+/// [`stream_collide_srt_region`] for the partition guarantee.
+pub fn stream_collide_trt_region(
+    src: &AosPdfField<D3Q19>,
+    dst: &mut AosPdfField<D3Q19>,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
     assert_eq!(src.shape(), dst.shape());
     let shape = src.shape();
     assert!(shape.ghost >= 1);
+    debug_assert_eq!(region.intersect(&shape.interior()), region.clone());
     let (le, lo) = (rel.lambda_e, rel.lambda_o);
     let off = pull_offsets(shape.stride_y() as isize, shape.stride_z() as isize);
     let s = src.data();
     let d = dst.data_mut();
+    let nx = region.x.len();
 
-    for z in 0..shape.nz as i32 {
-        for y in 0..shape.ny as i32 {
-            let row = shape.idx(0, y, z);
-            for x in 0..shape.nx {
+    for z in region.z.clone() {
+        for y in region.y.clone() {
+            let row = shape.idx(region.x.start, y, z);
+            for x in 0..nx {
                 let cell = row + x;
                 let f = gather(s, cell, &off);
                 let (rho, u) = moments(&f);
@@ -217,7 +244,7 @@ pub fn stream_collide_trt(
             }
         }
     }
-    SweepStats::dense(shape.interior_cells() as u64)
+    SweepStats::dense(region.num_cells() as u64)
 }
 
 #[cfg(test)]

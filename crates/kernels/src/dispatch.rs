@@ -5,7 +5,7 @@
 
 use crate::stats::SweepStats;
 use crate::Collision;
-use trillium_field::{AosPdfField, SoaPdfField};
+use trillium_field::{AosPdfField, Region, SoaPdfField};
 use trillium_lattice::{Relaxation, D3Q19};
 
 /// The three optimization stages of paper §4.1 plus the explicit
@@ -66,6 +66,54 @@ pub fn sweep_soa(
     }
 }
 
+/// Region-restricted variant of [`sweep_aos`]: sweeps only the cells of
+/// `region` (a subset of the interior). Sweeping a partition of the
+/// interior region by region is bitwise identical to one full sweep, for
+/// every tier — the contract behind the overlapped driver's interior/shell
+/// split, pinned by `region_partition_is_bitwise_identical`.
+pub fn sweep_aos_region(
+    tier: Tier,
+    collision: Collision,
+    src: &AosPdfField<D3Q19>,
+    dst: &mut AosPdfField<D3Q19>,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
+    match (tier, collision) {
+        (Tier::Generic, Collision::Srt) => {
+            crate::generic::stream_collide_srt_region(src, dst, rel, region)
+        }
+        (Tier::Generic, Collision::Trt) => {
+            crate::generic::stream_collide_trt_region(src, dst, rel, region)
+        }
+        (Tier::Specialized, Collision::Srt) => {
+            crate::d3q19::stream_collide_srt_region(src, dst, rel, region)
+        }
+        (Tier::Specialized, Collision::Trt) => {
+            crate::d3q19::stream_collide_trt_region(src, dst, rel, region)
+        }
+        _ => panic!("{tier:?} is an SoA tier; use sweep_soa_region"),
+    }
+}
+
+/// Region-restricted variant of [`sweep_soa`]; see [`sweep_aos_region`].
+pub fn sweep_soa_region(
+    tier: Tier,
+    collision: Collision,
+    src: &SoaPdfField<D3Q19>,
+    dst: &mut SoaPdfField<D3Q19>,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
+    match (tier, collision) {
+        (Tier::Soa, Collision::Srt) => crate::soa::stream_collide_srt_region(src, dst, rel, region),
+        (Tier::Soa, Collision::Trt) => crate::soa::stream_collide_trt_region(src, dst, rel, region),
+        (Tier::Avx, Collision::Srt) => crate::avx::stream_collide_srt_region(src, dst, rel, region),
+        (Tier::Avx, Collision::Trt) => crate::avx::stream_collide_trt_region(src, dst, rel, region),
+        _ => panic!("{tier:?} is an AoS tier; use sweep_aos_region"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +167,76 @@ mod tests {
                     Some(r) => {
                         for (a, b) in r.iter().zip(&result) {
                             assert!((a - b).abs() < 1e-13, "{tier:?}/{collision:?} deviates");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sweeping the interior core plus the boundary shells must equal one
+    /// full sweep *bitwise* for every tier and collision operator — not
+    /// just to tolerance. The overlapped driver depends on this exactness
+    /// to keep the overlapped and synchronous paths bit-identical.
+    #[test]
+    fn region_partition_is_bitwise_identical() {
+        // Odd nx so the AVX tail position differs between full rows and
+        // shell sub-rows.
+        let shape = Shape::new(11, 6, 5, 1);
+        let mut aos = AosPdfField::<D3Q19>::new(shape);
+        let mut soa = SoaPdfField::<D3Q19>::new(shape);
+        aos.fill_equilibrium(1.0, [0.015, -0.02, 0.01]);
+        for (x, y, z) in shape.with_ghosts().iter() {
+            for q in 0..19 {
+                let v = aos.get(x, y, z, q)
+                    + 1e-4 * (((x * 7 + y * 13 + z * 29 + q as i32 * 31) % 17) as f64 - 8.0);
+                aos.set(x, y, z, q, v);
+                soa.set(x, y, z, q, v);
+            }
+        }
+        let core = shape.interior_core(1);
+        let shells = shape.shell_regions(1);
+        assert!(!core.is_empty() && !shells.is_empty());
+        for collision in [Collision::Srt, Collision::Trt] {
+            let rel = match collision {
+                Collision::Srt => Relaxation::srt_from_tau(0.8),
+                Collision::Trt => Relaxation::trt_from_tau(0.8, MAGIC_TRT),
+            };
+            for tier in Tier::ALL {
+                if tier.uses_aos() {
+                    let mut full = AosPdfField::<D3Q19>::new(shape);
+                    let mut split = AosPdfField::<D3Q19>::new(shape);
+                    let s_full = sweep_aos(tier, collision, &aos, &mut full, rel);
+                    let mut cells =
+                        sweep_aos_region(tier, collision, &aos, &mut split, rel, &core).cells;
+                    for r in &shells {
+                        cells += sweep_aos_region(tier, collision, &aos, &mut split, rel, r).cells;
+                    }
+                    assert_eq!(cells, s_full.cells, "{tier:?}/{collision:?} cell count");
+                    for (x, y, z) in shape.interior().iter() {
+                        for q in 0..19 {
+                            assert!(
+                                full.get(x, y, z, q) == split.get(x, y, z, q),
+                                "{tier:?}/{collision:?} differs at ({x},{y},{z}) q={q}"
+                            );
+                        }
+                    }
+                } else {
+                    let mut full = SoaPdfField::<D3Q19>::new(shape);
+                    let mut split = SoaPdfField::<D3Q19>::new(shape);
+                    let s_full = sweep_soa(tier, collision, &soa, &mut full, rel);
+                    let mut cells =
+                        sweep_soa_region(tier, collision, &soa, &mut split, rel, &core).cells;
+                    for r in &shells {
+                        cells += sweep_soa_region(tier, collision, &soa, &mut split, rel, r).cells;
+                    }
+                    assert_eq!(cells, s_full.cells, "{tier:?}/{collision:?} cell count");
+                    for (x, y, z) in shape.interior().iter() {
+                        for q in 0..19 {
+                            assert!(
+                                full.get(x, y, z, q) == split.get(x, y, z, q),
+                                "{tier:?}/{collision:?} differs at ({x},{y},{z}) q={q}"
+                            );
                         }
                     }
                 }

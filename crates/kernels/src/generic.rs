@@ -9,7 +9,7 @@
 //! assumptions are made; this is the baseline of Fig. 3.
 
 use crate::stats::SweepStats;
-use trillium_field::PdfField;
+use trillium_field::{PdfField, Region};
 use trillium_lattice::equilibrium::{equilibrium_even, equilibrium_odd};
 use trillium_lattice::{equilibrium, LatticeModel, Relaxation};
 
@@ -20,11 +20,23 @@ pub fn stream_collide_srt<M: LatticeModel, F: PdfField<M>>(
     dst: &mut F,
     rel: Relaxation,
 ) -> SweepStats {
+    stream_collide_srt_region(src, dst, rel, &src.shape().interior())
+}
+
+/// [`stream_collide_srt`] restricted to `region` (a subset of the
+/// interior). The per-cell arithmetic is identical to the full sweep, so
+/// sweeping a partition of the interior region by region produces bitwise
+/// the same PDFs as one full sweep.
+pub fn stream_collide_srt_region<M: LatticeModel, F: PdfField<M>>(
+    src: &F,
+    dst: &mut F,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
     assert!(rel.is_srt(), "SRT kernel requires equal relaxation rates");
-    let shape = src.shape();
     let omega = -rel.lambda_e;
     let mut f = vec![0.0; M::Q];
-    for (x, y, z) in shape.interior().iter() {
+    for (x, y, z) in region.iter() {
         // Streaming: pull each PDF from the upwind neighbor.
         for q in 0..M::Q {
             let c = M::velocities()[q];
@@ -42,7 +54,7 @@ pub fn stream_collide_srt<M: LatticeModel, F: PdfField<M>>(
             dst.set(x, y, z, q, f[q] - omega * (f[q] - feq));
         }
     }
-    SweepStats::dense(shape.interior_cells() as u64)
+    SweepStats::dense(region.num_cells() as u64)
 }
 
 /// One fused stream(pull)–collide sweep with the TRT operator over all
@@ -53,10 +65,21 @@ pub fn stream_collide_trt<M: LatticeModel, F: PdfField<M>>(
     dst: &mut F,
     rel: Relaxation,
 ) -> SweepStats {
-    let shape = src.shape();
+    stream_collide_trt_region(src, dst, rel, &src.shape().interior())
+}
+
+/// [`stream_collide_trt`] restricted to `region` (a subset of the
+/// interior); see [`stream_collide_srt_region`] for the partition
+/// guarantee.
+pub fn stream_collide_trt_region<M: LatticeModel, F: PdfField<M>>(
+    src: &F,
+    dst: &mut F,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
     let (le, lo) = (rel.lambda_e, rel.lambda_o);
     let mut f = vec![0.0; M::Q];
-    for (x, y, z) in shape.interior().iter() {
+    for (x, y, z) in region.iter() {
         for q in 0..M::Q {
             let c = M::velocities()[q];
             f[q] = src.get(x - c[0] as i32, y - c[1] as i32, z - c[2] as i32, q);
@@ -81,7 +104,7 @@ pub fn stream_collide_trt<M: LatticeModel, F: PdfField<M>>(
             dst.set(x, y, z, b, f[b] + d_even - d_odd);
         }
     }
-    SweepStats::dense(shape.interior_cells() as u64)
+    SweepStats::dense(region.num_cells() as u64)
 }
 
 #[cfg(test)]

@@ -38,8 +38,10 @@ pub mod soa;
 pub mod sparse;
 pub mod stats;
 
-pub use boundary::{apply_boundaries, BoundaryParams};
-pub use dispatch::{sweep_aos, sweep_soa, Tier};
+pub use boundary::{
+    apply_boundaries, apply_boundaries_ghost, apply_boundaries_interior, BoundaryParams,
+};
+pub use dispatch::{sweep_aos, sweep_aos_region, sweep_soa, sweep_soa_region, Tier};
 pub use stats::SweepStats;
 
 /// Which collision operator a kernel run uses; both are parameterized by a

@@ -21,7 +21,7 @@
 //! line at a shifted base index — no gather instructions are needed.
 
 use crate::stats::SweepStats;
-use trillium_field::{PdfField, Shape, SoaPdfField};
+use trillium_field::{PdfField, Region, Shape, SoaPdfField};
 use trillium_lattice::d3q19::{dir, C, Q, W as WEIGHTS};
 use trillium_lattice::{Relaxation, D3Q19};
 
@@ -52,11 +52,11 @@ impl RowScratch {
     }
 }
 
-/// Linear base index (into a direction grid) of the first interior cell of
-/// row `(y, z)`.
+/// Linear base index (into a direction grid) of the cell `(x, y, z)` —
+/// the first cell of the (sub-)row being processed.
 #[inline(always)]
-fn row_base(shape: &Shape, y: i32, z: i32) -> usize {
-    shape.idx(0, y, z)
+fn row_base(shape: &Shape, x: i32, y: i32, z: i32) -> usize {
+    shape.idx(x, y, z)
 }
 
 /// The pull-shifted source line of direction `q` for a row starting at
@@ -159,20 +159,37 @@ pub fn stream_collide_trt(
     dst: &mut SoaPdfField<D3Q19>,
     rel: Relaxation,
 ) -> SweepStats {
+    stream_collide_trt_region(src, dst, rel, &src.shape().interior())
+}
+
+/// [`stream_collide_trt`] restricted to `region` (a subset of the
+/// interior). All passes are element-wise per cell, so sweeping a
+/// partition of the interior region by region produces bitwise the same
+/// PDFs as one full sweep — the property the overlapped driver relies on.
+pub fn stream_collide_trt_region(
+    src: &SoaPdfField<D3Q19>,
+    dst: &mut SoaPdfField<D3Q19>,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
     assert_eq!(src.shape(), dst.shape());
     let shape = src.shape();
     assert!(shape.ghost >= 1);
+    debug_assert_eq!(region.intersect(&shape.interior()), region.clone());
     let (le, lo) = (rel.lambda_e, rel.lambda_o);
     let (sy, sz) = (shape.stride_y() as isize, shape.stride_z() as isize);
-    let n = shape.nx;
+    let n = region.x.len();
+    if n == 0 {
+        return SweepStats::dense(0);
+    }
     let mut scr = RowScratch::new(n);
 
     let sdirs: Vec<&[f64]> = (0..Q).map(|q| src.dir(q)).collect();
     let mut ddirs = dst.dirs_mut();
 
-    for z in 0..shape.nz as i32 {
-        for y in 0..shape.ny as i32 {
-            let base = row_base(&shape, y, z);
+    for z in region.z.clone() {
+        for y in region.y.clone() {
+            let base = row_base(&shape, region.x.start, y, z);
             moment_passes(&sdirs, base, sy, sz, n, &mut scr);
 
             // Rest direction: purely even relaxation.
@@ -201,7 +218,7 @@ pub fn stream_collide_trt(
             }
         }
     }
-    SweepStats::dense(shape.interior_cells() as u64)
+    SweepStats::dense(region.num_cells() as u64)
 }
 
 /// One fused stream–collide sweep with the SRT operator on SoA fields,
@@ -211,22 +228,37 @@ pub fn stream_collide_srt(
     dst: &mut SoaPdfField<D3Q19>,
     rel: Relaxation,
 ) -> SweepStats {
+    stream_collide_srt_region(src, dst, rel, &src.shape().interior())
+}
+
+/// [`stream_collide_srt`] restricted to `region`; see
+/// [`stream_collide_trt_region`] for the partition guarantee.
+pub fn stream_collide_srt_region(
+    src: &SoaPdfField<D3Q19>,
+    dst: &mut SoaPdfField<D3Q19>,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
     assert!(rel.is_srt(), "SRT kernel requires equal relaxation rates");
     assert_eq!(src.shape(), dst.shape());
     let shape = src.shape();
     assert!(shape.ghost >= 1);
+    debug_assert_eq!(region.intersect(&shape.interior()), region.clone());
     let omega = -rel.lambda_e;
     let om1 = 1.0 - omega;
     let (sy, sz) = (shape.stride_y() as isize, shape.stride_z() as isize);
-    let n = shape.nx;
+    let n = region.x.len();
+    if n == 0 {
+        return SweepStats::dense(0);
+    }
     let mut scr = RowScratch::new(n);
 
     let sdirs: Vec<&[f64]> = (0..Q).map(|q| src.dir(q)).collect();
     let mut ddirs = dst.dirs_mut();
 
-    for z in 0..shape.nz as i32 {
-        for y in 0..shape.ny as i32 {
-            let base = row_base(&shape, y, z);
+    for z in region.z.clone() {
+        for y in region.y.clone() {
+            let base = row_base(&shape, region.x.start, y, z);
             moment_passes(&sdirs, base, sy, sz, n, &mut scr);
             for q in 0..Q {
                 let s = src_line(&sdirs, q, base, sy, sz, n);
@@ -241,7 +273,7 @@ pub fn stream_collide_srt(
             }
         }
     }
-    SweepStats::dense(shape.interior_cells() as u64)
+    SweepStats::dense(region.num_cells() as u64)
 }
 
 #[cfg(test)]

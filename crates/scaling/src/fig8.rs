@@ -90,7 +90,9 @@ fn candidate(
     // Framework overhead per block.
     let t_ovh = blocks_per_proc * block_overhead(machine);
 
-    let t = t_kernel + t_comm + t_ovh;
+    // Comm hides behind the interior-core sweep; the small blocks of deep
+    // strong scaling have almost no interior, so little hides there.
+    let t = t_kernel + crate::overlap::unhidden_comm_time(t_kernel, t_comm, edge) + t_ovh;
     let steps_per_s = 1.0 / t;
     let mflups_per_core = fluid_total / cores as f64 / t / 1e6;
     Some((steps_per_s, mflups_per_core, blocks_per_proc))

@@ -21,6 +21,8 @@
 //!   time steps per second, maximized over block sizes),
 //! * [`headline`] — the in-text headline numbers (§4.2/§4.3 and the
 //!   §2.2 file-size claims),
+//! * [`overlap`] — the communication-hiding term the overlapped driver
+//!   schedule adds to the step-time model (fig 7/8 use it),
 //! * [`rebalance`] — predicted benefit of runtime load rebalancing
 //!   (extreme-value straggler model) up to 2^19 ranks.
 
@@ -32,6 +34,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod headline;
+pub mod overlap;
 pub mod rebalance;
 pub mod tree;
 

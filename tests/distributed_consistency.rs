@@ -104,6 +104,53 @@ fn graph_balanced_sphere_runs_clean() {
     assert!(r.total_stats().fluid_cells > 0);
 }
 
+/// The overlapped schedule must be PDF-level bitwise identical to the
+/// synchronous reference on a deliberately *skewed* vascular run: 4 ranks
+/// with rank 0 statically overloaded, sparse row-interval blocks, and a
+/// mix of local and remote links — under both 1 and 4 threads per rank.
+/// This is the end-to-end guarantee behind enabling
+/// [`DriverConfig::overlap`]: identical physics, different schedule.
+#[test]
+fn overlapped_skewed_vascular_bitwise_equal() {
+    use std::sync::Arc;
+    use trillium_core::driver::{run_distributed_with, DriverConfig};
+    use trillium_geometry::voxelize::VoxelizeConfig;
+    use trillium_geometry::{VascularTree, VascularTreeParams};
+    let scenario = || {
+        let tree = VascularTree::generate(&VascularTreeParams {
+            generations: 4,
+            root_radius: 1.2,
+            root_length: 7.0,
+            ..Default::default()
+        });
+        Scenario::from_sdf(
+            "vascular-overlap",
+            Arc::new(tree),
+            0.25,
+            [16, 16, 16],
+            0.06,
+            [0.0, 0.0, 0.05],
+            1.0,
+            VoxelizeConfig::default(),
+        )
+        .with_skewed_balance(0.7)
+    };
+    let cfg_sync = DriverConfig { collect_pdfs: true, ..Default::default() };
+    let sync = run_distributed_with(&scenario(), 4, 1, 25, &[], cfg_sync);
+    assert!(!sync.has_nan());
+    let reference = sync.pdf_dump();
+    assert!(!reference.is_empty());
+    for threads in [1usize, 4] {
+        let cfg = DriverConfig { overlap: true, collect_pdfs: true };
+        let over = run_distributed_with(&scenario(), 4, threads, 25, &[], cfg);
+        assert!(!over.has_nan());
+        assert_eq!(reference, over.pdf_dump(), "overlap deviates with {threads} threads/rank");
+        assert_eq!(sync.total_stats().cells, over.total_stats().cells);
+        assert_eq!(sync.total_stats().fluid_cells, over.total_stats().fluid_cells);
+        assert!(over.overlap_hidden() > 0.0, "no compute was hidden");
+    }
+}
+
 /// Hybrid threading (the αPβT configurations) changes nothing about the
 /// results, only the execution.
 #[test]
