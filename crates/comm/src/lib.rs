@@ -16,13 +16,21 @@
 //! are packed (5 per face cell, 1 per edge cell and none across corners
 //! for D3Q19), which is the communication-volume optimization the paper's
 //! performance model assumes.
+//!
+//! [`fault`] adds deterministic, seed-driven fault injection (drop,
+//! duplication, reordering, fail-stop rank crash) and the runtime grows
+//! the failure machinery on top: fallible/timeout receives returning
+//! [`CommError`], dead-rank detection instead of silent deadlock, and
+//! the control-plane recovery barrier the resilient driver uses.
 
 pub mod collectives;
+pub mod fault;
 pub mod ghost;
 pub mod runtime;
 
+pub use fault::{CrashSpec, FaultConfig, FaultEvent};
 pub use ghost::{
     copy_face_local, pack_face, pack_face_sparse, pack_face_with, pdfs_crossing, unpack_face,
     unpack_face_sparse, unpack_face_with, CrossingTable,
 };
-pub use runtime::{Communicator, World};
+pub use runtime::{CommError, Communicator, World};

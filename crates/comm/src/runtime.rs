@@ -1,14 +1,89 @@
 //! Ranked threads with tagged, buffered point-to-point messaging.
+//!
+//! Beyond the MPI-like happy path, the runtime carries the failure
+//! machinery the resilient driver builds on:
+//!
+//! * every blocking receive has a fallible core returning
+//!   [`CommError`] — the public infallible wrappers convert failures
+//!   into an immediate panic instead of the silent deadlock a crashed
+//!   peer used to cause;
+//! * timeout variants ([`Communicator::recv_timeout`],
+//!   [`Communicator::recv_any_timeout`]) bound every wait;
+//! * a poisoned-communicator state: once a peer is known dead (its
+//!   panic guard or fail-stop crash broadcast a control note), receives
+//!   from it fail fast with [`CommError::RankDown`];
+//! * a deterministic fault-injection layer ([`crate::fault`]) threaded
+//!   through `send`, plus the control-plane collectives
+//!   ([`Communicator::agree_all`], [`Communicator::recovery_sync`]) the
+//!   checkpoint/restart protocol uses. Control messages (tags at or
+//!   above [`CTRL_TAG_BASE`]) bypass fault injection — they model the
+//!   out-of-band failure detector of the host runtime.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::{HashMap, VecDeque};
+use crate::fault::{FaultConfig, FaultEvent, FaultPlan, SendAction};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
 
 /// A tagged message between ranks.
 #[derive(Debug)]
 struct Message {
     from: u32,
+    /// Per-(sender, destination) sequence number; lets receivers suppress
+    /// injected duplicates (TCP-style) without touching tag matching.
+    seq: u64,
     tag: u64,
     payload: Vec<u8>,
+}
+
+/// Why a receive could not complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer is known to be down (panic guard or fail-stop crash
+    /// notification); the awaited message can never arrive.
+    RankDown(u32),
+    /// No matching message arrived within the timeout.
+    Timeout,
+    /// The deadline expired while a cohort recovery was pending — a
+    /// [`CommError::Timeout`] with a known cause; the caller should
+    /// abandon the current step and join recovery.
+    Interrupted,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::RankDown(r) => write!(f, "rank {r} is down"),
+            CommError::Timeout => write!(f, "receive timed out"),
+            CommError::Interrupted => write!(f, "interrupted by a recovery request"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Tags at or above this value are reserved for collectives.
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+
+/// Tags at or above this value are reserved for the control plane
+/// (failure notes and the recovery protocol). Control messages bypass
+/// fault injection and duplicate suppression.
+pub(crate) const CTRL_TAG_BASE: u64 = 1 << 52;
+
+const K_RANKDOWN: u64 = 0;
+const K_RECOVER_REQ: u64 = 1;
+const K_JOIN: u64 = 2;
+const K_GO: u64 = 3;
+const K_DONE: u64 = 4;
+const K_RESUME: u64 = 5;
+const K_AGREE_UP: u64 = 6;
+const K_AGREE_DOWN: u64 = 7;
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().expect("control payload"))
 }
 
 /// Per-rank communication endpoint — the `MPI_Comm` analogue.
@@ -21,6 +96,32 @@ pub struct Communicator {
     pending: HashMap<(u32, u64), VecDeque<Vec<u8>>>,
     /// Sequence counter making collective tags unique per operation.
     pub(crate) coll_seq: u64,
+    /// Fault-injection plan for this rank's sends (None = clean).
+    plan: Option<FaultPlan>,
+    /// True when any rank of this world injects faults: enables
+    /// receiver-side duplicate suppression.
+    dedup: bool,
+    /// Next outgoing sequence number per destination.
+    seq_out: Vec<u64>,
+    /// Data sends per destination (the clock delayed messages are
+    /// measured against).
+    sends_to: Vec<u64>,
+    /// Held-back (delayed) messages per destination: `(due, message)`
+    /// where `due` is the `sends_to` count at which to release.
+    limbo: Vec<VecDeque<(u64, Message)>>,
+    /// Delivered `(from, seq)` pairs, for duplicate suppression.
+    seen: HashSet<(u32, u64)>,
+    /// Peers known to be down.
+    dead: HashSet<u32>,
+    /// Set when any rank requested a cohort recovery.
+    recover_flag: bool,
+    /// Parked recovery-protocol messages: `(from, kind, payload)`.
+    ctrl: VecDeque<(u32, u64, Vec<u8>)>,
+    /// Completed recovery rounds (all ranks agree: rounds are serialized
+    /// by the recovery barrier itself).
+    recovery_epoch: u64,
+    /// Sequence counter for [`Communicator::agree_all`] rounds.
+    agree_round: u64,
 }
 
 impl Communicator {
@@ -34,39 +135,260 @@ impl Communicator {
         self.size
     }
 
+    // ---- send path ----------------------------------------------------
+
     /// Sends `payload` to `to` with a user `tag` (non-blocking, buffered).
-    pub fn send(&self, to: u32, tag: u64, payload: Vec<u8>) {
+    pub fn send(&mut self, to: u32, tag: u64, payload: Vec<u8>) {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below the collective range");
         self.send_raw(to, tag, payload);
     }
 
-    pub(crate) fn send_raw(&self, to: u32, tag: u64, payload: Vec<u8>) {
-        self.senders[to as usize]
-            .send(Message { from: self.rank, tag, payload })
-            .expect("receiver thread terminated");
+    pub(crate) fn send_raw(&mut self, to: u32, tag: u64, payload: Vec<u8>) {
+        let t = to as usize;
+        let seq = self.seq_out[t];
+        self.seq_out[t] += 1;
+        let msg = Message { from: self.rank, seq, tag, payload };
+        if tag < CTRL_TAG_BASE && self.plan.is_some() {
+            self.sends_to[t] += 1;
+            match self.plan.as_mut().expect("plan checked").decide(to, seq) {
+                SendAction::Drop => {}
+                SendAction::Duplicate => {
+                    let dup = Message { from: msg.from, seq, tag, payload: msg.payload.clone() };
+                    self.push_raw(to, msg);
+                    self.push_raw(to, dup);
+                }
+                SendAction::Delay(k) => {
+                    let due = self.sends_to[t] + k as u64;
+                    self.limbo[t].push_back((due, msg));
+                }
+                SendAction::Deliver => self.push_raw(to, msg),
+            }
+            self.flush_due(to);
+            return;
+        }
+        self.push_raw(to, msg);
+    }
+
+    /// Raw channel push. A gone receiver means the peer's thread
+    /// unwound (panic): record it as down instead of panicking here.
+    fn push_raw(&mut self, to: u32, msg: Message) {
+        if self.senders[to as usize].send(msg).is_err() {
+            self.dead.insert(to);
+        }
+    }
+
+    /// Releases limbo messages whose hold-back expired for destination
+    /// `to`, preserving their relative order.
+    fn flush_due(&mut self, to: u32) {
+        let t = to as usize;
+        let count = self.sends_to[t];
+        let mut i = 0;
+        while i < self.limbo[t].len() {
+            if self.limbo[t][i].0 <= count {
+                let (_, m) = self.limbo[t].remove(i).expect("index checked");
+                self.push_raw(to, m);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Releases every held-back message. Called before any blocking
+    /// receive: a rank about to wait has nothing left to reorder
+    /// against, and holding messages across a blocking wait could
+    /// deadlock an otherwise correct exchange.
+    fn flush_limbo(&mut self) {
+        for t in 0..self.limbo.len() {
+            while let Some((_, m)) = self.limbo[t].pop_front() {
+                self.push_raw(t as u32, m);
+            }
+        }
+    }
+
+    /// Drops every held-back message (fail-stop crash / recovery entry:
+    /// the messages are stale by definition).
+    fn discard_limbo(&mut self) {
+        for q in &mut self.limbo {
+            q.clear();
+        }
+    }
+
+    fn send_ctrl(&mut self, to: u32, kind: u64, payload: Vec<u8>) {
+        let t = to as usize;
+        let seq = self.seq_out[t];
+        self.seq_out[t] += 1;
+        self.push_raw(to, Message { from: self.rank, seq, tag: CTRL_TAG_BASE + kind, payload });
+    }
+
+    fn broadcast_ctrl(&mut self, kind: u64, payload: &[u8]) {
+        for r in 0..self.size {
+            if r != self.rank {
+                self.send_ctrl(r, kind, payload.to_vec());
+            }
+        }
+    }
+
+    /// Releases every message still held back by the delay fault.
+    /// Drivers call this at the end of a send phase, so injected
+    /// reordering stays *within* the phase: which messages are in limbo
+    /// when a rank later fails is then a function of program points
+    /// alone, never of receive timing — a requirement for reproducible
+    /// failure traces.
+    pub fn flush_delayed(&mut self) {
+        self.flush_limbo();
+    }
+
+    // ---- receive path -------------------------------------------------
+
+    /// The error for an expired deadline: [`CommError::Interrupted`]
+    /// when a cohort recovery is pending (the wait was doomed),
+    /// plain [`CommError::Timeout`] otherwise.
+    fn timeout_error(&self) -> CommError {
+        if self.recover_flag {
+            CommError::Interrupted
+        } else {
+            CommError::Timeout
+        }
+    }
+
+    /// Routes one raw arrival: control notes update failure state and
+    /// return `None`; injected duplicates are suppressed; everything
+    /// else passes through for tag matching.
+    fn classify(&mut self, m: Message) -> Option<Message> {
+        if m.tag >= CTRL_TAG_BASE {
+            match m.tag - CTRL_TAG_BASE {
+                K_RANKDOWN => {
+                    self.dead.insert(m.from);
+                }
+                K_RECOVER_REQ => {
+                    self.recover_flag = true;
+                }
+                kind => self.ctrl.push_back((m.from, kind, m.payload)),
+            }
+            return None;
+        }
+        if self.dedup && !self.seen.insert((m.from, m.seq)) {
+            return None;
+        }
+        Some(m)
+    }
+
+    /// The matching engine behind every receive: returns the first
+    /// available message among `expected` `(from, tag)` pairs
+    /// (pending-buffer first, in list order; then arrival order).
+    ///
+    /// With `deadline == None` the call blocks until a match or a known
+    /// failure; with a deadline it additionally fails with
+    /// [`CommError::Timeout`] once the deadline passes (reported as
+    /// [`CommError::Interrupted`] when a cohort recovery is pending) —
+    /// deadline-bearing callers are by construction the resilient paths
+    /// that know how to abandon a step.
+    ///
+    /// Delivery is **availability-first**: failure state is only
+    /// consulted once every already-deliverable message has been
+    /// matched or parked. This ordering is what makes failure behavior
+    /// *deterministic* — whether a receive succeeds depends on what its
+    /// peer actually sent before failing, never on how quickly a
+    /// failure notification raced the data. Determinism of the per-rank
+    /// send counts (and hence of the seed-driven fault trace) rests on
+    /// it.
+    fn recv_match(
+        &mut self,
+        expected: &[(u32, u64)],
+        deadline: Option<Instant>,
+    ) -> Result<(usize, Vec<u8>), CommError> {
+        assert!(!expected.is_empty(), "receive needs at least one expected message");
+        loop {
+            // Pending buffer first, scanned in list order.
+            for (i, &(from, tag)) in expected.iter().enumerate() {
+                if let Some(q) = self.pending.get_mut(&(from, tag)) {
+                    if let Some(m) = q.pop_front() {
+                        return Ok((i, m));
+                    }
+                }
+            }
+            // Drain whatever already arrived without blocking. Matches
+            // are returned in *arrival* order (first match wins), which
+            // is what lets the overlapped driver process ghost messages
+            // as they come in.
+            while let Ok(m) = self.receiver.try_recv() {
+                if let Some(m) = self.classify(m) {
+                    if let Some(i) = expected.iter().position(|&(f, t)| f == m.from && t == m.tag) {
+                        return Ok((i, m.payload));
+                    }
+                    self.pending.entry((m.from, m.tag)).or_default().push_back(m.payload);
+                }
+            }
+            // Nothing deliverable: now (and only now) consult failure
+            // state — a dead peer can never deliver what is missing.
+            if let Some(&(f, _)) = expected.iter().find(|&&(f, _)| self.dead.contains(&f)) {
+                return Err(CommError::RankDown(f));
+            }
+            // About to block: release held-back sends first (see
+            // [`Communicator::flush_limbo`]).
+            self.flush_limbo();
+            let arrival = match deadline {
+                None => self.receiver.recv().map_err(|_| {
+                    // Every sender dropped: the whole cohort unwound.
+                    CommError::RankDown(expected[0].0)
+                })?,
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return Err(self.timeout_error());
+                    }
+                    match self.receiver.recv_timeout(dl - now) {
+                        Ok(m) => m,
+                        Err(RecvTimeoutError::Timeout) => return Err(self.timeout_error()),
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(CommError::RankDown(expected[0].0))
+                        }
+                    }
+                }
+            };
+            if let Some(m) = self.classify(arrival) {
+                if let Some(i) = expected.iter().position(|&(f, t)| f == m.from && t == m.tag) {
+                    return Ok((i, m.payload));
+                }
+                self.pending.entry((m.from, m.tag)).or_default().push_back(m.payload);
+            }
+        }
     }
 
     /// Blocking receive of the next message from `from` with `tag`;
     /// messages with other (from, tag) pairs are buffered, so receives in
     /// any order cannot deadlock as long as the matching sends happen.
+    ///
+    /// Panics (instead of hanging forever) if `from` is known to be
+    /// down — use [`Communicator::recv_result`] or
+    /// [`Communicator::recv_timeout`] to handle failures.
     pub fn recv(&mut self, from: u32, tag: u64) -> Vec<u8> {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below the collective range");
-        self.recv_raw(from, tag)
+        self.recv_result(from, tag)
+            .unwrap_or_else(|e| panic!("rank {}: recv(from={from}, tag={tag}): {e}", self.rank))
+    }
+
+    /// Fallible [`Communicator::recv`]: fails fast with
+    /// [`CommError::RankDown`] when the peer is known dead instead of
+    /// blocking forever.
+    pub fn recv_result(&mut self, from: u32, tag: u64) -> Result<Vec<u8>, CommError> {
+        self.recv_match(&[(from, tag)], None).map(|(_, m)| m)
+    }
+
+    /// [`Communicator::recv_result`] with an upper bound on the wait.
+    pub fn recv_timeout(
+        &mut self,
+        from: u32,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, CommError> {
+        self.recv_match(&[(from, tag)], Some(Instant::now() + timeout)).map(|(_, m)| m)
     }
 
     pub(crate) fn recv_raw(&mut self, from: u32, tag: u64) -> Vec<u8> {
-        if let Some(q) = self.pending.get_mut(&(from, tag)) {
-            if let Some(m) = q.pop_front() {
-                return m;
-            }
-        }
-        loop {
-            let m = self.receiver.recv().expect("all senders dropped while receiving");
-            if m.from == from && m.tag == tag {
-                return m.payload;
-            }
-            self.pending.entry((m.from, m.tag)).or_default().push_back(m.payload);
-        }
+        self.recv_match(&[(from, tag)], None).map(|(_, m)| m).unwrap_or_else(|e| {
+            panic!("rank {}: collective receive from rank {from}: {e}", self.rank)
+        })
     }
 
     /// Blocking receive of the *first available* message among `expected`
@@ -78,24 +400,33 @@ impl Communicator {
     /// arrival order, buffering non-matching ones. This is what lets the
     /// overlapped driver drain ghost messages as they arrive instead of
     /// stalling on a fixed receive order. FIFO order per `(from, tag)` is
-    /// preserved in all cases.
+    /// preserved in all cases. Panics if an expected peer is down.
     pub fn recv_any(&mut self, expected: &[(u32, u64)]) -> (usize, Vec<u8>) {
-        assert!(!expected.is_empty(), "recv_any needs at least one expected message");
-        for (i, &(from, tag)) in expected.iter().enumerate() {
+        self.recv_any_result(expected)
+            .unwrap_or_else(|e| panic!("rank {}: recv_any: {e}", self.rank))
+    }
+
+    /// Fallible [`Communicator::recv_any`].
+    pub fn recv_any_result(
+        &mut self,
+        expected: &[(u32, u64)],
+    ) -> Result<(usize, Vec<u8>), CommError> {
+        for &(_, tag) in expected {
             assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below the collective range");
-            if let Some(q) = self.pending.get_mut(&(from, tag)) {
-                if let Some(m) = q.pop_front() {
-                    return (i, m);
-                }
-            }
         }
-        loop {
-            let m = self.receiver.recv().expect("all senders dropped while receiving");
-            if let Some(i) = expected.iter().position(|&(f, t)| f == m.from && t == m.tag) {
-                return (i, m.payload);
-            }
-            self.pending.entry((m.from, m.tag)).or_default().push_back(m.payload);
+        self.recv_match(expected, None)
+    }
+
+    /// [`Communicator::recv_any_result`] with an upper bound on the wait.
+    pub fn recv_any_timeout(
+        &mut self,
+        expected: &[(u32, u64)],
+        timeout: Duration,
+    ) -> Result<(usize, Vec<u8>), CommError> {
+        for &(_, tag) in expected {
+            assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below the collective range");
         }
+        self.recv_match(expected, Some(Instant::now() + timeout))
     }
 
     /// Non-blocking [`Communicator::recv_any`]: returns the first already
@@ -114,6 +445,7 @@ impl Communicator {
             }
         }
         while let Ok(m) = self.receiver.try_recv() {
+            let Some(m) = self.classify(m) else { continue };
             if let Some(i) = expected.iter().position(|&(f, t)| f == m.from && t == m.tag) {
                 return Some((i, m.payload));
             }
@@ -131,6 +463,7 @@ impl Communicator {
             }
         }
         while let Ok(m) = self.receiver.try_recv() {
+            let Some(m) = self.classify(m) else { continue };
             if m.from == from && m.tag == tag {
                 return Some(m.payload);
             }
@@ -138,10 +471,298 @@ impl Communicator {
         }
         None
     }
+
+    // ---- failure state and the recovery protocol ----------------------
+
+    /// True if `r` is known to be down.
+    pub fn is_rank_down(&self, r: u32) -> bool {
+        self.dead.contains(&r)
+    }
+
+    /// Ranks currently known to be down, ascending.
+    pub fn dead_ranks(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.dead.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// True once any rank requested a cohort recovery (or a fail-stop
+    /// crash was observed and converted into a request).
+    pub fn recovery_requested(&self) -> bool {
+        self.recover_flag
+    }
+
+    /// The failure trace injected by this rank's fault plan so far.
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        self.plan.as_ref().map(|p| p.events().to_vec()).unwrap_or_default()
+    }
+
+    /// Completed recovery rounds.
+    pub fn recovery_epoch(&self) -> u64 {
+        self.recovery_epoch
+    }
+
+    /// True exactly when this rank's fault plan schedules its fail-stop
+    /// crash at the start of `step`. Fires once; the crash is announced
+    /// to every peer (the emulated failure detector) and converted into
+    /// a recovery request, after which the caller must discard its
+    /// volatile state and join [`Communicator::recovery_sync`].
+    pub fn crash_due(&mut self, step: u64) -> bool {
+        let due = match &mut self.plan {
+            Some(p) => p.crash_due(step),
+            None => false,
+        };
+        if due {
+            self.discard_limbo();
+            self.broadcast_ctrl(K_RANKDOWN, &[]);
+            self.broadcast_ctrl(K_RECOVER_REQ, &[]);
+            self.recover_flag = true;
+        }
+        due
+    }
+
+    /// Asks the whole cohort to roll back: broadcast a recovery request
+    /// (peers observe it via [`CommError::Interrupted`] or
+    /// [`Communicator::recovery_requested`]) and mark it locally.
+    pub fn request_recovery(&mut self) {
+        self.recover_flag = true;
+        self.broadcast_ctrl(K_RECOVER_REQ, &[]);
+    }
+
+    /// Control-plane receive: first parked message of `kind` (optionally
+    /// from a specific rank), pumping the channel until the deadline.
+    /// Data messages arriving meanwhile are preserved in the pending
+    /// buffer.
+    fn recv_ctrl(
+        &mut self,
+        kind: u64,
+        from: Option<u32>,
+        deadline: Instant,
+    ) -> Result<(u32, Vec<u8>), CommError> {
+        loop {
+            if let Some(pos) =
+                self.ctrl.iter().position(|&(f, k, _)| k == kind && from.map_or(true, |x| x == f))
+            {
+                let (f, _, p) = self.ctrl.remove(pos).expect("position checked");
+                return Ok((f, p));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout);
+            }
+            match self.receiver.recv_timeout(deadline - now) {
+                Ok(m) => {
+                    if let Some(m) = self.classify(m) {
+                        self.pending.entry((m.from, m.tag)).or_default().push_back(m.payload);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::RankDown(from.unwrap_or(0)))
+                }
+            }
+        }
+    }
+
+    /// Global agreement that the step interval completed cleanly: the
+    /// all-ranks AND of `ok`, with every wait bounded by `timeout`. Used
+    /// at checkpoint epochs — a `true` verdict means every rank reached
+    /// this epoch, so the per-rank checkpoints taken right after form a
+    /// globally consistent cut (no data message can be in flight across
+    /// it). Runs on the control plane: immune to injected faults and
+    /// safe to call while ordinary traffic is failing.
+    pub fn agree_all(&mut self, ok: bool, timeout: Duration) -> Result<bool, CommError> {
+        // A rank at an agreement point has completed its step interval:
+        // nothing is left to reorder against, so release any held-back
+        // data first — a neighbor may still be waiting on it.
+        self.flush_limbo();
+        let deadline = Instant::now() + timeout;
+        let round = self.agree_round;
+        self.agree_round += 1;
+        let mut payload = Vec::with_capacity(16);
+        put_u64(&mut payload, round);
+        put_u64(&mut payload, ok as u64);
+        if self.rank == 0 {
+            let mut verdict = ok;
+            let mut heard = 1u32;
+            while heard < self.size {
+                match self.recv_ctrl(K_AGREE_UP, None, deadline) {
+                    Ok((_, p)) => {
+                        if get_u64(&p, 0) != round {
+                            continue; // stale round: ignore
+                        }
+                        verdict &= get_u64(&p, 1) != 0;
+                        heard += 1;
+                    }
+                    Err(_) => {
+                        verdict = false;
+                        break;
+                    }
+                }
+            }
+            let mut down = Vec::with_capacity(16);
+            put_u64(&mut down, round);
+            put_u64(&mut down, verdict as u64);
+            for r in 1..self.size {
+                self.send_ctrl(r, K_AGREE_DOWN, down.clone());
+            }
+            Ok(verdict)
+        } else {
+            self.send_ctrl(0, K_AGREE_UP, payload);
+            // The verdict for this round is guaranteed to be sent
+            // eventually: rank 0 either completes the round or aborts it
+            // with `false`, and control notes are never dropped. A
+            // timeout therefore only means rank 0 has not reached the
+            // round yet — keep waiting, unless a cohort recovery was
+            // requested (the round is abandoned; the caller must roll
+            // back) or rank 0 is known gone. Giving up early here is
+            // what would de-synchronize checkpoints: this rank would
+            // skip a snapshot its peers committed.
+            loop {
+                match self.recv_ctrl(K_AGREE_DOWN, Some(0), Instant::now() + timeout) {
+                    Ok((_, p)) => {
+                        if get_u64(&p, 0) == round {
+                            return Ok(get_u64(&p, 1) != 0);
+                        }
+                    }
+                    Err(CommError::Timeout) => {
+                        if self.recover_flag {
+                            return Err(CommError::Interrupted);
+                        }
+                        if self.dead.contains(&0) {
+                            return Err(CommError::RankDown(0));
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    /// The cohort recovery barrier. Every rank (including a fail-stop
+    /// "crashed" rank, which models a replacement process restarted from
+    /// the pool) must call this; it returns once the whole cohort is
+    /// synchronized on a clean slate:
+    ///
+    /// 1. **join** — all ranks report to rank 0 with their collective
+    ///    counters; rank 0 releases them with the counter maximum, so
+    ///    post-recovery collectives match up even though the ranks had
+    ///    drifted;
+    /// 2. **drain** — each rank discards every stale data message (all
+    ///    pre-recovery traffic is, by construction, already enqueued
+    ///    when the release arrives, because every sender stopped sending
+    ///    before it joined), clears the pending buffer, duplicate table,
+    ///    dead set and recovery flag;
+    /// 3. **resume** — a second barrier so no rank re-enters the time
+    ///    loop (and sends fresh messages) while a peer is still
+    ///    draining.
+    ///
+    /// The protocol runs entirely on the control plane; `timeout` bounds
+    /// every individual wait, so an unrecoverable cohort (a genuinely
+    /// panicked rank) surfaces as an error instead of a hang.
+    ///
+    /// `ckpt_step` is this rank's newest locally held checkpoint; the
+    /// returned step is the cohort **minimum** — the step every rank
+    /// must restore. The minimum is what makes rollback consistent when
+    /// a checkpoint agreement was torn by a failure: ranks that
+    /// committed the newer snapshot still hold the previous one (the
+    /// runtime keeps two), while a rank that missed the verdict never
+    /// advanced past the older — so the minimum is the newest cut that
+    /// *everyone* owns.
+    pub fn recovery_sync(&mut self, timeout: Duration, ckpt_step: u64) -> Result<u64, CommError> {
+        let deadline = Instant::now() + timeout;
+        self.discard_limbo();
+        let epoch = self.recovery_epoch;
+        let mut join = Vec::with_capacity(32);
+        put_u64(&mut join, epoch);
+        put_u64(&mut join, self.coll_seq);
+        put_u64(&mut join, self.agree_round);
+        put_u64(&mut join, ckpt_step);
+        let restore_step;
+        if self.rank == 0 {
+            let mut max_coll = self.coll_seq;
+            let mut max_agree = self.agree_round;
+            let mut min_step = ckpt_step;
+            for _ in 1..self.size {
+                let (_, p) = self.recv_ctrl(K_JOIN, None, deadline)?;
+                assert_eq!(get_u64(&p, 0), epoch, "recovery epochs are serialized");
+                max_coll = max_coll.max(get_u64(&p, 1));
+                max_agree = max_agree.max(get_u64(&p, 2));
+                min_step = min_step.min(get_u64(&p, 3));
+            }
+            let mut go = Vec::with_capacity(32);
+            put_u64(&mut go, epoch);
+            put_u64(&mut go, max_coll);
+            put_u64(&mut go, max_agree);
+            put_u64(&mut go, min_step);
+            for r in 1..self.size {
+                self.send_ctrl(r, K_GO, go.clone());
+            }
+            self.coll_seq = max_coll;
+            self.agree_round = max_agree;
+            restore_step = min_step;
+        } else {
+            self.send_ctrl(0, K_JOIN, join);
+            let (_, p) = self.recv_ctrl(K_GO, Some(0), deadline)?;
+            assert_eq!(get_u64(&p, 0), epoch, "recovery epochs are serialized");
+            self.coll_seq = get_u64(&p, 1);
+            self.agree_round = get_u64(&p, 2);
+            restore_step = get_u64(&p, 3);
+        }
+        self.drain_stale();
+        if self.rank == 0 {
+            for _ in 1..self.size {
+                self.recv_ctrl(K_DONE, None, deadline)?;
+            }
+            for r in 1..self.size {
+                self.send_ctrl(r, K_RESUME, Vec::new());
+            }
+        } else {
+            self.send_ctrl(0, K_DONE, Vec::new());
+            self.recv_ctrl(K_RESUME, Some(0), deadline)?;
+        }
+        self.recovery_epoch += 1;
+        Ok(restore_step)
+    }
+
+    /// Discards all stale pre-recovery state: queued data messages, the
+    /// pending buffer, duplicate table, dead set and failure flags.
+    /// In-flight `DONE` notes of the running protocol are preserved;
+    /// stale failure notes and agreement rounds are dropped (processing
+    /// them after the slate is clean would re-trigger recovery forever).
+    fn drain_stale(&mut self) {
+        while let Ok(m) = self.receiver.try_recv() {
+            if m.tag >= CTRL_TAG_BASE && m.tag - CTRL_TAG_BASE == K_DONE {
+                self.ctrl.push_back((m.from, K_DONE, m.payload));
+            }
+        }
+        self.ctrl.retain(|&(_, k, _)| k == K_DONE);
+        self.pending.clear();
+        self.seen.clear();
+        self.dead.clear();
+        self.recover_flag = false;
+    }
 }
 
-/// Tags at or above this value are reserved for collectives.
-pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+impl Drop for Communicator {
+    /// The network eventually delivers: any message still held back by
+    /// the delay fault when this rank finishes is released, so a
+    /// delayed message can be reordered but never lost. (A fail-stop
+    /// crash explicitly discards its limbo before this runs.)
+    ///
+    /// The departure is then announced to every peer. A rank that has
+    /// left — whether it panicked or returned cleanly — can never
+    /// deliver another message, so peers still blocked on it must
+    /// observe [`CommError::RankDown`] instead of hanging; this is what
+    /// lets a failure *cascade*: a survivor that errors out and returns
+    /// early is itself detected by the ranks waiting on it. Everything
+    /// the rank actually sent is already enqueued ahead of the note, so
+    /// no deliverable message is lost.
+    fn drop(&mut self) {
+        self.flush_limbo();
+        self.broadcast_ctrl(K_RANKDOWN, &[]);
+    }
+}
 
 /// A set of ranks executing a closure in parallel — the `MPI_COMM_WORLD`
 /// plus `mpirun` analogue.
@@ -150,8 +771,68 @@ pub struct World;
 impl World {
     /// Spawns `size` ranks, runs `f` on each with its communicator, and
     /// returns the per-rank results, ordered by rank. Panics in any rank
-    /// propagate.
+    /// propagate — but a panicking rank first broadcasts a down note, so
+    /// surviving ranks blocked on it fail fast instead of deadlocking.
     pub fn run<T, F>(size: u32, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        Self::run_inner(size, None, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(t) => t,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    }
+
+    /// [`World::run`] with the deterministic fault plan `cfg` installed
+    /// on every rank.
+    pub fn run_with_faults<T, F>(size: u32, cfg: FaultConfig, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        Self::run_inner(size, Some(cfg), f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(t) => t,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    }
+
+    /// Panic-tolerant [`World::run`]: a rank that panics yields
+    /// `Err(message)` instead of aborting the whole world, and its
+    /// panic guard notifies the survivors so their receives fail fast.
+    /// Optional faults as in [`World::run_with_faults`].
+    pub fn run_fallible<T, F>(size: u32, fault: Option<FaultConfig>, f: F) -> Vec<Result<T, String>>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        Self::run_inner(size, fault, f)
+            .into_iter()
+            .map(|r| {
+                r.map_err(|e| {
+                    if let Some(s) = e.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = e.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "rank panicked".to_string()
+                    }
+                })
+            })
+            .collect()
+    }
+
+    fn run_inner<T, F>(
+        size: u32,
+        fault: Option<FaultConfig>,
+        f: F,
+    ) -> Vec<Result<T, Box<dyn std::any::Any + Send>>>
     where
         T: Send,
         F: Fn(Communicator) -> T + Send + Sync,
@@ -164,6 +845,7 @@ impl World {
             senders.push(s);
             receivers.push(r);
         }
+        let dedup = fault.as_ref().map_or(false, FaultConfig::is_active);
         let mut comms: Vec<Communicator> = receivers
             .into_iter()
             .enumerate()
@@ -174,15 +856,50 @@ impl World {
                 receiver,
                 pending: HashMap::new(),
                 coll_seq: 0,
+                plan: fault.clone().map(|cfg| FaultPlan::new(cfg, rank as u32)),
+                dedup,
+                seq_out: vec![0; size as usize],
+                sends_to: vec![0; size as usize],
+                limbo: (0..size).map(|_| VecDeque::new()).collect(),
+                seen: HashSet::new(),
+                dead: HashSet::new(),
+                recover_flag: false,
+                ctrl: VecDeque::new(),
+                recovery_epoch: 0,
+                agree_round: 0,
             })
             .collect();
         drop(senders);
 
         std::thread::scope(|scope| {
             let f = &f;
-            let handles: Vec<_> =
-                comms.drain(..).map(|comm| scope.spawn(move || f(comm))).collect();
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+            let handles: Vec<_> = comms
+                .drain(..)
+                .map(|comm| {
+                    // The panic guard's lifeline: clones of every sender,
+                    // surviving the communicator's death mid-unwind.
+                    let guard = comm.senders.clone();
+                    let (rank, size) = (comm.rank, comm.size);
+                    scope.spawn(move || {
+                        let out =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+                        if out.is_err() {
+                            for r in 0..size {
+                                if r != rank {
+                                    let _ = guard[r as usize].send(Message {
+                                        from: rank,
+                                        seq: u64::MAX,
+                                        tag: CTRL_TAG_BASE + K_RANKDOWN,
+                                        payload: Vec::new(),
+                                    });
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread died outside f")).collect()
         })
     }
 }
@@ -348,5 +1065,184 @@ mod tests {
             }
         });
         assert!(out[0]);
+    }
+
+    // ---- failure semantics -------------------------------------------
+
+    /// Regression for the silent deadlock: a peer that panics mid-run
+    /// used to leave every other rank blocked in `recv` forever (its
+    /// senders stayed alive inside the other communicators). Now the
+    /// panic guard broadcasts a down note and survivors fail fast.
+    #[test]
+    fn peer_panic_fails_receives_fast_instead_of_hanging() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let out = World::run_fallible(3, None, |mut c| {
+                if c.rank() == 1 {
+                    panic!("injected rank failure");
+                }
+                // Both survivors block on the dead rank.
+                c.recv_result(1, 5)
+            });
+            tx.send(out).expect("watchdog channel");
+        });
+        let out =
+            rx.recv_timeout(Duration::from_secs(30)).expect("survivors must error out, not hang");
+        assert!(out[1].as_ref().is_err_and(|e| e.contains("injected rank failure")));
+        for r in [0, 2] {
+            assert_eq!(out[r].as_ref().unwrap(), &Err(CommError::RankDown(1)));
+        }
+    }
+
+    /// The infallible wrappers convert a down peer into a panic (caught
+    /// by `run_fallible`) rather than a hang — and the panic cascades
+    /// through ranks that were waiting on the survivors.
+    #[test]
+    fn rank_down_cascades_through_infallible_recv() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let out = World::run_fallible(3, None, |mut c| {
+                match c.rank() {
+                    2 => panic!("boom"),
+                    // Rank 1 waits on the victim with the *infallible*
+                    // API: it must panic (not hang), which in turn downs
+                    // rank 0's wait on rank 1.
+                    1 => c.recv(2, 5),
+                    _ => c.recv(1, 6),
+                }
+            });
+            tx.send(out).expect("watchdog channel");
+        });
+        let out = rx.recv_timeout(Duration::from_secs(30)).expect("cascade must terminate");
+        assert!(out.iter().all(Result::is_err), "every rank must terminate with an error");
+        assert!(out[1].as_ref().unwrap_err().contains("rank 2 is down"));
+    }
+
+    #[test]
+    fn recv_timeout_expires_without_a_sender() {
+        let out = World::run(2, |mut c| {
+            if c.rank() == 0 {
+                let r = c.recv_timeout(1, 3, Duration::from_millis(50));
+                // Synchronize so rank 1 cannot finish before the timeout.
+                c.send(1, 1, vec![]);
+                r == Err(CommError::Timeout)
+            } else {
+                c.recv(0, 1);
+                true
+            }
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn dropped_messages_time_out_and_are_traced() {
+        let cfg = FaultConfig::new(9).with_drops(1.0).with_fault_cap(1);
+        let out = World::run_with_faults(2, cfg, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 2, vec![1]); // dropped (first fault)
+                c.send(1, 2, vec![2]); // delivered (cap reached)
+                c.fault_events().len()
+            } else {
+                let first = c.recv_timeout(0, 2, Duration::from_millis(2000));
+                assert_eq!(first, Ok(vec![2]), "only the second message survives");
+                0
+            }
+        });
+        assert_eq!(out[0], 1);
+    }
+
+    /// Injected duplicates are suppressed by the receiver-side sequence
+    /// table: every message is delivered exactly once.
+    #[test]
+    fn duplicates_are_suppressed() {
+        let cfg = FaultConfig::new(5).with_duplicates(1.0);
+        let out = World::run_with_faults(2, cfg, |mut c| {
+            if c.rank() == 0 {
+                for i in 0..20u8 {
+                    c.send(1, 4, vec![i]);
+                }
+                c.recv(1, 9);
+                vec![]
+            } else {
+                let got: Vec<u8> = (0..20).map(|_| c.recv(0, 4)[0]).collect();
+                // No 21st copy may exist.
+                assert!(c.try_recv(0, 4).is_none());
+                c.send(0, 9, vec![]);
+                got
+            }
+        });
+        assert_eq!(out[1], (0..20).collect::<Vec<u8>>());
+    }
+
+    /// Delayed messages are reordered but never lost: tag matching
+    /// absorbs the reordering and FIFO per (from, seq) is restored by
+    /// the flush-before-block rule.
+    #[test]
+    fn reordering_preserves_delivery() {
+        for seed in 0..8 {
+            let cfg = FaultConfig::new(seed).with_reordering(0.5, 3);
+            let out = World::run_with_faults(2, cfg, |mut c| {
+                if c.rank() == 0 {
+                    for i in 0..30u8 {
+                        c.send(1, i as u64, vec![i]);
+                    }
+                    0u32
+                } else {
+                    let mut sum = 0u32;
+                    for i in 0..30u8 {
+                        sum += c.recv(0, i as u64)[0] as u32;
+                    }
+                    sum
+                }
+            });
+            assert_eq!(out[1], (0..30u32).sum::<u32>(), "seed {seed}");
+        }
+    }
+
+    /// `agree_all` is the all-ranks AND with bounded waits.
+    #[test]
+    fn agree_all_ands_votes() {
+        let out = World::run(4, |mut c| {
+            let first = c.agree_all(true, Duration::from_secs(20)).unwrap();
+            let second = c.agree_all(c.rank() != 2, Duration::from_secs(20)).unwrap();
+            let third = c.agree_all(true, Duration::from_secs(20)).unwrap();
+            (first, second, third)
+        });
+        for (a, b, d) in out {
+            assert!(a);
+            assert!(!b);
+            assert!(d, "a failed round must not poison later rounds");
+        }
+    }
+
+    /// A fail-stop crash plus recovery barrier leaves every rank on a
+    /// clean slate: stale traffic is drained, the dead set is cleared,
+    /// and collective counters line up again.
+    #[test]
+    fn crash_recovery_cleans_the_slate() {
+        let cfg = FaultConfig::new(3).with_crash(1, 0);
+        let out = World::run_with_faults(3, cfg, |mut c| {
+            let timeout = Duration::from_secs(20);
+            if c.crash_due(0) {
+                // Victim: volatile state is gone; join recovery directly.
+                assert_eq!(c.recovery_sync(timeout, 5).unwrap(), 5);
+            } else {
+                // Survivors: send some soon-stale traffic, then observe
+                // the failure and join recovery.
+                let peer = if c.rank() == 0 { 2 } else { 0 };
+                c.send(peer, 7, vec![c.rank() as u8]);
+                let r = c.recv_timeout(1, 9, timeout);
+                assert!(matches!(r, Err(CommError::RankDown(1) | CommError::Interrupted)));
+                assert_eq!(c.recovery_sync(timeout, 5).unwrap(), 5);
+            }
+            // Clean slate: no stale message may match, no rank is dead,
+            // and collectives work again.
+            assert!(c.try_recv(0, 7).is_none() && c.try_recv(2, 7).is_none());
+            assert!(c.dead_ranks().is_empty());
+            assert!(!c.recovery_requested());
+            assert_eq!(c.recovery_epoch(), 1);
+            c.agree_all(true, timeout).unwrap()
+        });
+        assert_eq!(out, vec![true, true, true]);
     }
 }

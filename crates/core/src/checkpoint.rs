@@ -3,9 +3,16 @@
 //! where the *block structure* is precomputed and loaded from file).
 //!
 //! The format is little-endian binary: a header with the block shape and
-//! a flag digest, followed by the raw interior+ghost PDF data of the
-//! source field. Restoring into a block with different shape or flags is
-//! rejected.
+//! a flag digest, followed by the raw interior+ghost PDF data of *both*
+//! halves of the double buffer. Restoring into a block with different
+//! shape or flags is rejected.
+//!
+//! Both buffers must travel: cells outside the sparse sweep's coverage
+//! (deep solid interior, unexchanged ghost corners) are never rewritten,
+//! so their values alternate between the two buffers with step parity.
+//! A checkpoint that carried only the source field would replay those
+//! cells with the wrong parity whenever the restore step is odd —
+//! bitwise divergence from the unfaulted run.
 
 use crate::blocksim::BlockSim;
 use bytes::{Buf, BufMut};
@@ -16,7 +23,7 @@ pub const MAGIC: &[u8; 4] = b"TCP1";
 /// Serializes a block's PDF state.
 pub fn save_block(block: &BlockSim) -> Vec<u8> {
     let s = block.shape;
-    let mut buf = Vec::with_capacity(16 + s.alloc_cells() * 19 * 8);
+    let mut buf = Vec::with_capacity(4 + 16 + 8 + s.alloc_cells() * 2 * 19 * 8);
     buf.extend_from_slice(MAGIC);
     buf.put_u32_le(s.nx as u32);
     buf.put_u32_le(s.ny as u32);
@@ -24,6 +31,9 @@ pub fn save_block(block: &BlockSim) -> Vec<u8> {
     buf.put_u32_le(s.ghost as u32);
     buf.put_u64_le(flag_digest(block));
     for v in block.src.data() {
+        buf.put_f64_le(*v);
+    }
+    for v in block.dst.data() {
         buf.put_f64_le(*v);
     }
     buf
@@ -62,10 +72,13 @@ pub fn restore_block(block: &mut BlockSim, data: &[u8]) -> Result<(), RestoreErr
         return Err(RestoreError::FlagMismatch);
     }
     let n = s.alloc_cells() * 19;
-    if buf.len() < n * 8 {
+    if buf.len() < 2 * n * 8 {
         return Err(RestoreError::Truncated);
     }
     for v in block.src.data_mut() {
+        *v = buf.get_f64_le();
+    }
+    for v in block.dst.data_mut() {
         *v = buf.get_f64_le();
     }
     Ok(())
@@ -83,7 +96,7 @@ pub const MAGIC_FULL: &[u8; 4] = b"TCP2";
 /// them.
 pub fn save_block_full(block: &BlockSim) -> Vec<u8> {
     let s = block.shape;
-    let mut buf = Vec::with_capacity(4 + 16 + s.alloc_cells() * (1 + 19 * 8));
+    let mut buf = Vec::with_capacity(4 + 16 + s.alloc_cells() * (1 + 2 * 19 * 8));
     buf.extend_from_slice(MAGIC_FULL);
     buf.put_u32_le(s.nx as u32);
     buf.put_u32_le(s.ny as u32);
@@ -91,6 +104,9 @@ pub fn save_block_full(block: &BlockSim) -> Vec<u8> {
     buf.put_u32_le(s.ghost as u32);
     buf.extend_from_slice(block.flags.data());
     for v in block.src.data() {
+        buf.put_f64_le(*v);
+    }
+    for v in block.dst.data() {
         buf.put_f64_le(*v);
     }
     buf
@@ -116,7 +132,7 @@ pub fn restore_block_full(
         (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le());
     let shape = Shape::new(nx as usize, ny as usize, nz as usize, ghost as usize);
     let cells = shape.alloc_cells();
-    if buf.len() < cells * (1 + 19 * 8) {
+    if buf.len() < cells * (1 + 2 * 19 * 8) {
         return Err(RestoreError::Truncated);
     }
     let mut flags = trillium_field::FlagField::new(shape);
@@ -127,7 +143,64 @@ pub fn restore_block_full(
     for v in block.src.data_mut() {
         *v = buf.get_f64_le();
     }
+    for v in block.dst.data_mut() {
+        *v = buf.get_f64_le();
+    }
     Ok(block)
+}
+
+/// Magic bytes of the rank-local forest checkpoint format.
+pub const MAGIC_FOREST: &[u8; 4] = b"TCF1";
+
+/// Serializes a rank's whole block slice at time step `step` into one
+/// framed buffer: per block the packed [`BlockId`] and a length-prefixed
+/// [`save_block_full`] payload. This is the stable-storage unit of the
+/// resilient driver: one buffer per rank per checkpoint epoch, written
+/// at a globally consistent cut, is enough to restart the cohort.
+///
+/// [`BlockId`]: trillium_blockforest::BlockId
+pub fn save_forest(step: u64, blocks: &[(u64, &BlockSim)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC_FOREST);
+    buf.put_u64_le(step);
+    buf.put_u32_le(blocks.len() as u32);
+    for (id, block) in blocks {
+        buf.put_u64_le(*id);
+        let body = save_block_full(block);
+        buf.put_u64_le(body.len() as u64);
+        buf.extend_from_slice(&body);
+    }
+    buf
+}
+
+/// Restores a rank's block slice from a [`save_forest`] buffer: the
+/// checkpointed step and the `(packed id, block)` list, in the saved
+/// order.
+pub fn restore_forest(
+    data: &[u8],
+    boundary: trillium_kernels::BoundaryParams,
+) -> Result<(u64, Vec<(u64, BlockSim)>), RestoreError> {
+    let mut buf = data;
+    if buf.len() < 4 + 8 + 4 || &buf[..4] != MAGIC_FOREST {
+        return Err(RestoreError::BadMagic);
+    }
+    buf.advance(4);
+    let step = buf.get_u64_le();
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.len() < 16 {
+            return Err(RestoreError::Truncated);
+        }
+        let id = buf.get_u64_le();
+        let len = buf.get_u64_le() as usize;
+        if buf.len() < len {
+            return Err(RestoreError::Truncated);
+        }
+        out.push((id, restore_block_full(&buf[..len], boundary)?));
+        buf.advance(len);
+    }
+    Ok((step, out))
 }
 
 /// FNV-1a digest of the flag field (cheap structural fingerprint).
@@ -211,6 +284,7 @@ mod tests {
         let mut b = restore_block_full(&wire, boundary).unwrap();
         assert_eq!(a.flags.data(), b.flags.data());
         assert_eq!(a.src.data(), b.src.data());
+        assert_eq!(a.dst.data(), b.dst.data());
         assert_eq!(a.fluid_cells(), b.fluid_cells());
         for _ in 0..10 {
             a.apply_boundaries();
@@ -229,6 +303,39 @@ mod tests {
         let boundary = BoundaryParams::default();
         assert!(matches!(restore_block_full(&wire[..40], boundary), Err(RestoreError::Truncated)));
         assert!(matches!(restore_block_full(b"TCP1....", boundary), Err(RestoreError::BadMagic)));
+    }
+
+    /// The resilient driver's stable-storage unit: a whole rank slice
+    /// saved at one cut restores to bit-identical blocks with the step
+    /// and IDs intact.
+    #[test]
+    fn forest_roundtrip_is_bitwise_identical() {
+        let rel = Relaxation::trt_from_viscosity(0.05);
+        let mut blocks = vec![cavity_block(8), cavity_block(6)];
+        for b in &mut blocks {
+            for _ in 0..15 {
+                b.apply_boundaries();
+                b.stream_collide(rel);
+            }
+        }
+        let framed: Vec<(u64, &BlockSim)> =
+            blocks.iter().enumerate().map(|(i, b)| (1000 + i as u64, b)).collect();
+        let wire = save_forest(37, &framed);
+        let boundary = BoundaryParams { wall_velocity: [0.05, 0.0, 0.0], ..Default::default() };
+        let (step, restored) = restore_forest(&wire, boundary).unwrap();
+        assert_eq!(step, 37);
+        assert_eq!(restored.len(), 2);
+        for ((id, r), (want_id, b)) in restored.iter().zip(&framed) {
+            assert_eq!(id, want_id);
+            assert_eq!(r.src.data(), b.src.data());
+            assert_eq!(r.flags.data(), b.flags.data());
+        }
+        // Corruption surfaces as an error, never as silent state loss.
+        assert!(matches!(restore_forest(&wire[..30], boundary), Err(RestoreError::Truncated)));
+        assert!(matches!(
+            restore_forest(b"XXXX............", boundary),
+            Err(RestoreError::BadMagic)
+        ));
     }
 
     #[test]

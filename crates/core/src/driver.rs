@@ -13,7 +13,7 @@ use crate::blocksim::BlockSim;
 use crate::migrate::execute_migrations;
 use crate::scenario::Scenario;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use trillium_blockforest::{
     dir_index, distribute, BlockId, BlockLink, DistributedForest, SetupForest, NEIGHBOR_DIRS,
 };
@@ -332,7 +332,7 @@ impl DriverConfig {
 /// drain is in progress. (FIFO per `(from, tag)` already orders same-tag
 /// messages — see `fifo_preserved_through_pending_buffer` in
 /// `trillium-comm` — the parity bit makes the separation structural.)
-fn ghost_tag(dst: BlockId, d: [i8; 3], parity: u64) -> u64 {
+pub(crate) fn ghost_tag(dst: BlockId, d: [i8; 3], parity: u64) -> u64 {
     let packed = dst.pack();
     assert!(packed < (1 << 42), "block ID too large for ghost tags");
     (packed << 6) | ((parity & 1) << 5) | dir_index(d) as u64
@@ -391,12 +391,12 @@ pub fn run_distributed(
 
 /// Per-rank wall-time accounting shared by both schedules.
 #[derive(Default)]
-struct Timers {
-    kernel: f64,
-    comm: f64,
-    boundary: f64,
-    overlap_hidden: f64,
-    stall: f64,
+pub(crate) struct Timers {
+    pub(crate) kernel: f64,
+    pub(crate) comm: f64,
+    pub(crate) boundary: f64,
+    pub(crate) overlap_hidden: f64,
+    pub(crate) stall: f64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -434,12 +434,16 @@ fn rank_loop(
                 threads_per_rank,
                 &mut tm,
                 &mut stats,
-            );
+                None,
+            )
+            .expect("deadline-free step cannot fail");
             continue;
         }
         // ---- ghost exchange ------------------------------------------
         let t0 = Instant::now();
-        let (_, stall) = exchange_ghosts(&mut comm, view, &mut blocks, &index_of, &mut ctx, t);
+        let (_, stall) =
+            exchange_ghosts(&mut comm, view, &mut blocks, &index_of, &mut ctx, t, None)
+                .expect("deadline-free exchange cannot fail");
         tm.comm += t0.elapsed().as_secs_f64();
         tm.stall += stall;
 
@@ -481,7 +485,7 @@ fn rank_loop(
 }
 
 /// Serializes every block's interior PDFs for bitwise comparison.
-fn dump_pdfs(view: &DistributedForest, blocks: &[BlockSim]) -> Vec<(u64, Vec<f64>)> {
+pub(crate) fn dump_pdfs(view: &DistributedForest, blocks: &[BlockSim]) -> Vec<(u64, Vec<f64>)> {
     view.blocks
         .iter()
         .zip(blocks)
@@ -515,8 +519,14 @@ fn dump_pdfs(view: &DistributedForest, blocks: &[BlockSim]) -> Vec<(u64, Vec<f64
 /// `trillium-kernels::dispatch`), the boundary split is order-independent
 /// (pinned in `trillium-kernels::boundary`), and ghost slabs of distinct
 /// directions are disjoint, so arrival-order unpacking is race-free.
+///
+/// With `timeout == Some(d)` every blocking receive in the drain is
+/// bounded by `d` (the resilient schedule); an error leaves the blocks
+/// in a torn mid-step state that the caller is expected to discard by
+/// restoring a checkpoint. With `timeout == None` the call cannot fail
+/// (a dead peer panics inside the infallible receive instead).
 #[allow(clippy::too_many_arguments)]
-fn overlapped_step(
+pub(crate) fn overlapped_step(
     comm: &mut Communicator,
     view: &DistributedForest,
     blocks: &mut [BlockSim],
@@ -527,7 +537,8 @@ fn overlapped_step(
     threads: usize,
     tm: &mut Timers,
     stats: &mut SweepStats,
-) {
+    timeout: Option<Duration>,
+) -> Result<(), trillium_comm::CommError> {
     // ---- post sends ---------------------------------------------------
     let t0 = Instant::now();
     ctx.begin_step(blocks.len());
@@ -556,6 +567,9 @@ fn overlapped_step(
             }
         }
     }
+    // End of the send phase: release fault-delayed messages now, at a
+    // program point, so failure behavior stays deterministic.
+    comm.flush_delayed();
     // Same-rank links complete immediately.
     let local = std::mem::take(&mut ctx.local);
     for (bi, d, buf) in local {
@@ -603,7 +617,10 @@ fn overlapped_step(
         // [`RankResult::ghost_stall_time`]).
         let (i, data) = match comm.try_recv_any(&ctx.pairs) {
             Some(hit) => hit,
-            None => comm.recv_any(&ctx.pairs),
+            None => match timeout {
+                None => comm.recv_any(&ctx.pairs),
+                Some(d) => comm.recv_any_timeout(&ctx.pairs, d)?,
+            },
         };
         let (bi, d) = ctx.meta[i];
         ctx.pairs.swap_remove(i);
@@ -628,6 +645,7 @@ fn overlapped_step(
         let (cells, fluid_cells) = b.sweep_counts();
         stats.merge(SweepStats { cells, fluid_cells, seconds: ctx.seconds[bi] });
     }
+    Ok(())
 }
 
 /// Ghost boundary prep + shell sweep for one block whose ghost layer just
@@ -652,7 +670,7 @@ fn finish_shell(
 }
 
 /// Evaluates the probes this rank owns (global cell → velocity).
-fn locate_probes(
+pub(crate) fn locate_probes(
     scenario: &Scenario,
     view: &DistributedForest,
     blocks: &[BlockSim],
@@ -737,7 +755,8 @@ fn rank_loop_rebalanced(
     for t in 0..steps {
         let t0 = Instant::now();
         let (ghost_work, ghost_stall) =
-            exchange_ghosts(&mut comm, &view, &mut blocks, &index_of, &mut ctx, t);
+            exchange_ghosts(&mut comm, &view, &mut blocks, &index_of, &mut ctx, t, None)
+                .expect("deadline-free exchange cannot fail");
         comm_time += t0.elapsed().as_secs_f64();
         stall_time += ghost_stall;
         report.comm_work_time += ghost_work;
@@ -849,7 +868,7 @@ fn rank_loop_rebalanced(
 /// warm-up. Received payloads are recycled into the next step's send
 /// buffers — the per-step send and receive counts are equal (every remote
 /// link is symmetric), so the pool reaches a steady state after one step.
-struct GhostCtx {
+pub(crate) struct GhostCtx {
     table: CrossingTable,
     pool: Vec<Vec<u8>>,
     /// `(from, tag)` pairs still outstanding, parallel to `meta`.
@@ -865,7 +884,7 @@ struct GhostCtx {
 }
 
 impl GhostCtx {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         GhostCtx {
             table: CrossingTable::new::<D3Q19>(),
             pool: Vec::new(),
@@ -913,14 +932,19 @@ impl GhostCtx {
 /// not yet arrived when asked for — exposed stall in the sense of
 /// [`RankResult::ghost_stall_time`], since the synchronous schedule runs
 /// this exchange with the whole stream-collide sweep still pending.
-fn exchange_ghosts(
+///
+/// With `timeout == Some(d)` each blocking receive is bounded by `d`
+/// (resilient schedule; on error the caller discards the torn state and
+/// restores a checkpoint); with `None` the call cannot return an error.
+pub(crate) fn exchange_ghosts(
     comm: &mut Communicator,
     view: &DistributedForest,
     blocks: &mut [BlockSim],
     index_of: &HashMap<BlockId, usize>,
     ctx: &mut GhostCtx,
     step: u64,
-) -> (f64, f64) {
+    timeout: Option<Duration>,
+) -> Result<(f64, f64), trillium_comm::CommError> {
     // Phase 1: pack everything. Local transfers are buffered the same way
     // as remote ones; packs read interior slabs only, unpacks write ghost
     // slabs only, so a two-phase scheme is race-free and identical in
@@ -954,6 +978,9 @@ fn exchange_ghosts(
             }
         }
     }
+    // End of the send phase: release fault-delayed messages now, at a
+    // program point, so failure behavior stays deterministic.
+    comm.flush_delayed();
     // Phase 2: unpack local transfers and receive remote ones.
     let local = std::mem::take(&mut ctx.local);
     for (bi, d, buf) in local {
@@ -969,7 +996,10 @@ fn exchange_ghosts(
             Some(data) => data,
             None => {
                 let t_stall = Instant::now();
-                let data = comm.recv(from, tag);
+                let data = match timeout {
+                    None => comm.recv(from, tag),
+                    Some(d) => comm.recv_timeout(from, tag, d)?,
+                };
                 stall += t_stall.elapsed().as_secs_f64();
                 data
             }
@@ -977,7 +1007,7 @@ fn exchange_ghosts(
         unpack_face_with::<D3Q19, _>(&mut blocks[bi].src, d, ctx.table.qs_reversed(d), &data);
         ctx.recycle(data);
     }
-    (work, stall)
+    Ok((work, stall))
 }
 
 /// Splits `items` into exactly `min(parts, len)` contiguous slices whose
@@ -1003,7 +1033,11 @@ fn balanced_parts<T>(items: &mut [T], parts: usize) -> Vec<&mut [T]> {
 
 /// Applies `f` to every block, optionally with thread parallelism (the
 /// hybrid MPI+OpenMP analogue: one rank, several threads over its blocks).
-fn for_each_block<F: Fn(&mut BlockSim) + Sync>(blocks: &mut [BlockSim], threads: usize, f: F) {
+pub(crate) fn for_each_block<F: Fn(&mut BlockSim) + Sync>(
+    blocks: &mut [BlockSim],
+    threads: usize,
+    f: F,
+) {
     if threads <= 1 || blocks.len() <= 1 {
         for b in blocks.iter_mut() {
             f(b);
@@ -1022,7 +1056,7 @@ fn for_each_block<F: Fn(&mut BlockSim) + Sync>(blocks: &mut [BlockSim], threads:
 }
 
 /// Like [`for_each_block`] but collecting results in block order.
-fn map_each_block<T: Send, F: Fn(&mut BlockSim) -> T + Sync>(
+pub(crate) fn map_each_block<T: Send, F: Fn(&mut BlockSim) -> T + Sync>(
     blocks: &mut [BlockSim],
     threads: usize,
     f: F,

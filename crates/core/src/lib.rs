@@ -33,7 +33,10 @@
 //!   state moves between ranks when the runtime rebalancer
 //!   (`trillium-rebalance`, wired into [`driver`]) fires,
 //! * [`pipeline`] — the end-to-end setup pipeline from a signed-distance
-//!   domain to a balanced, distributed, voxelized simulation.
+//!   domain to a balanced, distributed, voxelized simulation,
+//! * [`recovery`] — checkpoint/restart resilience: bounded-wait ghost
+//!   exchange, coordinated forest checkpoints, and rollback recovery
+//!   under deterministic fault injection.
 
 pub mod blocksim;
 pub mod checkpoint;
@@ -42,6 +45,7 @@ pub mod loadbalance;
 pub mod migrate;
 pub mod output;
 pub mod pipeline;
+pub mod recovery;
 pub mod scenario;
 
 /// Convenient glob import for applications.
@@ -53,7 +57,11 @@ pub mod prelude {
     };
     pub use crate::loadbalance::{block_graph, graph_balance};
     pub use crate::pipeline::{setup_domain, DomainSetup};
+    pub use crate::recovery::{
+        run_distributed_resilient, RankResilience, ResilienceConfig, ResilientRunResult,
+    };
     pub use crate::scenario::{BalanceStrategy, KernelChoice, Scenario};
+    pub use trillium_comm::{CommError, CrashSpec, FaultConfig, FaultEvent};
     pub use trillium_field::{CellFlags, PdfField};
     pub use trillium_kernels::BoundaryParams;
     pub use trillium_lattice::{Relaxation, UnitConverter, D3Q19, MAGIC_TRT};

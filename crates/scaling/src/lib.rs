@@ -24,7 +24,9 @@
 //! * [`overlap`] — the communication-hiding term the overlapped driver
 //!   schedule adds to the step-time model (fig 7/8 use it),
 //! * [`rebalance`] — predicted benefit of runtime load rebalancing
-//!   (extreme-value straggler model) up to 2^19 ranks.
+//!   (extreme-value straggler model) up to 2^19 ranks,
+//! * [`resilience`] — Young/Daly optimal checkpoint interval and waste
+//!   fraction versus machine size for the resilient driver.
 
 pub mod fig1;
 pub mod fig3;
@@ -36,6 +38,7 @@ pub mod fig8;
 pub mod headline;
 pub mod overlap;
 pub mod rebalance;
+pub mod resilience;
 pub mod tree;
 
 pub use tree::paper_tree;

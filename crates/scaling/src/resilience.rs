@@ -1,0 +1,188 @@
+//! Optimal checkpoint interval at machine scale (Young/Daly).
+//!
+//! The resilient driver (`trillium-core::recovery`) checkpoints the
+//! distributed block forest every K steps and rolls back on failure.
+//! The choice of K is a classic trade-off: checkpoint too often and the
+//! I/O overhead dominates; too rarely and every failure throws away a
+//! long replay window. At the paper's scale the trade-off is acute —
+//! JUQUEEN's 28,672 nodes turn a per-node MTBF of years into a system
+//! MTBF of hours.
+//!
+//! This module implements the first-order Young model and Daly's
+//! higher-order refinement for the optimal interval, plus the resulting
+//! waste fraction
+//!
+//! ```text
+//! waste(τ) ≈ C/τ + τ/(2M) + R/M
+//! ```
+//!
+//! where `C` is the checkpoint commit time, `R` the restart time, `M`
+//! the system MTBF and `τ` the compute time between checkpoints. The
+//! Young optimum is `τ* = sqrt(2 C M)`; Daly's correction subtracts the
+//! checkpoint time itself (`τ_Daly = sqrt(2 C (M + R)) - C`). The
+//! checkpoint commit time is sized from the actual forest snapshot the
+//! runtime writes: both halves of the 19-PDF double buffer + 1 flag
+//! byte per cell, streamed to the parallel file system at an aggregate
+//! bandwidth.
+
+use serde::Serialize;
+use trillium_machine::MachineSpec;
+
+/// Inputs of the checkpoint-interval model.
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct ResilienceModel {
+    /// Mean time between failures of a single node, in hours. Field
+    /// experience on BlueGene/Q-class machines is O(10⁴–10⁵) node-hours
+    /// per failure.
+    pub node_mtbf_hours: f64,
+    /// Cells per node in the run being protected (sizes the snapshot).
+    pub cells_per_node: f64,
+    /// Aggregate parallel-file-system bandwidth in GiB/s available for
+    /// checkpoint commits.
+    pub pfs_bandwidth_gib: f64,
+    /// Restart time in seconds: re-reading the snapshot plus job
+    /// relaunch latency.
+    pub restart_seconds: f64,
+    /// Wall-clock seconds per time step (sets the step-granular
+    /// interval the runtime can actually honor).
+    pub step_seconds: f64,
+}
+
+impl Default for ResilienceModel {
+    fn default() -> Self {
+        Self {
+            node_mtbf_hours: 50_000.0,
+            cells_per_node: 64.0 * 64.0 * 64.0 * 64.0,
+            pfs_bandwidth_gib: 100.0,
+            restart_seconds: 120.0,
+            step_seconds: 0.5,
+        }
+    }
+}
+
+/// One row of the checkpoint-interval table.
+#[derive(Clone, Debug, Serialize)]
+pub struct ResilienceRow {
+    /// Number of nodes used by the run.
+    pub nodes: u64,
+    /// System mean time between failures in hours (node MTBF / nodes).
+    pub system_mtbf_hours: f64,
+    /// Checkpoint commit time in seconds (snapshot bytes over the PFS
+    /// bandwidth).
+    pub checkpoint_seconds: f64,
+    /// Young's optimal interval `sqrt(2 C M)` in seconds.
+    pub tau_young_seconds: f64,
+    /// Daly's refined interval `sqrt(2 C (M + R)) - C` in seconds.
+    pub tau_daly_seconds: f64,
+    /// Young interval rounded to whole time steps (what the runtime's
+    /// `checkpoint_every` should be set to), at least one.
+    pub steps_between_checkpoints: u64,
+    /// Expected fraction of wall-clock time lost to checkpoints,
+    /// re-work and restarts at the Young-optimal interval.
+    pub waste_fraction: f64,
+    /// Expected failures per 24-hour run at this scale.
+    pub failures_per_day: f64,
+}
+
+/// Snapshot size per node in bytes: the forest checkpoint stores both
+/// halves of the 19-PDF double-precision double buffer plus one flag
+/// byte per cell, with negligible framing. Both buffers must travel
+/// because cells outside the sparse sweep's coverage alternate between
+/// them with step parity.
+pub fn snapshot_bytes_per_node(model: &ResilienceModel) -> f64 {
+    model.cells_per_node * (2.0 * 19.0 * 8.0 + 1.0)
+}
+
+/// Expected waste fraction of an interval `tau` (compute seconds between
+/// checkpoints) for checkpoint time `c`, restart time `r` and system
+/// MTBF `m`, all in seconds: `c/tau + tau/(2m) + r/m`.
+pub fn waste_fraction(tau: f64, c: f64, r: f64, m: f64) -> f64 {
+    c / tau + tau / (2.0 * m) + r / m
+}
+
+/// Evaluates the model for a run on `nodes` nodes of `machine`.
+pub fn predict(model: &ResilienceModel, nodes: u64, machine: &MachineSpec) -> ResilienceRow {
+    let nodes = nodes.clamp(1, machine.total_nodes());
+    let system_mtbf_hours = model.node_mtbf_hours / nodes as f64;
+    let m = system_mtbf_hours * 3600.0;
+
+    // Commit time: every node's snapshot streams to the shared file
+    // system, so the aggregate payload divides the aggregate bandwidth.
+    let payload = snapshot_bytes_per_node(model) * nodes as f64;
+    let c = payload / (model.pfs_bandwidth_gib * 1024.0 * 1024.0 * 1024.0);
+
+    let tau_young = (2.0 * c * m).sqrt();
+    let tau_daly = ((2.0 * c * (m + model.restart_seconds)).sqrt() - c).max(c);
+    let steps = (tau_young / model.step_seconds).round().max(1.0) as u64;
+
+    ResilienceRow {
+        nodes,
+        system_mtbf_hours,
+        checkpoint_seconds: c,
+        tau_young_seconds: tau_young,
+        tau_daly_seconds: tau_daly,
+        steps_between_checkpoints: steps,
+        waste_fraction: waste_fraction(tau_young, c, model.restart_seconds, m),
+        failures_per_day: 24.0 / system_mtbf_hours,
+    }
+}
+
+/// The interval table from 2^0 up to the full machine, doubling the
+/// node count each row.
+pub fn resilience_series(model: &ResilienceModel, machine: &MachineSpec) -> Vec<ResilienceRow> {
+    let mut rows = Vec::new();
+    let mut nodes = 1u64;
+    while nodes < machine.total_nodes() {
+        rows.push(predict(model, nodes, machine));
+        nodes *= 2;
+    }
+    rows.push(predict(model, machine.total_nodes(), machine));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_interval_shrinks_as_the_machine_grows() {
+        let m = ResilienceModel::default();
+        let machine = MachineSpec::juqueen();
+        let rows = resilience_series(&m, &machine);
+        assert_eq!(rows.last().unwrap().nodes, machine.total_nodes());
+        // System MTBF falls linearly with nodes...
+        for w in rows.windows(2) {
+            assert!(w[1].system_mtbf_hours < w[0].system_mtbf_hours);
+        }
+        // ...and at full scale failures are a daily event, so the
+        // optimal interval must be materially shorter than a day.
+        let last = rows.last().unwrap();
+        assert!(last.failures_per_day > 1.0, "failures/day {}", last.failures_per_day);
+        assert!(last.tau_young_seconds < 12.0 * 3600.0);
+    }
+
+    #[test]
+    fn young_optimum_minimizes_the_waste_model() {
+        let m = ResilienceModel::default();
+        let machine = MachineSpec::supermuc();
+        let row = predict(&m, machine.total_nodes(), &machine);
+        let mtbf = row.system_mtbf_hours * 3600.0;
+        let at = |tau: f64| waste_fraction(tau, row.checkpoint_seconds, m.restart_seconds, mtbf);
+        let opt = at(row.tau_young_seconds);
+        for f in [0.25, 0.5, 2.0, 4.0] {
+            assert!(at(row.tau_young_seconds * f) >= opt, "not optimal at ×{f}");
+        }
+        assert!(row.waste_fraction < 1.0);
+    }
+
+    #[test]
+    fn daly_refinement_stays_close_below_the_young_interval() {
+        let m = ResilienceModel::default();
+        let machine = MachineSpec::juqueen();
+        for row in resilience_series(&m, &machine) {
+            assert!(row.tau_daly_seconds <= row.tau_young_seconds + 1e-9);
+            assert!(row.tau_daly_seconds > 0.5 * row.tau_young_seconds);
+            assert!(row.steps_between_checkpoints >= 1);
+        }
+    }
+}

@@ -163,3 +163,78 @@ fn thread_count_does_not_change_results() {
         assert_eq!(ua, ub);
     }
 }
+
+/// A full-state block checkpoint (`save_block_full`) taken mid-run
+/// captures *everything* the dynamics depend on: a restored copy stepped
+/// in lockstep with the original stays bitwise identical.
+#[test]
+fn block_checkpoint_roundtrip_resumes_bitwise() {
+    use trillium_core::checkpoint::{restore_block_full, save_block_full};
+    let s = Scenario::lid_driven_cavity(12, 1, 0.06, 0.08);
+    let views = distribute(&s.make_forest(1));
+    let mut block = s.build_block(&views[0].blocks[0]);
+    let rel = s.relaxation;
+    for _ in 0..5 {
+        block.apply_boundaries();
+        block.stream_collide(rel);
+    }
+    let snap = save_block_full(&block);
+    let mut restored = restore_block_full(&snap, s.boundary).expect("restore");
+    for _ in 0..5 {
+        block.apply_boundaries();
+        block.stream_collide(rel);
+        restored.apply_boundaries();
+        restored.stream_collide(rel);
+    }
+    assert_eq!(save_block_full(&block), save_block_full(&restored));
+}
+
+/// Checkpoint/restart composed with the *overlapped* schedule: a
+/// resilient overlapped run that crashes mid-way restores from a
+/// checkpoint written after overlapped steps and still converges
+/// bitwise to the plain synchronous reference — the checkpoint captures
+/// the complete state no matter which schedule produced it.
+#[test]
+fn overlapped_checkpoint_restart_matches_sync_reference() {
+    use std::sync::Arc;
+    use trillium_core::driver::{run_distributed_with, DriverConfig};
+    use trillium_geometry::voxelize::VoxelizeConfig;
+    use trillium_geometry::{VascularTree, VascularTreeParams};
+    let scenario = || {
+        let tree = VascularTree::generate(&VascularTreeParams {
+            generations: 4,
+            root_radius: 1.2,
+            root_length: 7.0,
+            ..Default::default()
+        });
+        Scenario::from_sdf(
+            "vascular-ckpt",
+            Arc::new(tree),
+            0.25,
+            [16, 16, 16],
+            0.06,
+            [0.0, 0.0, 0.05],
+            1.0,
+            VoxelizeConfig::default(),
+        )
+        .with_skewed_balance(0.7)
+    };
+    let cfg_sync = DriverConfig { collect_pdfs: true, ..Default::default() };
+    let reference = run_distributed_with(&scenario(), 4, 1, 24, &[], cfg_sync);
+    assert!(!reference.has_nan());
+    // Crash rank 1 at step 13: recovery restores the step-12 checkpoint,
+    // which was itself written after 12 overlapped steps.
+    let rc = ResilienceConfig {
+        checkpoint_every: 6,
+        fault: Some(FaultConfig::new(11).with_crash(1, 13)),
+        driver: DriverConfig { overlap: true, collect_pdfs: true },
+        ..ResilienceConfig::default()
+    };
+    let res = run_distributed_resilient(&scenario(), 4, 1, 24, &[], &rc);
+    assert_eq!(res.recoveries(), 1, "the injected crash must trigger one recovery");
+    assert_eq!(
+        reference.pdf_dump(),
+        res.run.pdf_dump(),
+        "restart from an overlapped-schedule checkpoint deviates from the sync reference"
+    );
+}
