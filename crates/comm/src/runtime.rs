@@ -21,7 +21,7 @@
 
 use crate::fault::{FaultConfig, FaultEvent, FaultPlan, SendAction};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 /// A tagged message between ranks.
@@ -47,6 +47,10 @@ pub enum CommError {
     /// [`CommError::Timeout`] with a known cause; the caller should
     /// abandon the current step and join recovery.
     Interrupted,
+    /// Every channel endpoint is gone: the whole world unwound, so no
+    /// message can ever arrive again. Unlike [`CommError::RankDown`]
+    /// this blames no specific peer — there is none left to blame.
+    WorldDown,
 }
 
 impl std::fmt::Display for CommError {
@@ -55,6 +59,7 @@ impl std::fmt::Display for CommError {
             CommError::RankDown(r) => write!(f, "rank {r} is down"),
             CommError::Timeout => write!(f, "receive timed out"),
             CommError::Interrupted => write!(f, "interrupted by a recovery request"),
+            CommError::WorldDown => write!(f, "every rank is gone"),
         }
     }
 }
@@ -68,6 +73,24 @@ pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
 /// (failure notes and the recovery protocol). Control messages bypass
 /// fault injection and duplicate suppression.
 pub(crate) const CTRL_TAG_BASE: u64 = 1 << 52;
+
+/// Per-sender duplicate-suppression window. One sender's sequence
+/// numbers arrive *almost* in order: only injected delays (bounded by
+/// the plan's `max_delay` subsequent sends) and duplicates (enqueued
+/// adjacent to their original) perturb the stream. Remembering every
+/// delivered `(from, seq)` pair would therefore grow linearly with the
+/// message count of a long faulted run; instead `recent` keeps only the
+/// delivered seqs at or above a moving `frontier` that trails the
+/// highest delivery by a span far exceeding the worst-case reorder
+/// distance — anything older is final and pruned.
+#[derive(Clone, Debug, Default)]
+struct DedupWindow {
+    /// Seqs below this are settled: delivered (and since pruned) or
+    /// dropped by injection — never a fresh arrival.
+    frontier: u64,
+    /// Delivered seqs at or above `frontier`.
+    recent: BTreeSet<u64>,
+}
 
 const K_RANKDOWN: u64 = 0;
 const K_RECOVER_REQ: u64 = 1;
@@ -109,8 +132,11 @@ pub struct Communicator {
     /// Held-back (delayed) messages per destination: `(due, message)`
     /// where `due` is the `sends_to` count at which to release.
     limbo: Vec<VecDeque<(u64, Message)>>,
-    /// Delivered `(from, seq)` pairs, for duplicate suppression.
-    seen: HashSet<(u32, u64)>,
+    /// Per-sender delivery windows for duplicate suppression (memory
+    /// bounded by `dedup_span` per sender, not by total message count).
+    seen: Vec<DedupWindow>,
+    /// How far each window's frontier trails its highest delivered seq.
+    dedup_span: u64,
     /// Peers known to be down.
     dead: HashSet<u32>,
     /// Set when any rank requested a cohort recovery.
@@ -267,10 +293,33 @@ impl Communicator {
             }
             return None;
         }
-        if self.dedup && !self.seen.insert((m.from, m.seq)) {
+        if self.dedup && self.is_duplicate(m.from, m.seq) {
             return None;
         }
         Some(m)
+    }
+
+    /// Receiver-side duplicate test for data message (`from`, `seq`),
+    /// recording the delivery. A seq below the sender's frontier, or
+    /// already in its window, is a duplicate. The frontier advances to
+    /// `highest - dedup_span` on every delivery, pruning the window;
+    /// the span comfortably exceeds the worst-case reorder distance
+    /// (injected delays hold a message back at most `max_delay`
+    /// subsequent sends and limbo is flushed before every blocking
+    /// wait; duplicates arrive back-to-back), so a fresh message never
+    /// lands behind the frontier.
+    fn is_duplicate(&mut self, from: u32, seq: u64) -> bool {
+        let w = &mut self.seen[from as usize];
+        if seq < w.frontier || !w.recent.insert(seq) {
+            return true;
+        }
+        let highest = *w.recent.iter().next_back().expect("just inserted");
+        let lo = highest.saturating_sub(self.dedup_span);
+        if lo > w.frontier {
+            w.frontier = lo;
+            w.recent = w.recent.split_off(&lo);
+        }
+        false
     }
 
     /// The matching engine behind every receive: returns the first
@@ -330,7 +379,7 @@ impl Communicator {
             let arrival = match deadline {
                 None => self.receiver.recv().map_err(|_| {
                     // Every sender dropped: the whole cohort unwound.
-                    CommError::RankDown(expected[0].0)
+                    CommError::WorldDown
                 })?,
                 Some(dl) => {
                     let now = Instant::now();
@@ -340,9 +389,7 @@ impl Communicator {
                     match self.receiver.recv_timeout(dl - now) {
                         Ok(m) => m,
                         Err(RecvTimeoutError::Timeout) => return Err(self.timeout_error()),
-                        Err(RecvTimeoutError::Disconnected) => {
-                            return Err(CommError::RankDown(expected[0].0))
-                        }
+                        Err(RecvTimeoutError::Disconnected) => return Err(CommError::WorldDown),
                     }
                 }
             };
@@ -557,9 +604,7 @@ impl Communicator {
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout),
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::RankDown(from.unwrap_or(0)))
-                }
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::WorldDown),
             }
         }
     }
@@ -738,7 +783,9 @@ impl Communicator {
         }
         self.ctrl.retain(|&(_, k, _)| k == K_DONE);
         self.pending.clear();
-        self.seen.clear();
+        // Post-recovery seqs only grow, so an empty window (frontier 0)
+        // behaves exactly like the pre-recovery full reset did.
+        self.seen.fill_with(DedupWindow::default);
         self.dead.clear();
         self.recover_flag = false;
     }
@@ -846,6 +893,10 @@ impl World {
             receivers.push(r);
         }
         let dedup = fault.as_ref().map_or(false, FaultConfig::is_active);
+        // Window span: generous slack over the maximum injected
+        // hold-back (measured in subsequent sends, each consuming one
+        // seq) plus any control traffic interleaved before a flush.
+        let dedup_span = fault.as_ref().map_or(0, |c| 1024 + 64 * c.max_delay as u64);
         let mut comms: Vec<Communicator> = receivers
             .into_iter()
             .enumerate()
@@ -861,7 +912,8 @@ impl World {
                 seq_out: vec![0; size as usize],
                 sends_to: vec![0; size as usize],
                 limbo: (0..size).map(|_| VecDeque::new()).collect(),
-                seen: HashSet::new(),
+                seen: vec![DedupWindow::default(); size as usize],
+                dedup_span,
                 dead: HashSet::new(),
                 recover_flag: false,
                 ctrl: VecDeque::new(),
@@ -1149,6 +1201,40 @@ mod tests {
             }
         });
         assert_eq!(out[0], 1);
+    }
+
+    /// The duplicate-suppression window must not grow with the total
+    /// message count: the frontier prunes delivered seqs far behind the
+    /// newest one, while every message is still delivered exactly once.
+    #[test]
+    fn dedup_memory_stays_bounded_over_long_runs() {
+        const N: u64 = 20_000;
+        let cfg = FaultConfig::new(11).with_duplicates(0.3).with_reordering(0.2, 4);
+        let out = World::run_with_faults(2, cfg, |mut c| {
+            if c.rank() == 0 {
+                for i in 0..N {
+                    c.send(1, 1, i.to_le_bytes().to_vec());
+                }
+                c.flush_delayed();
+                c.recv(1, 2);
+                0
+            } else {
+                // Delays reorder same-tag payloads, so check the sum,
+                // not the order: dedup must deliver each exactly once.
+                let mut sum = 0u64;
+                for _ in 0..N {
+                    let m = c.recv(0, 1);
+                    sum += u64::from_le_bytes(m[..8].try_into().unwrap());
+                }
+                assert_eq!(sum, N * (N - 1) / 2, "every message exactly once");
+                assert!(c.try_recv(0, 1).is_none(), "no stray duplicate survives");
+                c.send(0, 2, vec![]);
+                c.seen[0].recent.len() as u64
+            }
+        });
+        let window = out[1];
+        assert!(window > 0, "deliveries must be recorded");
+        assert!(window <= 2_000, "window must stay bounded, got {window} entries after {N} msgs");
     }
 
     /// Injected duplicates are suppressed by the receiver-side sequence

@@ -214,7 +214,11 @@ fn resilient_rank_loop(
 
     let mut t: u64 = 0;
     let mut need_recovery = false;
-    while t < steps {
+    // `|| need_recovery` is load-bearing: a failure at the *final*
+    // agreement (t already == steps) must loop this rank back into
+    // recovery_sync — exiting instead would strand the rolled-back
+    // peers in the recovery barrier and abort the whole run.
+    while t < steps || need_recovery {
         // A fail-stop crash scheduled for this step fires before any
         // sends; `crash_due` broadcasts the failure notes (the emulated
         // failure detector) and the victim falls through to recovery —
@@ -302,8 +306,10 @@ fn resilient_rank_loop(
 
         // Checkpoint epoch: the agreement doubles as a barrier, so a
         // true verdict makes the per-rank snapshots a consistent global
-        // cut. The final step always agrees (but never snapshots), so no
-        // rank exits while the cohort still needs a recovery.
+        // cut. The final step always agrees (but never snapshots); a
+        // failed final agreement re-enters the loop via `need_recovery`,
+        // rolls back, replays, and re-agrees at `t == steps` — so a rank
+        // only exits once the whole cohort reached the end cleanly.
         if t % k == 0 || t == steps {
             match comm.agree_all(true, rc.step_timeout) {
                 Ok(true) => {
@@ -395,5 +401,35 @@ mod tests {
             .failure_trace()
             .iter()
             .any(|(r, e)| *r == 2 && matches!(e, FaultEvent::Crashed { step: 6 })));
+    }
+
+    /// Regression: a one-sided message drop in the *last* checkpoint
+    /// window only surfaces at the final agreement, where `t` already
+    /// equals `steps`. The healthy rank used to exit the time loop with
+    /// `need_recovery` still pending, stranding the rolled-back peer in
+    /// `recovery_sync` and aborting the whole run ("cohort
+    /// unrecoverable"). Both ranks must instead roll back, replay, and
+    /// finish bitwise identical to the unfaulted run.
+    #[test]
+    fn failure_in_final_checkpoint_window_recovers() {
+        // Seeds picked so the single capped drop is one-sided: seed 6
+        // stalls rank 1's receive (rank 0, the agreement root, sees the
+        // missing vote), seed 9 stalls rank 0's (rank 1 waits on the
+        // verdict and is interrupted) — covering both exit paths.
+        for seed in [6, 9] {
+            let scenario = Scenario::lid_driven_cavity(16, 2, 0.05, 0.08);
+            let plain = run_distributed_with(&scenario, 2, 1, 1, &[], pdf_cfg());
+            let rc = ResilienceConfig {
+                checkpoint_every: 100,
+                step_timeout: Duration::from_secs(1),
+                recovery_timeout: Duration::from_secs(10),
+                fault: Some(FaultConfig::new(seed).with_drops(0.02).with_fault_cap(1)),
+                driver: pdf_cfg(),
+                ..ResilienceConfig::default()
+            };
+            let res = run_distributed_resilient(&scenario, 2, 1, 1, &[], &rc);
+            assert_eq!(res.recoveries(), 1, "seed {seed}: the drop must cause one rollback");
+            assert_eq!(plain.pdf_dump(), res.run.pdf_dump(), "seed {seed}: replay must converge");
+        }
     }
 }
