@@ -8,7 +8,7 @@
 //! boundaries) for both balancers, plus the naive block-index chunking
 //! baseline.
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_blockforest::{balance_with, morton_balance, SetupForest};
 use trillium_core::loadbalance::{block_graph, graph_balance};
 use trillium_scaling::paper_tree;
@@ -36,6 +36,7 @@ fn main() {
         "{:<8} {:<10} {:>12} {:>16} {:>14}",
         "procs", "balancer", "imbalance", "edge cut", "cut vs naive"
     );
+    let mut rows = Vec::new();
     for procs in [8u32, 32, 128] {
         let g = block_graph(&base);
 
@@ -73,10 +74,30 @@ fn main() {
             cut_g,
             cut_g / cut_naive
         );
+        rows.push(serde_json::json!({
+            "procs": procs,
+            "imbalance_naive": naive.imbalance(),
+            "imbalance_morton": morton.imbalance(),
+            "imbalance_graph": graph.imbalance(),
+            "edge_cut_naive": cut_naive,
+            "edge_cut_morton": cut_m,
+            "edge_cut_graph": cut_g,
+        }));
     }
     println!();
     println!("expect: the graph partitioner holds imbalance near 1.0 with a");
     println!("competitive cut; Morton is nearly as good at a fraction of the cost;");
     println!("naive index chunking suffers on both metrics — the reason the paper");
     println!("uses METIS for sparse geometries.");
+
+    if args.json {
+        emit_json(
+            "ablation_balance",
+            serde_json::json!({
+                "blocks": base.num_blocks(),
+                "fluid_cells": base.total_workload(),
+                "rows": rows,
+            }),
+        );
+    }
 }

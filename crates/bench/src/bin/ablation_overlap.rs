@@ -25,7 +25,7 @@
 //! scheduler-independent signal. Pass `--json` for raw data.
 
 use std::sync::Arc;
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_core::driver::{run_distributed_with, DriverConfig, RunResult};
 use trillium_core::prelude::*;
 use trillium_geometry::voxelize::VoxelizeConfig;
@@ -83,14 +83,15 @@ fn main() {
         &[],
         DriverConfig::default(),
     );
-    let over = run_distributed_with(
-        &vascular_scenario(args.full),
-        RANKS,
-        1,
-        steps,
-        &[],
-        DriverConfig::overlapped(),
-    );
+    let mut over_cfg = DriverConfig::overlapped();
+    if args.trace.is_some() {
+        over_cfg = over_cfg.with_trace();
+    }
+    let over = run_distributed_with(&vascular_scenario(args.full), RANKS, 1, steps, &[], over_cfg);
+    if let Some(path) = &args.trace {
+        std::fs::write(path, over.chrome_trace().to_string()).expect("write chrome trace");
+        println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+    }
     assert!(!sync.has_nan() && !over.has_nan(), "run went unstable");
     assert_eq!(
         sync.total_stats().fluid_cells,
@@ -129,8 +130,8 @@ fn main() {
     println!("network latency; the residual comm fraction is neighbor imbalance.");
 
     if args.json {
-        println!(
-            "{}",
+        emit_json(
+            "ablation_overlap",
             serde_json::json!({
                 "scenario": "skewed vascular tree",
                 "ranks": RANKS,
@@ -146,7 +147,7 @@ fn main() {
                 "overlap_hidden_seconds": over.overlap_hidden(),
                 "mass_drift_overlap": over.mass_drift(),
                 "fluid_cells": over.total_stats().fluid_cells,
-            })
+            }),
         );
     }
 }

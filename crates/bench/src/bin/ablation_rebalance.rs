@@ -12,7 +12,7 @@
 //! the final per-block measured costs. Pass `--json` for the raw series.
 
 use std::sync::Arc;
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_core::driver::{run_distributed_rebalanced, RebalanceConfig, RunResult};
 use trillium_core::prelude::*;
 use trillium_geometry::voxelize::VoxelizeConfig;
@@ -147,8 +147,8 @@ fn main() {
                 })
             })
             .collect();
-        println!(
-            "{}",
+        emit_json(
+            "ablation_rebalance",
             serde_json::json!({
                 "scenario": "skewed vascular tree",
                 "ranks": RANKS,
@@ -167,7 +167,7 @@ fn main() {
                 "imbalance_history_off": history_off,
                 "imbalance_history_on": history_on,
                 "measured_block_costs": block_costs
-            })
+            }),
         );
     }
 }

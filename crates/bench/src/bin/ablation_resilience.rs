@@ -23,7 +23,7 @@
 //! for raw data.
 
 use std::sync::Arc;
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_core::driver::{run_distributed_with, DriverConfig};
 use trillium_core::prelude::*;
 use trillium_core::recovery::ResilienceConfig;
@@ -161,8 +161,8 @@ fn main() {
     println!("turns the same checkpoint machinery into a minutes-scale interval choice.");
 
     if args.json {
-        println!(
-            "{}",
+        emit_json(
+            "ablation_resilience",
             serde_json::json!({
                 "scenario": "vascular tree",
                 "ranks": RANKS,
@@ -181,7 +181,7 @@ fn main() {
                     .iter()
                     .map(|(name, rows)| serde_json::json!({"machine": name, "rows": rows}))
                     .collect::<Vec<_>>(),
-            })
+            }),
         );
     }
 }

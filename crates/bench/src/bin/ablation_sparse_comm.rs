@@ -7,7 +7,7 @@
 //! the fluid-aware packing (`pack_face_sparse`, implemented here as the
 //! extension) would save, as a function of block fluid fraction.
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_blockforest::SetupForest;
 use trillium_comm::{pack_face, pack_face_sparse};
 use trillium_field::{Shape, SoaPdfField};
@@ -26,6 +26,7 @@ fn main() {
         "{:<8} {:>8} {:>12} {:>14} {:>14} {:>10}",
         "dx", "blocks", "fluid frac", "dense B/blk", "sparse B/blk", "saving %"
     );
+    let mut rows = Vec::new();
     for dx in dx_list {
         let forest = SetupForest::from_domain_sampled(&tree, dx, [edge, edge, edge], 4);
         let shape = Shape::cube(edge);
@@ -57,9 +58,21 @@ fn main() {
             sparse_total as f64 / n as f64,
             100.0 * (1.0 - sparse_total as f64 / dense_total as f64)
         );
+        rows.push(serde_json::json!({
+            "dx": dx,
+            "blocks": forest.num_blocks(),
+            "fluid_fraction": fluid / n as f64,
+            "dense_bytes_per_block": dense_total as f64 / n as f64,
+            "sparse_bytes_per_block": sparse_total as f64 / n as f64,
+            "saving_fraction": 1.0 - sparse_total as f64 / dense_total as f64,
+        }));
     }
     println!();
     println!("expect: savings shrink as blocks get better filled (finer dx, cf. Fig 7's");
     println!("rising fluid fraction) — the paper's fluid-blind scheme costs most at");
     println!("coarse partitionings and becomes near-optimal at extreme scale.");
+
+    if args.json {
+        emit_json("ablation_sparse_comm", serde_json::json!(rows));
+    }
 }

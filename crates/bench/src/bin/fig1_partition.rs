@@ -3,7 +3,7 @@
 //! JUQUEEN (458,752). Paper values: 485 blocks at 512 processes,
 //! 458,184 blocks at 458,752 processes.
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_scaling::fig1::fig1_point;
 use trillium_scaling::paper_tree;
 
@@ -26,7 +26,7 @@ fn main() {
         rows.push(r);
     }
     if args.json {
-        println!("{}", serde_json::json!(rows));
+        emit_json("fig1_partition", serde_json::json!(rows));
     }
 
     // ASCII rendition of the Fig 1 content: a mid-depth slice of the

@@ -10,7 +10,7 @@
 //! full grid would need terabytes is set up in megabytes, and each rank
 //! allocates only its own share.
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_blockforest::{distribute, morton_balance, SetupForest};
 use trillium_geometry::vec3::vec3;
 use trillium_geometry::Aabb;
@@ -68,4 +68,21 @@ fn main() {
     println!("number of blocks assigned to this process, and not on the size of the");
     println!("entire simulation\" (§2.2) — which is what makes 10^12-cell domains");
     println!("possible on 2 GiB/core machines.");
+
+    if args.json {
+        emit_json(
+            "fig2_two_stage",
+            serde_json::json!({
+                "blocks": nblocks,
+                "cells_total": total_cells,
+                "procs": procs,
+                "stage1_seconds": setup_time.as_secs_f64(),
+                "stage1_block_metadata_bytes": block_bytes,
+                "global_grid_bytes": grid_bytes,
+                "rank0_blocks": v.blocks.len(),
+                "rank0_cells": local_cells,
+                "rank0_knowledge_units": v.knowledge_size(),
+            }),
+        );
+    }
 }

@@ -7,7 +7,7 @@
 //! SIMD SRT ≈ SIMD TRT, and only the SIMD tier approaching the host's
 //! bandwidth roofline.
 
-use trillium_bench::{bench_relaxation, measure_mlups, section, HarnessArgs};
+use trillium_bench::{bench_relaxation, emit_json, measure_mlups, section, HarnessArgs};
 use trillium_field::{AosPdfField, PdfField, Shape};
 use trillium_kernels as kernels;
 use trillium_lattice::{Relaxation, D3Q19};
@@ -97,7 +97,7 @@ fn main() {
                 "roofline_mlups": roof,
             },
         });
-        println!("{payload}");
+        emit_json("fig3_kernels", payload);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Fig 4 — ECM model of the TRT kernel at 2.7 GHz and 1.6 GHz, plus the
 //! host-measured saturation point for comparison.
 
-use trillium_bench::{bench_relaxation, measure_mlups, section, HarnessArgs};
+use trillium_bench::{bench_relaxation, emit_json, measure_mlups, section, HarnessArgs};
 use trillium_kernels as kernels;
 use trillium_scaling::fig4::{fig4_series, performance_retention};
 
@@ -27,9 +27,9 @@ fn main() {
     println!("host AVX TRT kernel (1 core, host clock): {host:.1} MLUPS");
 
     if args.json {
-        println!(
-            "{}",
-            serde_json::json!({"model": rows, "retention": performance_retention(1.6, 2.7), "host_mlups": host})
+        emit_json(
+            "fig4_ecm",
+            serde_json::json!({"model": rows, "retention": performance_retention(1.6, 2.7), "host_mlups": host}),
         );
     }
 }

@@ -2,7 +2,7 @@
 //! (model series; the host has no 4-way SMT A2 cores, so there is no
 //! measured analogue — see EXPERIMENTS.md).
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_scaling::fig5::fig5_series;
 
 fn main() {
@@ -17,6 +17,6 @@ fn main() {
     println!();
     println!("paper: 4-way SMT is required to saturate the memory interface (76.2 MLUPS roofline)");
     if args.json {
-        println!("{}", serde_json::json!(rows));
+        emit_json("fig5_smt", serde_json::json!(rows));
     }
 }

@@ -3,7 +3,7 @@
 //! plus a real distributed lid-driven-cavity run on the host for the
 //! functional path (ranks as threads).
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_core::prelude::*;
 use trillium_machine::MachineSpec;
 use trillium_scaling::fig6::{fig6_series, paper_cells_per_core, paper_configs};
@@ -44,6 +44,6 @@ fn main() {
     );
 
     if args.json {
-        println!("{}", serde_json::json!(all));
+        emit_json("fig6_weak_dense", serde_json::json!(all));
     }
 }

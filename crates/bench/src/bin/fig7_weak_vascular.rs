@@ -5,7 +5,7 @@
 //! block edges); `--full` uses the paper's block sizes and core ranges
 //! (slow: hundreds of thousands of blocks are partitioned geometrically).
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_machine::MachineSpec;
 use trillium_scaling::fig7::{fig7_series, Fig7Config};
 use trillium_scaling::paper_tree;
@@ -50,6 +50,6 @@ fn main() {
     println!("SuperMUC from multi-island communication.");
 
     if args.json {
-        println!("{}", serde_json::json!(all));
+        emit_json("fig7_weak_vascular", serde_json::json!(all));
     }
 }

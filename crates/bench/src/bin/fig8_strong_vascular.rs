@@ -3,7 +3,7 @@
 //! 16.9 M fluid cells), sweeping block sizes per core count and reporting
 //! the best MFLUPS/core and time steps per second.
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_machine::MachineSpec;
 use trillium_scaling::fig7::Fig7Config;
 use trillium_scaling::fig8::{dx_for_fluid_cells, fig8_series, paper_edges};
@@ -51,6 +51,6 @@ fn main() {
     println!("larger scales than JUQUEEN (framework overhead on slow in-order cores);");
     println!("optimal block size shrinks with the core count.");
     if args.json {
-        println!("{}", serde_json::json!(all));
+        emit_json("fig8_strong_vascular", serde_json::json!(all));
     }
 }

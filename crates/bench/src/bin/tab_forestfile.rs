@@ -4,7 +4,7 @@
 //! 40 MiB" — ours is smaller because only ID + rank + workload are
 //! stored; see EXPERIMENTS.md).
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_blockforest::{file, morton_balance, SetupForest};
 use trillium_geometry::vec3::vec3;
 use trillium_geometry::Aabb;
@@ -20,6 +20,7 @@ fn main() {
     if args.full {
         sizes.push((512_000, 512_000));
     }
+    let mut rows = Vec::new();
     for (blocks, procs) in sizes {
         let n = (blocks as f64).cbrt().round() as usize;
         let e = n as f64;
@@ -39,8 +40,19 @@ fn main() {
             data.len() as f64 / f.num_blocks() as f64,
             ok
         );
+        rows.push(serde_json::json!({
+            "blocks": f.num_blocks(),
+            "processes": procs,
+            "file_bytes": data.len(),
+            "bytes_per_block": data.len() as f64 / f.num_blocks() as f64,
+            "round_trip_ok": ok,
+        }));
     }
     println!();
     println!("rank byte-width examples: 65,536 processes -> 2 bytes; 65,537 -> 3 bytes");
     println!("byte widths: {} / {}", file::byte_width(65_535), file::byte_width(65_536));
+
+    if args.json {
+        emit_json("tab_forestfile", serde_json::json!(rows));
+    }
 }

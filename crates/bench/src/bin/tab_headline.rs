@@ -1,6 +1,6 @@
 //! §4.2 headline numbers: paper vs. model reproduction.
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_scaling::headline::headlines;
 
 fn main() {
@@ -12,6 +12,6 @@ fn main() {
         println!("{:<38} {:>12.1} {:>12.1} {:>8.2}", r.quantity, r.paper, r.ours, r.ours / r.paper);
     }
     if args.json {
-        println!("{}", serde_json::json!(rows));
+        emit_json("tab_headline", serde_json::json!(rows));
     }
 }

@@ -1,7 +1,7 @@
 //! §4.1 table — roofline arithmetic for both machines and the measured
 //! host: STREAM vs LBM-pattern bandwidth and the resulting MLUPS bounds.
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_machine::{measure_copy_bandwidth, measure_lbm_bandwidth, MachineSpec};
 use trillium_perfmodel::{bytes_per_lup, roofline_mlups};
 
@@ -37,13 +37,13 @@ fn main() {
     println!();
     println!("paper: 37.3 GiB/s -> 87.8 MLUPS (SuperMUC socket); 32.4 GiB/s -> 76.2 MLUPS (JUQUEEN node)");
     if args.json {
-        println!(
-            "{}",
+        emit_json(
+            "tab_roofline",
             serde_json::json!({
                 "host_stream_gib": copy,
                 "host_lbm_gib": lbm,
                 "host_roofline_mlups": roofline_mlups(lbm, 19),
-            })
+            }),
         );
     }
 }

@@ -2,7 +2,7 @@
 //! trillion-fluid-cell discretization, time-step lengths at the finest
 //! resolution, and the strong-scaling peak rates.
 
-use trillium_bench::{section, HarnessArgs};
+use trillium_bench::{emit_json, section, HarnessArgs};
 use trillium_lattice::UnitConverter;
 use trillium_machine::MachineSpec;
 use trillium_scaling::fig7::{fig7_point, Fig7Config};
@@ -58,4 +58,21 @@ fn main() {
         "SuperMUC at {} cores: {:.0} time steps/s with {}^3 blocks (paper peak: 6638 steps/s at 32768 cores)",
         peak_cores, peak.timesteps_per_s, peak.best_edge
     );
+
+    if args.json {
+        emit_json(
+            "tab_vascular_headline",
+            serde_json::json!({
+                "dt_us_at_finest_dx": uc.dt * 1e6,
+                "weak_cores": cores,
+                "weak_blocks": blocks,
+                "weak_fluid_fraction": row.fluid_fraction,
+                "weak_total_fluid_cells": total_fluid,
+                "weak_timesteps_per_s": steps_per_s,
+                "strong_cores": peak_cores,
+                "strong_timesteps_per_s": peak.timesteps_per_s,
+                "strong_best_block_edge": peak.best_edge,
+            }),
+        );
+    }
 }

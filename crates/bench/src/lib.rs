@@ -6,10 +6,14 @@
 //! print a human-readable table to stdout; pass `--json` to also emit the
 //! raw series as JSON on the last line.
 
+use serde_json::Value;
 use std::time::Instant;
 use trillium_field::{PdfField, Shape, SoaPdfField};
 use trillium_kernels::SweepStats;
 use trillium_lattice::{Relaxation, D3Q19};
+
+/// Schema tag stamped on every harness JSON report line.
+pub const BENCH_SCHEMA: &str = "trillium.bench/v1";
 
 /// Parses the common CLI flags of the harness binaries.
 pub struct HarnessArgs {
@@ -17,17 +21,45 @@ pub struct HarnessArgs {
     pub json: bool,
     /// Run at full paper scale (slow) instead of the workstation default.
     pub full: bool,
+    /// Write a Chrome `trace_event` file of the run to this path
+    /// (binaries that drive the distributed time loop honor it).
+    pub trace: Option<String>,
 }
 
 impl HarnessArgs {
     /// Reads flags from `std::env::args`.
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        let trace = args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
         HarnessArgs {
             json: args.iter().any(|a| a == "--json"),
             full: args.iter().any(|a| a == "--full"),
+            trace,
         }
     }
+}
+
+/// Wraps a binary's raw JSON payload in the shared report envelope:
+/// `schema` and `bin` come first, then the payload's own fields. Object
+/// payloads keep their fields at the top level, so existing consumers
+/// keep reading them unchanged; arrays and scalars land under `rows`.
+pub fn bench_report(bin: &str, payload: Value) -> Value {
+    let mut fields = vec![
+        ("schema".to_string(), Value::String(BENCH_SCHEMA.to_string())),
+        ("bin".to_string(), Value::String(bin.to_string())),
+    ];
+    match payload {
+        Value::Object(obj) => fields.extend(obj),
+        other => fields.push(("rows".to_string(), other)),
+    }
+    Value::Object(fields)
+}
+
+/// Prints the machine-readable report shared by all harness binaries.
+/// The `--json` contract is: exactly one JSON object on the last stdout
+/// line, carrying `schema` and `bin` plus the binary's own fields.
+pub fn emit_json(bin: &str, payload: Value) {
+    println!("{}", bench_report(bin, payload));
 }
 
 /// Prints a separator + title for a harness section.
@@ -69,6 +101,14 @@ pub fn bench_relaxation() -> Relaxation {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_report_prepends_schema_and_bin() {
+        let r = bench_report("demo", serde_json::json!({"x": 1}));
+        assert_eq!(r.to_string(), r#"{"schema":"trillium.bench/v1","bin":"demo","x":1}"#);
+        let r = bench_report("demo", serde_json::json!([1, 2]));
+        assert_eq!(r.to_string(), r#"{"schema":"trillium.bench/v1","bin":"demo","rows":[1,2]}"#);
+    }
 
     #[test]
     fn measure_mlups_returns_positive_rate() {

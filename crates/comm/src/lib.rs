@@ -33,4 +33,4 @@ pub use ghost::{
     copy_face_local, pack_face, pack_face_sparse, pack_face_with, pdfs_crossing, unpack_face,
     unpack_face_sparse, unpack_face_with, CrossingTable,
 };
-pub use runtime::{CommError, Communicator, World};
+pub use runtime::{CommCounters, CommError, Communicator, World};

@@ -109,6 +109,20 @@ fn get_u64(buf: &[u8], i: usize) -> u64 {
     u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().expect("control payload"))
 }
 
+/// Cumulative send-side traffic counters of one rank, as reported by
+/// [`Communicator::counters`]. Counts what this rank *attempted* to
+/// send (before fault injection drops anything), which is the load a
+/// real network would see.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommCounters {
+    /// Data and collective messages passed to the send path.
+    pub messages_sent: u64,
+    /// Payload bytes of those messages.
+    pub bytes_sent: u64,
+    /// Control-plane messages (failure notes, recovery barrier).
+    pub ctrl_messages_sent: u64,
+}
+
 /// Per-rank communication endpoint — the `MPI_Comm` analogue.
 pub struct Communicator {
     rank: u32,
@@ -148,6 +162,8 @@ pub struct Communicator {
     recovery_epoch: u64,
     /// Sequence counter for [`Communicator::agree_all`] rounds.
     agree_round: u64,
+    /// Send-side traffic totals (see [`CommCounters`]).
+    counters: CommCounters,
 }
 
 impl Communicator {
@@ -161,6 +177,11 @@ impl Communicator {
         self.size
     }
 
+    /// Cumulative send-side traffic of this rank so far.
+    pub fn counters(&self) -> CommCounters {
+        self.counters
+    }
+
     // ---- send path ----------------------------------------------------
 
     /// Sends `payload` to `to` with a user `tag` (non-blocking, buffered).
@@ -170,6 +191,8 @@ impl Communicator {
     }
 
     pub(crate) fn send_raw(&mut self, to: u32, tag: u64, payload: Vec<u8>) {
+        self.counters.messages_sent += 1;
+        self.counters.bytes_sent += payload.len() as u64;
         let t = to as usize;
         let seq = self.seq_out[t];
         self.seq_out[t] += 1;
@@ -240,6 +263,7 @@ impl Communicator {
     }
 
     fn send_ctrl(&mut self, to: u32, kind: u64, payload: Vec<u8>) {
+        self.counters.ctrl_messages_sent += 1;
         let t = to as usize;
         let seq = self.seq_out[t];
         self.seq_out[t] += 1;
@@ -919,6 +943,7 @@ impl World {
                 ctrl: VecDeque::new(),
                 recovery_epoch: 0,
                 agree_round: 0,
+                counters: CommCounters::default(),
             })
             .collect();
         drop(senders);

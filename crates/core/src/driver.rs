@@ -8,6 +8,13 @@
 //! per-rank split between kernel and communication wall time is recorded,
 //! which is how the "% time spent for MPI communication" curves of Fig 6
 //! are produced for real runs.
+//!
+//! All timing goes through the `trillium-obs` span layer: one
+//! [`Recorder`] per rank accumulates disjoint per-category totals
+//! (kernel, boundary, ghost work, exposed stall), feeds the metrics
+//! registry, and — with [`ObsConfig::events`] — captures a per-span
+//! event stream exportable as Chrome `trace_event` JSON via
+//! [`RunResult::chrome_trace`].
 
 use crate::blocksim::BlockSim;
 use crate::migrate::execute_migrations;
@@ -21,6 +28,7 @@ use trillium_comm::{pack_face_with, unpack_face_with, Communicator, CrossingTabl
 use trillium_field::PdfField;
 use trillium_kernels::SweepStats;
 use trillium_lattice::{Relaxation, D3Q19};
+use trillium_obs::{ObsConfig, RankObs, Recorder, SpanKind};
 use trillium_rebalance::plan::{decode_records, encode_records};
 use trillium_rebalance::{
     plan_rebalance, BlockRecord, EwmaCostModel, ImbalanceDetector, PlanOptions,
@@ -37,7 +45,11 @@ pub struct RankResult {
     pub stats: SweepStats,
     /// Wall time in the compute kernels (seconds).
     pub kernel_time: f64,
-    /// Wall time in ghost exchange (pack/send/recv/unpack).
+    /// Wall time of ghost-exchange *work*: packing, sending, local
+    /// unpacking, and draining remote messages (receive + unpack).
+    /// Excludes time blocked on messages that had not yet arrived —
+    /// that is [`RankResult::ghost_stall_time`], kept disjoint by the
+    /// span layer so the categories sum without double counting.
     pub comm_time: f64,
     /// Wall time in the boundary sweeps.
     pub boundary_time: f64,
@@ -57,7 +69,7 @@ pub struct RankResult {
     /// accounted in [`RankResult::comm_time`]. This definition stays
     /// meaningful on an oversubscribed emulation host, where raw
     /// blocked-recv wall time measures the thread scheduler rather than
-    /// the network.
+    /// the network. Disjoint from [`RankResult::comm_time`].
     pub ghost_stall_time: f64,
     /// Total fluid mass before the first step.
     pub mass_initial: f64,
@@ -72,9 +84,29 @@ pub struct RankResult {
     pub pdfs: Vec<(u64, Vec<f64>)>,
     /// True if any local block contains non-finite PDFs after the run.
     pub has_nan: bool,
+    /// Wall seconds of this rank's whole time loop, measured once per
+    /// rank by the span layer — the budget the disjoint categories fit
+    /// into: `kernel_time + boundary_time + comm_time +
+    /// ghost_stall_time ≤ wall_time` (pinned by
+    /// `tests/observability.rs`). Zero when the recorder is disabled.
+    pub wall_time: f64,
+    /// Per-rank observability snapshot: span totals and counts, the
+    /// metrics registry (message/byte counters, step-time histogram,
+    /// …), and — under [`ObsConfig::events`] — the captured trace
+    /// events. `None` only when [`ObsConfig::off`] disabled recording.
+    pub obs: Option<RankObs>,
     /// Runtime-rebalance accounting, present only for runs started via
     /// [`run_distributed_rebalanced`].
     pub rebalance: Option<RebalanceReport>,
+}
+
+impl RankResult {
+    /// Total attributed busy seconds: the four disjoint categories
+    /// (kernel, communication work, boundary, exposed stall) summed —
+    /// the denominator of the fraction metrics.
+    pub fn busy_time(&self) -> f64 {
+        self.kernel_time + self.comm_time + self.boundary_time + self.ghost_stall_time
+    }
 }
 
 /// Configuration of the runtime load balancer (see `trillium-rebalance`).
@@ -98,6 +130,8 @@ pub struct RebalanceConfig {
     pub ewma_alpha: f64,
     /// Planner knobs (graph-gain floor, partitioner seed, minimum ratio).
     pub plan: PlanOptions,
+    /// Observability toggle (see [`DriverConfig::obs`]).
+    pub obs: ObsConfig,
 }
 
 impl Default for RebalanceConfig {
@@ -109,6 +143,7 @@ impl Default for RebalanceConfig {
             cooldown_epochs: 2,
             ewma_alpha: 0.25,
             plan: PlanOptions::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -211,11 +246,13 @@ impl RunResult {
     /// [`RankResult::ghost_stall_time`]. The overlap ablation's headline:
     /// the synchronous schedule exposes its whole receive wait as stall,
     /// the overlapped schedule never blocks while work remains.
+    /// Returns 0.0 (not NaN) for trivially short runs whose measured
+    /// busy time is zero — including runs with the recorder disabled.
     pub fn stall_fraction(&self) -> f64 {
         self.ranks
             .iter()
             .map(|r| {
-                let total = r.kernel_time + r.comm_time + r.boundary_time;
+                let total = r.busy_time();
                 if total > 0.0 {
                     r.ghost_stall_time / total
                 } else {
@@ -231,7 +268,7 @@ impl RunResult {
         self.ranks
             .iter()
             .map(|r| {
-                let total = r.kernel_time + r.comm_time + r.boundary_time;
+                let total = r.busy_time();
                 if total > 0.0 {
                     r.comm_time / total
                 } else {
@@ -285,10 +322,14 @@ impl RunResult {
     /// On a real machine wall clock ≈ this maximum, because ranks run
     /// concurrently and the waiting happens *in parallel with* the slow
     /// rank's work. In this emulation harness ranks are time-sliced
-    /// threads, so raw per-rank elapsed time double-counts every other
-    /// rank's work as "wait" and hides imbalance entirely. For runs
-    /// without a rebalance report this falls back to kernel + comm +
-    /// boundary elapsed time.
+    /// threads, so raw per-rank elapsed time (which includes the
+    /// blocked waits) would count every other rank's work as "wait"
+    /// and hide imbalance entirely. The span layer keeps blocked time
+    /// out of the categories summed here — [`RankResult::comm_time`]
+    /// is exchange *work* and stall is ledgered separately — so for
+    /// runs without a rebalance report kernel + comm + boundary is
+    /// pure attributed work, with nothing double-counted (the
+    /// per-rank budget invariant is pinned in `tests/observability.rs`).
     pub fn work_wall(&self) -> f64 {
         self.ranks
             .iter()
@@ -297,6 +338,27 @@ impl RunResult {
                 None => r.kernel_time + r.comm_time + r.boundary_time,
             })
             .fold(0.0f64, f64::max)
+    }
+
+    /// The run's Chrome `trace_event` JSON: one timeline lane per rank,
+    /// one slice per captured span. Meaningful when the run used
+    /// [`ObsConfig::events`] (without event capture the timeline is
+    /// empty, lanes only). Write it to a file and open it in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn chrome_trace(&self) -> serde_json::Value {
+        trillium_obs::chrome_trace(self.ranks.iter().filter_map(|r| r.obs.as_ref()))
+    }
+
+    /// All ranks' metrics merged into one snapshot: counters and
+    /// accumulators summed, gauges last-write-wins, histograms pooled.
+    pub fn metrics(&self) -> trillium_obs::MetricsSnapshot {
+        let mut out = trillium_obs::MetricsSnapshot::default();
+        for r in &self.ranks {
+            if let Some(obs) = &r.obs {
+                out.merge(&obs.metrics);
+            }
+        }
+        out
     }
 }
 
@@ -315,12 +377,23 @@ pub struct DriverConfig {
     /// [`RankResult::pdfs`] — the raw data for PDF-level equivalence
     /// tests. Off by default (the dump is large).
     pub collect_pdfs: bool,
+    /// Observability toggle: timing on / event capture off by default;
+    /// [`ObsConfig::off`] makes every span a no-op (the ≤3%-overhead
+    /// baseline), [`ObsConfig::trace`] additionally captures the
+    /// chrome-trace event stream.
+    pub obs: ObsConfig,
 }
 
 impl DriverConfig {
     /// The overlapped schedule.
     pub fn overlapped() -> Self {
         DriverConfig { overlap: true, ..Default::default() }
+    }
+
+    /// The same configuration with chrome-trace event capture on.
+    pub fn with_trace(mut self) -> Self {
+        self.obs = ObsConfig::trace();
+        self
     }
 }
 
@@ -353,9 +426,12 @@ pub fn run_distributed_with(
 ) -> RunResult {
     let forest = scenario.make_forest(num_procs);
     let views = distribute(&forest);
+    // One epoch for every rank's recorder, so trace lanes share a time
+    // origin.
+    let epoch = Instant::now();
     let results = World::run(num_procs, |comm| {
         let view = &views[comm.rank() as usize];
-        rank_loop(comm, view, scenario, threads_per_rank, steps, probes, cfg)
+        rank_loop(comm, view, scenario, threads_per_rank, steps, probes, cfg, epoch)
     });
     RunResult { steps, ranks: results }
 }
@@ -389,14 +465,47 @@ pub fn run_distributed(
     run_distributed_probed(scenario, num_procs, threads_per_rank, steps, &[])
 }
 
-/// Per-rank wall-time accounting shared by both schedules.
-#[derive(Default)]
-pub(crate) struct Timers {
+/// Metric name of the hidden-communication accumulator (seconds of
+/// compute executed while ghost messages were in flight).
+pub(crate) const M_OVERLAP_HIDDEN: &str = "driver.overlap_hidden_seconds";
+/// Metric name of the per-step wall-time histogram.
+pub(crate) const M_STEP_SECONDS: &str = "driver.step_seconds";
+
+/// Timing fields of a [`RankResult`], folded out of a finished
+/// [`Recorder`]: the comm counters are pushed into the metrics
+/// registry, the per-kind span totals map onto the (disjoint)
+/// category fields, and the snapshot itself is kept unless recording
+/// was off.
+pub(crate) struct FoldedObs {
     pub(crate) kernel: f64,
     pub(crate) comm: f64,
     pub(crate) boundary: f64,
     pub(crate) overlap_hidden: f64,
     pub(crate) stall: f64,
+    pub(crate) wall: f64,
+    pub(crate) obs: Option<RankObs>,
+}
+
+pub(crate) fn fold_obs(rec: Recorder, comm: &Communicator) -> FoldedObs {
+    let c = comm.counters();
+    let m = rec.metrics();
+    m.add("comm.messages_sent", c.messages_sent);
+    m.add("comm.bytes_sent", c.bytes_sent);
+    m.add("comm.ctrl_messages_sent", c.ctrl_messages_sent);
+    let enabled = rec.config().enabled();
+    let wall = rec.wall();
+    let obs = rec.finish();
+    FoldedObs {
+        kernel: obs.total(SpanKind::Kernel)
+            + obs.total(SpanKind::KernelInterior)
+            + obs.total(SpanKind::KernelShell),
+        comm: obs.total(SpanKind::GhostPack) + obs.total(SpanKind::GhostDrain),
+        boundary: obs.total(SpanKind::Boundary),
+        overlap_hidden: obs.metrics.fcounter(M_OVERLAP_HIDDEN),
+        stall: obs.total(SpanKind::Stall),
+        wall,
+        obs: enabled.then_some(obs),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -408,8 +517,10 @@ fn rank_loop(
     steps: u64,
     probes: &[[i64; 3]],
     cfg: DriverConfig,
+    epoch: Instant,
 ) -> RankResult {
     let rank = comm.rank();
+    let rec = Recorder::with_epoch(rank, cfg.obs, epoch);
     // Build local blocks.
     let mut blocks: Vec<BlockSim> = view.blocks.iter().map(|lb| scenario.build_block(lb)).collect();
     let index_of: HashMap<BlockId, usize> =
@@ -417,11 +528,12 @@ fn rank_loop(
 
     let mass_initial: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
     let mut stats = SweepStats::default();
-    let mut tm = Timers::default();
     let mut ctx = GhostCtx::new();
     let rel = scenario.relaxation;
 
     for t in 0..steps {
+        rec.set_step(t);
+        let step_span = rec.span(SpanKind::Step);
         if cfg.overlap {
             overlapped_step(
                 &mut comm,
@@ -432,54 +544,56 @@ fn rank_loop(
                 t,
                 rel,
                 threads_per_rank,
-                &mut tm,
+                &rec,
                 &mut stats,
                 None,
             )
             .expect("deadline-free step cannot fail");
-            continue;
-        }
-        // ---- ghost exchange ------------------------------------------
-        let t0 = Instant::now();
-        let (_, stall) =
-            exchange_ghosts(&mut comm, view, &mut blocks, &index_of, &mut ctx, t, None)
-                .expect("deadline-free exchange cannot fail");
-        tm.comm += t0.elapsed().as_secs_f64();
-        tm.stall += stall;
+        } else {
+            // ---- ghost exchange ---------------------------------------
+            let _ =
+                exchange_ghosts(&mut comm, view, &mut blocks, &index_of, &mut ctx, t, None, &rec)
+                    .expect("deadline-free exchange cannot fail");
 
-        // ---- boundary sweep -------------------------------------------
-        let t0 = Instant::now();
-        for_each_block(&mut blocks, threads_per_rank, |b| b.apply_boundaries());
-        tm.boundary += t0.elapsed().as_secs_f64();
+            // ---- boundary sweep ---------------------------------------
+            {
+                let _b = rec.span(SpanKind::Boundary);
+                for_each_block(&mut blocks, threads_per_rank, |b| b.apply_boundaries());
+            }
 
-        // ---- stream-collide -------------------------------------------
-        let t0 = Instant::now();
-        let step_stats: Vec<SweepStats> =
-            map_each_block(&mut blocks, threads_per_rank, move |b| b.stream_collide(rel));
-        tm.kernel += t0.elapsed().as_secs_f64();
-        for s in step_stats {
-            stats.merge(s);
+            // ---- stream-collide ---------------------------------------
+            let kernel = rec.span(SpanKind::Kernel);
+            let step_stats: Vec<SweepStats> =
+                map_each_block(&mut blocks, threads_per_rank, move |b| b.stream_collide(rel));
+            drop(kernel);
+            for s in step_stats {
+                stats.merge(s);
+            }
         }
+        rec.metrics().observe(M_STEP_SECONDS, step_span.finish());
     }
 
     let probe_out = locate_probes(scenario, view, &blocks, probes);
     let pdfs = if cfg.collect_pdfs { dump_pdfs(view, &blocks) } else { Vec::new() };
     let mass_final: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
     let has_nan = blocks.iter().any(BlockSim::has_nan);
+    let f = fold_obs(rec, &comm);
     RankResult {
         rank,
         num_blocks: blocks.len(),
         stats,
-        kernel_time: tm.kernel,
-        comm_time: tm.comm,
-        boundary_time: tm.boundary,
-        overlap_hidden: tm.overlap_hidden,
-        ghost_stall_time: tm.stall,
+        kernel_time: f.kernel,
+        comm_time: f.comm,
+        boundary_time: f.boundary,
+        overlap_hidden: f.overlap_hidden,
+        ghost_stall_time: f.stall,
         mass_initial,
         mass_final,
         probes: probe_out,
         pdfs,
         has_nan,
+        wall_time: f.wall,
+        obs: f.obs,
         rebalance: None,
     }
 }
@@ -535,12 +649,12 @@ pub(crate) fn overlapped_step(
     step: u64,
     rel: Relaxation,
     threads: usize,
-    tm: &mut Timers,
+    rec: &Recorder,
     stats: &mut SweepStats,
     timeout: Option<Duration>,
 ) -> Result<(), trillium_comm::CommError> {
     // ---- post sends ---------------------------------------------------
-    let t0 = Instant::now();
+    let pack = rec.span(SpanKind::GhostPack);
     ctx.begin_step(blocks.len());
     for (bi, lb) in view.blocks.iter().enumerate() {
         for (li, link) in lb.links.iter().enumerate() {
@@ -576,23 +690,24 @@ pub(crate) fn overlapped_step(
         unpack_face_with::<D3Q19, _>(&mut blocks[bi].src, d, ctx.table.qs_reversed(d), &buf);
         ctx.recycle(buf);
     }
-    tm.comm += t0.elapsed().as_secs_f64();
+    pack.finish();
     let in_flight = !ctx.pairs.is_empty();
 
     // ---- overlap window: interior prep + interior sweeps ---------------
-    let t_hide = Instant::now();
-    let t0 = Instant::now();
-    for_each_block(blocks, threads, |b| b.apply_boundaries_interior());
-    tm.boundary += t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
+    let t_hide = rec.clock();
+    {
+        let _b = rec.span(SpanKind::Boundary);
+        for_each_block(blocks, threads, |b| b.apply_boundaries_interior());
+    }
+    let kernel = rec.span(SpanKind::KernelInterior);
     let interior: Vec<SweepStats> =
         map_each_block(blocks, threads, move |b| b.stream_collide_interior(rel));
-    tm.kernel += t0.elapsed().as_secs_f64();
+    drop(kernel);
     for (bi, s) in interior.iter().enumerate() {
         ctx.seconds[bi] = s.seconds;
     }
     if in_flight {
-        tm.overlap_hidden += t_hide.elapsed().as_secs_f64();
+        rec.metrics().acc(M_OVERLAP_HIDDEN, rec.clock() - t_hide);
     }
 
     // Blocks with no outstanding remote messages (ghosts already complete
@@ -600,21 +715,21 @@ pub(crate) fn overlapped_step(
     // overlap window of the other blocks' messages.
     for bi in 0..blocks.len() {
         if ctx.outstanding[bi] == 0 {
-            let hidden = finish_shell(&mut blocks[bi], bi, rel, ctx, tm);
+            let hidden = finish_shell(&mut blocks[bi], bi, rel, ctx, rec);
             if in_flight {
-                tm.overlap_hidden += hidden;
+                rec.metrics().acc(M_OVERLAP_HIDDEN, hidden);
             }
         }
     }
 
     // ---- drain: arrival order, finish shells as blocks complete --------
     while !ctx.pairs.is_empty() {
-        let t0 = Instant::now();
         // Blocking here is *not* an exposed stall: every interior is
         // already swept and every block with a complete ghost layer has
         // finished its shell, so no runnable local work remains. The
         // wait is neighbor imbalance and lands in `comm_time` (see
         // [`RankResult::ghost_stall_time`]).
+        let drain = rec.span(SpanKind::GhostDrain);
         let (i, data) = match comm.try_recv_any(&ctx.pairs) {
             Some(hit) => hit,
             None => match timeout {
@@ -627,12 +742,12 @@ pub(crate) fn overlapped_step(
         ctx.meta.swap_remove(i);
         unpack_face_with::<D3Q19, _>(&mut blocks[bi].src, d, ctx.table.qs_reversed(d), &data);
         ctx.recycle(data);
-        tm.comm += t0.elapsed().as_secs_f64();
+        drain.finish();
         ctx.outstanding[bi] -= 1;
         if ctx.outstanding[bi] == 0 {
-            let hidden = finish_shell(&mut blocks[bi], bi, rel, ctx, tm);
+            let hidden = finish_shell(&mut blocks[bi], bi, rel, ctx, rec);
             if !ctx.pairs.is_empty() {
-                tm.overlap_hidden += hidden;
+                rec.metrics().acc(M_OVERLAP_HIDDEN, hidden);
             }
         }
     }
@@ -656,17 +771,16 @@ fn finish_shell(
     bi: usize,
     rel: Relaxation,
     ctx: &mut GhostCtx,
-    tm: &mut Timers,
+    rec: &Recorder,
 ) -> f64 {
-    let t_all = Instant::now();
-    let t0 = Instant::now();
+    let b = rec.span(SpanKind::Boundary);
     block.apply_boundaries_ghost();
-    tm.boundary += t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
+    let tb = b.finish();
+    let k = rec.span(SpanKind::KernelShell);
     let s = block.stream_collide_shell(rel);
-    tm.kernel += t0.elapsed().as_secs_f64();
+    let tk = k.finish();
     ctx.seconds[bi] += s.seconds;
-    t_all.elapsed().as_secs_f64()
+    tb + tk
 }
 
 /// Evaluates the probes this rank owns (global cell → velocity).
@@ -709,6 +823,7 @@ pub fn run_distributed_rebalanced(
 ) -> RunResult {
     let forest = scenario.make_forest(num_procs);
     let views = distribute(&forest);
+    let epoch = Instant::now();
     let results = World::run(num_procs, |comm| {
         let rank = comm.rank() as usize;
         rank_loop_rebalanced(
@@ -719,11 +834,13 @@ pub fn run_distributed_rebalanced(
             threads_per_rank,
             steps,
             cfg,
+            epoch,
         )
     });
     RunResult { steps, ranks: results }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rank_loop_rebalanced(
     mut comm: Communicator,
     mut forest: SetupForest,
@@ -732,19 +849,17 @@ fn rank_loop_rebalanced(
     threads_per_rank: usize,
     steps: u64,
     cfg: RebalanceConfig,
+    epoch: Instant,
 ) -> RankResult {
     let rank = comm.rank();
     let size = comm.size();
+    let rec = Recorder::with_epoch(rank, cfg.obs, epoch);
     let mut blocks: Vec<BlockSim> = view.blocks.iter().map(|lb| scenario.build_block(lb)).collect();
     let mut index_of: HashMap<BlockId, usize> =
         view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
 
     let mass_initial: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
     let mut stats = SweepStats::default();
-    let mut kernel_time = 0.0;
-    let mut comm_time = 0.0;
-    let mut boundary_time = 0.0;
-    let mut stall_time = 0.0;
 
     let mut model = EwmaCostModel::new(cfg.ewma_alpha);
     let mut detector =
@@ -753,23 +868,23 @@ fn rank_loop_rebalanced(
     let mut ctx = GhostCtx::new();
 
     for t in 0..steps {
-        let t0 = Instant::now();
-        let (ghost_work, ghost_stall) =
-            exchange_ghosts(&mut comm, &view, &mut blocks, &index_of, &mut ctx, t, None)
+        rec.set_step(t);
+        let step_span = rec.span(SpanKind::Step);
+        let (ghost_work, _ghost_stall) =
+            exchange_ghosts(&mut comm, &view, &mut blocks, &index_of, &mut ctx, t, None, &rec)
                 .expect("deadline-free exchange cannot fail");
-        comm_time += t0.elapsed().as_secs_f64();
-        stall_time += ghost_stall;
         report.comm_work_time += ghost_work;
 
-        let t0 = Instant::now();
-        for_each_block(&mut blocks, threads_per_rank, |b| b.apply_boundaries());
-        boundary_time += t0.elapsed().as_secs_f64();
+        {
+            let _b = rec.span(SpanKind::Boundary);
+            for_each_block(&mut blocks, threads_per_rank, |b| b.apply_boundaries());
+        }
 
-        let t0 = Instant::now();
+        let kernel = rec.span(SpanKind::Kernel);
         let rel = scenario.relaxation;
         let step_stats: Vec<SweepStats> =
             map_each_block(&mut blocks, threads_per_rank, move |b| b.stream_collide(rel));
-        kernel_time += t0.elapsed().as_secs_f64();
+        drop(kernel);
 
         // Feed the cost model: each block's measured sweep time plus an
         // equal share of this step's ghost-exchange *work* (not the time
@@ -782,7 +897,7 @@ fn rank_loop_rebalanced(
 
         // ---- epoch boundary: measure, decide, maybe migrate -----------
         if (t + 1) % cfg.every_n_steps.max(1) == 0 {
-            let t0 = Instant::now();
+            let epoch_span = rec.span(SpanKind::RebalanceEpoch);
             let (_, max, sum) = comm.allreduce_minmaxsum_f64(model.total());
             let ratio = if sum > 0.0 { max * size as f64 / sum } else { 1.0 };
             let mut migrated = 0u32;
@@ -806,7 +921,13 @@ fn rank_loop_rebalanced(
                 let gathered = comm.allgather_bytes(encode_records(&records));
                 let all: Vec<BlockRecord> =
                     gathered.iter().flat_map(|b| decode_records(b)).collect();
-                let plan = plan_rebalance(all, size, &cfg.plan);
+                let mut plan = plan_rebalance(all, size, &cfg.plan);
+                // Drop structurally invalid migrations instead of letting
+                // the transfer protocol panic on them. The plan is computed
+                // from identical input on every rank, so the dropped set is
+                // identical too and the protocol stays symmetric.
+                let dropped = plan.sanitize();
+                rec.metrics().add("rebalance.plan_skipped", dropped.len() as u64);
                 if !plan.migrations.is_empty() {
                     migrated = plan.migrations.len() as u32;
                     for m in &plan.migrations {
@@ -822,17 +943,23 @@ fn rank_loop_rebalanced(
                         &mut blocks,
                         &mut index_of,
                         scenario.boundary,
+                        &rec,
                     );
                     report.migrations_out += ms.sent;
                     report.migrations_in += ms.received;
                     report.rebalances += 1;
+                    rec.metrics().add("rebalance.migrations_out", ms.sent as u64);
+                    rec.metrics().add("rebalance.migrations_in", ms.received as u64);
+                    rec.metrics().add("rebalance.rounds", 1);
                 }
             }
-            let epoch_elapsed = t0.elapsed().as_secs_f64();
-            comm_time += epoch_elapsed;
-            report.epoch_time += epoch_elapsed;
+            // Epoch work (allreduce, gather, plan, migration) is its own
+            // span — it is coordination overhead, not ghost-exchange time,
+            // so it no longer inflates `comm_time`.
+            report.epoch_time += epoch_span.finish();
             report.epochs.push(EpochReport { step: t + 1, ratio, migrated });
         }
+        rec.metrics().observe(M_STEP_SECONDS, step_span.finish());
     }
 
     report.final_costs = view
@@ -841,23 +968,29 @@ fn rank_loop_rebalanced(
         .enumerate()
         .map(|(bi, lb)| (lb.id.pack(), model.cost(lb.id.pack()), blocks[bi].fluid_cells() as u64))
         .collect();
+    for (id, cost, _) in &report.final_costs {
+        rec.metrics().gauge(&format!("rebalance.block_cost.{id}"), *cost);
+    }
 
     let mass_final: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
     let has_nan = blocks.iter().any(BlockSim::has_nan);
+    let f = fold_obs(rec, &comm);
     RankResult {
         rank,
         num_blocks: blocks.len(),
         stats,
-        kernel_time,
-        comm_time,
-        boundary_time,
-        overlap_hidden: 0.0,
-        ghost_stall_time: stall_time,
+        kernel_time: f.kernel,
+        comm_time: f.comm,
+        boundary_time: f.boundary,
+        overlap_hidden: f.overlap_hidden,
+        ghost_stall_time: f.stall,
         mass_initial,
         mass_final,
         probes: Vec::new(),
         pdfs: Vec::new(),
         has_nan,
+        wall_time: f.wall,
+        obs: f.obs,
         rebalance: Some(report),
     }
 }
@@ -944,12 +1077,13 @@ pub(crate) fn exchange_ghosts(
     ctx: &mut GhostCtx,
     step: u64,
     timeout: Option<Duration>,
+    rec: &Recorder,
 ) -> Result<(f64, f64), trillium_comm::CommError> {
     // Phase 1: pack everything. Local transfers are buffered the same way
     // as remote ones; packs read interior slabs only, unpacks write ghost
     // slabs only, so a two-phase scheme is race-free and identical in
     // result to any interleaving.
-    let work_t0 = Instant::now();
+    let pack = rec.span(SpanKind::GhostPack);
     ctx.begin_step(blocks.len());
     for (bi, lb) in view.blocks.iter().enumerate() {
         for (li, link) in lb.links.iter().enumerate() {
@@ -987,26 +1121,32 @@ pub(crate) fn exchange_ghosts(
         unpack_face_with::<D3Q19, _>(&mut blocks[bi].src, d, ctx.table.qs_reversed(d), &buf);
         ctx.recycle(buf);
     }
-    let work = work_t0.elapsed().as_secs_f64();
+    let work = pack.finish();
     let mut stall = 0.0;
+    // The drain span covers unpacking; blocked waits are carved out into
+    // disjoint `Stall` spans so `comm_time` never includes exposed stall.
+    let mut drain = rec.span(SpanKind::GhostDrain);
     for i in 0..ctx.pairs.len() {
         let (from, tag) = ctx.pairs[i];
         let (bi, d) = ctx.meta[i];
         let data = match comm.try_recv(from, tag) {
             Some(data) => data,
             None => {
-                let t_stall = Instant::now();
-                let data = match timeout {
-                    None => comm.recv(from, tag),
-                    Some(d) => comm.recv_timeout(from, tag, d)?,
+                let sg = rec.span(SpanKind::Stall);
+                let res = match timeout {
+                    None => Ok(comm.recv(from, tag)),
+                    Some(dl) => comm.recv_timeout(from, tag, dl),
                 };
-                stall += t_stall.elapsed().as_secs_f64();
-                data
+                let s = sg.finish();
+                drain.exclude(s);
+                stall += s;
+                res?
             }
         };
         unpack_face_with::<D3Q19, _>(&mut blocks[bi].src, d, ctx.table.qs_reversed(d), &data);
         ctx.recycle(data);
     }
+    drain.finish();
     Ok((work, stall))
 }
 
@@ -1169,7 +1309,7 @@ mod tests {
     fn overlap_matches_sync_bitwise() {
         let s = Scenario::lid_driven_cavity(16, 2, 0.06, 0.08);
         let cfg_sync = DriverConfig { collect_pdfs: true, ..Default::default() };
-        let cfg_over = DriverConfig { overlap: true, collect_pdfs: true };
+        let cfg_over = DriverConfig { overlap: true, collect_pdfs: true, ..Default::default() };
         let sync = run_distributed_with(&s, 4, 1, 30, &[], cfg_sync);
         for threads in [1usize, 2] {
             let over = run_distributed_with(&s, 4, threads, 30, &[], cfg_over);
@@ -1205,7 +1345,7 @@ mod tests {
     fn overlap_matches_sync_on_sparse_channel() {
         let s = Scenario::channel_with_obstacle([24, 8, 8], [3, 1, 1], 0.08, 0.04, 0.18);
         let cfg_sync = DriverConfig { collect_pdfs: true, ..Default::default() };
-        let cfg_over = DriverConfig { overlap: true, collect_pdfs: true };
+        let cfg_over = DriverConfig { overlap: true, collect_pdfs: true, ..Default::default() };
         let sync = run_distributed_with(&s, 3, 1, 40, &[], cfg_sync);
         let over = run_distributed_with(&s, 3, 1, 40, &[], cfg_over);
         assert!(!sync.has_nan() && !over.has_nan());

@@ -65,6 +65,7 @@ pub mod prelude {
     pub use trillium_field::{CellFlags, PdfField};
     pub use trillium_kernels::BoundaryParams;
     pub use trillium_lattice::{Relaxation, UnitConverter, D3Q19, MAGIC_TRT};
+    pub use trillium_obs::{ObsConfig, RankObs, SpanKind};
 }
 
 pub use prelude::*;

@@ -16,10 +16,11 @@
 
 use crate::blocksim::BlockSim;
 use crate::checkpoint::{restore_block_full, save_block_full};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use trillium_blockforest::{distribute, BlockId, DistributedForest, SetupForest};
 use trillium_comm::Communicator;
 use trillium_kernels::BoundaryParams;
+use trillium_obs::{Recorder, SpanKind};
 use trillium_rebalance::{Migration, RebalancePlan};
 
 /// Base of the migration tag space: ghost tags are `packed_id << 5 | dir`
@@ -42,6 +43,11 @@ pub struct MigrationStats {
     pub received: u32,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Migrations naming this rank as source that were skipped because
+    /// they failed [`RebalancePlan::validate_migration`]. Every rank
+    /// validates against the same plan, so the skip set is symmetric —
+    /// no receiver waits for a transfer its sender refused.
+    pub skipped: u32,
 }
 
 /// Executes `plan` on this rank: sends away blocks it no longer owns,
@@ -53,6 +59,14 @@ pub struct MigrationStats {
 /// Every rank must call this with the same plan in the same step, like a
 /// collective. Sends are posted before any receive, so the exchange
 /// cannot deadlock regardless of the migration pattern.
+///
+/// Migrations that fail [`RebalancePlan::validate_migration`] are
+/// *skipped*, not executed (counted in [`MigrationStats::skipped`]) —
+/// and the corresponding ownership change is suppressed too, so an
+/// invalid entry in a hand-built or decoded plan degrades to a no-op
+/// instead of a panic or a stranded receiver. Validation is a pure
+/// function of the shared plan, so every rank skips the same set.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_migrations(
     comm: &mut Communicator,
     plan: &RebalancePlan,
@@ -61,29 +75,52 @@ pub fn execute_migrations(
     blocks: &mut Vec<BlockSim>,
     index_of: &mut HashMap<BlockId, usize>,
     boundary: BoundaryParams,
+    rec: &Recorder,
 ) -> MigrationStats {
+    let _mg = rec.span(SpanKind::Migration);
     let rank = comm.rank();
     let mut stats = MigrationStats::default();
     let old_ids: Vec<u64> = view.blocks.iter().map(|b| b.id.pack()).collect();
+    let valid: HashSet<u64> = plan
+        .migrations
+        .iter()
+        .filter(|m| plan.validate_migration(m).is_ok())
+        .map(|m| m.id)
+        .collect();
 
     // Phase 1: post all outgoing blocks.
     let mut outgoing: Vec<usize> = Vec::new();
     for m in &plan.migrations {
-        if m.from == rank {
-            let bi = index_of[&BlockId::unpack(m.id)];
-            let payload = save_block_full(&blocks[bi]);
-            stats.sent += 1;
-            stats.bytes_sent += payload.len() as u64;
-            comm.send(m.to, migration_tag(m.id), payload);
-            outgoing.push(bi);
+        if m.from != rank {
+            continue;
         }
+        if !valid.contains(&m.id) {
+            stats.skipped += 1;
+            continue;
+        }
+        let bi = *index_of
+            .get(&BlockId::unpack(m.id))
+            .expect("valid migration names this rank as owner of a block it does not hold");
+        let payload = save_block_full(&blocks[bi]);
+        stats.sent += 1;
+        stats.bytes_sent += payload.len() as u64;
+        comm.send(m.to, migration_tag(m.id), payload);
+        outgoing.push(bi);
     }
 
     // Phase 2: apply the new assignment to the global forest and rebuild
     // this rank's view. `distribute` recomputes neighbor links, so ghost
     // messages for the next step go to the right ranks automatically.
-    let new_owner: HashMap<u64, u32> =
-        plan.records.iter().zip(&plan.assignment).map(|(r, &a)| (r.id, a)).collect();
+    // Ownership changes whose transfer was skipped are suppressed: the
+    // block stays with its current owner and the view stays consistent
+    // with where the state actually lives.
+    let new_owner: HashMap<u64, u32> = plan
+        .records
+        .iter()
+        .zip(&plan.assignment)
+        .filter(|(r, &a)| a == r.owner || valid.contains(&r.id))
+        .map(|(r, &a)| (r.id, a))
+        .collect();
     for b in &mut forest.blocks {
         if let Some(&r) = new_owner.get(&b.id.pack()) {
             b.rank = r;
@@ -94,8 +131,12 @@ pub fn execute_migrations(
 
     // Phase 3: rebuild the local block vector in the new view's order,
     // reusing surviving blocks and receiving migrated ones.
-    let incoming: HashMap<u64, &Migration> =
-        plan.migrations.iter().filter(|m| m.to == rank).map(|m| (m.id, m)).collect();
+    let incoming: HashMap<u64, &Migration> = plan
+        .migrations
+        .iter()
+        .filter(|m| m.to == rank && valid.contains(&m.id))
+        .map(|m| (m.id, m))
+        .collect();
     let mut surviving: HashMap<u64, BlockSim> = blocks
         .drain(..)
         .enumerate()

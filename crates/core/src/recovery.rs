@@ -33,8 +33,8 @@
 use crate::blocksim::BlockSim;
 use crate::checkpoint::{restore_forest, save_forest};
 use crate::driver::{
-    dump_pdfs, exchange_ghosts, for_each_block, locate_probes, map_each_block, overlapped_step,
-    DriverConfig, GhostCtx, RankResult, RunResult, Timers,
+    dump_pdfs, exchange_ghosts, fold_obs, for_each_block, locate_probes, map_each_block,
+    overlapped_step, DriverConfig, GhostCtx, RankResult, RunResult, M_STEP_SECONDS,
 };
 use crate::scenario::Scenario;
 use std::collections::HashMap;
@@ -42,6 +42,7 @@ use std::time::{Duration, Instant};
 use trillium_blockforest::{distribute, BlockId, DistributedForest};
 use trillium_comm::{Communicator, FaultConfig, FaultEvent, World};
 use trillium_kernels::SweepStats;
+use trillium_obs::{Recorder, SpanKind};
 
 /// Configuration of the resilient schedule.
 #[derive(Clone, Debug)]
@@ -153,9 +154,10 @@ pub fn run_distributed_resilient(
 ) -> ResilientRunResult {
     let forest = scenario.make_forest(num_procs);
     let views = distribute(&forest);
+    let epoch = Instant::now();
     let f = |comm: Communicator| {
         let view = &views[comm.rank() as usize];
-        resilient_rank_loop(comm, view, scenario, threads_per_rank, steps, probes, cfg)
+        resilient_rank_loop(comm, view, scenario, threads_per_rank, steps, probes, cfg, epoch)
     };
     let results = match &cfg.fault {
         Some(fc) => World::run_with_faults(num_procs, fc.clone(), f),
@@ -174,8 +176,10 @@ fn resilient_rank_loop(
     steps: u64,
     probes: &[[i64; 3]],
     rc: &ResilienceConfig,
+    epoch: Instant,
 ) -> (RankResult, RankResilience) {
     let rank = comm.rank();
+    let rec = Recorder::with_epoch(rank, rc.driver.obs, epoch);
     let mut blocks: Vec<BlockSim> = view.blocks.iter().map(|lb| scenario.build_block(lb)).collect();
     let index_of: HashMap<BlockId, usize> =
         view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
@@ -183,7 +187,6 @@ fn resilient_rank_loop(
 
     let mass_initial: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
     let mut stats = SweepStats::default();
-    let mut tm = Timers::default();
     let mut ctx = GhostCtx::new();
     let rel = scenario.relaxation;
     let k = rc.checkpoint_every.max(1);
@@ -224,6 +227,9 @@ fn resilient_rank_loop(
         // failure detector) and the victim falls through to recovery —
         // modeling the replacement process restarted from the pool.
         if need_recovery || comm.crash_due(t) {
+            // The whole rollback (barrier, restore, bookkeeping) is one
+            // `Recovery` span; the guard closes at the `continue`.
+            let _rg = rec.span(SpanKind::Recovery);
             need_recovery = false;
             rep.recoveries += 1;
             assert!(
@@ -254,6 +260,8 @@ fn resilient_rank_loop(
         // One time step under the wrapped schedule, every receive
         // bounded by the step timeout. An error leaves the blocks in a
         // torn mid-step state — discarded by the rollback.
+        rec.set_step(t);
+        let step_span = rec.span(SpanKind::Step);
         let step_result = if rc.driver.overlap {
             overlapped_step(
                 &mut comm,
@@ -264,14 +272,13 @@ fn resilient_rank_loop(
                 t,
                 rel,
                 threads,
-                &mut tm,
+                &rec,
                 &mut stats,
                 Some(rc.step_timeout),
             )
         } else {
             (|| {
-                let t0 = Instant::now();
-                let (_, stall) = exchange_ghosts(
+                let _ = exchange_ghosts(
                     &mut comm,
                     view,
                     &mut blocks,
@@ -279,22 +286,25 @@ fn resilient_rank_loop(
                     &mut ctx,
                     t,
                     Some(rc.step_timeout),
+                    &rec,
                 )?;
-                tm.comm += t0.elapsed().as_secs_f64();
-                tm.stall += stall;
-                let t0 = Instant::now();
-                for_each_block(&mut blocks, threads, |b| b.apply_boundaries());
-                tm.boundary += t0.elapsed().as_secs_f64();
-                let t0 = Instant::now();
+                {
+                    let _b = rec.span(SpanKind::Boundary);
+                    for_each_block(&mut blocks, threads, |b| b.apply_boundaries());
+                }
+                let kernel = rec.span(SpanKind::Kernel);
                 let step_stats: Vec<SweepStats> =
                     map_each_block(&mut blocks, threads, move |b| b.stream_collide(rel));
-                tm.kernel += t0.elapsed().as_secs_f64();
+                drop(kernel);
                 for s in step_stats {
                     stats.merge(s);
                 }
                 Ok(())
             })()
         };
+        // Replayed (failed) steps still spend real time; record them in
+        // the step histogram like any other.
+        rec.metrics().observe(M_STEP_SECONDS, step_span.finish());
         if step_result.is_err() {
             // Tell the cohort (peers see their next timeout classified
             // as Interrupted) and roll back.
@@ -311,6 +321,7 @@ fn resilient_rank_loop(
         // rolls back, replays, and re-agrees at `t == steps` — so a rank
         // only exits once the whole cohort reached the end cleanly.
         if t % k == 0 || t == steps {
+            let _cg = rec.span(SpanKind::Checkpoint);
             match comm.agree_all(true, rc.step_timeout) {
                 Ok(true) => {
                     if t % k == 0 && t < steps {
@@ -334,21 +345,38 @@ fn resilient_rank_loop(
     let mass_final: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
     let has_nan = blocks.iter().any(BlockSim::has_nan);
     rep.fault_events = comm.fault_events();
+    {
+        let m = rec.metrics();
+        for e in &rep.fault_events {
+            match e {
+                FaultEvent::Dropped { .. } => m.add("fault.drops", 1),
+                FaultEvent::Duplicated { .. } => m.add("fault.dups", 1),
+                FaultEvent::Delayed { .. } => m.add("fault.delays", 1),
+                FaultEvent::Crashed { .. } => m.add("fault.crashes", 1),
+            }
+        }
+        m.add("resilience.checkpoints", u64::from(rep.checkpoints));
+        m.add("resilience.rollbacks", u64::from(rep.recoveries));
+        m.add("resilience.replayed_steps", rep.replayed_steps);
+    }
+    let f = fold_obs(rec, &comm);
     (
         RankResult {
             rank,
             num_blocks: blocks.len(),
             stats,
-            kernel_time: tm.kernel,
-            comm_time: tm.comm,
-            boundary_time: tm.boundary,
-            overlap_hidden: tm.overlap_hidden,
-            ghost_stall_time: tm.stall,
+            kernel_time: f.kernel,
+            comm_time: f.comm,
+            boundary_time: f.boundary,
+            overlap_hidden: f.overlap_hidden,
+            ghost_stall_time: f.stall,
             mass_initial,
             mass_final,
             probes: probe_out,
             pdfs,
             has_nan,
+            wall_time: f.wall,
+            obs: f.obs,
             rebalance: None,
         },
         rep,

@@ -1,0 +1,370 @@
+//! Typed metrics: counters, accumulators, gauges and log₂ histograms.
+//!
+//! Keys are plain `&str` names (dotted, e.g. `comm.messages_sent`); the
+//! registry stores them in first-use order and looks them up by linear
+//! scan — registries hold a handful of entries and the hot-path cost is
+//! a few string compares, no hashing and no allocation after the first
+//! use of each name.
+
+use serde_json::{json, Value};
+use std::cell::RefCell;
+
+/// Histogram bucket count: log₂ buckets over microseconds, so bucket
+/// `i` holds observations in `(2^(i-1), 2^i]` µs — 32 buckets span
+/// sub-µs to ~35 minutes.
+const BUCKETS: usize = 32;
+
+#[derive(Clone, Debug)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: 0.0, buckets: [0; BUCKETS] }
+    }
+
+    fn observe(&mut self, secs: f64) {
+        self.count += 1;
+        self.sum += secs;
+        self.min = self.min.min(secs);
+        self.max = self.max.max(secs);
+        self.buckets[bucket_of(secs)] += 1;
+    }
+}
+
+fn bucket_of(secs: f64) -> usize {
+    let us = secs * 1e6;
+    if us <= 1.0 {
+        0
+    } else {
+        (us.log2().ceil() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Upper bound (seconds) of bucket `i`.
+fn bucket_bound(i: usize) -> f64 {
+    (1u64 << i) as f64 * 1e-6
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<(String, u64)>,
+    fcounters: Vec<(String, f64)>,
+    gauges: Vec<(String, f64)>,
+    hists: Vec<(String, Histogram)>,
+}
+
+/// Interior-mutable metrics registry; one per [`crate::Recorder`].
+pub struct MetricsRegistry {
+    enabled: bool,
+    inner: RefCell<Inner>,
+}
+
+fn upsert<T, F: FnOnce() -> T>(v: &mut Vec<(String, T)>, name: &str, mk: F) -> usize {
+    match v.iter().position(|(n, _)| n == name) {
+        Some(i) => i,
+        None => {
+            v.push((name.to_string(), mk()));
+            v.len() - 1
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry; `enabled == false` turns every method into a no-op.
+    pub fn new(enabled: bool) -> Self {
+        MetricsRegistry { enabled, inner: RefCell::new(Inner::default()) }
+    }
+
+    /// Adds `delta` to the `u64` counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        let i = upsert(&mut inner.counters, name, || 0);
+        inner.counters[i].1 += delta;
+    }
+
+    /// Adds `delta` seconds (or any `f64`) to the accumulator `name`.
+    pub fn acc(&self, name: &str, delta: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        let i = upsert(&mut inner.fcounters, name, || 0.0);
+        inner.fcounters[i].1 += delta;
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        let i = upsert(&mut inner.gauges, name, || 0.0);
+        inner.gauges[i].1 = value;
+    }
+
+    /// Records one observation (seconds) into histogram `name`.
+    pub fn observe(&self, name: &str, secs: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        let i = upsert(&mut inner.hists, name, Histogram::new);
+        inner.hists[i].1.observe(secs);
+    }
+
+    /// Copies the current state into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.borrow();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            fcounters: inner.fcounters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .hists
+                .iter()
+                .map(|(n, h)| {
+                    (
+                        n.clone(),
+                        HistogramSnapshot {
+                            count: h.count,
+                            sum: h.sum,
+                            min: if h.count == 0 { 0.0 } else { h.min },
+                            max: h.max,
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &c)| c > 0)
+                                .map(|(i, &c)| (bucket_bound(i), c))
+                                .collect(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Immutable histogram state: summary moments plus the non-empty log₂
+/// buckets as `(upper_bound_seconds, count)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (seconds).
+    pub sum: f64,
+    /// Smallest observation (0.0 when empty).
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Non-empty buckets, ascending by bound.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Immutable registry state, produced by [`MetricsRegistry::snapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `u64` counters in first-use order.
+    pub counters: Vec<(String, u64)>,
+    /// `f64` accumulators in first-use order.
+    pub fcounters: Vec<(String, f64)>,
+    /// Gauges in first-use order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms in first-use order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Accumulator value (0.0 when never touched).
+    pub fn fcounter(&self, name: &str) -> f64 {
+        self.fcounters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0.0)
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram state, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Merges `other` into `self`: counters and accumulators add,
+    /// gauges take `other`'s value, histogram moments add (buckets are
+    /// merged by bound). Used to aggregate per-rank snapshots.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (n, v) in &other.counters {
+            let i = upsert(&mut self.counters, n, || 0);
+            self.counters[i].1 += v;
+        }
+        for (n, v) in &other.fcounters {
+            let i = upsert(&mut self.fcounters, n, || 0.0);
+            self.fcounters[i].1 += v;
+        }
+        for (n, v) in &other.gauges {
+            let i = upsert(&mut self.gauges, n, || 0.0);
+            self.gauges[i].1 = *v;
+        }
+        for (n, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(sn, _)| sn == n) {
+                None => self.histograms.push((n.clone(), h.clone())),
+                Some((_, mine)) => {
+                    mine.sum += h.sum;
+                    mine.max = mine.max.max(h.max);
+                    mine.min = if mine.count == 0 {
+                        h.min
+                    } else if h.count == 0 {
+                        mine.min
+                    } else {
+                        mine.min.min(h.min)
+                    };
+                    mine.count += h.count;
+                    for &(bound, c) in &h.buckets {
+                        match mine.buckets.iter_mut().find(|(b, _)| *b == bound) {
+                            Some((_, mc)) => *mc += c,
+                            None => mine.buckets.push((bound, c)),
+                        }
+                    }
+                    mine.buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+                }
+            }
+        }
+    }
+
+    /// Flattens the snapshot into a JSON object: counters and
+    /// accumulators keyed by name, histograms as
+    /// `{count, sum, min, max, mean}` summaries.
+    pub fn to_json(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        for (n, v) in &self.counters {
+            fields.push((n.clone(), json!(*v)));
+        }
+        for (n, v) in &self.fcounters {
+            fields.push((n.clone(), json!(*v)));
+        }
+        for (n, v) in &self.gauges {
+            fields.push((n.clone(), json!(*v)));
+        }
+        for (n, h) in &self.histograms {
+            fields.push((
+                n.clone(),
+                json!({
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean(),
+                }),
+            ));
+        }
+        Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let m = MetricsRegistry::new(true);
+        m.add("a", 2);
+        m.add("a", 3);
+        m.acc("t", 0.5);
+        m.acc("t", 0.25);
+        m.gauge("g", 1.0);
+        m.gauge("g", 4.0);
+        let s = m.snapshot();
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.fcounter("t"), 0.75);
+        assert_eq!(s.gauge("g"), Some(4.0));
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_microseconds() {
+        let m = MetricsRegistry::new(true);
+        // 0.5 µs → bucket 0 (≤1 µs); 3 µs → (2,4] µs; 1 ms → (512,1024] µs.
+        m.observe("h", 0.5e-6);
+        m.observe("h", 3e-6);
+        m.observe("h", 1e-3);
+        let s = m.snapshot();
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert!((h.sum - (0.5e-6 + 3e-6 + 1e-3)).abs() < 1e-12);
+        assert_eq!(h.buckets.len(), 3);
+        assert_eq!(h.buckets[0], (1e-6, 1));
+        assert_eq!(h.buckets[1], (4e-6, 1));
+        assert_eq!(h.buckets[2], ((1u64 << 10) as f64 * 1e-6, 1));
+        assert_eq!(h.min, 0.5e-6);
+        assert_eq!(h.max, 1e-3);
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let m = MetricsRegistry::new(false);
+        m.add("a", 1);
+        m.acc("b", 1.0);
+        m.gauge("c", 1.0);
+        m.observe("d", 1.0);
+        let s = m.snapshot();
+        assert!(s.counters.is_empty() && s.fcounters.is_empty());
+        assert!(s.gauges.is_empty() && s.histograms.is_empty());
+    }
+
+    #[test]
+    fn merge_aggregates_ranks() {
+        let a = MetricsRegistry::new(true);
+        a.add("msgs", 3);
+        a.observe("step", 0.010);
+        let b = MetricsRegistry::new(true);
+        b.add("msgs", 4);
+        b.observe("step", 0.030);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.counter("msgs"), 7);
+        let h = s.histogram("step").unwrap();
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 0.040).abs() < 1e-12);
+        assert_eq!(h.min, 0.010);
+        assert_eq!(h.max, 0.030);
+    }
+
+    #[test]
+    fn snapshot_to_json_is_flat() {
+        let m = MetricsRegistry::new(true);
+        m.add("n", 2);
+        m.observe("h", 1e-3);
+        let v = m.snapshot().to_json();
+        let text = v.to_string();
+        assert!(text.contains("\"n\":2"), "{text}");
+        assert!(text.contains("\"count\":1"), "{text}");
+    }
+}

@@ -1,0 +1,437 @@
+//! RAII timing spans with per-rank accumulation.
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::trace::TraceEvent;
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+/// What a span measures. One accumulator per kind per rank; the kind's
+/// [`SpanKind::name`] is the slice label in an exported trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One whole time step (any schedule). Encloses the kinds below.
+    Step,
+    /// Fused stream–collide sweep (synchronous schedule).
+    Kernel,
+    /// Interior-core sweep of the overlapped schedule.
+    KernelInterior,
+    /// Ghost-shell sweep of the overlapped schedule.
+    KernelShell,
+    /// Boundary-condition sweeps.
+    Boundary,
+    /// Ghost-exchange *work*: packing, sending, local unpacking.
+    GhostPack,
+    /// Ghost-message drain: receive + unpack of remote slabs. Blocked
+    /// stall is carved out via [`Span::exclude`], so this is disjoint
+    /// from [`SpanKind::Stall`].
+    GhostDrain,
+    /// Blocked in a ghost receive while runnable local compute was still
+    /// pending — zero by construction for the overlapped schedule.
+    Stall,
+    /// Coordinated checkpoint: agreement plus snapshot.
+    Checkpoint,
+    /// Rollback recovery: the recovery barrier plus state restore.
+    Recovery,
+    /// Rebalance epoch boundary: load all-reduce, planning, migration.
+    RebalanceEpoch,
+    /// Block migration transfer inside a rebalance round.
+    Migration,
+}
+
+impl SpanKind {
+    /// Every kind, in declaration order (== accumulator order).
+    pub const ALL: [SpanKind; 12] = [
+        SpanKind::Step,
+        SpanKind::Kernel,
+        SpanKind::KernelInterior,
+        SpanKind::KernelShell,
+        SpanKind::Boundary,
+        SpanKind::GhostPack,
+        SpanKind::GhostDrain,
+        SpanKind::Stall,
+        SpanKind::Checkpoint,
+        SpanKind::Recovery,
+        SpanKind::RebalanceEpoch,
+        SpanKind::Migration,
+    ];
+
+    /// Number of kinds.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable label used in traces and metric dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Step => "step",
+            SpanKind::Kernel => "kernel",
+            SpanKind::KernelInterior => "kernel_interior",
+            SpanKind::KernelShell => "kernel_shell",
+            SpanKind::Boundary => "boundary",
+            SpanKind::GhostPack => "ghost_pack",
+            SpanKind::GhostDrain => "ghost_drain",
+            SpanKind::Stall => "stall",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Recovery => "recovery",
+            SpanKind::RebalanceEpoch => "rebalance_epoch",
+            SpanKind::Migration => "migration",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Runtime toggle for the observability layer.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Accumulate per-kind span totals and metrics (the numbers behind
+    /// `RankResult` timing fields). On by default; the per-span cost is
+    /// two monotonic clock reads.
+    pub timing: bool,
+    /// Additionally capture one [`TraceEvent`] per span for chrome-trace
+    /// export. Off by default (events allocate).
+    pub events: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { timing: true, events: false }
+    }
+}
+
+impl ObsConfig {
+    /// Everything off: spans are no-op guards, metrics early-return.
+    pub fn off() -> Self {
+        ObsConfig { timing: false, events: false }
+    }
+
+    /// Timing plus full event capture (chrome-trace export).
+    pub fn trace() -> Self {
+        ObsConfig { timing: true, events: true }
+    }
+
+    /// True when the recorder does anything at all.
+    pub fn enabled(&self) -> bool {
+        self.timing || self.events
+    }
+}
+
+/// Per-rank span/metric recorder. Interior-mutable so any number of
+/// live guards can share `&Recorder`; not `Sync` — each rank thread
+/// owns exactly one (thread-local accumulation without locks).
+pub struct Recorder {
+    cfg: ObsConfig,
+    rank: u32,
+    /// Common time origin of all ranks' traces (lane alignment).
+    epoch: Instant,
+    /// This recorder's creation time — the rank's wall-clock origin.
+    start: Instant,
+    step: Cell<u64>,
+    totals: [Cell<f64>; SpanKind::COUNT],
+    counts: [Cell<u64>; SpanKind::COUNT],
+    events: RefCell<Vec<TraceEvent>>,
+    metrics: MetricsRegistry,
+}
+
+impl Recorder {
+    /// A recorder whose trace epoch is its own creation time.
+    pub fn new(rank: u32, cfg: ObsConfig) -> Self {
+        let now = Instant::now();
+        Self::with_epoch(rank, cfg, now)
+    }
+
+    /// A recorder timestamping trace events relative to `epoch` —
+    /// drivers capture one `Instant` before spawning ranks so all lanes
+    /// share an origin.
+    pub fn with_epoch(rank: u32, cfg: ObsConfig, epoch: Instant) -> Self {
+        Recorder {
+            cfg,
+            rank,
+            epoch,
+            start: Instant::now(),
+            step: Cell::new(0),
+            totals: std::array::from_fn(|_| Cell::new(0.0)),
+            counts: std::array::from_fn(|_| Cell::new(0)),
+            events: RefCell::new(Vec::new()),
+            metrics: MetricsRegistry::new(cfg.timing || cfg.events),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ObsConfig {
+        self.cfg
+    }
+
+    /// Tags subsequently recorded spans with time step `t`.
+    pub fn set_step(&self, t: u64) {
+        self.step.set(t);
+    }
+
+    /// Opens a span of `kind`; the guard records on drop (or
+    /// [`Span::finish`]). No-op when the recorder is disabled.
+    pub fn span(&self, kind: SpanKind) -> Span<'_> {
+        let start = if self.cfg.enabled() { Some(Instant::now()) } else { None };
+        Span { rec: self, kind, start, excluded: 0.0 }
+    }
+
+    /// Seconds since the shared epoch (0.0 when disabled). For derived
+    /// quantities like hidden-communication time that subtract two
+    /// clock readings.
+    pub fn clock(&self) -> f64 {
+        if self.cfg.enabled() {
+            self.epoch.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall seconds since this recorder was created (0.0 when disabled).
+    pub fn wall(&self) -> f64 {
+        if self.cfg.enabled() {
+            self.start.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulated seconds for `kind` so far.
+    pub fn total(&self, kind: SpanKind) -> f64 {
+        self.totals[kind.index()].get()
+    }
+
+    /// Closed spans of `kind` so far.
+    pub fn count(&self, kind: SpanKind) -> u64 {
+        self.counts[kind.index()].get()
+    }
+
+    /// The metrics registry (counters, gauges, histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Consumes the recorder into an immutable per-rank snapshot.
+    pub fn finish(self) -> RankObs {
+        let wall = self.wall();
+        RankObs {
+            rank: self.rank,
+            totals: std::array::from_fn(|i| self.totals[i].get()),
+            counts: std::array::from_fn(|i| self.counts[i].get()),
+            wall,
+            events: self.events.into_inner(),
+            metrics: self.metrics.snapshot(),
+        }
+    }
+
+    fn record(&self, kind: SpanKind, start: Instant, elapsed: f64, excluded: f64) {
+        let attributed = (elapsed - excluded).max(0.0);
+        let i = kind.index();
+        self.totals[i].set(self.totals[i].get() + attributed);
+        self.counts[i].set(self.counts[i].get() + 1);
+        if self.cfg.events {
+            self.events.borrow_mut().push(TraceEvent {
+                name: kind.name(),
+                step: self.step.get(),
+                ts_us: start.duration_since(self.epoch).as_secs_f64() * 1e6,
+                dur_us: attributed * 1e6,
+            });
+        }
+    }
+}
+
+/// RAII span guard: measures from creation to drop, minus any
+/// [`Span::exclude`]d seconds.
+pub struct Span<'r> {
+    rec: &'r Recorder,
+    kind: SpanKind,
+    start: Option<Instant>,
+    excluded: f64,
+}
+
+impl Span<'_> {
+    /// Subtracts `secs` from this span's attributed time — used when a
+    /// nested span of a different kind already claimed them, keeping
+    /// top-level categories disjoint.
+    pub fn exclude(&mut self, secs: f64) {
+        self.excluded += secs;
+    }
+
+    /// Closes the span now and returns its attributed seconds (elapsed
+    /// minus exclusions; 0.0 when the recorder is disabled).
+    pub fn finish(mut self) -> f64 {
+        let secs = self.close();
+        std::mem::forget(self);
+        secs
+    }
+
+    fn close(&mut self) -> f64 {
+        match self.start.take() {
+            Some(start) => {
+                let elapsed = start.elapsed().as_secs_f64();
+                self.rec.record(self.kind, start, elapsed, self.excluded);
+                (elapsed - self.excluded).max(0.0)
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Opens a [`Span`] for the rest of the enclosing scope:
+/// `span!(rec, Kernel)` is `let _guard = rec.span(SpanKind::Kernel);`.
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $kind:ident) => {
+        let _span_guard = $rec.span($crate::SpanKind::$kind);
+    };
+}
+
+/// Immutable per-rank observability snapshot, produced by
+/// [`Recorder::finish`].
+#[derive(Clone, Debug)]
+pub struct RankObs {
+    /// Rank index (the trace lane).
+    pub rank: u32,
+    /// Accumulated seconds per [`SpanKind`], indexed by declaration
+    /// order (see [`RankObs::total`]).
+    pub totals: [f64; SpanKind::COUNT],
+    /// Closed spans per kind.
+    pub counts: [u64; SpanKind::COUNT],
+    /// Wall seconds from recorder creation to [`Recorder::finish`] —
+    /// the per-rank budget the category totals must fit into
+    /// (`kernel + boundary + comm + stall ≤ wall`).
+    pub wall: f64,
+    /// Captured trace events (empty unless [`ObsConfig::events`]).
+    pub events: Vec<TraceEvent>,
+    /// Final metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RankObs {
+    /// Accumulated seconds for `kind`.
+    pub fn total(&self, kind: SpanKind) -> f64 {
+        self.totals[kind.index()]
+    }
+
+    /// Closed spans of `kind`.
+    pub fn count(&self, kind: SpanKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Sums the per-event durations of `kind` in the captured trace,
+    /// in seconds — equals [`RankObs::total`] up to float rounding
+    /// (the acceptance check that the trace reproduces the timings).
+    pub fn trace_total(&self, kind: SpanKind) -> f64 {
+        let name = kind.name();
+        self.events.iter().filter(|e| e.name == name).map(|e| e.dur_us).sum::<f64>() * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(secs: f64) {
+        let t0 = Instant::now();
+        while t0.elapsed().as_secs_f64() < secs {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn spans_accumulate_per_kind() {
+        let rec = Recorder::new(0, ObsConfig::default());
+        for _ in 0..3 {
+            let g = rec.span(SpanKind::Kernel);
+            spin(1e-4);
+            drop(g);
+        }
+        {
+            span!(rec, Boundary);
+            spin(1e-4);
+        }
+        assert_eq!(rec.count(SpanKind::Kernel), 3);
+        assert_eq!(rec.count(SpanKind::Boundary), 1);
+        assert!(rec.total(SpanKind::Kernel) >= 3e-4);
+        assert!(rec.total(SpanKind::Boundary) >= 1e-4);
+        assert_eq!(rec.total(SpanKind::Stall), 0.0);
+        let obs = rec.finish();
+        assert!(obs.wall >= obs.total(SpanKind::Kernel) + obs.total(SpanKind::Boundary));
+        assert!(obs.events.is_empty(), "events off by default");
+    }
+
+    #[test]
+    fn exclusion_keeps_categories_disjoint() {
+        let rec = Recorder::new(0, ObsConfig::default());
+        let mut outer = rec.span(SpanKind::GhostDrain);
+        spin(1e-4);
+        let inner = rec.span(SpanKind::Stall);
+        spin(2e-4);
+        let stall = inner.finish();
+        outer.exclude(stall);
+        spin(1e-4);
+        let drain = outer.finish();
+        assert!(stall >= 2e-4);
+        assert!(drain >= 2e-4, "drain keeps its own time");
+        let total = rec.total(SpanKind::GhostDrain) + rec.total(SpanKind::Stall);
+        // Disjoint: the sum equals the real elapsed range, not more.
+        assert!((total - (drain + stall)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::new(0, ObsConfig::off());
+        let g = rec.span(SpanKind::Kernel);
+        spin(1e-4);
+        assert_eq!(g.finish(), 0.0);
+        rec.metrics().add("comm.messages_sent", 5);
+        rec.metrics().observe("driver.step_seconds", 0.1);
+        assert_eq!(rec.clock(), 0.0);
+        assert_eq!(rec.wall(), 0.0);
+        let obs = rec.finish();
+        assert_eq!(obs.total(SpanKind::Kernel), 0.0);
+        assert_eq!(obs.count(SpanKind::Kernel), 0);
+        assert_eq!(obs.metrics.counter("comm.messages_sent"), 0);
+        assert!(obs.events.is_empty());
+    }
+
+    #[test]
+    fn events_reproduce_totals() {
+        let rec = Recorder::new(3, ObsConfig::trace());
+        rec.set_step(7);
+        for _ in 0..4 {
+            let g = rec.span(SpanKind::KernelShell);
+            spin(5e-5);
+            drop(g);
+        }
+        let obs = rec.finish();
+        assert_eq!(obs.events.len(), 4);
+        assert!(obs.events.iter().all(|e| e.step == 7 && e.name == "kernel_shell"));
+        let tol = 1e-9 * obs.events.len() as f64;
+        assert!(
+            (obs.trace_total(SpanKind::KernelShell) - obs.total(SpanKind::KernelShell)).abs()
+                <= tol
+        );
+    }
+
+    #[test]
+    fn shared_epoch_orders_lanes() {
+        let epoch = Instant::now();
+        let a = Recorder::with_epoch(0, ObsConfig::trace(), epoch);
+        {
+            span!(a, Step);
+            spin(1e-4);
+        }
+        let b = Recorder::with_epoch(1, ObsConfig::trace(), epoch);
+        {
+            span!(b, Step);
+            spin(1e-4);
+        }
+        let (oa, ob) = (a.finish(), b.finish());
+        assert!(oa.events[0].ts_us < ob.events[0].ts_us, "later span, later timestamp");
+    }
+}

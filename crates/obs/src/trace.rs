@@ -1,0 +1,107 @@
+//! Chrome `trace_event` export.
+//!
+//! The format is the JSON Object Format of the Trace Event
+//! specification: `{"traceEvents": [...]}` where each complete event
+//! (`"ph": "X"`) carries a microsecond timestamp `ts`, duration `dur`,
+//! and a `(pid, tid)` lane. We map the whole run to `pid 0` and each
+//! rank to `tid == rank`, so a multi-rank run renders as stacked
+//! per-rank timelines in `chrome://tracing` or Perfetto.
+
+use crate::span::RankObs;
+use serde_json::{json, Value};
+
+/// One captured span occurrence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Slice label (the [`crate::SpanKind::name`]).
+    pub name: &'static str,
+    /// Time step the span belonged to.
+    pub step: u64,
+    /// Start, microseconds since the shared epoch.
+    pub ts_us: f64,
+    /// Attributed duration in microseconds (elapsed minus exclusions,
+    /// so per-kind sums reproduce the accumulated totals).
+    pub dur_us: f64,
+}
+
+/// Assembles the Chrome `trace_event` JSON for a set of rank snapshots:
+/// one metadata event naming each lane, then every captured span as a
+/// complete (`"X"`) event with `pid 0`, `tid == rank` and the time step
+/// in `args`.
+pub fn chrome_trace<'a, I>(ranks: I) -> Value
+where
+    I: IntoIterator<Item = &'a RankObs>,
+{
+    let mut events: Vec<Value> = Vec::new();
+    for obs in ranks {
+        events.push(json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": obs.rank,
+            "args": { "name": format!("rank {}", obs.rank) },
+        }));
+        for e in &obs.events {
+            events.push(json!({
+                "name": e.name,
+                "cat": "sim",
+                "ph": "X",
+                "ts": e.ts_us,
+                "dur": e.dur_us,
+                "pid": 0,
+                "tid": obs.rank,
+                "args": { "step": e.step },
+            }));
+        }
+    }
+    json!({ "traceEvents": events, "displayTimeUnit": "ms" })
+}
+
+/// [`chrome_trace`] serialized to a compact JSON string, ready to write
+/// to a `.json` file.
+pub fn chrome_trace_string<'a, I>(ranks: I) -> String
+where
+    I: IntoIterator<Item = &'a RankObs>,
+{
+    chrome_trace(ranks).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ObsConfig, Recorder, SpanKind};
+
+    #[test]
+    fn trace_has_a_lane_per_rank_and_a_slice_per_span() {
+        let mut obs = Vec::new();
+        for rank in 0..2u32 {
+            let rec = Recorder::new(rank, ObsConfig::trace());
+            rec.set_step(4);
+            drop(rec.span(SpanKind::Kernel));
+            drop(rec.span(SpanKind::GhostPack));
+            obs.push(rec.finish());
+        }
+        let v = chrome_trace(&obs);
+        let Value::Object(fields) = &v else { panic!("not an object") };
+        let events = fields.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v).unwrap();
+        let Value::Array(events) = events else { panic!("not an array") };
+        // 2 metadata + 2×2 span events.
+        assert_eq!(events.len(), 6);
+        let text = v.to_string();
+        assert!(text.contains("\"ph\":\"M\""));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"name\":\"kernel\""));
+        assert!(text.contains("\"step\":4"));
+        assert!(text.contains("\"name\":\"rank 1\""));
+    }
+
+    #[test]
+    fn trace_round_trips_through_serde_json() {
+        let rec = Recorder::new(0, ObsConfig::trace());
+        drop(rec.span(SpanKind::Step));
+        let obs = [rec.finish()];
+        let text = chrome_trace_string(&obs);
+        let parsed = serde_json::from_str(&text).expect("export must be valid JSON");
+        assert_eq!(parsed.to_string(), text, "round-trip must be stable");
+    }
+}

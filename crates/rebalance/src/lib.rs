@@ -31,4 +31,6 @@ pub mod plan;
 
 pub use cost::EwmaCostModel;
 pub use detector::ImbalanceDetector;
-pub use plan::{plan_rebalance, BlockRecord, Migration, PlanMethod, PlanOptions, RebalancePlan};
+pub use plan::{
+    plan_rebalance, BlockRecord, Migration, PlanError, PlanMethod, PlanOptions, RebalancePlan,
+};

@@ -115,6 +115,55 @@ impl Default for PlanOptions {
     }
 }
 
+/// A defect in a [`RebalancePlan`] detected by validation: a migration
+/// that cannot be executed as stated. Executors skip the offending
+/// migration (and report it) instead of crashing the rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A migration references a block id absent from the plan records
+    /// (possible after a concurrent refine/owner remap).
+    UnknownBlock {
+        /// Packed id of the missing block.
+        id: u64,
+    },
+    /// A migration's source equals its destination — nothing to move.
+    SelfMigration {
+        /// Packed id of the block.
+        id: u64,
+    },
+    /// A migration's `from` disagrees with the record's current owner,
+    /// so the stated source rank does not hold the block.
+    OwnerMismatch {
+        /// Packed id of the block.
+        id: u64,
+        /// Owner according to the plan records.
+        expected: u32,
+        /// Source rank the migration names.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownBlock { id } => {
+                write!(f, "migration references block {id} missing from the plan records")
+            }
+            PlanError::SelfMigration { id } => {
+                write!(f, "migration of block {id} has identical source and destination")
+            }
+            PlanError::OwnerMismatch { id, expected, found } => {
+                write!(
+                    f,
+                    "migration of block {id} names source rank {found}, records say {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// The agreed outcome of one rebalance decision.
 #[derive(Clone, Debug)]
 pub struct RebalancePlan {
@@ -130,6 +179,61 @@ pub struct RebalancePlan {
     pub old_ratio: f64,
     /// Predicted max/avg load ratio under the accepted assignment.
     pub new_ratio: f64,
+}
+
+impl RebalancePlan {
+    /// Looks up the record of block `id` (binary search — records are
+    /// sorted by id), or reports the defect a migration naming this id
+    /// would have.
+    pub fn record_for(&self, id: u64) -> Result<&BlockRecord, PlanError> {
+        self.records
+            .binary_search_by_key(&id, |r| r.id)
+            .map(|i| &self.records[i])
+            .map_err(|_| PlanError::UnknownBlock { id })
+    }
+
+    /// Checks one migration against the records.
+    pub fn validate_migration(&self, m: &Migration) -> Result<(), PlanError> {
+        let rec = self.record_for(m.id)?;
+        if m.from == m.to {
+            return Err(PlanError::SelfMigration { id: m.id });
+        }
+        if rec.owner != m.from {
+            return Err(PlanError::OwnerMismatch { id: m.id, expected: rec.owner, found: m.from });
+        }
+        Ok(())
+    }
+
+    /// Removes every invalid migration from the plan and returns the
+    /// defects found (empty for the plans [`plan_rebalance`] itself
+    /// produces — this guards plans that were mutated, merged with a
+    /// concurrent refine, or decoded from elsewhere). Deterministic, so
+    /// every rank sanitizing the same plan keeps the same migrations.
+    pub fn sanitize(&mut self) -> Vec<PlanError> {
+        let mut errors = Vec::new();
+        let records = std::mem::take(&mut self.records);
+        self.migrations.retain(|m| {
+            let valid = match records.binary_search_by_key(&m.id, |r| r.id) {
+                Err(_) => Err(PlanError::UnknownBlock { id: m.id }),
+                Ok(_) if m.from == m.to => Err(PlanError::SelfMigration { id: m.id }),
+                Ok(i) if records[i].owner != m.from => Err(PlanError::OwnerMismatch {
+                    id: m.id,
+                    expected: records[i].owner,
+                    found: m.from,
+                }),
+                Ok(_) => Ok(()),
+            };
+            match valid {
+                Ok(()) => true,
+                Err(e) => {
+                    errors.push(e);
+                    false
+                }
+            }
+        });
+        self.records = records;
+        errors
+    }
 }
 
 fn load_ratio(records: &[BlockRecord], assignment: &[u32], num_ranks: u32) -> f64 {
@@ -368,10 +472,40 @@ mod tests {
         assert!(plan.new_ratio < 1.3, "predicted ratio {}", plan.new_ratio);
         // Every migration's `from` matches the record's owner.
         for m in &plan.migrations {
-            let rec = plan.records.iter().find(|r| r.id == m.id).unwrap();
+            assert_eq!(plan.validate_migration(m), Ok(()));
+            let rec = plan.record_for(m.id).expect("planned migrations reference known blocks");
             assert_eq!(rec.owner, m.from);
             assert_ne!(m.from, m.to);
         }
+    }
+
+    #[test]
+    fn record_lookup_reports_unknown_blocks() {
+        let records = grid_records(2, |x, _, _| x, |_, _, _| 1.0);
+        let plan = plan_rebalance(records, 2, &PlanOptions::default());
+        assert!(plan.record_for(1).is_ok());
+        assert_eq!(plan.record_for(0xFFFF), Err(PlanError::UnknownBlock { id: 0xFFFF }));
+    }
+
+    #[test]
+    fn sanitize_drops_invalid_migrations_and_keeps_valid_ones() {
+        let records = grid_records(4, |x, _, _| if x < 2 { 0 } else { 1 + x % 3 }, |_, _, _| 1.0);
+        let mut plan = plan_rebalance(records, 4, &PlanOptions::default());
+        assert!(!plan.migrations.is_empty());
+        let valid = plan.migrations.clone();
+        let owner0 = plan.records[0].owner;
+        // Inject one of each defect, as a concurrent refine/remap would.
+        plan.migrations.push(Migration { id: 0xDEAD_0000_0001, from: 0, to: 1 });
+        plan.migrations.push(Migration { id: plan.records[0].id, from: 2, to: 2 });
+        plan.migrations.push(Migration { id: plan.records[0].id, from: owner0 + 1, to: owner0 });
+        let errors = plan.sanitize();
+        assert_eq!(plan.migrations, valid, "valid migrations survive untouched");
+        assert_eq!(errors.len(), 3);
+        assert!(matches!(errors[0], PlanError::UnknownBlock { id: 0xDEAD_0000_0001 }));
+        assert!(matches!(errors[1], PlanError::SelfMigration { .. }));
+        assert!(matches!(errors[2], PlanError::OwnerMismatch { .. }));
+        // A clean plan sanitizes to itself.
+        assert!(plan.sanitize().is_empty());
     }
 
     #[test]

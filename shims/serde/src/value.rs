@@ -80,6 +80,75 @@ impl Value {
     }
 }
 
+impl Value {
+    /// Object field access by key (`None` for non-objects and missing
+    /// keys), mirroring upstream `serde_json`'s `Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array value.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields of an object value.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The borrowed string of a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (integers convert losslessly up to 2⁵³).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Integer(i) => Some(*i as f64),
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer value as `u64`; `None` for floats, negative
+    /// integers, and non-numbers.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Integer(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Integer value as `i64`; `None` for floats and non-numbers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean of a bool value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut s = String::new();

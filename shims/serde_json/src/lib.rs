@@ -1,12 +1,15 @@
 //! Offline stand-in for `serde_json`.
 //!
 //! Re-exports the [`Value`] tree from the serde shim and provides
-//! [`to_value`] / [`to_string`] plus a [`json!`] macro covering the forms
-//! used in this workspace: `json!(expr)`, `json!([..])`, and arbitrarily
-//! nested `json!({ "key": value, .. })` object literals whose values may
-//! be expressions, literals, arrays, or further objects.
+//! [`to_value`] / [`to_string`] / [`from_str`] plus a [`json!`] macro
+//! covering the forms used in this workspace: `json!(expr)`, `json!([..])`,
+//! and arbitrarily nested `json!({ "key": value, .. })` object literals
+//! whose values may be expressions, literals, arrays, or further objects.
 
 pub use serde::value::Value;
+
+mod parse;
+pub use parse::from_str;
 
 /// Lowers any `Serialize` value into a [`Value`] tree.
 pub fn to_value<T: serde::Serialize + ?Sized>(v: &T) -> Value {
@@ -19,13 +22,16 @@ pub fn to_string<T: serde::Serialize + ?Sized>(v: &T) -> Result<String, Error> {
     Ok(v.serialize_value().to_string())
 }
 
-/// Serialization error (never produced by this shim).
+/// Serialization/deserialization error. Serialization never produces
+/// one in this shim; [`from_str`] reports malformed input through it.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    pub(crate) msg: String,
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json shim error")
+        write!(f, "serde_json shim error: {}", self.msg)
     }
 }
 

@@ -141,7 +141,7 @@ fn overlapped_skewed_vascular_bitwise_equal() {
     let reference = sync.pdf_dump();
     assert!(!reference.is_empty());
     for threads in [1usize, 4] {
-        let cfg = DriverConfig { overlap: true, collect_pdfs: true };
+        let cfg = DriverConfig { overlap: true, collect_pdfs: true, ..Default::default() };
         let over = run_distributed_with(&scenario(), 4, threads, 25, &[], cfg);
         assert!(!over.has_nan());
         assert_eq!(reference, over.pdf_dump(), "overlap deviates with {threads} threads/rank");
@@ -227,7 +227,7 @@ fn overlapped_checkpoint_restart_matches_sync_reference() {
     let rc = ResilienceConfig {
         checkpoint_every: 6,
         fault: Some(FaultConfig::new(11).with_crash(1, 13)),
-        driver: DriverConfig { overlap: true, collect_pdfs: true },
+        driver: DriverConfig { overlap: true, collect_pdfs: true, ..Default::default() },
         ..ResilienceConfig::default()
     };
     let res = run_distributed_resilient(&scenario(), 4, 1, 24, &[], &rc);

@@ -1,0 +1,256 @@
+//! Integration tests of the unified observability layer.
+//!
+//! The span layer claims its timing categories are *disjoint*: kernel,
+//! communication work, boundary, and exposed stall never overlap, so
+//! their per-rank sum fits inside the rank's wall time and the fraction
+//! metrics have a meaningful denominator. These tests pin that
+//! invariant on a skewed 4-rank run under all four schedules (sync,
+//! overlapped, resilient sync, resilient overlapped), check that the
+//! folded `RankResult` timings are exactly the span totals, and verify
+//! the chrome-trace export: events reproduce the accumulated totals
+//! within float tolerance and the JSON round-trips through
+//! `serde_json::from_str`.
+
+use std::time::Duration;
+use trillium_core::driver::{
+    run_distributed_rebalanced, run_distributed_with, RebalanceConfig, RunResult,
+};
+use trillium_core::prelude::*;
+use trillium_core::recovery::ResilienceConfig;
+use trillium_obs::SpanKind;
+
+/// Slack for comparing span sums against wall time: the categories are
+/// measured with the same monotonic clock, so only accumulation
+/// round-off separates them.
+const TOL: f64 = 1e-6;
+
+/// 8 blocks on 4 ranks with 70 % of them on rank 0 — enough skew that
+/// the fast ranks demonstrably wait on the slow one.
+fn skewed() -> Scenario {
+    Scenario::lid_driven_cavity(16, 2, 0.06, 0.08).with_skewed_balance(0.7)
+}
+
+const STEPS: u64 = 12;
+
+/// The timing-counter invariants every schedule must satisfy.
+fn check_invariants(r: &RunResult, schedule: &str) {
+    assert_eq!(r.ranks.len(), 4, "{schedule}: expected a 4-rank run");
+    for rr in &r.ranks {
+        let rank = rr.rank;
+        let obs =
+            rr.obs.as_ref().unwrap_or_else(|| panic!("{schedule} rank {rank}: no obs snapshot"));
+
+        // Disjoint categories fit in the measured wall time.
+        assert!(rr.wall_time > 0.0, "{schedule} rank {rank}: no wall time");
+        assert!(
+            rr.busy_time() <= rr.wall_time + TOL,
+            "{schedule} rank {rank}: kernel + boundary + comm + stall = {} exceeds wall {}",
+            rr.busy_time(),
+            rr.wall_time
+        );
+
+        // The RankResult timing fields are exactly the folded span totals.
+        let kernel = obs.total(SpanKind::Kernel)
+            + obs.total(SpanKind::KernelInterior)
+            + obs.total(SpanKind::KernelShell);
+        assert_eq!(rr.kernel_time, kernel, "{schedule} rank {rank}: kernel fold");
+        assert_eq!(
+            rr.comm_time,
+            obs.total(SpanKind::GhostPack) + obs.total(SpanKind::GhostDrain),
+            "{schedule} rank {rank}: comm fold"
+        );
+        assert_eq!(rr.boundary_time, obs.total(SpanKind::Boundary), "{schedule} rank {rank}");
+        assert_eq!(rr.ghost_stall_time, obs.total(SpanKind::Stall), "{schedule} rank {rank}");
+        if rr.num_blocks > 0 {
+            assert!(rr.kernel_time > 0.0, "{schedule} rank {rank}: kernel never ran");
+            assert!(rr.comm_time > 0.0, "{schedule} rank {rank}: no exchange work");
+        }
+
+        // Every executed step opened exactly one Step span and one
+        // histogram observation (resilient replays add more, never less).
+        let step_spans = obs.count(SpanKind::Step);
+        assert!(step_spans >= STEPS, "{schedule} rank {rank}: {step_spans} < {STEPS} step spans");
+        let hist = obs
+            .metrics
+            .histogram("driver.step_seconds")
+            .unwrap_or_else(|| panic!("{schedule} rank {rank}: no step histogram"));
+        assert_eq!(hist.count, step_spans, "{schedule} rank {rank}: histogram/step mismatch");
+        assert!(hist.sum <= rr.wall_time + TOL, "{schedule} rank {rank}: steps exceed wall");
+
+        // Transport counters flowed into the metrics registry (a rank
+        // the skew left without blocks legitimately sends nothing).
+        if rr.num_blocks > 0 {
+            assert!(obs.metrics.counter("comm.messages_sent") > 0, "{schedule} rank {rank}");
+            assert!(obs.metrics.counter("comm.bytes_sent") > 0, "{schedule} rank {rank}");
+        }
+    }
+    assert!(r.metrics().counter("comm.messages_sent") > 0, "{schedule}: no traffic at all");
+}
+
+#[test]
+fn sync_schedule_keeps_timing_invariants() {
+    let r = run_distributed_with(&skewed(), 4, 1, STEPS, &[], DriverConfig::default());
+    check_invariants(&r, "sync");
+    // Fraction metrics are finite and sensible even on fast runs.
+    assert!(r.stall_fraction().is_finite() && r.stall_fraction() >= 0.0);
+    assert!(r.comm_fraction() > 0.0 && r.comm_fraction() < 1.0);
+}
+
+#[test]
+fn overlapped_schedule_keeps_timing_invariants_and_hides_stall() {
+    let r = run_distributed_with(&skewed(), 4, 1, STEPS, &[], DriverConfig::overlapped());
+    check_invariants(&r, "overlapped");
+    // The overlapped schedule's structural claim, now derivable from the
+    // span layer: it never blocks while runnable work remains.
+    for rr in &r.ranks {
+        assert_eq!(rr.ghost_stall_time, 0.0, "rank {}: overlap exposed stall", rr.rank);
+        assert_eq!(rr.obs.as_ref().unwrap().count(SpanKind::Stall), 0);
+    }
+    assert!(r.overlap_hidden() > 0.0, "no communication was hidden");
+}
+
+#[test]
+fn resilient_schedules_keep_timing_invariants() {
+    for overlap in [false, true] {
+        let schedule = if overlap { "resilient-overlapped" } else { "resilient-sync" };
+        let rc = ResilienceConfig {
+            checkpoint_every: 5,
+            step_timeout: Duration::from_secs(5),
+            driver: if overlap { DriverConfig::overlapped() } else { DriverConfig::default() },
+            ..ResilienceConfig::default()
+        };
+        let res =
+            trillium_core::recovery::run_distributed_resilient(&skewed(), 4, 1, STEPS, &[], &rc);
+        check_invariants(&res.run, schedule);
+        // Checkpoint spans were recorded (initial snapshot has no span;
+        // agreements at steps 5, 10 and 12 do).
+        for rr in &res.run.ranks {
+            let obs = rr.obs.as_ref().unwrap();
+            assert!(obs.count(SpanKind::Checkpoint) >= 3, "{schedule}: missing checkpoints");
+        }
+        // The resilience ledger is mirrored into the metrics registry.
+        let m = res.run.metrics();
+        assert_eq!(
+            m.counter("resilience.checkpoints"),
+            res.run.ranks.len() as u64 * u64::from(res.checkpoints())
+        );
+        assert_eq!(m.counter("resilience.rollbacks"), 0);
+    }
+}
+
+#[test]
+fn faulted_resilient_run_counts_rollbacks_and_fault_events() {
+    let rc = ResilienceConfig {
+        checkpoint_every: 4,
+        step_timeout: Duration::from_secs(2),
+        fault: Some(FaultConfig::new(7).with_crash(2, 6)),
+        ..ResilienceConfig::default()
+    };
+    let res = trillium_core::recovery::run_distributed_resilient(&skewed(), 4, 1, STEPS, &[], &rc);
+    assert_eq!(res.recoveries(), 1);
+    let m = res.run.metrics();
+    assert_eq!(m.counter("fault.crashes"), 1, "the injected crash must be counted");
+    assert_eq!(m.counter("resilience.rollbacks"), 4, "every rank rolls back once");
+    assert_eq!(m.counter("resilience.replayed_steps"), res.replayed_steps());
+    // Recovery spans were recorded on every rank.
+    for rr in &res.run.ranks {
+        assert!(rr.obs.as_ref().unwrap().count(SpanKind::Recovery) >= 1);
+    }
+}
+
+#[test]
+fn rebalanced_run_records_migration_metrics() {
+    let cfg = RebalanceConfig {
+        every_n_steps: 5,
+        threshold: 1.3,
+        hysteresis: 2,
+        ..RebalanceConfig::default()
+    };
+    let r = run_distributed_rebalanced(
+        &Scenario::lid_driven_cavity(16, 2, 0.06, 0.08).with_skewed_balance(0.9),
+        2,
+        1,
+        40,
+        cfg,
+    );
+    assert!(r.total_migrations() >= 1, "skewed run must migrate");
+    let m = r.metrics();
+    assert!(m.counter("rebalance.rounds") >= 1);
+    assert_eq!(m.counter("rebalance.migrations_in"), m.counter("rebalance.migrations_out"));
+    assert!(m.counter("rebalance.migrations_in") as u32 >= 1);
+    assert_eq!(m.counter("rebalance.plan_skipped"), 0, "planner output needs no sanitizing");
+    // Every surviving block published its measured cost as a gauge.
+    let gauges = m.gauges.iter().filter(|(n, _)| n.starts_with("rebalance.block_cost.")).count();
+    assert_eq!(gauges, 8, "one cost gauge per block");
+    for rr in &r.ranks {
+        let obs = rr.obs.as_ref().unwrap();
+        assert!(obs.count(SpanKind::RebalanceEpoch) >= 1);
+        // comm_time no longer absorbs epoch coordination: the epoch span
+        // is accounted separately.
+        let report = rr.rebalance.as_ref().unwrap();
+        assert!((report.epoch_time - obs.total(SpanKind::RebalanceEpoch)).abs() < TOL);
+    }
+}
+
+#[test]
+fn trace_events_reproduce_rank_timings_and_round_trip() {
+    let cfg = DriverConfig::overlapped().with_trace();
+    let r = run_distributed_with(&skewed(), 4, 1, STEPS, &[], cfg);
+    for rr in &r.ranks {
+        let obs = rr.obs.as_ref().unwrap();
+        assert!(!obs.events.is_empty(), "rank {}: trace mode captured nothing", rr.rank);
+        // Per-rank span sums from the event stream reproduce the
+        // RankResult timings within float tolerance (events store µs).
+        let kernel = obs.trace_total(SpanKind::Kernel)
+            + obs.trace_total(SpanKind::KernelInterior)
+            + obs.trace_total(SpanKind::KernelShell);
+        assert!((kernel - rr.kernel_time).abs() < 1e-9 * obs.events.len() as f64 + 1e-12);
+        let comm = obs.trace_total(SpanKind::GhostPack) + obs.trace_total(SpanKind::GhostDrain);
+        assert!((comm - rr.comm_time).abs() < 1e-9 * obs.events.len() as f64 + 1e-12);
+        assert!(
+            (obs.trace_total(SpanKind::Boundary) - rr.boundary_time).abs()
+                < 1e-9 * obs.events.len() as f64 + 1e-12
+        );
+    }
+
+    // The export is valid chrome-trace JSON and survives a parse/print
+    // round trip through the serde_json shim.
+    let v = r.chrome_trace();
+    let text = v.to_string();
+    let parsed = serde_json::from_str(&text).expect("chrome trace must be valid JSON");
+    assert_eq!(parsed.to_string(), text, "round trip must be stable");
+
+    let events = parsed.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents");
+    // One metadata lane per rank, X slices for everything else.
+    let lanes: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+        .map(|e| e.get("tid").and_then(|t| t.as_u64()).unwrap())
+        .collect();
+    assert_eq!(lanes, vec![0, 1, 2, 3], "one named lane per rank");
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).unwrap();
+        assert!(ph == "M" || ph == "X", "unexpected phase {ph}");
+        if ph == "X" {
+            assert!(e.get("ts").and_then(|t| t.as_f64()).unwrap() >= 0.0);
+            assert!(e.get("dur").and_then(|d| d.as_f64()).unwrap() >= 0.0);
+            assert!(e.get("args").and_then(|a| a.get("step")).is_some());
+        }
+    }
+}
+
+#[test]
+fn disabled_recorder_reports_no_timings_and_no_nan_fractions() {
+    let cfg = DriverConfig { obs: trillium_core::ObsConfig::off(), ..DriverConfig::default() };
+    let r = run_distributed_with(&skewed(), 4, 1, 4, &[], cfg);
+    assert!(!r.has_nan());
+    for rr in &r.ranks {
+        assert!(rr.obs.is_none(), "disabled recorder must not allocate a snapshot");
+        assert_eq!(rr.wall_time, 0.0);
+        assert_eq!(rr.busy_time(), 0.0);
+    }
+    // The zero-guard: fractions come back 0.0, not NaN (the old code
+    // divided by a sum that is zero here).
+    assert_eq!(r.stall_fraction(), 0.0);
+    assert_eq!(r.comm_fraction(), 0.0);
+}

@@ -96,6 +96,88 @@ fn rebalanced_physics_matches_unbalanced_run() {
 }
 
 #[test]
+fn invalid_plan_entries_are_skipped_not_fatal() {
+    // A hand-built plan carrying one valid migration plus two defective
+    // ones (unknown block, owner mismatch). The transfer protocol used
+    // to panic on the bad entries; it must now execute the valid move
+    // and count the rest as skipped — symmetrically on every rank, so
+    // nobody waits for a transfer that will never be sent.
+    use std::collections::HashMap;
+    use trillium_blockforest::distribute;
+    use trillium_comm::World;
+    use trillium_core::migrate::execute_migrations;
+    use trillium_obs::{ObsConfig, Recorder};
+    use trillium_rebalance::{BlockRecord, Migration, PlanMethod, RebalancePlan};
+
+    let scenario = skewed_scenario();
+    let forest0 = scenario.make_forest(2);
+    let views = distribute(&forest0);
+
+    let results = World::run(2, |mut comm| {
+        let rank = comm.rank();
+        let mut forest = forest0.clone();
+        let mut view = views[rank as usize].clone();
+        let mut blocks: Vec<BlockSim> =
+            view.blocks.iter().map(|lb| scenario.build_block(lb)).collect();
+        let mut index_of: HashMap<_, _> =
+            view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
+
+        let mut records: Vec<BlockRecord> = forest
+            .blocks
+            .iter()
+            .map(|b| BlockRecord {
+                id: b.id.pack(),
+                owner: b.rank,
+                coords: [0, 0, 0],
+                level: b.id.level(),
+                cost: 1.0,
+                fluid_cells: 1,
+            })
+            .collect();
+        records.sort_by_key(|r| r.id);
+        let victim = records.iter().find(|r| r.owner == 0).expect("rank 0 owns blocks").id;
+        let foreign = records.iter().find(|r| r.owner == 1).expect("rank 1 owns blocks").id;
+        let migrations = vec![
+            Migration { id: victim, from: 0, to: 1 },
+            // Unknown block: no record carries this id.
+            Migration { id: (1 << 40) + 12345, from: 0, to: 1 },
+            // Owner mismatch: the record says rank 1 holds it.
+            Migration { id: foreign, from: 0, to: 1 },
+        ];
+        let assignment = records.iter().map(|r| if r.id == victim { 1 } else { r.owner }).collect();
+        let plan = RebalancePlan {
+            records,
+            assignment,
+            migrations,
+            method: PlanMethod::NoOp,
+            old_ratio: 1.0,
+            new_ratio: 1.0,
+        };
+        let rec = Recorder::new(rank, ObsConfig::default());
+        let stats = execute_migrations(
+            &mut comm,
+            &plan,
+            &mut forest,
+            &mut view,
+            &mut blocks,
+            &mut index_of,
+            scenario.boundary,
+            &rec,
+        );
+        (stats, blocks.len())
+    });
+
+    let (s0, n0) = results[0];
+    let (s1, n1) = results[1];
+    assert_eq!(s0.sent, 1, "the valid migration must execute");
+    assert_eq!(s0.skipped, 2, "both defective entries must be skipped");
+    assert_eq!(s1.received, 1);
+    assert_eq!(s1.skipped, 0, "skips count only on the named source rank");
+    assert_eq!(n0 + n1, 8, "no block may vanish");
+    assert_eq!(n1, views[1].blocks.len() + 1, "rank 1 gained exactly the valid block");
+}
+
+#[test]
 fn balanced_run_stays_correct_with_rebalancer_armed() {
     // A well-balanced cavity under the armed rebalancer: whatever the
     // detector decides under machine noise, the run must stay correct.

@@ -167,7 +167,7 @@ fn overlap_and_sync_resilient_schedules_agree_under_faults() {
     let sync =
         run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &resilient_cfg(fault.clone()));
     let mut over_cfg = resilient_cfg(fault);
-    over_cfg.driver = DriverConfig { overlap: true, collect_pdfs: true };
+    over_cfg.driver = DriverConfig { overlap: true, collect_pdfs: true, ..Default::default() };
     let over = run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &over_cfg);
     assert_eq!(truth.pdf_dump(), sync.run.pdf_dump());
     assert_eq!(truth.pdf_dump(), over.run.pdf_dump());
