@@ -60,6 +60,26 @@ fn bench_ladder(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("avx", "trt"), |b| {
         b.iter(|| kernels::avx::stream_collide_trt(&ssrc, &mut sdst, rel))
     });
+
+    // In-place AA-pattern tier: one buffer, parity alternated per sweep
+    // (the kernels themselves never flip it).
+    let (mut aa, _) = soa_fields();
+    g.bench_function(BenchmarkId::new("inplace", "srt"), |b| {
+        b.iter(|| {
+            let s = kernels::inplace::stream_collide_srt(&mut aa, rel_srt);
+            let p = aa.parity();
+            aa.set_parity(!p);
+            s
+        })
+    });
+    g.bench_function(BenchmarkId::new("inplace", "trt"), |b| {
+        b.iter(|| {
+            let s = kernels::inplace::stream_collide_trt(&mut aa, rel);
+            let p = aa.parity();
+            aa.set_parity(!p);
+            s
+        })
+    });
     g.finish();
 }
 

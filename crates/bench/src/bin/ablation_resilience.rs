@@ -93,8 +93,10 @@ fn main() {
         ..ResilienceConfig::default()
     };
     let scenario = vascular_scenario(args.full);
-    let faulted = run_distributed_resilient(&scenario, RANKS, 1, steps, &[], &rc);
-    let replay = run_distributed_resilient(&scenario, RANKS, 1, steps, &[], &rc);
+    let faulted = run_distributed_resilient(&scenario, RANKS, 1, steps, &[], &rc)
+        .expect("capped faults are recoverable");
+    let replay = run_distributed_resilient(&scenario, RANKS, 1, steps, &[], &rc)
+        .expect("capped faults are recoverable");
 
     let bitwise = truth.pdf_dump() == faulted.run.pdf_dump();
     let trace = faulted.failure_trace();

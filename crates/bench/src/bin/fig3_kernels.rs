@@ -12,7 +12,7 @@ use trillium_field::{AosPdfField, PdfField, Shape};
 use trillium_kernels as kernels;
 use trillium_lattice::{Relaxation, D3Q19};
 use trillium_machine::{measure_lbm_bandwidth, MachineSpec};
-use trillium_perfmodel::roofline_mlups;
+use trillium_perfmodel::{roofline_mlups, EcmModel};
 use trillium_scaling::fig3::fig3_series;
 
 fn main() {
@@ -59,17 +59,59 @@ fn main() {
         measure_mlups(|| kernels::soa::stream_collide_trt(&soa_src, &mut soa_dst, rel_trt), reps);
     let avx_trt =
         measure_mlups(|| kernels::avx::stream_collide_trt(&soa_src, &mut soa_dst, rel_trt), reps);
+    // The tier the "avx" entry point actually executed: without AVX2+FMA
+    // it silently runs the SoA fallback, and the series must say so
+    // instead of crediting intrinsics that never ran.
+    let resolved = kernels::Tier::Avx.resolve();
+
+    // Tier 4: in-place AA-pattern update, single buffer. The kernels
+    // never flip the storage parity themselves (the block driver owns
+    // that), so the bench alternates it to exercise both sweep kinds.
+    let (mut aa, _) = trillium_bench::bench_fields(n);
+    let inplace_srt = measure_mlups(
+        || {
+            let s = kernels::inplace::stream_collide_srt(&mut aa, rel_srt);
+            let p = aa.parity();
+            aa.set_parity(!p);
+            s
+        },
+        reps,
+    );
+    let inplace_trt = measure_mlups(
+        || {
+            let s = kernels::inplace::stream_collide_trt(&mut aa, rel_trt);
+            let p = aa.parity();
+            aa.set_parity(!p);
+            s
+        },
+        reps,
+    );
 
     println!("{:<28} {:>10} {:>10}", "kernel", "SRT", "TRT");
     println!("{:<28} {:>10.1} {:>10.1}", "Generic (AoS)", gen_srt, gen_trt);
     println!("{:<28} {:>10.1} {:>10.1}", "D3Q19 specialized (AoS)", spec_srt, spec_trt);
     println!("{:<28} {:>10.1} {:>10.1}", "SoA split-loop", soa_srt, soa_trt);
     println!(
-        "{:<28} {:>10} {:>10.1}  (avx2+fma available: {})",
+        "{:<28} {:>10} {:>10.1}  (avx2+fma available: {}, ran as: {})",
         "AVX2 intrinsics",
         "-",
         avx_trt,
-        kernels::avx::available()
+        kernels::avx::available(),
+        resolved.label()
+    );
+    println!("{:<28} {:>10.1} {:>10.1}", "In-place AA (single buffer)", inplace_srt, inplace_trt);
+
+    // ECM prediction for the in-place tier: the traffic term drops from
+    // 57 to 38 cache lines per unit, so the model predicts the speedup
+    // before the measurement confirms it.
+    let ecm = EcmModel::supermuc_trt_simd(2.7);
+    let predicted_core = ecm.inplace_speedup(1);
+    let predicted_sat = ecm.inplace_speedup(16);
+    let measured_speedup = inplace_trt / soa_trt;
+    println!(
+        "in-place/pull TRT speedup: measured {measured_speedup:.2}x vs SoA pull | \
+         ECM predicts {predicted_core:.2}x single-core, {predicted_sat:.2}x saturated \
+         (57 -> 38 cachelines/unit)"
     );
 
     // Host roofline from the measured bandwidths (the roofline bound uses
@@ -92,7 +134,18 @@ fn main() {
                 "generic": {"srt": gen_srt, "trt": gen_trt},
                 "d3q19": {"srt": spec_srt, "trt": spec_trt},
                 "soa": {"srt": soa_srt, "trt": soa_trt},
-                "avx": {"trt": avx_trt},
+                "avx": {
+                    "trt": avx_trt,
+                    "avx_available": kernels::avx::available(),
+                    "resolved_tier": resolved.label(),
+                },
+                "inplace": {
+                    "srt": inplace_srt,
+                    "trt": inplace_trt,
+                    "measured_speedup_vs_soa_trt": measured_speedup,
+                    "ecm_predicted_speedup_core": predicted_core,
+                    "ecm_predicted_speedup_saturated": predicted_sat,
+                },
                 "bandwidth_gib": bw,
                 "roofline_mlups": roof,
             },

@@ -20,6 +20,20 @@ fn main() {
         100.0 * performance_retention(1.6, 2.7)
     );
 
+    // The in-place (AA-pattern) traffic term: same in-core work, 38
+    // instead of 57 cache lines per unit. The model predicts the
+    // update-scheme speedup before fig3 measures it.
+    let ecm = trillium_perfmodel::EcmModel::supermuc_trt_simd(2.7);
+    println!();
+    println!(
+        "in-place traffic term: {} -> {} cachelines/unit, predicted speedup \
+         {:.2}x (1 core) / {:.2}x (saturated socket)",
+        trillium_perfmodel::CACHELINES_PER_UNIT,
+        trillium_perfmodel::CACHELINES_PER_UNIT_INPLACE,
+        ecm.inplace_speedup(1),
+        ecm.inplace_speedup(8),
+    );
+
     // Host point: the measured AVX TRT kernel (single core, fixed clock).
     let (src, mut dst) = trillium_bench::bench_fields(if args.full { 128 } else { 64 });
     let rel = bench_relaxation();
@@ -29,7 +43,13 @@ fn main() {
     if args.json {
         emit_json(
             "fig4_ecm",
-            serde_json::json!({"model": rows, "retention": performance_retention(1.6, 2.7), "host_mlups": host}),
+            serde_json::json!({
+                "model": rows,
+                "retention": performance_retention(1.6, 2.7),
+                "host_mlups": host,
+                "inplace_predicted_speedup_core": ecm.inplace_speedup(1),
+                "inplace_predicted_speedup_saturated": ecm.inplace_speedup(8),
+            }),
         );
     }
 }

@@ -730,46 +730,64 @@ impl Communicator {
     /// every individual wait, so an unrecoverable cohort (a genuinely
     /// panicked rank) surfaces as an error instead of a hang.
     ///
-    /// `ckpt_step` is this rank's newest locally held checkpoint; the
-    /// returned step is the cohort **minimum** — the step every rank
-    /// must restore. The minimum is what makes rollback consistent when
-    /// a checkpoint agreement was torn by a failure: ranks that
-    /// committed the newer snapshot still hold the previous one (the
-    /// runtime keeps two), while a rank that missed the verdict never
-    /// advanced past the older — so the minimum is the newest cut that
-    /// *everyone* owns.
-    pub fn recovery_sync(&mut self, timeout: Duration, ckpt_step: u64) -> Result<u64, CommError> {
+    /// `held_steps` are the checkpoint steps this rank holds locally
+    /// (any order); the returned step is the **newest step held by the
+    /// whole cohort** — the step every rank must restore. The
+    /// intersection is what makes rollback consistent when checkpoint
+    /// agreements were torn by failures: consecutive partial commits
+    /// can leave the per-rank histories staggered (a rank that kept
+    /// committing prunes steps a stalled rank still depends on), so the
+    /// negotiation walks the full held sets rather than trusting
+    /// newest-minus-one to exist everywhere. If the intersection is
+    /// empty (impossible while every rank retains its rollback anchor,
+    /// but kept as a defined fallback) the cohort minimum of the
+    /// per-rank newest steps is returned; callers must verify they hold
+    /// the negotiated step.
+    pub fn recovery_sync(
+        &mut self,
+        timeout: Duration,
+        held_steps: &[u64],
+    ) -> Result<u64, CommError> {
         let deadline = Instant::now() + timeout;
         self.discard_limbo();
         let epoch = self.recovery_epoch;
-        let mut join = Vec::with_capacity(32);
+        let newest = held_steps.iter().copied().max().unwrap_or(0);
+        let mut join = Vec::with_capacity(40 + 8 * held_steps.len());
         put_u64(&mut join, epoch);
         put_u64(&mut join, self.coll_seq);
         put_u64(&mut join, self.agree_round);
-        put_u64(&mut join, ckpt_step);
+        put_u64(&mut join, held_steps.len() as u64);
+        for &s in held_steps {
+            put_u64(&mut join, s);
+        }
         let restore_step;
         if self.rank == 0 {
             let mut max_coll = self.coll_seq;
             let mut max_agree = self.agree_round;
-            let mut min_step = ckpt_step;
+            let mut min_newest = newest;
+            let mut common: std::collections::BTreeSet<u64> = held_steps.iter().copied().collect();
             for _ in 1..self.size {
                 let (_, p) = self.recv_ctrl(K_JOIN, None, deadline)?;
                 assert_eq!(get_u64(&p, 0), epoch, "recovery epochs are serialized");
                 max_coll = max_coll.max(get_u64(&p, 1));
                 max_agree = max_agree.max(get_u64(&p, 2));
-                min_step = min_step.min(get_u64(&p, 3));
+                let count = get_u64(&p, 3) as usize;
+                let held: std::collections::BTreeSet<u64> =
+                    (0..count).map(|i| get_u64(&p, 4 + i)).collect();
+                min_newest = min_newest.min(held.iter().copied().max().unwrap_or(0));
+                common.retain(|s| held.contains(s));
             }
             let mut go = Vec::with_capacity(32);
             put_u64(&mut go, epoch);
             put_u64(&mut go, max_coll);
             put_u64(&mut go, max_agree);
-            put_u64(&mut go, min_step);
+            put_u64(&mut go, common.iter().copied().max().unwrap_or(min_newest));
             for r in 1..self.size {
                 self.send_ctrl(r, K_GO, go.clone());
             }
             self.coll_seq = max_coll;
             self.agree_round = max_agree;
-            restore_step = min_step;
+            restore_step = get_u64(&go, 3);
         } else {
             self.send_ctrl(0, K_JOIN, join);
             let (_, p) = self.recv_ctrl(K_GO, Some(0), deadline)?;
@@ -1336,7 +1354,7 @@ mod tests {
             let timeout = Duration::from_secs(20);
             if c.crash_due(0) {
                 // Victim: volatile state is gone; join recovery directly.
-                assert_eq!(c.recovery_sync(timeout, 5).unwrap(), 5);
+                assert_eq!(c.recovery_sync(timeout, &[0, 5]).unwrap(), 5);
             } else {
                 // Survivors: send some soon-stale traffic, then observe
                 // the failure and join recovery.
@@ -1344,7 +1362,7 @@ mod tests {
                 c.send(peer, 7, vec![c.rank() as u8]);
                 let r = c.recv_timeout(1, 9, timeout);
                 assert!(matches!(r, Err(CommError::RankDown(1) | CommError::Interrupted)));
-                assert_eq!(c.recovery_sync(timeout, 5).unwrap(), 5);
+                assert_eq!(c.recovery_sync(timeout, &[0, 5]).unwrap(), 5);
             }
             // Clean slate: no stale message may match, no rank is dead,
             // and collectives work again.
@@ -1355,5 +1373,33 @@ mod tests {
             c.agree_all(true, timeout).unwrap()
         });
         assert_eq!(out, vec![true, true, true]);
+    }
+
+    /// The recovery negotiation picks the newest step held by *every*
+    /// rank, even when torn checkpoint commits have staggered the
+    /// per-rank histories; with no common step it degrades to the old
+    /// min-of-newest rule.
+    #[test]
+    fn recovery_sync_negotiates_over_held_intersections() {
+        let out = World::run(3, |mut c| {
+            let timeout = Duration::from_secs(20);
+            let held: &[u64] = match c.rank() {
+                0 => &[10, 20, 30],
+                1 => &[0, 10, 20],
+                _ => &[20, 30],
+            };
+            let common = c.recovery_sync(timeout, held).unwrap();
+            let disjoint: &[u64] = match c.rank() {
+                0 => &[30],
+                1 => &[10],
+                _ => &[20],
+            };
+            let fallback = c.recovery_sync(timeout, disjoint).unwrap();
+            (common, fallback)
+        });
+        for (common, fallback) in out {
+            assert_eq!(common, 20, "newest step in everyone's history");
+            assert_eq!(fallback, 10, "empty intersection degrades to min-of-newest");
+        }
     }
 }

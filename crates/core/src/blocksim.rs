@@ -15,14 +15,33 @@ pub enum BlockKernel {
     RowIntervals,
 }
 
+/// How a block's PDFs are updated each step.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum UpdateScheme {
+    /// Two-field stream-pull: sweep reads `src`, writes `dst`, buffers
+    /// swap. The default, and the reference every other scheme must match
+    /// bitwise.
+    #[default]
+    Pull,
+    /// Single-buffer AA pattern: even steps collide in place, odd steps
+    /// read/write along opposing direction pairs (`trillium_kernels::
+    /// inplace`). `src` is the only live buffer; its
+    /// [`SoaPdfField::parity`] flag tracks the alternating storage
+    /// convention and always equals `t % 2` between steps. Only available
+    /// for dense blocks — sparse row-interval blocks fall back to `Pull`.
+    InPlace,
+}
+
 /// The complete simulation state of one block: PDF double buffer, cell
 /// flags, sparse iteration structure, and boundary parameters.
 pub struct BlockSim {
     /// Grid geometry (interior + ghost layer).
     pub shape: Shape,
-    /// Source PDF field (post-collision values of the previous step).
+    /// Source PDF field (post-collision values of the previous step; the
+    /// *only* live buffer under [`UpdateScheme::InPlace`]).
     pub src: SoaPdfField<D3Q19>,
-    /// Destination PDF field.
+    /// Destination PDF field (unused between steps under
+    /// [`UpdateScheme::InPlace`]).
     pub dst: SoaPdfField<D3Q19>,
     /// Cell classification.
     pub flags: FlagField,
@@ -32,6 +51,8 @@ pub struct BlockSim {
     pub boundary: BoundaryParams,
     /// Kernel choice for this block.
     pub kernel: BlockKernel,
+    /// Update scheme for this block.
+    pub scheme: UpdateScheme,
 }
 
 impl BlockSim {
@@ -39,6 +60,20 @@ impl BlockSim {
     /// equilibrium of `(rho, u)`. Chooses the dense kernel when every
     /// interior cell is fluid, the row-interval kernel otherwise.
     pub fn from_flags(flags: FlagField, boundary: BoundaryParams, rho: f64, u: [f64; 3]) -> Self {
+        Self::from_flags_with_scheme(flags, boundary, rho, u, UpdateScheme::Pull)
+    }
+
+    /// [`BlockSim::from_flags`] with an explicit update scheme. A request
+    /// for [`UpdateScheme::InPlace`] on a partially covered block (sparse
+    /// kernel) falls back to [`UpdateScheme::Pull`]: the in-place sweeps
+    /// are dense-only.
+    pub fn from_flags_with_scheme(
+        flags: FlagField,
+        boundary: BoundaryParams,
+        rho: f64,
+        u: [f64; 3],
+        scheme: UpdateScheme,
+    ) -> Self {
         let shape = flags.shape();
         let mut src = SoaPdfField::new(shape);
         let dst = SoaPdfField::new(shape);
@@ -49,7 +84,11 @@ impl BlockSim {
         } else {
             BlockKernel::RowIntervals
         };
-        BlockSim { shape, src, dst, flags, intervals, boundary, kernel }
+        let scheme = match (scheme, kernel) {
+            (UpdateScheme::InPlace, BlockKernel::Dense) => UpdateScheme::InPlace,
+            _ => UpdateScheme::Pull,
+        };
+        BlockSim { shape, src, dst, flags, intervals, boundary, kernel, scheme }
     }
 
     /// Number of interior fluid cells.
@@ -105,10 +144,17 @@ impl BlockSim {
     }
 
     /// Runs the fused stream–collide sweep (TRT; SRT via equal rates) and
-    /// swaps the buffers. The returned stats carry the measured wall time
-    /// of the sweep, the per-block load signal used for rebalancing.
+    /// advances the buffer (swap for pull, parity flip for in-place). The
+    /// returned stats carry the measured wall time of the sweep, the
+    /// per-block load signal used for rebalancing.
     pub fn stream_collide(&mut self, rel: Relaxation) -> SweepStats {
         let t0 = std::time::Instant::now();
+        if self.scheme == UpdateScheme::InPlace {
+            let stats = trillium_kernels::inplace::stream_collide_trt(&mut self.src, rel);
+            let p = self.src.parity();
+            self.src.set_parity(!p);
+            return stats.timed(t0.elapsed().as_secs_f64());
+        }
         let stats = match self.kernel {
             BlockKernel::Dense => {
                 trillium_kernels::avx::stream_collide_trt(&self.src, &mut self.dst, rel)
@@ -134,6 +180,14 @@ impl BlockSim {
     pub fn stream_collide_interior(&mut self, rel: Relaxation) -> SweepStats {
         let t0 = std::time::Instant::now();
         let core = self.shape.interior_core(1);
+        if self.scheme == UpdateScheme::InPlace {
+            let stats = trillium_kernels::inplace::stream_collide_trt_region(
+                &mut self.src,
+                rel,
+                &core,
+            );
+            return stats.timed(t0.elapsed().as_secs_f64());
+        }
         let stats = match self.kernel {
             BlockKernel::Dense => trillium_kernels::avx::stream_collide_trt_region(
                 &self.src,
@@ -162,6 +216,15 @@ impl BlockSim {
         let t0 = std::time::Instant::now();
         let mut stats = SweepStats::default();
         for region in self.shape.shell_regions(1) {
+            if self.scheme == UpdateScheme::InPlace {
+                let s = trillium_kernels::inplace::stream_collide_trt_region(
+                    &mut self.src,
+                    rel,
+                    &region,
+                );
+                stats.merge(s);
+                continue;
+            }
             let s = match self.kernel {
                 BlockKernel::Dense => trillium_kernels::avx::stream_collide_trt_region(
                     &self.src,
@@ -184,10 +247,24 @@ impl BlockSim {
         stats.timed(t0.elapsed().as_secs_f64())
     }
 
-    /// Swaps the PDF double buffer; the split-sweep analogue of the swap
-    /// that [`BlockSim::stream_collide`] performs internally.
+    /// Completes a split-sweep step: swaps the PDF double buffer (pull) or
+    /// flips the storage parity (in-place) — the analogue of what
+    /// [`BlockSim::stream_collide`] performs internally. Must be called
+    /// exactly once after the interior and shell region sweeps of a step.
     pub fn swap_buffers(&mut self) {
-        self.src.swap(&mut self.dst);
+        if self.scheme == UpdateScheme::InPlace {
+            let p = self.src.parity();
+            self.src.set_parity(!p);
+        } else {
+            self.src.swap(&mut self.dst);
+        }
+    }
+
+    /// The current AA-pattern storage parity of the live buffer (always
+    /// `false` for pull blocks; equals `t % 2 == 1` between steps for
+    /// in-place blocks).
+    pub fn step_parity(&self) -> bool {
+        self.src.parity()
     }
 
     /// The `(cells, fluid_cells)` counters one *full* sweep of this block
@@ -408,6 +485,77 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// An in-place (AA-pattern) block must evolve bitwise identically to
+    /// the pull reference — via the monolithic step and via the split
+    /// (overlapped) step order, across both step parities.
+    #[test]
+    fn inplace_scheme_is_bitwise_identical_to_pull() {
+        let boundary = BoundaryParams { wall_velocity: [0.05, 0.0, 0.0], ..Default::default() };
+        let rel = Relaxation::trt_from_tau(0.9, MAGIC_TRT);
+        let mut pull = BlockSim::from_flags(cavity_flags(8), boundary, 1.0, [0.0; 3]);
+        let mut mono = BlockSim::from_flags_with_scheme(
+            cavity_flags(8),
+            boundary,
+            1.0,
+            [0.0; 3],
+            UpdateScheme::InPlace,
+        );
+        let mut split = BlockSim::from_flags_with_scheme(
+            cavity_flags(8),
+            boundary,
+            1.0,
+            [0.0; 3],
+            UpdateScheme::InPlace,
+        );
+        assert_eq!(mono.scheme, UpdateScheme::InPlace);
+        for step in 0..15u64 {
+            pull.apply_boundaries();
+            pull.stream_collide(rel);
+
+            mono.apply_boundaries();
+            mono.stream_collide(rel);
+            assert_eq!(mono.step_parity(), (step + 1) % 2 == 1);
+
+            split.apply_boundaries_interior();
+            split.stream_collide_interior(rel);
+            split.apply_boundaries_ghost();
+            split.stream_collide_shell(rel);
+            split.swap_buffers();
+
+            for (x, y, z) in pull.shape.interior().iter() {
+                for q in 0..19 {
+                    let r = pull.src.get(x, y, z, q);
+                    assert!(
+                        r.to_bits() == mono.src.get(x, y, z, q).to_bits()
+                            && r.to_bits() == split.src.get(x, y, z, q).to_bits(),
+                        "step {step} differs at ({x},{y},{z}) q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sparse (row-interval) blocks cannot run in place; the scheme
+    /// request degrades to pull instead of producing a broken block.
+    #[test]
+    fn inplace_falls_back_to_pull_on_sparse_blocks() {
+        let shape = Shape::cube(8);
+        let mut flags = FlagField::new(shape);
+        for x in 0..8 {
+            flags.set_flags(x, 4, 4, CellFlags::FLUID);
+        }
+        flags.dilate_hull(&trillium_lattice::d3q19::C, CellFlags::NOSLIP);
+        let block = BlockSim::from_flags_with_scheme(
+            flags,
+            BoundaryParams::default(),
+            1.0,
+            [0.0; 3],
+            UpdateScheme::InPlace,
+        );
+        assert_eq!(block.kernel, BlockKernel::RowIntervals);
+        assert_eq!(block.scheme, UpdateScheme::Pull);
     }
 
     #[test]

@@ -2,45 +2,87 @@
 //! simulations can be split across runs (complementing the §2.2 workflow
 //! where the *block structure* is precomputed and loaded from file).
 //!
-//! The format is little-endian binary: a header with the block shape and
-//! a flag digest, followed by the raw interior+ghost PDF data of *both*
-//! halves of the double buffer. Restoring into a block with different
-//! shape or flags is rejected.
+//! The format is little-endian binary: a header with the block shape, a
+//! flag digest, and the block's update scheme, followed by the raw
+//! interior+ghost PDF data. Restoring into a block with different shape
+//! or flags is rejected.
 //!
-//! Both buffers must travel: cells outside the sparse sweep's coverage
-//! (deep solid interior, unexchanged ghost corners) are never rewritten,
-//! so their values alternate between the two buffers with step parity.
-//! A checkpoint that carried only the source field would replay those
-//! cells with the wrong parity whenever the restore step is odd —
-//! bitwise divergence from the unfaulted run.
+//! For two-field (pull) blocks *both* buffers travel: cells outside the
+//! sparse sweep's coverage (deep solid interior, unexchanged ghost
+//! corners) are never rewritten, so their values alternate between the
+//! two buffers with step parity. A checkpoint that carried only the
+//! source field would replay those cells with the wrong parity whenever
+//! the restore step is odd — bitwise divergence from the unfaulted run.
+//!
+//! In-place (AA-pattern) blocks have no second half: the entire state,
+//! including never-touched cells, lives in one buffer whose storage
+//! convention is identified by the field's parity bit. Their checkpoints
+//! carry the scheme byte (encoding the parity) and the single buffer —
+//! roughly half the payload of a pull checkpoint.
 
-use crate::blocksim::BlockSim;
+use crate::blocksim::{BlockSim, UpdateScheme};
 use bytes::{Buf, BufMut};
 
 /// Magic bytes of the checkpoint format.
 pub const MAGIC: &[u8; 4] = b"TCP1";
 
-/// Serializes a block's PDF state.
+/// Wire encoding of the update scheme + storage parity.
+fn scheme_byte(block: &BlockSim) -> u8 {
+    match block.scheme {
+        UpdateScheme::Pull => 0,
+        UpdateScheme::InPlace => {
+            if block.src.parity() {
+                2
+            } else {
+                1
+            }
+        }
+    }
+}
+
+/// Applies a wire scheme byte to a freshly restored block.
+fn apply_scheme(block: &mut BlockSim, byte: u8) -> Result<(), RestoreError> {
+    match byte {
+        0 => {
+            block.scheme = UpdateScheme::Pull;
+            block.src.set_parity(false);
+        }
+        1 | 2 => {
+            block.scheme = UpdateScheme::InPlace;
+            block.src.set_parity(byte == 2);
+        }
+        _ => return Err(RestoreError::BadScheme),
+    }
+    Ok(())
+}
+
+/// Serializes a block's PDF state. Pull blocks carry both halves of the
+/// double buffer; in-place blocks carry their single buffer only.
 pub fn save_block(block: &BlockSim) -> Vec<u8> {
     let s = block.shape;
-    let mut buf = Vec::with_capacity(4 + 16 + 8 + s.alloc_cells() * 2 * 19 * 8);
+    let both = block.scheme == UpdateScheme::Pull;
+    let halves = if both { 2 } else { 1 };
+    let mut buf = Vec::with_capacity(4 + 16 + 8 + 1 + s.alloc_cells() * halves * 19 * 8);
     buf.extend_from_slice(MAGIC);
     buf.put_u32_le(s.nx as u32);
     buf.put_u32_le(s.ny as u32);
     buf.put_u32_le(s.nz as u32);
     buf.put_u32_le(s.ghost as u32);
     buf.put_u64_le(flag_digest(block));
+    buf.put_u8(scheme_byte(block));
     for v in block.src.data() {
         buf.put_f64_le(*v);
     }
-    for v in block.dst.data() {
-        buf.put_f64_le(*v);
+    if both {
+        for v in block.dst.data() {
+            buf.put_f64_le(*v);
+        }
     }
     buf
 }
 
 /// Errors from [`restore_block`].
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RestoreError {
     /// Wrong magic bytes.
     BadMagic,
@@ -48,6 +90,8 @@ pub enum RestoreError {
     ShapeMismatch,
     /// Flag field differs from the checkpointed block's.
     FlagMismatch,
+    /// Unknown update-scheme byte.
+    BadScheme,
     /// Data ended early.
     Truncated,
 }
@@ -58,7 +102,7 @@ pub enum RestoreError {
 /// file, then restore PDFs).
 pub fn restore_block(block: &mut BlockSim, data: &[u8]) -> Result<(), RestoreError> {
     let mut buf = data;
-    if buf.len() < 4 + 16 + 8 || &buf[..4] != MAGIC {
+    if buf.len() < 4 + 16 + 8 + 1 || &buf[..4] != MAGIC {
         return Err(RestoreError::BadMagic);
     }
     buf.advance(4);
@@ -71,15 +115,20 @@ pub fn restore_block(block: &mut BlockSim, data: &[u8]) -> Result<(), RestoreErr
     if buf.get_u64_le() != flag_digest(block) {
         return Err(RestoreError::FlagMismatch);
     }
+    let scheme = buf.get_u8();
+    apply_scheme(block, scheme)?;
     let n = s.alloc_cells() * 19;
-    if buf.len() < 2 * n * 8 {
+    let halves = if scheme == 0 { 2 } else { 1 };
+    if buf.len() < halves * n * 8 {
         return Err(RestoreError::Truncated);
     }
     for v in block.src.data_mut() {
         *v = buf.get_f64_le();
     }
-    for v in block.dst.data_mut() {
-        *v = buf.get_f64_le();
+    if scheme == 0 {
+        for v in block.dst.data_mut() {
+            *v = buf.get_f64_le();
+        }
     }
     Ok(())
 }
@@ -96,18 +145,23 @@ pub const MAGIC_FULL: &[u8; 4] = b"TCP2";
 /// them.
 pub fn save_block_full(block: &BlockSim) -> Vec<u8> {
     let s = block.shape;
-    let mut buf = Vec::with_capacity(4 + 16 + s.alloc_cells() * (1 + 2 * 19 * 8));
+    let both = block.scheme == UpdateScheme::Pull;
+    let halves = if both { 2 } else { 1 };
+    let mut buf = Vec::with_capacity(4 + 16 + 1 + s.alloc_cells() * (1 + halves * 19 * 8));
     buf.extend_from_slice(MAGIC_FULL);
     buf.put_u32_le(s.nx as u32);
     buf.put_u32_le(s.ny as u32);
     buf.put_u32_le(s.nz as u32);
     buf.put_u32_le(s.ghost as u32);
+    buf.put_u8(scheme_byte(block));
     buf.extend_from_slice(block.flags.data());
     for v in block.src.data() {
         buf.put_f64_le(*v);
     }
-    for v in block.dst.data() {
-        buf.put_f64_le(*v);
+    if both {
+        for v in block.dst.data() {
+            buf.put_f64_le(*v);
+        }
     }
     buf
 }
@@ -124,7 +178,7 @@ pub fn restore_block_full(
 ) -> Result<BlockSim, RestoreError> {
     use trillium_field::Shape;
     let mut buf = data;
-    if buf.len() < 4 + 16 || &buf[..4] != MAGIC_FULL {
+    if buf.len() < 4 + 16 + 1 || &buf[..4] != MAGIC_FULL {
         return Err(RestoreError::BadMagic);
     }
     buf.advance(4);
@@ -132,7 +186,12 @@ pub fn restore_block_full(
         (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le());
     let shape = Shape::new(nx as usize, ny as usize, nz as usize, ghost as usize);
     let cells = shape.alloc_cells();
-    if buf.len() < cells * (1 + 2 * 19 * 8) {
+    let scheme = buf.get_u8();
+    if scheme > 2 {
+        return Err(RestoreError::BadScheme);
+    }
+    let halves = if scheme == 0 { 2 } else { 1 };
+    if buf.len() < cells * (1 + halves * 19 * 8) {
         return Err(RestoreError::Truncated);
     }
     let mut flags = trillium_field::FlagField::new(shape);
@@ -140,11 +199,14 @@ pub fn restore_block_full(
     buf.advance(cells);
     // rho/u only seed the equilibrium that the wire PDFs overwrite next.
     let mut block = BlockSim::from_flags(flags, boundary, 1.0, [0.0; 3]);
+    apply_scheme(&mut block, scheme)?;
     for v in block.src.data_mut() {
         *v = buf.get_f64_le();
     }
-    for v in block.dst.data_mut() {
-        *v = buf.get_f64_le();
+    if scheme == 0 {
+        for v in block.dst.data_mut() {
+            *v = buf.get_f64_le();
+        }
     }
     Ok(block)
 }
@@ -336,6 +398,70 @@ mod tests {
             restore_forest(b"XXXX............", boundary),
             Err(RestoreError::BadMagic)
         ));
+    }
+
+    fn inplace_cavity_block(n: usize) -> BlockSim {
+        let flags = boxed_block_flags(
+            Shape::cube(n),
+            [
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::VELOCITY),
+            ],
+        );
+        let boundary = BoundaryParams { wall_velocity: [0.05, 0.0, 0.0], ..Default::default() };
+        BlockSim::from_flags_with_scheme(flags, boundary, 1.0, [0.0; 3], UpdateScheme::InPlace)
+    }
+
+    /// In-place blocks checkpoint a single buffer: the payload is ~2×
+    /// smaller than a pull block's, the parity survives the round trip
+    /// (including through an odd restore step), and the resumed run is
+    /// bitwise identical to the uninterrupted one.
+    #[test]
+    fn inplace_checkpoint_is_single_buffer_and_resumes_bitwise() {
+        let rel = Relaxation::trt_from_viscosity(0.05);
+        let step = |b: &mut BlockSim| {
+            b.apply_boundaries();
+            b.stream_collide(rel);
+        };
+
+        // Size: one PDF buffer instead of two.
+        let pull = cavity_block(8);
+        let inp = inplace_cavity_block(8);
+        let half = inp.shape.alloc_cells() * 19 * 8;
+        assert_eq!(save_block(&pull).len() - save_block(&inp).len(), half);
+        assert_eq!(save_block_full(&pull).len() - save_block_full(&inp).len(), half);
+        assert!(save_block(&inp).len() < save_block(&pull).len() * 6 / 10);
+
+        // Round trip at odd parity resumes bitwise.
+        let mut a = inplace_cavity_block(8);
+        for _ in 0..40 {
+            step(&mut a);
+        }
+        let mut b = inplace_cavity_block(8);
+        for _ in 0..21 {
+            step(&mut b);
+        }
+        assert!(b.src.parity(), "odd step count must leave odd parity");
+        let ckpt = save_block(&b);
+        let mut c = inplace_cavity_block(8);
+        restore_block(&mut c, &ckpt).unwrap();
+        assert!(c.src.parity(), "restore must recover storage parity");
+        assert_eq!(c.scheme, UpdateScheme::InPlace);
+        for _ in 0..19 {
+            step(&mut c);
+        }
+        assert_eq!(a.src.data(), c.src.data());
+
+        // The migration wire format round-trips the same way.
+        let boundary = BoundaryParams { wall_velocity: [0.05, 0.0, 0.0], ..Default::default() };
+        let d = restore_block_full(&save_block_full(&b), boundary).unwrap();
+        assert_eq!(d.scheme, UpdateScheme::InPlace);
+        assert!(d.src.parity());
+        assert_eq!(d.src.data(), b.src.data());
     }
 
     #[test]

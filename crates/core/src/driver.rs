@@ -132,6 +132,10 @@ pub struct RebalanceConfig {
     pub plan: PlanOptions,
     /// Observability toggle (see [`DriverConfig::obs`]).
     pub obs: ObsConfig,
+    /// Dump every block's final interior PDFs (see
+    /// [`DriverConfig::collect_pdfs`]); `RunResult::pdf_dump` sorts by
+    /// block id, so the dump compares equal across migration histories.
+    pub collect_pdfs: bool,
 }
 
 impl Default for RebalanceConfig {
@@ -144,6 +148,7 @@ impl Default for RebalanceConfig {
             ewma_alpha: 0.25,
             plan: PlanOptions::default(),
             obs: ObsConfig::default(),
+            collect_pdfs: false,
         }
     }
 }
@@ -987,7 +992,7 @@ fn rank_loop_rebalanced(
         mass_initial,
         mass_final,
         probes: Vec::new(),
-        pdfs: Vec::new(),
+        pdfs: if cfg.collect_pdfs { dump_pdfs(&view, &blocks) } else { Vec::new() },
         has_nan,
         wall_time: f.wall,
         obs: f.obs,

@@ -50,7 +50,7 @@ pub mod scenario;
 
 /// Convenient glob import for applications.
 pub mod prelude {
-    pub use crate::blocksim::BlockSim;
+    pub use crate::blocksim::{BlockSim, UpdateScheme};
     pub use crate::driver::{
         run_distributed, run_distributed_rebalanced, run_distributed_with, DriverConfig,
         RankResult, RebalanceConfig, RunResult,
@@ -58,7 +58,8 @@ pub mod prelude {
     pub use crate::loadbalance::{block_graph, graph_balance};
     pub use crate::pipeline::{setup_domain, DomainSetup};
     pub use crate::recovery::{
-        run_distributed_resilient, RankResilience, ResilienceConfig, ResilientRunResult,
+        run_distributed_resilient, RankResilience, RecoveryError, ResilienceConfig,
+        ResilientRunResult,
     };
     pub use crate::scenario::{BalanceStrategy, KernelChoice, Scenario};
     pub use trillium_comm::{CommError, CrashSpec, FaultConfig, FaultEvent};

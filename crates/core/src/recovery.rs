@@ -31,7 +31,7 @@
 //! (Young/Daly), not here.
 
 use crate::blocksim::BlockSim;
-use crate::checkpoint::{restore_forest, save_forest};
+use crate::checkpoint::{restore_forest, save_forest, RestoreError};
 use crate::driver::{
     dump_pdfs, exchange_ghosts, fold_obs, for_each_block, locate_probes, map_each_block,
     overlapped_step, DriverConfig, GhostCtx, RankResult, RunResult, M_STEP_SECONDS,
@@ -40,7 +40,7 @@ use crate::scenario::Scenario;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use trillium_blockforest::{distribute, BlockId, DistributedForest};
-use trillium_comm::{Communicator, FaultConfig, FaultEvent, World};
+use trillium_comm::{CommError, Communicator, FaultConfig, FaultEvent, World};
 use trillium_kernels::SweepStats;
 use trillium_obs::{Recorder, SpanKind};
 
@@ -58,8 +58,9 @@ pub struct ResilienceConfig {
     /// that noticed nothing keeps stepping until its next agreement
     /// point times out, and only then joins recovery.
     pub recovery_timeout: Duration,
-    /// Recoveries after which a rank gives up (panics) instead of
-    /// thrashing forever against a persistent failure.
+    /// Recoveries after which a rank gives up (returning
+    /// [`RecoveryError::TooManyRecoveries`]) instead of thrashing
+    /// forever against a persistent failure.
     pub max_recoveries: u32,
     /// Deterministic fault plan installed on every rank (None = clean
     /// run; the resilient schedule then only adds the timeouts).
@@ -80,6 +81,71 @@ impl Default for ResilienceConfig {
         }
     }
 }
+
+/// Terminal resilience failures: conditions the rollback protocol
+/// cannot recover from, surfaced to the caller as an error instead of a
+/// rank panic (which would poison the whole thread-backed world and
+/// hide the cause behind a generic join failure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The cohort exhausted [`ResilienceConfig::max_recoveries`]
+    /// rollbacks without completing the run — a persistent failure no
+    /// amount of replay fixes.
+    TooManyRecoveries {
+        /// Rank that gave up (recovery is global, so usually all do).
+        rank: u32,
+        /// Completed rollback recoveries before giving up.
+        attempts: u32,
+    },
+    /// The recovery barrier itself failed: a peer never joined within
+    /// [`ResilienceConfig::recovery_timeout`], so no consistent restore
+    /// point could be negotiated.
+    CohortUnrecoverable {
+        /// Rank reporting the failed barrier.
+        rank: u32,
+        /// The communication failure that broke the barrier.
+        error: CommError,
+    },
+    /// The negotiated restore step is not in this rank's local
+    /// checkpoint history — the retention policy and the negotiation
+    /// disagree (a protocol invariant violation, kept as a defined
+    /// error rather than an assert).
+    MissingCheckpoint {
+        /// Rank missing the snapshot.
+        rank: u32,
+        /// The step the cohort agreed to restore.
+        step: u64,
+    },
+    /// A locally held checkpoint failed to deserialize — stable storage
+    /// corruption.
+    CorruptCheckpoint {
+        /// Rank holding the corrupt snapshot.
+        rank: u32,
+        /// The decode failure.
+        error: RestoreError,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::TooManyRecoveries { rank, attempts } => {
+                write!(f, "rank {rank}: gave up after {attempts} recoveries")
+            }
+            RecoveryError::CohortUnrecoverable { rank, error } => {
+                write!(f, "rank {rank}: cohort unrecoverable: {error}")
+            }
+            RecoveryError::MissingCheckpoint { rank, step } => {
+                write!(f, "rank {rank}: negotiated checkpoint for step {step} not held locally")
+            }
+            RecoveryError::CorruptCheckpoint { rank, error } => {
+                write!(f, "rank {rank}: checkpoint unreadable: {error:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// Per-rank resilience accounting.
 #[derive(Clone, Debug)]
@@ -144,6 +210,11 @@ impl ResilientRunResult {
 /// on failure. With [`ResilienceConfig::fault`] set, the deterministic
 /// fault plan is installed on every rank. Results (probes, PDFs, mass)
 /// are bitwise identical to the corresponding non-resilient run.
+///
+/// Unrecoverable conditions (recovery budget exhausted, a broken
+/// recovery barrier, unreadable stable storage) come back as
+/// [`RecoveryError`] — the lowest-ranked report when several ranks fail
+/// together, which they usually do: recovery is a global event.
 pub fn run_distributed_resilient(
     scenario: &Scenario,
     num_procs: u32,
@@ -151,7 +222,7 @@ pub fn run_distributed_resilient(
     steps: u64,
     probes: &[[i64; 3]],
     cfg: &ResilienceConfig,
-) -> ResilientRunResult {
+) -> Result<ResilientRunResult, RecoveryError> {
     let forest = scenario.make_forest(num_procs);
     let views = distribute(&forest);
     let epoch = Instant::now();
@@ -163,8 +234,14 @@ pub fn run_distributed_resilient(
         Some(fc) => World::run_with_faults(num_procs, fc.clone(), f),
         None => World::run(num_procs, f),
     };
-    let (ranks, reports) = results.into_iter().unzip();
-    ResilientRunResult { run: RunResult { steps, ranks }, reports }
+    let mut ranks = Vec::with_capacity(results.len());
+    let mut reports = Vec::with_capacity(results.len());
+    for r in results {
+        let (rank, rep) = r?;
+        ranks.push(rank);
+        reports.push(rep);
+    }
+    Ok(ResilientRunResult { run: RunResult { steps, ranks }, reports })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -177,7 +254,7 @@ fn resilient_rank_loop(
     probes: &[[i64; 3]],
     rc: &ResilienceConfig,
     epoch: Instant,
-) -> (RankResult, RankResilience) {
+) -> Result<(RankResult, RankResilience), RecoveryError> {
     let rank = comm.rank();
     let rec = Recorder::with_epoch(rank, rc.driver.obs, epoch);
     let mut blocks: Vec<BlockSim> = view.blocks.iter().map(|lb| scenario.build_block(lb)).collect();
@@ -199,13 +276,15 @@ fn resilient_rank_loop(
     // deployment this buffer lives on the parallel file system; here the
     // in-memory copy models stable storage that survives the fail-stop
     // crash (the "restarted from the pool" replacement re-reads it).
-    // The runtime keeps the newest TWO checkpoints, not one: a
+    // The runtime keeps the newest THREE checkpoints, not one: a
     // checkpoint agreement can be torn by a failure (some ranks receive
-    // the commit verdict, a straggler times out first), leaving the
-    // newest snapshot committed on only part of the cohort. Recovery
-    // then negotiates the newest step *everyone* owns (the minimum over
-    // ranks, carried by `recovery_sync`) — which is always one of the
-    // last two.
+    // the commit verdict, a straggler times out first), and consecutive
+    // torn commits stagger the per-rank histories by up to two epochs.
+    // Recovery then negotiates the newest step *everyone* still owns —
+    // `recovery_sync` intersects the full held-step sets, so a snapshot
+    // this rank committed eagerly is never picked unless every peer
+    // holds it too. Three deep is the smallest history for which the
+    // intersection provably stays non-empty under that staggering.
     let mut ckpts: Vec<(u64, Vec<u8>, SweepStats)> = vec![(0, snap(&blocks, 0), stats)];
     let mut rep = RankResilience {
         rank,
@@ -231,24 +310,27 @@ fn resilient_rank_loop(
             // `Recovery` span; the guard closes at the `continue`.
             let _rg = rec.span(SpanKind::Recovery);
             need_recovery = false;
+            // Give up *before* attempting one more rollback: the
+            // previous formulation incremented first and reported
+            // `recoveries - 1`, so the panic message was one short of
+            // the rollbacks actually burned when the budget ran out.
+            if rep.recoveries >= rc.max_recoveries {
+                return Err(RecoveryError::TooManyRecoveries { rank, attempts: rep.recoveries });
+            }
             rep.recoveries += 1;
-            assert!(
-                rep.recoveries <= rc.max_recoveries,
-                "rank {rank}: gave up after {} recoveries",
-                rep.recoveries - 1
-            );
-            let newest = ckpts.last().expect("checkpoint history is never empty").0;
+            let held: Vec<u64> = ckpts.iter().map(|c| c.0).collect();
             let restore_step = comm
-                .recovery_sync(rc.recovery_timeout, newest)
-                .unwrap_or_else(|e| panic!("rank {rank}: cohort unrecoverable: {e}"));
+                .recovery_sync(rc.recovery_timeout, &held)
+                .map_err(|error| RecoveryError::CohortUnrecoverable { rank, error })?;
             // Snapshots newer than the agreed cut were committed on only
             // part of the cohort — inconsistent, discard them.
             ckpts.retain(|c| c.0 <= restore_step);
-            let (saved_step, bytes, ckpt_stats) =
-                ckpts.last().expect("negotiated restore step must be locally held");
-            assert_eq!(*saved_step, restore_step, "rank {rank}: missing checkpoint");
-            let (_, restored) =
-                restore_forest(bytes, scenario.boundary).expect("stable checkpoint readable");
+            let (_, bytes, ckpt_stats) = match ckpts.last() {
+                Some(c) if c.0 == restore_step => c,
+                _ => return Err(RecoveryError::MissingCheckpoint { rank, step: restore_step }),
+            };
+            let (_, restored) = restore_forest(bytes, scenario.boundary)
+                .map_err(|error| RecoveryError::CorruptCheckpoint { rank, error })?;
             blocks = restored.into_iter().map(|(_, b)| b).collect();
             debug_assert_eq!(blocks.len(), view.blocks.len());
             rep.replayed_steps += t.saturating_sub(restore_step);
@@ -326,7 +408,7 @@ fn resilient_rank_loop(
                 Ok(true) => {
                     if t % k == 0 && t < steps {
                         ckpts.push((t, snap(&blocks, t), stats));
-                        if ckpts.len() > 2 {
+                        if ckpts.len() > 3 {
                             ckpts.remove(0);
                         }
                         rep.checkpoints += 1;
@@ -360,7 +442,7 @@ fn resilient_rank_loop(
         m.add("resilience.replayed_steps", rep.replayed_steps);
     }
     let f = fold_obs(rec, &comm);
-    (
+    Ok((
         RankResult {
             rank,
             num_blocks: blocks.len(),
@@ -380,7 +462,7 @@ fn resilient_rank_loop(
             rebalance: None,
         },
         rep,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -401,7 +483,7 @@ mod tests {
             driver: pdf_cfg(),
             ..ResilienceConfig::default()
         };
-        let res = run_distributed_resilient(&scenario, 4, 1, 12, &[], &rc);
+        let res = run_distributed_resilient(&scenario, 4, 1, 12, &[], &rc).expect("clean run");
         assert_eq!(res.recoveries(), 0);
         assert_eq!(res.replayed_steps(), 0);
         // initial + steps 5 and 10
@@ -420,7 +502,8 @@ mod tests {
             driver: pdf_cfg(),
             ..ResilienceConfig::default()
         };
-        let res = run_distributed_resilient(&scenario, 4, 1, 10, &[], &rc);
+        let res =
+            run_distributed_resilient(&scenario, 4, 1, 10, &[], &rc).expect("crash is recoverable");
         assert_eq!(res.recoveries(), 1);
         // Rolled back from step 6 to the step-4 checkpoint on every rank.
         assert_eq!(res.replayed_steps(), 4 * 2);
@@ -455,9 +538,73 @@ mod tests {
                 driver: pdf_cfg(),
                 ..ResilienceConfig::default()
             };
-            let res = run_distributed_resilient(&scenario, 2, 1, 1, &[], &rc);
+            let res = run_distributed_resilient(&scenario, 2, 1, 1, &[], &rc)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(res.recoveries(), 1, "seed {seed}: the drop must cause one rollback");
             assert_eq!(plain.pdf_dump(), res.run.pdf_dump(), "seed {seed}: replay must converge");
+        }
+    }
+
+    /// A persistent failure must surface as a typed error with a correct
+    /// attempt count, not a rank panic: with `max_recoveries: 0` the
+    /// very first rollback is refused.
+    #[test]
+    fn exhausted_recovery_budget_is_a_typed_error() {
+        let scenario = Scenario::lid_driven_cavity(16, 2, 0.05, 0.08);
+        let rc = ResilienceConfig {
+            checkpoint_every: 4,
+            step_timeout: Duration::from_secs(2),
+            recovery_timeout: Duration::from_secs(4),
+            max_recoveries: 0,
+            fault: Some(FaultConfig::new(7).with_crash(2, 6)),
+            ..ResilienceConfig::default()
+        };
+        let err = run_distributed_resilient(&scenario, 4, 1, 10, &[], &rc)
+            .expect_err("zero budget cannot absorb a crash");
+        match err {
+            RecoveryError::TooManyRecoveries { attempts, .. } => {
+                assert_eq!(attempts, 0, "budget checked before burning another rollback");
+                assert!(err.to_string().contains("gave up after 0 recoveries"));
+            }
+            // Ranks that noticed the dead peer only after the victim
+            // already gave up see the broken barrier instead; either
+            // report is a faithful account of the same failure.
+            RecoveryError::CohortUnrecoverable { .. } => {}
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    /// Regression seed scan for the checkpoint-retention bug: under
+    /// sustained message drops, consecutive torn checkpoint commits
+    /// stagger the per-rank histories, and the 2-deep history used to
+    /// prune a step the cohort later negotiated ("missing checkpoint"
+    /// panic). With intersection negotiation over a 3-deep history every
+    /// seed must either complete bitwise identical to the unfaulted run
+    /// or fail with a typed error — never a missing local snapshot.
+    #[test]
+    fn drop_seed_scan_never_loses_a_negotiated_checkpoint() {
+        let scenario = Scenario::lid_driven_cavity(16, 2, 0.05, 0.08);
+        let plain = run_distributed_with(&scenario, 4, 1, 14, &[], pdf_cfg());
+        for seed in 0..12u64 {
+            let rc = ResilienceConfig {
+                checkpoint_every: 3,
+                step_timeout: Duration::from_millis(500),
+                recovery_timeout: Duration::from_secs(5),
+                fault: Some(FaultConfig::new(seed).with_drops(0.03).with_fault_cap(3)),
+                driver: pdf_cfg(),
+                ..ResilienceConfig::default()
+            };
+            match run_distributed_resilient(&scenario, 4, 1, 14, &[], &rc) {
+                Ok(res) => assert_eq!(
+                    plain.pdf_dump(),
+                    res.run.pdf_dump(),
+                    "seed {seed}: replay must converge bitwise"
+                ),
+                Err(e @ RecoveryError::MissingCheckpoint { .. }) => {
+                    panic!("seed {seed}: retention pruned a negotiated step: {e}")
+                }
+                Err(e) => panic!("seed {seed}: capped drops must be recoverable: {e}"),
+            }
         }
     }
 }

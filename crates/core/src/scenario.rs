@@ -8,7 +8,7 @@
 //!   vascular tree) voxelized per block with colored boundary conditions,
 //!   the §4.3 configuration.
 
-use crate::blocksim::{boxed_block_flags, BlockSim};
+use crate::blocksim::{boxed_block_flags, BlockSim, UpdateScheme};
 use std::sync::Arc;
 use trillium_blockforest::{morton_balance, skewed_balance, LocalBlock, SetupForest};
 use trillium_field::{CellFlags, FlagOps, Shape};
@@ -19,10 +19,28 @@ use trillium_kernels::BoundaryParams;
 use trillium_lattice::Relaxation;
 
 /// Which kernel family the driver should let blocks pick.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum KernelChoice {
-    /// Dense kernel for fully fluid blocks, sparse otherwise (default).
+    /// Dense kernel for fully fluid blocks, sparse otherwise; two-field
+    /// pull update (default). Alias of [`KernelChoice::Pull`].
+    #[default]
     Auto,
+    /// Explicitly the two-field pull update scheme.
+    Pull,
+    /// Single-buffer AA-pattern update for dense blocks (sparse blocks
+    /// still fall back to the pull scheme). Bitwise identical to `Pull`
+    /// on every driver schedule; halves the PDF checkpoint footprint.
+    InPlace,
+}
+
+impl KernelChoice {
+    /// The per-block update scheme this choice requests.
+    pub fn scheme(self) -> UpdateScheme {
+        match self {
+            KernelChoice::Auto | KernelChoice::Pull => UpdateScheme::Pull,
+            KernelChoice::InPlace => UpdateScheme::InPlace,
+        }
+    }
 }
 
 /// How the initial (static) balancer assigns blocks to ranks.
@@ -56,6 +74,8 @@ pub struct Scenario {
     pub u0: [f64; 3],
     /// Static balancer used by [`Scenario::make_forest`].
     pub balance: BalanceStrategy,
+    /// Kernel/update-scheme choice for the blocks.
+    pub kernel: KernelChoice,
     kind: Kind,
 }
 
@@ -92,6 +112,7 @@ impl Scenario {
             rho0: 1.0,
             u0: [0.0; 3],
             balance: BalanceStrategy::Morton,
+            kernel: KernelChoice::Auto,
             kind: Kind::Cavity,
         }
     }
@@ -122,6 +143,7 @@ impl Scenario {
             rho0: 1.0,
             u0: [0.0; 3],
             balance: BalanceStrategy::Morton,
+            kernel: KernelChoice::Auto,
             kind: Kind::Channel {
                 center: [n[0] as f64 / 2.0, n[1] as f64 / 2.0, n[2] as f64 / 2.0],
                 radius,
@@ -156,6 +178,7 @@ impl Scenario {
             rho0: 1.0,
             u0: [0.0; 3],
             balance: BalanceStrategy::Morton,
+            kernel: KernelChoice::Auto,
             kind: Kind::Domain { sdf, config, dx },
         }
     }
@@ -187,6 +210,14 @@ impl Scenario {
         self
     }
 
+    /// Selects the PDF update scheme built into every block (see
+    /// [`KernelChoice`]). Sparse blocks silently fall back to the pull
+    /// update, which supports row-interval iteration.
+    pub fn with_kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Builds the simulation state of one local block.
     pub fn build_block(&self, lb: &LocalBlock) -> BlockSim {
         let shape = Shape::new(self.cells[0], self.cells[1], self.cells[2], 1);
@@ -204,7 +235,13 @@ impl Scenario {
                         border[5].then_some(CellFlags::VELOCITY), // moving lid at +z
                     ],
                 );
-                BlockSim::from_flags(flags, self.boundary, self.rho0, self.u0)
+                BlockSim::from_flags_with_scheme(
+                    flags,
+                    self.boundary,
+                    self.rho0,
+                    self.u0,
+                    self.kernel.scheme(),
+                )
             }
             Kind::Channel { center, radius } => {
                 let border = self.border_faces(lb);
@@ -239,11 +276,23 @@ impl Scenario {
                         }
                     }
                 }
-                BlockSim::from_flags(flags, self.boundary, self.rho0, self.u0)
+                BlockSim::from_flags_with_scheme(
+                    flags,
+                    self.boundary,
+                    self.rho0,
+                    self.u0,
+                    self.kernel.scheme(),
+                )
             }
             Kind::Domain { sdf, config, dx } => {
                 let flags = voxelize_block(sdf.as_ref(), lb.aabb.min, *dx, shape, config);
-                BlockSim::from_flags(flags, self.boundary, self.rho0, self.u0)
+                BlockSim::from_flags_with_scheme(
+                    flags,
+                    self.boundary,
+                    self.rho0,
+                    self.u0,
+                    self.kernel.scheme(),
+                )
             }
         }
     }

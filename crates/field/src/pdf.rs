@@ -146,19 +146,67 @@ impl<M: LatticeModel> PdfField<M> for AosPdfField<M> {
 
 /// PDF field in Structure-of-Arrays layout: one dense grid per direction,
 /// linear index `q * alloc_cells + cell`.
+///
+/// # In-place (AA-pattern) storage parity
+///
+/// Besides the classic two-field pull scheme, this field supports the
+/// single-buffer AA-pattern update. There the *storage convention*
+/// alternates every time step: after the even ("transport") sweep the
+/// post-collision value of direction `q` at cell `x` lives at storage slot
+/// `(x + c_q, q̄)` — one hop downstream in the *opposite* direction's grid
+/// — and the subsequent odd ("local") sweep puts everything back in the
+/// canonical slot. The [`parity`](Self::parity) flag records which
+/// convention the buffer currently uses; the [`PdfField`] accessors
+/// transparently translate logical `(x, q)` coordinates to the rotated
+/// storage slots when `parity` is odd, so layout-agnostic code (boundary
+/// sweeps, ghost pack/unpack, probes, validation) works unmodified at both
+/// parities. Raw accessors (`dir`, `dir_mut`, `data`, `dirs_mut`) always
+/// expose the untranslated storage view.
 pub struct SoaPdfField<M: LatticeModel> {
     shape: Shape,
     data: Vec<f64>,
+    parity: bool,
     _model: std::marker::PhantomData<M>,
 }
 
 impl<M: LatticeModel> SoaPdfField<M> {
-    /// Allocates a zero-initialized field.
+    /// Allocates a zero-initialized field (even/canonical parity).
     pub fn new(shape: Shape) -> Self {
         SoaPdfField {
             shape,
             data: vec![0.0; shape.alloc_cells() * M::Q],
+            parity: false,
             _model: std::marker::PhantomData,
+        }
+    }
+
+    /// Current storage parity: `false` = canonical (pull-compatible)
+    /// layout, `true` = rotated AA layout (logical `(x, q)` is stored at
+    /// `(x + c_q, q̄)`).
+    #[inline(always)]
+    pub fn parity(&self) -> bool {
+        self.parity
+    }
+
+    /// Sets the storage-parity flag. Does not move any data — callers
+    /// (the in-place sweeps) flip this exactly when they change the
+    /// storage convention.
+    #[inline(always)]
+    pub fn set_parity(&mut self, parity: bool) {
+        self.parity = parity;
+    }
+
+    /// Storage slot (direction grid, linear cell index) of logical PDF
+    /// `(x, y, z, q)` under the current parity.
+    #[inline(always)]
+    fn slot(&self, x: i32, y: i32, z: i32, q: usize) -> usize {
+        if self.parity {
+            let c = M::velocities()[q];
+            let qi = M::inverse()[q];
+            qi * self.shape.alloc_cells()
+                + self.shape.idx(x + c[0] as i32, y + c[1] as i32, z + c[2] as i32)
+        } else {
+            q * self.shape.alloc_cells() + self.shape.idx(x, y, z)
         }
     }
 
@@ -198,12 +246,18 @@ impl<M: LatticeModel> SoaPdfField<M> {
     pub fn swap(&mut self, other: &mut Self) {
         assert_eq!(self.shape, other.shape);
         std::mem::swap(&mut self.data, &mut other.data);
+        std::mem::swap(&mut self.parity, &mut other.parity);
     }
 }
 
 impl<M: LatticeModel> Clone for SoaPdfField<M> {
     fn clone(&self) -> Self {
-        SoaPdfField { shape: self.shape, data: self.data.clone(), _model: std::marker::PhantomData }
+        SoaPdfField {
+            shape: self.shape,
+            data: self.data.clone(),
+            parity: self.parity,
+            _model: std::marker::PhantomData,
+        }
     }
 }
 
@@ -215,12 +269,13 @@ impl<M: LatticeModel> PdfField<M> for SoaPdfField<M> {
 
     #[inline(always)]
     fn get(&self, x: i32, y: i32, z: i32, q: usize) -> f64 {
-        self.data[q * self.shape.alloc_cells() + self.shape.idx(x, y, z)]
+        self.data[self.slot(x, y, z, q)]
     }
 
     #[inline(always)]
     fn set(&mut self, x: i32, y: i32, z: i32, q: usize, v: f64) {
-        self.data[q * self.shape.alloc_cells() + self.shape.idx(x, y, z)] = v;
+        let i = self.slot(x, y, z, q);
+        self.data[i] = v;
     }
 }
 
@@ -297,6 +352,34 @@ mod tests {
         copy_pdf_field::<D3Q19, _, _>(&a, &mut s);
         assert_eq!(s.get(0, 1, 2, 5), 42.0);
         assert_eq!(s.get(2, 2, 2, 11), a.get(2, 2, 2, 11));
+    }
+
+    /// Parity-mapped accessors address the rotated AA storage: logical
+    /// `(x, q)` at odd parity is slot `(x + c_q, q̄)`, and the mapping is
+    /// its own inverse under `set`/`get`.
+    #[test]
+    fn parity_accessors_address_rotated_slots() {
+        use trillium_lattice::LatticeModel;
+        let shape = Shape::new(4, 3, 5, 1);
+        let mut f = SoaPdfField::<D3Q19>::new(shape);
+        assert!(!f.parity());
+        f.set_parity(true);
+        for q in 0..19 {
+            f.set(1, 1, 2, q, 100.0 + q as f64);
+        }
+        for q in 0..19 {
+            // The logical read sees what the logical write stored...
+            assert_eq!(f.get(1, 1, 2, q), 100.0 + q as f64);
+            // ...and the raw slot it landed in is the rotated one.
+            let c = D3Q19::velocities()[q];
+            let qi = D3Q19::inverse()[q];
+            let raw = f.dir(qi)[shape.idx(1 + c[0] as i32, 1 + c[1] as i32, 2 + c[2] as i32)];
+            assert_eq!(raw, 100.0 + q as f64);
+        }
+        // Back at even parity the same coordinates address canonical slots.
+        f.set_parity(false);
+        f.set(1, 1, 2, 4, -7.0);
+        assert_eq!(f.dir(4)[shape.idx(1, 1, 2)], -7.0);
     }
 
     #[test]

@@ -20,15 +20,48 @@ pub enum Tier {
     Soa,
     /// AVX2+FMA intrinsics (falls back to `Soa` when unavailable).
     Avx,
+    /// Single-buffer AA-pattern update (SoA; halves the memory traffic).
+    /// Vectorized when AVX2+FMA is available, portable otherwise.
+    InPlace,
 }
 
 impl Tier {
     /// All tiers in ascending optimization order.
-    pub const ALL: [Tier; 4] = [Tier::Generic, Tier::Specialized, Tier::Soa, Tier::Avx];
+    pub const ALL: [Tier; 5] =
+        [Tier::Generic, Tier::Specialized, Tier::Soa, Tier::Avx, Tier::InPlace];
 
     /// Whether this tier operates on AoS fields (`true`) or SoA (`false`).
     pub fn uses_aos(self) -> bool {
         matches!(self, Tier::Generic | Tier::Specialized)
+    }
+
+    /// Whether this tier updates a single buffer in place (AA pattern)
+    /// rather than streaming between two fields.
+    pub fn is_inplace(self) -> bool {
+        matches!(self, Tier::InPlace)
+    }
+
+    /// The tier that actually executes when this one is requested on the
+    /// running host. [`Tier::Avx`] and [`Tier::InPlace`] silently use
+    /// portable code when the CPU lacks AVX2+FMA; benchmarks must label
+    /// their series with the *resolved* tier so measurements are never
+    /// misattributed.
+    pub fn resolve(self) -> Tier {
+        match self {
+            Tier::Avx if !crate::avx::available() => Tier::Soa,
+            t => t,
+        }
+    }
+
+    /// Short lowercase label of the tier, as used in bench JSON series.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Generic => "generic",
+            Tier::Specialized => "d3q19",
+            Tier::Soa => "soa",
+            Tier::Avx => "avx",
+            Tier::InPlace => "inplace",
+        }
     }
 }
 
@@ -62,7 +95,36 @@ pub fn sweep_soa(
         (Tier::Soa, Collision::Trt) => crate::soa::stream_collide_trt(src, dst, rel),
         (Tier::Avx, Collision::Srt) => crate::avx::stream_collide_srt(src, dst, rel),
         (Tier::Avx, Collision::Trt) => crate::avx::stream_collide_trt(src, dst, rel),
+        (Tier::InPlace, _) => panic!("InPlace is a single-buffer tier; use sweep_inplace"),
         _ => panic!("{tier:?} is an AoS tier; use sweep_aos"),
+    }
+}
+
+/// Runs one single-buffer (AA-pattern) sweep of [`Tier::InPlace`]. The
+/// sweep variant (transport vs. local) follows the field's current
+/// [`SoaPdfField::parity`]; the caller flips the parity afterwards.
+pub fn sweep_inplace(
+    collision: Collision,
+    f: &mut SoaPdfField<D3Q19>,
+    rel: Relaxation,
+) -> SweepStats {
+    match collision {
+        Collision::Srt => crate::inplace::stream_collide_srt(f, rel),
+        Collision::Trt => crate::inplace::stream_collide_trt(f, rel),
+    }
+}
+
+/// Region-restricted variant of [`sweep_inplace`]; same partition
+/// guarantee as the two-field tiers.
+pub fn sweep_inplace_region(
+    collision: Collision,
+    f: &mut SoaPdfField<D3Q19>,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
+    match collision {
+        Collision::Srt => crate::inplace::stream_collide_srt_region(f, rel, region),
+        Collision::Trt => crate::inplace::stream_collide_trt_region(f, rel, region),
     }
 }
 
@@ -110,6 +172,7 @@ pub fn sweep_soa_region(
         (Tier::Soa, Collision::Trt) => crate::soa::stream_collide_trt_region(src, dst, rel, region),
         (Tier::Avx, Collision::Srt) => crate::avx::stream_collide_srt_region(src, dst, rel, region),
         (Tier::Avx, Collision::Trt) => crate::avx::stream_collide_trt_region(src, dst, rel, region),
+        (Tier::InPlace, _) => panic!("InPlace is a single-buffer tier; use sweep_inplace_region"),
         _ => panic!("{tier:?} is an AoS tier; use sweep_aos_region"),
     }
 }
@@ -143,7 +206,21 @@ mod tests {
             };
             let mut reference: Option<Vec<f64>> = None;
             for tier in Tier::ALL {
-                let result: Vec<f64> = if tier.uses_aos() {
+                let result: Vec<f64> = if tier.is_inplace() {
+                    // Single-buffer tier: sweep a copy in place, then read
+                    // the logical values through the parity-mapped
+                    // accessors (the buffer is in rotated layout after the
+                    // transport sweep).
+                    let mut f = soa.clone();
+                    sweep_inplace(collision, &mut f, rel);
+                    f.set_parity(true);
+                    shape
+                        .interior()
+                        .iter()
+                        .flat_map(|(x, y, z)| (0..19).map(move |q| (x, y, z, q)))
+                        .map(|(x, y, z, q)| f.get(x, y, z, q))
+                        .collect()
+                } else if tier.uses_aos() {
                     let mut dst = AosPdfField::<D3Q19>::new(shape);
                     sweep_aos(tier, collision, &aos, &mut dst, rel);
                     shape
@@ -203,7 +280,18 @@ mod tests {
                 Collision::Trt => Relaxation::trt_from_tau(0.8, MAGIC_TRT),
             };
             for tier in Tier::ALL {
-                if tier.uses_aos() {
+                if tier.is_inplace() {
+                    let mut full = soa.clone();
+                    let mut split = soa.clone();
+                    let s_full = sweep_inplace(collision, &mut full, rel);
+                    let mut cells =
+                        sweep_inplace_region(collision, &mut split, rel, &core).cells;
+                    for r in &shells {
+                        cells += sweep_inplace_region(collision, &mut split, rel, r).cells;
+                    }
+                    assert_eq!(cells, s_full.cells, "{tier:?}/{collision:?} cell count");
+                    assert_eq!(full.data(), split.data(), "{tier:?}/{collision:?} differs");
+                } else if tier.uses_aos() {
                     let mut full = AosPdfField::<D3Q19>::new(shape);
                     let mut split = AosPdfField::<D3Q19>::new(shape);
                     let s_full = sweep_aos(tier, collision, &aos, &mut full, rel);
@@ -251,5 +339,32 @@ mod tests {
         let aos = AosPdfField::<D3Q19>::new(shape);
         let mut dst = AosPdfField::<D3Q19>::new(shape);
         sweep_aos(Tier::Avx, Collision::Trt, &aos, &mut dst, Relaxation::srt_from_tau(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "use sweep_inplace")]
+    fn inplace_through_two_field_entry_is_rejected() {
+        let shape = Shape::cube(3);
+        let soa = SoaPdfField::<D3Q19>::new(shape);
+        let mut dst = SoaPdfField::<D3Q19>::new(shape);
+        sweep_soa(Tier::InPlace, Collision::Trt, &soa, &mut dst, Relaxation::srt_from_tau(1.0));
+    }
+
+    /// `resolve` reports the tier that actually runs: `Avx` degrades to
+    /// `Soa` without AVX2+FMA, everything else (including `InPlace`, which
+    /// carries its own portable path) is stable.
+    #[test]
+    fn resolve_reports_the_executing_tier() {
+        for tier in Tier::ALL {
+            let r = tier.resolve();
+            if crate::avx::available() {
+                assert_eq!(r, tier);
+            } else {
+                assert_eq!(r, if tier == Tier::Avx { Tier::Soa } else { tier });
+            }
+            assert_eq!(r.resolve(), r, "resolve must be idempotent");
+        }
+        assert_eq!(Tier::Avx.label(), "avx");
+        assert_eq!(Tier::InPlace.label(), "inplace");
     }
 }

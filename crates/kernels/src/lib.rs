@@ -19,21 +19,32 @@
 //! Each tier implements both collision operators, SRT and TRT; with
 //! `λ_e = λ_o` the TRT kernels reduce exactly to SRT.
 //!
-//! # Update scheme
+//! # Update schemes
 //!
-//! All kernels use the two-field (A/B) *stream-pull* pattern: fields store
+//! The two-field (A/B) *stream-pull* pattern is the default: fields store
 //! post-collision values; a sweep gathers `f̃_q(x − c_q, t)` from the source
 //! field (completing the streaming step), computes moments, collides, and
 //! writes post-collision values at `t + Δt` to the destination field.
 //! Boundary conditions are realized by a preparatory [`boundary`] sweep
 //! that writes the appropriate values into boundary cells of the source
 //! field so the compute kernels can pull unconditionally.
+//!
+//! [`inplace`] adds the single-buffer *AA-pattern* alternative
+//! ([`dispatch::Tier::InPlace`]): the storage convention alternates
+//! between a transport sweep (pull-identical reads, stores rotated one hop
+//! downstream into the opposite direction's grid) and a purely cell-local
+//! sweep, tracked by `SoaPdfField::parity`. It halves the per-update
+//! memory traffic (no write-allocate stream, no second buffer) and is
+//! bitwise identical to the resolved pull tier step for step. The
+//! preparatory boundary sweep works unchanged at both parities through the
+//! parity-mapped field accessors.
 
 pub mod avx;
 pub mod boundary;
 pub mod d3q19;
 pub mod dispatch;
 pub mod generic;
+pub mod inplace;
 pub mod soa;
 pub mod sparse;
 pub mod stats;
@@ -41,7 +52,10 @@ pub mod stats;
 pub use boundary::{
     apply_boundaries, apply_boundaries_ghost, apply_boundaries_interior, BoundaryParams,
 };
-pub use dispatch::{sweep_aos, sweep_aos_region, sweep_soa, sweep_soa_region, Tier};
+pub use dispatch::{
+    sweep_aos, sweep_aos_region, sweep_inplace, sweep_inplace_region, sweep_soa, sweep_soa_region,
+    Tier,
+};
 pub use stats::SweepStats;
 
 /// Which collision operator a kernel run uses; both are parameterized by a

@@ -327,6 +327,54 @@ mod tests {
         assert_eq!(h.max, 1e-3);
     }
 
+    /// The bucket boundaries are half-open on the left: bucket `i`
+    /// holds `(2^(i-1), 2^i]` µs, so an observation of *exactly* a
+    /// power of two lands in the bucket it bounds, not the next one.
+    #[test]
+    fn exact_powers_of_two_land_on_their_bucket_bound() {
+        // 1 µs is the inclusive upper bound of bucket 0.
+        assert_eq!(bucket_of(1e-6), 0);
+        for i in 1..20usize {
+            let us = (1u64 << i) as f64;
+            assert_eq!(bucket_of(us * 1e-6), i, "exactly 2^{i} µs");
+            // The bound value itself is that bucket's reported bound.
+            assert_eq!(bucket_bound(i), us * 1e-6);
+            // Just above the bound spills into the next bucket.
+            assert_eq!(bucket_of(us * 1.0001 * 1e-6), i + 1, "just above 2^{i} µs");
+        }
+    }
+
+    /// Everything at or below one microsecond — including zero and
+    /// denormal-scale durations — is bucket 0, never a negative index
+    /// or a panic from `log2` of a tiny value.
+    #[test]
+    fn sub_microsecond_observations_collapse_into_bucket_zero() {
+        for secs in [0.0, 1e-12, 4.9e-7, 1e-6] {
+            assert_eq!(bucket_of(secs), 0, "{secs}s");
+        }
+        let m = MetricsRegistry::new(true);
+        m.observe("h", 0.0);
+        m.observe("h", 1e-9);
+        let h = m.snapshot().histogram("h").cloned().unwrap();
+        assert_eq!(h.buckets, vec![(1e-6, 2)]);
+        assert_eq!(h.min, 0.0);
+    }
+
+    /// Durations beyond the ~35-minute top bound saturate into the top
+    /// bucket instead of indexing out of range.
+    #[test]
+    fn overlong_observations_saturate_into_the_top_bucket() {
+        let top_bound = bucket_bound(BUCKETS - 1);
+        assert_eq!(bucket_of(top_bound), BUCKETS - 1);
+        for secs in [top_bound * 1.01, 1e5, 1e12, f64::MAX] {
+            assert_eq!(bucket_of(secs), BUCKETS - 1, "{secs}s");
+        }
+        let m = MetricsRegistry::new(true);
+        m.observe("h", 1e6); // ~11.6 days
+        let h = m.snapshot().histogram("h").cloned().unwrap();
+        assert_eq!(h.buckets, vec![(top_bound, 1)]);
+    }
+
     #[test]
     fn disabled_registry_is_inert() {
         let m = MetricsRegistry::new(false);

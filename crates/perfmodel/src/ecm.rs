@@ -17,12 +17,17 @@
 //! little for this kernel — the basis for the paper's 1.6 GHz
 //! energy-optimal operating point (Fig 4).
 
-use crate::roofline::roofline_mlups;
 
 /// Work unit: eight lattice-cell updates (one AVX cache line per stream).
 pub const LUPS_PER_UNIT: f64 = 8.0;
-/// Cache lines moved per work unit: 19 loads + 19 stores + 19 write-allocates.
+/// Cache lines moved per work unit by the two-field pull update:
+/// 19 loads + 19 stores + 19 write-allocates.
 pub const CACHELINES_PER_UNIT: f64 = 57.0;
+/// Cache lines moved per work unit by the in-place (AA-pattern) update:
+/// 19 loads + 19 stores. The stores hit the very lines the loads just
+/// brought in — same buffer, same addresses — so the write-allocate
+/// stream disappears along with the second field.
+pub const CACHELINES_PER_UNIT_INPLACE: f64 = 38.0;
 
 /// ECM model of one kernel on one machine.
 #[derive(Copy, Clone, Debug)]
@@ -37,6 +42,10 @@ pub struct EcmModel {
     pub clock_ghz: f64,
     /// Saturated memory bandwidth under the kernel's access pattern, GiB/s.
     pub mem_bw_gib: f64,
+    /// Cache lines over the memory interface per work unit — the traffic
+    /// term that separates the update schemes ([`CACHELINES_PER_UNIT`]
+    /// for pull, [`CACHELINES_PER_UNIT_INPLACE`] for in-place).
+    pub cachelines_per_unit: f64,
 }
 
 impl EcmModel {
@@ -52,7 +61,36 @@ impl EcmModel {
             t_cache_cycles: 228.0,
             clock_ghz,
             mem_bw_gib: Self::supermuc_bw_at(clock_ghz),
+            cachelines_per_unit: CACHELINES_PER_UNIT,
         }
+    }
+
+    /// The same machine running the in-place (AA-pattern) update: the
+    /// in-core work is unchanged (same moments, same collision, same
+    /// SIMD recipe), but only [`CACHELINES_PER_UNIT_INPLACE`] lines per
+    /// unit cross each cache level and the memory interface. Both the
+    /// inter-cache term and the memory/roofline terms scale with the
+    /// traffic ratio.
+    pub fn inplace(self) -> Self {
+        let ratio = CACHELINES_PER_UNIT_INPLACE / self.cachelines_per_unit;
+        EcmModel {
+            t_cache_cycles: self.t_cache_cycles * ratio,
+            cachelines_per_unit: CACHELINES_PER_UNIT_INPLACE,
+            ..self
+        }
+    }
+
+    /// Bytes over the memory interface per lattice-cell update under
+    /// this model's traffic term (456 B for pull D3Q19, 304 B in-place).
+    pub fn bytes_per_lup(&self) -> f64 {
+        self.cachelines_per_unit * 64.0 / LUPS_PER_UNIT
+    }
+
+    /// Predicted in-place/pull speedup on `n` cores of this machine.
+    /// Single-core the gain is diluted by the unchanged in-core time; at
+    /// socket saturation it approaches the pure traffic ratio 57/38 = 1.5.
+    pub fn inplace_speedup(&self, n: u32) -> f64 {
+        self.inplace().mlups(n) / self.mlups(n)
     }
 
     /// SuperMUC's memory bandwidth depends (slightly) on the core clock
@@ -73,7 +111,7 @@ impl EcmModel {
 
     /// Memory-transfer cycles per work unit at this clock.
     pub fn mem_cycles_per_unit(&self) -> f64 {
-        let bytes = CACHELINES_PER_UNIT * 64.0;
+        let bytes = self.cachelines_per_unit * 64.0;
         let secs = bytes / (self.mem_bw_gib * 1024.0 * 1024.0 * 1024.0);
         secs * self.clock_ghz * 1e9
     }
@@ -83,15 +121,24 @@ impl EcmModel {
         self.clock_ghz * 1e9 * LUPS_PER_UNIT / self.cycles_per_unit() / 1e6
     }
 
+    /// This model's roofline bound in MLUPS: the memory bandwidth divided
+    /// by the traffic term. Identical to
+    /// [`roofline_mlups`](crate::roofline::roofline_mlups) for the pull
+    /// update (57 lines/unit ⇒ 456 B/LUP); proportionally higher for the
+    /// in-place update's 38.
+    pub fn roofline(&self) -> f64 {
+        self.mem_bw_gib * 1024.0 * 1024.0 * 1024.0 / self.bytes_per_lup() / 1e6
+    }
+
     /// Predicted performance of `n` cores in MLUPS: linear scaling capped
     /// by the roofline bound.
     pub fn mlups(&self, n: u32) -> f64 {
-        (n as f64 * self.single_core_mlups()).min(roofline_mlups(self.mem_bw_gib, 19))
+        (n as f64 * self.single_core_mlups()).min(self.roofline())
     }
 
     /// Number of cores needed to saturate the memory interface.
     pub fn cores_to_saturate(&self) -> u32 {
-        (roofline_mlups(self.mem_bw_gib, 19) / self.single_core_mlups()).ceil() as u32
+        (self.roofline() / self.single_core_mlups()).ceil() as u32
     }
 }
 
@@ -143,5 +190,26 @@ mod tests {
         let m = EcmModel::supermuc_trt_simd(2.7);
         assert!((m.mlups(2) - 2.0 * m.mlups(1)).abs() < 1e-9);
         assert_eq!(m.mlups(7), m.mlups(8));
+    }
+
+    /// The in-place traffic term: 38 lines/unit is 304 B/LUP, the
+    /// roofline rises by exactly 57/38, and the socket-saturated speedup
+    /// prediction approaches that pure traffic ratio.
+    #[test]
+    fn inplace_traffic_term_predicts_the_write_allocate_savings() {
+        let pull = EcmModel::supermuc_trt_simd(2.7);
+        let aa = pull.inplace();
+        assert_eq!(pull.bytes_per_lup(), 456.0);
+        assert_eq!(aa.bytes_per_lup(), 304.0);
+        assert!((aa.roofline() / pull.roofline() - 57.0 / 38.0).abs() < 1e-12);
+        // Saturated: the full traffic ratio (both sockets memory-bound).
+        let sat = pull.inplace_speedup(16);
+        assert!((sat - 57.0 / 38.0).abs() < 1e-9, "saturated speedup {sat}");
+        // Single core: diluted by the unchanged in-core time, but the
+        // cheaper cache/memory terms must still show.
+        let one = pull.inplace_speedup(1);
+        assert!((1.05..1.5).contains(&one), "single-core speedup {one}");
+        // In-place saturates the (higher) roofline with more cores.
+        assert!(aa.cores_to_saturate() >= pull.cores_to_saturate());
     }
 }

@@ -230,7 +230,7 @@ fn overlapped_checkpoint_restart_matches_sync_reference() {
         driver: DriverConfig { overlap: true, collect_pdfs: true, ..Default::default() },
         ..ResilienceConfig::default()
     };
-    let res = run_distributed_resilient(&scenario(), 4, 1, 24, &[], &rc);
+    let res = run_distributed_resilient(&scenario(), 4, 1, 24, &[], &rc).expect("recoverable");
     assert_eq!(res.recoveries(), 1, "the injected crash must trigger one recovery");
     assert_eq!(
         reference.pdf_dump(),

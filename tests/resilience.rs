@@ -58,7 +58,8 @@ fn rank_crash_recovers_bitwise_identical_to_unfaulted_run() {
     assert!(!truth.has_nan());
 
     let rc = resilient_cfg(FaultConfig::new(42).with_crash(2, 17));
-    let res = run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &probes, &rc);
+    let res = run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &probes, &rc)
+        .expect("clean resilient run");
 
     assert_eq!(res.recoveries(), 1, "the injected crash must trigger exactly one recovery");
     assert!(res.replayed_steps() > 0, "rollback must replay the lost window");
@@ -82,8 +83,10 @@ fn same_fault_seed_reproduces_identical_failure_trace() {
         .with_reordering(0.05, 2)
         .with_fault_cap(8);
     let a =
-        run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &resilient_cfg(fault.clone()));
-    let b = run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &resilient_cfg(fault));
+        run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &resilient_cfg(fault.clone()))
+            .expect("capped faults are recoverable");
+    let b = run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &resilient_cfg(fault))
+        .expect("capped faults are recoverable");
     let (ta, tb) = (a.failure_trace(), b.failure_trace());
     assert!(!ta.is_empty(), "the fault plan must have injected something");
     assert_eq!(ta, tb, "failure traces diverge across reruns of the same seed");
@@ -104,7 +107,8 @@ fn dropped_and_reordered_messages_recover_exactly() {
     );
     // Drops are detected by timeout; keep it short so the test is fast.
     rc.step_timeout = Duration::from_secs(2);
-    let res = run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &rc);
+    let res = run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &rc)
+        .expect("capped faults are recoverable");
     assert_eq!(truth.pdf_dump(), res.run.pdf_dump());
     assert!(res.run.mass_drift().abs() < 1e-9);
     assert!(!res.run.has_nan());
@@ -165,10 +169,12 @@ fn overlap_and_sync_resilient_schedules_agree_under_faults() {
     let truth = run_distributed_with(&vascular(), RANKS, 1, STEPS, &[], pdf_cfg());
     let fault = FaultConfig::new(77).with_crash(3, 9);
     let sync =
-        run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &resilient_cfg(fault.clone()));
+        run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &resilient_cfg(fault.clone()))
+            .expect("capped faults are recoverable");
     let mut over_cfg = resilient_cfg(fault);
     over_cfg.driver = DriverConfig { overlap: true, collect_pdfs: true, ..Default::default() };
-    let over = run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &over_cfg);
+    let over = run_distributed_resilient(&vascular(), RANKS, 1, STEPS, &[], &over_cfg)
+        .expect("capped faults are recoverable");
     assert_eq!(truth.pdf_dump(), sync.run.pdf_dump());
     assert_eq!(truth.pdf_dump(), over.run.pdf_dump());
     assert_eq!(sync.recoveries(), over.recoveries());
