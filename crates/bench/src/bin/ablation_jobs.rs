@@ -1,0 +1,265 @@
+//! Soak harness for the multi-tenant job service.
+//!
+//! Drives a few hundred small simulation jobs — a mix of geometry
+//! families, kernels, schedules, priorities, and per-job fault plans —
+//! through one `trillium-jobs` service sharing a single rank pool, and
+//! *asserts* the service's contract instead of merely reporting it:
+//!
+//! * **isolation** — every job not scheduled to die finishes bitwise
+//!   identical to a solo run of the same spec; jobs scheduled to die
+//!   (fail-stop crash with a zero recovery budget) die a typed death
+//!   without touching any neighbor;
+//! * **completion** — every submitted job comes back, completed or
+//!   failed; nothing is lost or stranded;
+//! * **bounded queue latency** — the queue fully drains, and no job's
+//!   measured queue latency exceeds the soak's own wall time.
+//!
+//! `--jobs N` scales the load (default 200, the ISSUE's soak floor;
+//! CI runs a smaller smoke count). `--json` emits the machine-readable
+//! report; the process exits nonzero on any violation, so CI can gate
+//! on it directly.
+
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use std::sync::mpsc::channel;
+use std::time::Instant;
+use trillium_bench::{emit_json, section, HarnessArgs};
+use trillium_core::driver::{run_distributed_with, DriverConfig};
+use trillium_jobs::{JobResult, JobService, JobSpec, Schedule, ServiceConfig};
+
+/// Reads `--flag value` from the raw argument list.
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Job templates the soak cycles through. `dies` marks the template
+/// whose jobs are *supposed* to fail (crash + zero recovery budget).
+struct Template {
+    key: &'static str,
+    doc: &'static str,
+    dies: bool,
+}
+
+const TEMPLATES: &[Template] = &[
+    Template {
+        key: "cavity-sync",
+        doc: r#"{"name": "t", "family": "cavity", "cells": 16, "blocks": 2,
+                 "steps": 6, "ranks": 2}"#,
+        dies: false,
+    },
+    Template {
+        key: "cavity-overlap-inplace",
+        doc: r#"{"name": "t", "family": "cavity", "cells": 16, "blocks": 2,
+                 "steps": 6, "ranks": 2, "kernel": "inplace",
+                 "schedule": "overlapped"}"#,
+        dies: false,
+    },
+    Template {
+        key: "channel-sync",
+        doc: r#"{"name": "t", "family": "channel", "cells": 8, "blocks": 1,
+                 "steps": 6, "ranks": 2}"#,
+        dies: false,
+    },
+    Template {
+        key: "cavity-solo-rank",
+        doc: r#"{"name": "t", "family": "cavity", "cells": 12, "blocks": 1,
+                 "steps": 6, "ranks": 1}"#,
+        dies: false,
+    },
+    Template {
+        key: "cavity-crash-recover",
+        doc: r#"{"name": "t", "family": "cavity", "cells": 16, "blocks": 2,
+                 "steps": 6, "ranks": 2, "schedule": "resilient",
+                 "fault": {"seed": 11, "crash_rank": 1, "crash_step": 3,
+                           "recover": true}}"#,
+        dies: false,
+    },
+    Template {
+        key: "cavity-crash-doomed",
+        doc: r#"{"name": "t", "family": "cavity", "cells": 16, "blocks": 2,
+                 "steps": 6, "ranks": 2, "schedule": "resilient",
+                 "fault": {"seed": 11, "crash_rank": 1, "crash_step": 3,
+                           "recover": false}}"#,
+        dies: true,
+    },
+];
+
+fn template_spec(t: &Template, job_index: usize) -> JobSpec {
+    let mut spec = JobSpec::parse(t.doc).expect("soak template parses");
+    spec.name = format!("{}-{job_index}", t.key);
+    // Spread priorities so the scheduler actually reorders the queue.
+    spec.priority = (job_index % 5) as i64;
+    spec
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let jobs: usize = arg_value("--jobs").and_then(|v| v.parse().ok()).unwrap_or(200);
+
+    section("solo baselines");
+    // One bitwise reference per template, from the plain (or overlapped)
+    // driver with no service involved. Resilient-recovering jobs must
+    // match the *unfaulted* baseline — replay is deterministic.
+    let mut baseline: HashMap<&'static str, Vec<(u64, Vec<f64>)>> = HashMap::new();
+    for t in TEMPLATES {
+        if t.dies {
+            continue;
+        }
+        let spec = template_spec(t, 0);
+        let solo = run_distributed_with(
+            &spec.to_scenario(),
+            spec.ranks,
+            spec.threads,
+            spec.steps,
+            &[],
+            DriverConfig {
+                collect_pdfs: true,
+                overlap: spec.schedule == Schedule::Overlapped,
+                ..DriverConfig::default()
+            },
+        );
+        println!("  {:<24} {} cells, {} steps", t.key, spec.total_cells(), spec.steps);
+        baseline.insert(t.key, solo.pdf_dump());
+    }
+
+    section(&format!("soak: {jobs} jobs through one shared pool"));
+    let (tx, rx) = channel();
+    let mut svc = JobService::new(ServiceConfig {
+        lanes: 4,
+        lane_width: 2,
+        max_parked: jobs.max(16),
+        batch: 8,
+        ..ServiceConfig::default()
+    })
+    .with_progress(tx);
+
+    let t0 = Instant::now();
+    let mut expected_deaths = 0usize;
+    for i in 0..jobs {
+        let t = &TEMPLATES[i % TEMPLATES.len()];
+        if t.dies {
+            expected_deaths += 1;
+        }
+        svc.submit(template_spec(t, i)).expect("soak jobs are admissible");
+    }
+    let mut outcomes = svc.run_to_completion();
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    drop(svc);
+    outcomes.sort_by_key(|o| o.id);
+
+    // ---- verification ---------------------------------------------------
+    let mut isolation_violations = 0usize;
+    let mut unrecovered_panics = 0usize;
+    let mut unexpected_failures = 0usize;
+    let mut expected_failures = 0usize;
+    let mut completed = 0usize;
+    let mut recoveries_total = 0u64;
+    let mut max_queue = 0f64;
+    let mut queue_sum = 0f64;
+    for o in &outcomes {
+        let template_key = TEMPLATES
+            .iter()
+            .map(|t| t.key)
+            .find(|k| o.name.starts_with(k))
+            .expect("outcome names a known template");
+        let dies = TEMPLATES.iter().find(|t| t.key == template_key).unwrap().dies;
+        max_queue = max_queue.max(o.queue_seconds);
+        queue_sum += o.queue_seconds;
+        match &o.result {
+            JobResult::Completed { run, recoveries } => {
+                completed += 1;
+                recoveries_total += u64::from(*recoveries);
+                if dies {
+                    // A doomed job completing means the fault plan did
+                    // not fire — the harness lost its probe.
+                    unexpected_failures += 1;
+                    println!("  VIOLATION: doomed job {} completed", o.name);
+                } else if run.pdf_dump() != baseline[template_key] {
+                    isolation_violations += 1;
+                    println!("  VIOLATION: job {} diverged from its solo baseline", o.name);
+                }
+            }
+            JobResult::Failed { error } => {
+                if dies {
+                    expected_failures += 1;
+                } else {
+                    unexpected_failures += 1;
+                    if error.contains("panicked") {
+                        unrecovered_panics += 1;
+                    }
+                    println!("  VIOLATION: healthy job {} failed: {error}", o.name);
+                }
+            }
+        }
+    }
+    let lost = jobs - outcomes.len();
+    let mean_queue = queue_sum / outcomes.len().max(1) as f64;
+
+    // Progress stream: every event must carry the shared envelope.
+    let events: Vec<Value> = rx.try_iter().collect();
+    let bad_envelopes = events
+        .iter()
+        .filter(|e| {
+            e.get("schema").and_then(Value::as_str) != Some(trillium_jobs::JOBS_SCHEMA)
+                || e.get("bin").and_then(Value::as_str) != Some("trillium-jobs")
+        })
+        .count();
+    let finished_events = events
+        .iter()
+        .filter(|e| e.get("event").and_then(Value::as_str) == Some("finished"))
+        .count();
+
+    println!(
+        "  {completed}/{jobs} completed, {expected_failures} died as scheduled, \
+         {unexpected_failures} unexpected failures"
+    );
+    println!(
+        "  queue latency: mean {:.3}s, max {:.3}s over {:.1}s wall",
+        mean_queue, max_queue, wall_seconds
+    );
+    println!("  {} recoveries absorbed, {} progress events", recoveries_total, finished_events);
+
+    // Bounded latency: the queue fully drained and nobody waited longer
+    // than the soak itself ran.
+    let latency_bounded = lost == 0 && max_queue <= wall_seconds + 1.0;
+    let ok = isolation_violations == 0
+        && unrecovered_panics == 0
+        && unexpected_failures == 0
+        && expected_failures == expected_deaths
+        && bad_envelopes == 0
+        && finished_events == jobs
+        && latency_bounded;
+
+    if ok {
+        println!("  soak passed: every job isolated, accounted for, and on time");
+    }
+
+    if args.json {
+        emit_json(
+            "ablation_jobs",
+            json!({
+                "jobs": jobs,
+                "completed": completed,
+                "expected_failures": expected_failures,
+                "unexpected_failures": unexpected_failures,
+                "isolation_violations": isolation_violations,
+                "unrecovered_panics": unrecovered_panics,
+                "lost": lost,
+                "bad_envelopes": bad_envelopes,
+                "finished_events": finished_events,
+                "recoveries": recoveries_total,
+                "queue_seconds_mean": mean_queue,
+                "queue_seconds_max": max_queue,
+                "wall_seconds": wall_seconds,
+                "latency_bounded": latency_bounded,
+                "ok": ok
+            }),
+        );
+    }
+
+    if !ok {
+        eprintln!("soak FAILED: isolation or completion contract violated");
+        std::process::exit(1);
+    }
+}

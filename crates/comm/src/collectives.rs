@@ -5,8 +5,25 @@
 //! semantics the framework code relies on. Every collective consumes one
 //! sequence number so back-to-back collectives with identical shapes
 //! cannot cross-match.
+//!
+//! Each collective has a fallible `try_*` core returning [`CommError`]
+//! when a participant is down or a frame is torn, plus the historical
+//! infallible wrapper that converts failure into a panic. The resilient
+//! driver and the multi-tenant job runner use the `try_*` forms so a
+//! dead cohort degrades into an error its own controller handles,
+//! instead of a panic that poisons every other tenant of the process.
 
-use crate::runtime::{Communicator, COLLECTIVE_TAG_BASE};
+use crate::runtime::{CommError, Communicator, COLLECTIVE_TAG_BASE};
+
+/// Parses an exactly-8-byte frame; anything else is a torn collective.
+fn frame_u64(b: &[u8]) -> Result<u64, CommError> {
+    b.try_into().map(u64::from_le_bytes).map_err(|_| CommError::Protocol)
+}
+
+/// Parses an exactly-8-byte frame as `f64`.
+fn frame_f64(b: &[u8]) -> Result<f64, CommError> {
+    b.try_into().map(f64::from_le_bytes).map_err(|_| CommError::Protocol)
+}
 
 impl Communicator {
     fn next_coll_tag(&mut self) -> u64 {
@@ -15,27 +32,42 @@ impl Communicator {
         tag
     }
 
-    /// Synchronizes all ranks: no rank leaves before every rank entered.
-    pub fn barrier(&mut self) {
+    /// Reports a collective failure the way the infallible wrappers
+    /// always have: by panicking with the rank and operation attached.
+    fn coll_panic<T>(&self, op: &str, e: CommError) -> T {
+        panic!("rank {}: collective {op}: {e}", self.rank())
+    }
+
+    /// Fallible [`Communicator::barrier`].
+    pub fn try_barrier(&mut self) -> Result<(), CommError> {
         let tag = self.next_coll_tag();
         if self.rank() == 0 {
             for r in 1..self.size() {
-                let _ = self.recv_raw(r, tag);
+                let _ = self.try_recv_raw(r, tag)?;
             }
             for r in 1..self.size() {
                 self.send_raw(r, tag, Vec::new());
             }
         } else {
             self.send_raw(0, tag, Vec::new());
-            let _ = self.recv_raw(0, tag);
+            let _ = self.try_recv_raw(0, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Synchronizes all ranks: no rank leaves before every rank entered.
+    pub fn barrier(&mut self) {
+        if let Err(e) = self.try_barrier() {
+            self.coll_panic("barrier", e)
         }
     }
 
-    /// Broadcasts `data` from `root` to every rank; returns the payload on
-    /// all ranks. This mirrors the paper's setup where one process reads
-    /// the block-structure file or the surface mesh and broadcasts the
-    /// bytes.
-    pub fn broadcast(&mut self, root: u32, data: Option<Vec<u8>>) -> Vec<u8> {
+    /// Fallible [`Communicator::broadcast`].
+    pub fn try_broadcast(
+        &mut self,
+        root: u32,
+        data: Option<Vec<u8>>,
+    ) -> Result<Vec<u8>, CommError> {
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let data = data.expect("root must provide the broadcast payload");
@@ -44,31 +76,40 @@ impl Communicator {
                     self.send_raw(r, tag, data.clone());
                 }
             }
-            data
+            Ok(data)
         } else {
-            self.recv_raw(root, tag)
+            self.try_recv_raw(root, tag)
         }
+    }
+
+    /// Broadcasts `data` from `root` to every rank; returns the payload on
+    /// all ranks. This mirrors the paper's setup where one process reads
+    /// the block-structure file or the surface mesh and broadcasts the
+    /// bytes.
+    pub fn broadcast(&mut self, root: u32, data: Option<Vec<u8>>) -> Vec<u8> {
+        self.try_broadcast(root, data).unwrap_or_else(|e| self.coll_panic("broadcast", e))
+    }
+
+    /// Fallible [`Communicator::allgather_f64`].
+    pub fn try_allgather_f64(&mut self, value: f64) -> Result<Vec<f64>, CommError> {
+        let bytes = self.try_allgather_bytes(value.to_le_bytes().to_vec())?;
+        bytes.into_iter().map(|b| frame_f64(&b)).collect()
     }
 
     /// Gathers one `f64` from every rank onto all ranks (allgather),
     /// ordered by rank.
     pub fn allgather_f64(&mut self, value: f64) -> Vec<f64> {
-        let bytes = self.allgather_bytes(value.to_le_bytes().to_vec());
-        bytes
-            .into_iter()
-            .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte payload")))
-            .collect()
+        self.try_allgather_f64(value).unwrap_or_else(|e| self.coll_panic("allgather_f64", e))
     }
 
-    /// Gathers one byte payload from every rank onto all ranks, ordered by
-    /// rank.
-    pub fn allgather_bytes(&mut self, data: Vec<u8>) -> Vec<Vec<u8>> {
+    /// Fallible [`Communicator::allgather_bytes`].
+    pub fn try_allgather_bytes(&mut self, data: Vec<u8>) -> Result<Vec<Vec<u8>>, CommError> {
         let tag = self.next_coll_tag();
         if self.rank() == 0 {
             let mut all = vec![Vec::new(); self.size() as usize];
             all[0] = data;
             for r in 1..self.size() {
-                all[r as usize] = self.recv_raw(r, tag);
+                all[r as usize] = self.try_recv_raw(r, tag)?;
             }
             // Concatenate with a tiny length-prefixed framing for redistribution.
             let mut frame = Vec::new();
@@ -79,38 +120,55 @@ impl Communicator {
             for r in 1..self.size() {
                 self.send_raw(r, tag, frame.clone());
             }
-            all
+            Ok(all)
         } else {
             self.send_raw(0, tag, data);
-            let frame = self.recv_raw(0, tag);
+            let frame = self.try_recv_raw(0, tag)?;
             let mut all = Vec::with_capacity(self.size() as usize);
             let mut off = 0usize;
             for _ in 0..self.size() {
-                let len = u64::from_le_bytes(frame[off..off + 8].try_into().unwrap()) as usize;
+                let len_bytes = frame.get(off..off + 8).ok_or(CommError::Protocol)?;
+                let len = frame_u64(len_bytes)? as usize;
                 off += 8;
-                all.push(frame[off..off + len].to_vec());
+                all.push(frame.get(off..off + len).ok_or(CommError::Protocol)?.to_vec());
                 off += len;
             }
-            all
+            Ok(all)
         }
+    }
+
+    /// Gathers one byte payload from every rank onto all ranks, ordered by
+    /// rank.
+    pub fn allgather_bytes(&mut self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        self.try_allgather_bytes(data).unwrap_or_else(|e| self.coll_panic("allgather_bytes", e))
+    }
+
+    /// Fallible [`Communicator::allreduce_sum_f64`].
+    pub fn try_allreduce_sum_f64(&mut self, value: f64) -> Result<f64, CommError> {
+        Ok(self.try_allgather_f64(value)?.iter().sum())
     }
 
     /// All-reduce of a single `f64` with summation.
     pub fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
-        self.allgather_f64(value).iter().sum()
+        self.try_allreduce_sum_f64(value).unwrap_or_else(|e| self.coll_panic("allreduce_sum", e))
+    }
+
+    /// Fallible [`Communicator::allreduce_max_f64`].
+    pub fn try_allreduce_max_f64(&mut self, value: f64) -> Result<f64, CommError> {
+        Ok(self.try_allgather_f64(value)?.into_iter().fold(f64::NEG_INFINITY, f64::max))
     }
 
     /// All-reduce of a single `f64` with maximum.
     pub fn allreduce_max_f64(&mut self, value: f64) -> f64 {
-        self.allgather_f64(value).into_iter().fold(f64::NEG_INFINITY, f64::max)
+        self.try_allreduce_max_f64(value).unwrap_or_else(|e| self.coll_panic("allreduce_max", e))
     }
 
-    /// Fused all-reduce of a single `f64` under min, max, and sum at once
-    /// (one collective round instead of three). This is the load-imbalance
-    /// probe: with per-rank epoch cost `t`, the imbalance ratio is
-    /// `max * size / sum` and the spread is `max / min`.
-    pub fn allreduce_minmaxsum_f64(&mut self, value: f64) -> (f64, f64, f64) {
-        let all = self.allgather_f64(value);
+    /// Fallible [`Communicator::allreduce_minmaxsum_f64`].
+    pub fn try_allreduce_minmaxsum_f64(
+        &mut self,
+        value: f64,
+    ) -> Result<(f64, f64, f64), CommError> {
+        let all = self.try_allgather_f64(value)?;
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut sum = 0.0;
@@ -119,31 +177,52 @@ impl Communicator {
             max = max.max(v);
             sum += v;
         }
-        (min, max, sum)
+        Ok((min, max, sum))
     }
 
-    /// Gathers one byte payload from every rank onto `root` only (other
-    /// ranks receive an empty vector). Rank-ordered on the root.
-    pub fn gather_bytes(&mut self, root: u32, data: Vec<u8>) -> Vec<Vec<u8>> {
+    /// Fused all-reduce of a single `f64` under min, max, and sum at once
+    /// (one collective round instead of three). This is the load-imbalance
+    /// probe: with per-rank epoch cost `t`, the imbalance ratio is
+    /// `max * size / sum` and the spread is `max / min`.
+    pub fn allreduce_minmaxsum_f64(&mut self, value: f64) -> (f64, f64, f64) {
+        self.try_allreduce_minmaxsum_f64(value)
+            .unwrap_or_else(|e| self.coll_panic("allreduce_minmaxsum", e))
+    }
+
+    /// Fallible [`Communicator::gather_bytes`].
+    pub fn try_gather_bytes(
+        &mut self,
+        root: u32,
+        data: Vec<u8>,
+    ) -> Result<Vec<Vec<u8>>, CommError> {
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let mut all = vec![Vec::new(); self.size() as usize];
             all[root as usize] = data;
             for r in 0..self.size() {
                 if r != root {
-                    all[r as usize] = self.recv_raw(r, tag);
+                    all[r as usize] = self.try_recv_raw(r, tag)?;
                 }
             }
-            all
+            Ok(all)
         } else {
             self.send_raw(root, tag, data);
-            Vec::new()
+            Ok(Vec::new())
         }
     }
 
-    /// Scatters per-rank byte payloads from `root`: rank `i` receives
-    /// `chunks[i]`. Non-root ranks pass `None`.
-    pub fn scatter_bytes(&mut self, root: u32, chunks: Option<Vec<Vec<u8>>>) -> Vec<u8> {
+    /// Gathers one byte payload from every rank onto `root` only (other
+    /// ranks receive an empty vector). Rank-ordered on the root.
+    pub fn gather_bytes(&mut self, root: u32, data: Vec<u8>) -> Vec<Vec<u8>> {
+        self.try_gather_bytes(root, data).unwrap_or_else(|e| self.coll_panic("gather_bytes", e))
+    }
+
+    /// Fallible [`Communicator::scatter_bytes`].
+    pub fn try_scatter_bytes(
+        &mut self,
+        root: u32,
+        chunks: Option<Vec<Vec<u8>>>,
+    ) -> Result<Vec<u8>, CommError> {
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let chunks = chunks.expect("root must provide the scatter payloads");
@@ -156,34 +235,48 @@ impl Communicator {
                     self.send_raw(r as u32, tag, chunk);
                 }
             }
-            mine
+            Ok(mine)
         } else {
-            self.recv_raw(root, tag)
+            self.try_recv_raw(root, tag)
+        }
+    }
+
+    /// Scatters per-rank byte payloads from `root`: rank `i` receives
+    /// `chunks[i]`. Non-root ranks pass `None`.
+    pub fn scatter_bytes(&mut self, root: u32, chunks: Option<Vec<Vec<u8>>>) -> Vec<u8> {
+        self.try_scatter_bytes(root, chunks).unwrap_or_else(|e| self.coll_panic("scatter_bytes", e))
+    }
+
+    /// Fallible [`Communicator::allreduce_sum_u64`].
+    pub fn try_allreduce_sum_u64(&mut self, value: u64) -> Result<u64, CommError> {
+        let tag = self.next_coll_tag();
+        if self.rank() == 0 {
+            let mut sum = value;
+            for r in 1..self.size() {
+                let b = self.try_recv_raw(r, tag)?;
+                sum += frame_u64(&b)?;
+            }
+            for r in 1..self.size() {
+                self.send_raw(r, tag, sum.to_le_bytes().to_vec());
+            }
+            Ok(sum)
+        } else {
+            self.send_raw(0, tag, value.to_le_bytes().to_vec());
+            let b = self.try_recv_raw(0, tag)?;
+            frame_u64(&b)
         }
     }
 
     /// All-reduce of a single `u64` with summation.
     pub fn allreduce_sum_u64(&mut self, value: u64) -> u64 {
-        let tag = self.next_coll_tag();
-        if self.rank() == 0 {
-            let mut sum = value;
-            for r in 1..self.size() {
-                let b = self.recv_raw(r, tag);
-                sum += u64::from_le_bytes(b.try_into().unwrap());
-            }
-            for r in 1..self.size() {
-                self.send_raw(r, tag, sum.to_le_bytes().to_vec());
-            }
-            sum
-        } else {
-            self.send_raw(0, tag, value.to_le_bytes().to_vec());
-            u64::from_le_bytes(self.recv_raw(0, tag).try_into().unwrap())
-        }
+        self.try_allreduce_sum_u64(value)
+            .unwrap_or_else(|e| self.coll_panic("allreduce_sum_u64", e))
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::runtime::World;
 
     #[test]
@@ -280,5 +373,81 @@ mod tests {
             assert_eq!(b, 30.0);
             assert_eq!(d, 2.0);
         }
+    }
+
+    /// The fallible collectives surface a dead peer as `CommError`
+    /// instead of a panic: the cohort degrades, the process survives.
+    ///
+    /// Collective failure is *not uniform* (exactly as in MPI): a rank
+    /// that errors out of a collective stops relaying, so survivors must
+    /// never be made to wait on each other across a failed collective.
+    /// Both scenarios below keep every survivor's failure path rooted
+    /// directly at the dead rank.
+    #[test]
+    fn try_collectives_degrade_on_a_dead_peer() {
+        // Scenario A: the root survives its (only) peer — every recv in
+        // the root arm of each collective hits the dead rank directly.
+        let out = World::run_fallible(2, None, |mut c| {
+            if c.rank() == 1 {
+                panic!("injected rank failure");
+            }
+            // Wait for the down note so the failure is already known.
+            let r = c.recv_timeout(1, 1, std::time::Duration::from_secs(20));
+            assert!(r.is_err(), "rank 1 never sends");
+            let barrier = c.try_barrier();
+            let gather = c.try_allgather_bytes(vec![c.rank() as u8]);
+            let reduce = c.try_allreduce_sum_u64(1);
+            (barrier, gather.map(|v| v.len()), reduce)
+        });
+        let (barrier, gather, reduce) = out[0].as_ref().expect("root returns cleanly");
+        assert!(
+            matches!(barrier, Err(CommError::RankDown(1) | CommError::WorldDown)),
+            "{barrier:?}"
+        );
+        assert!(gather.is_err() && reduce.is_err());
+
+        // Scenario B: the root dies; each non-root survivor waits only
+        // on the dead root (sends to it are dropped, never block), so
+        // the survivors degrade independently of one another.
+        let out = World::run_fallible(3, None, |mut c| {
+            if c.rank() == 0 {
+                panic!("injected root failure");
+            }
+            let r = c.recv_timeout(0, 1, std::time::Duration::from_secs(20));
+            assert!(r.is_err(), "rank 0 never sends");
+            let barrier = c.try_barrier();
+            let gather = c.try_allgather_bytes(vec![c.rank() as u8]);
+            let reduce = c.try_allreduce_sum_u64(1);
+            (barrier, gather.map(|v| v.len()), reduce)
+        });
+        for r in [1, 2] {
+            let (barrier, gather, reduce) = out[r].as_ref().expect("survivors return cleanly");
+            assert!(
+                matches!(barrier, Err(CommError::RankDown(0) | CommError::WorldDown)),
+                "{barrier:?}"
+            );
+            assert!(gather.is_err() && reduce.is_err());
+        }
+    }
+
+    /// A torn length-prefixed allgather frame parses to
+    /// `CommError::Protocol` instead of slicing out of bounds.
+    #[test]
+    fn torn_allgather_frame_is_a_protocol_error() {
+        let out = World::run(2, |mut c| {
+            if c.rank() == 0 {
+                // Rank 0 impersonates the allgather root but sends a
+                // frame whose length prefix overruns the payload.
+                let _ = c.try_recv_raw(1, COLLECTIVE_TAG_BASE);
+                let mut frame = Vec::new();
+                frame.extend_from_slice(&1000u64.to_le_bytes());
+                frame.extend_from_slice(&[1, 2, 3]);
+                c.send_raw(1, COLLECTIVE_TAG_BASE, frame);
+                Ok(0usize)
+            } else {
+                c.try_allgather_bytes(vec![7]).map(|v| v.len())
+            }
+        });
+        assert_eq!(out[1], Err(CommError::Protocol), "{:?}", out[1]);
     }
 }

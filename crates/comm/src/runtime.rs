@@ -51,6 +51,12 @@ pub enum CommError {
     /// message can ever arrive again. Unlike [`CommError::RankDown`]
     /// this blames no specific peer — there is none left to blame.
     WorldDown,
+    /// A received frame failed to parse as the protocol message the
+    /// receiver expected — a truncated collective frame or a control
+    /// note from the wrong epoch. The transport itself is healthy, but
+    /// the operation cannot complete; callers treat it like a torn
+    /// round and fall back to recovery.
+    Protocol,
 }
 
 impl std::fmt::Display for CommError {
@@ -60,6 +66,7 @@ impl std::fmt::Display for CommError {
             CommError::Timeout => write!(f, "receive timed out"),
             CommError::Interrupted => write!(f, "interrupted by a recovery request"),
             CommError::WorldDown => write!(f, "every rank is gone"),
+            CommError::Protocol => write!(f, "malformed protocol frame"),
         }
     }
 }
@@ -105,8 +112,13 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn get_u64(buf: &[u8], i: usize) -> u64 {
-    u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().expect("control payload"))
+/// Checked read of the `i`-th little-endian u64 field of a control
+/// payload. Control payloads are built by this module, but a stale or
+/// truncated note (replayed across a recovery epoch by a slow peer,
+/// or surviving a torn round) must not bring the receiving rank down —
+/// callers skip malformed payloads instead of indexing past the end.
+fn ctrl_u64(buf: &[u8], i: usize) -> Option<u64> {
+    buf.get(i * 8..i * 8 + 8).and_then(|b| b.try_into().ok()).map(u64::from_le_bytes)
 }
 
 /// Cumulative send-side traffic counters of one rank, as reported by
@@ -234,8 +246,9 @@ impl Communicator {
         let mut i = 0;
         while i < self.limbo[t].len() {
             if self.limbo[t][i].0 <= count {
-                let (_, m) = self.limbo[t].remove(i).expect("index checked");
-                self.push_raw(to, m);
+                if let Some((_, m)) = self.limbo[t].remove(i) {
+                    self.push_raw(to, m);
+                }
             } else {
                 i += 1;
             }
@@ -456,10 +469,12 @@ impl Communicator {
         self.recv_match(&[(from, tag)], Some(Instant::now() + timeout)).map(|(_, m)| m)
     }
 
-    pub(crate) fn recv_raw(&mut self, from: u32, tag: u64) -> Vec<u8> {
-        self.recv_match(&[(from, tag)], None).map(|(_, m)| m).unwrap_or_else(|e| {
-            panic!("rank {}: collective receive from rank {from}: {e}", self.rank)
-        })
+    /// Fallible collective receive: the core every `try_*` collective
+    /// builds on. A dead peer or unwound world surfaces as a
+    /// [`CommError`] the caller can degrade on, instead of the panic
+    /// that would poison every other tenant of the process.
+    pub(crate) fn try_recv_raw(&mut self, from: u32, tag: u64) -> Result<Vec<u8>, CommError> {
+        self.recv_match(&[(from, tag)], None).map(|(_, m)| m)
     }
 
     /// Blocking receive of the *first available* message among `expected`
@@ -614,8 +629,9 @@ impl Communicator {
             if let Some(pos) =
                 self.ctrl.iter().position(|&(f, k, _)| k == kind && from.map_or(true, |x| x == f))
             {
-                let (f, _, p) = self.ctrl.remove(pos).expect("position checked");
-                return Ok((f, p));
+                if let Some((f, _, p)) = self.ctrl.remove(pos) {
+                    return Ok((f, p));
+                }
             }
             let now = Instant::now();
             if now >= deadline {
@@ -657,10 +673,13 @@ impl Communicator {
             while heard < self.size {
                 match self.recv_ctrl(K_AGREE_UP, None, deadline) {
                     Ok((_, p)) => {
-                        if get_u64(&p, 0) != round {
+                        let (Some(r), Some(v)) = (ctrl_u64(&p, 0), ctrl_u64(&p, 1)) else {
+                            continue; // truncated vote: ignore like a stale one
+                        };
+                        if r != round {
                             continue; // stale round: ignore
                         }
-                        verdict &= get_u64(&p, 1) != 0;
+                        verdict &= v != 0;
                         heard += 1;
                     }
                     Err(_) => {
@@ -690,8 +709,11 @@ impl Communicator {
             loop {
                 match self.recv_ctrl(K_AGREE_DOWN, Some(0), Instant::now() + timeout) {
                     Ok((_, p)) => {
-                        if get_u64(&p, 0) == round {
-                            return Ok(get_u64(&p, 1) != 0);
+                        if ctrl_u64(&p, 0) == Some(round) {
+                            // A truncated verdict counts as `false`:
+                            // forcing the rollback path is safe, the
+                            // panic it used to cause was not.
+                            return Ok(ctrl_u64(&p, 1).unwrap_or(0) != 0);
                         }
                     }
                     Err(CommError::Timeout) => {
@@ -766,35 +788,57 @@ impl Communicator {
             let mut max_agree = self.agree_round;
             let mut min_newest = newest;
             let mut common: std::collections::BTreeSet<u64> = held_steps.iter().copied().collect();
-            for _ in 1..self.size {
+            let mut heard = 1u32;
+            while heard < self.size {
                 let (_, p) = self.recv_ctrl(K_JOIN, None, deadline)?;
-                assert_eq!(get_u64(&p, 0), epoch, "recovery epochs are serialized");
-                max_coll = max_coll.max(get_u64(&p, 1));
-                max_agree = max_agree.max(get_u64(&p, 2));
-                let count = get_u64(&p, 3) as usize;
+                // Recovery epochs are serialized by the barrier itself,
+                // but a join from an *older* epoch can linger when a
+                // peer timed out of an earlier round this rank never
+                // completed — skip it like any stale note. A *newer*
+                // epoch means this rank missed a round it cannot lead:
+                // the cohort's protocol state is torn beyond repair.
+                match ctrl_u64(&p, 0) {
+                    Some(e) if e == epoch => {}
+                    Some(e) if e > epoch => return Err(CommError::Protocol),
+                    _ => continue,
+                }
+                max_coll = max_coll.max(ctrl_u64(&p, 1).unwrap_or(0));
+                max_agree = max_agree.max(ctrl_u64(&p, 2).unwrap_or(0));
+                let count = ctrl_u64(&p, 3).unwrap_or(0) as usize;
                 let held: std::collections::BTreeSet<u64> =
-                    (0..count).map(|i| get_u64(&p, 4 + i)).collect();
+                    (0..count).filter_map(|i| ctrl_u64(&p, 4 + i)).collect();
                 min_newest = min_newest.min(held.iter().copied().max().unwrap_or(0));
                 common.retain(|s| held.contains(s));
+                heard += 1;
             }
+            restore_step = common.iter().copied().max().unwrap_or(min_newest);
             let mut go = Vec::with_capacity(32);
             put_u64(&mut go, epoch);
             put_u64(&mut go, max_coll);
             put_u64(&mut go, max_agree);
-            put_u64(&mut go, common.iter().copied().max().unwrap_or(min_newest));
+            put_u64(&mut go, restore_step);
             for r in 1..self.size {
                 self.send_ctrl(r, K_GO, go.clone());
             }
             self.coll_seq = max_coll;
             self.agree_round = max_agree;
-            restore_step = get_u64(&go, 3);
         } else {
             self.send_ctrl(0, K_JOIN, join);
-            let (_, p) = self.recv_ctrl(K_GO, Some(0), deadline)?;
-            assert_eq!(get_u64(&p, 0), epoch, "recovery epochs are serialized");
-            self.coll_seq = get_u64(&p, 1);
-            self.agree_round = get_u64(&p, 2);
-            restore_step = get_u64(&p, 3);
+            restore_step = loop {
+                let (_, p) = self.recv_ctrl(K_GO, Some(0), deadline)?;
+                match ctrl_u64(&p, 0) {
+                    Some(e) if e == epoch => {
+                        // Conservative fallbacks for a torn frame: keep
+                        // the local counters (the maximum rule only ever
+                        // raises them) and the newest local step.
+                        self.coll_seq = ctrl_u64(&p, 1).unwrap_or(self.coll_seq);
+                        self.agree_round = ctrl_u64(&p, 2).unwrap_or(self.agree_round);
+                        break ctrl_u64(&p, 3).unwrap_or(newest);
+                    }
+                    Some(e) if e > epoch => return Err(CommError::Protocol),
+                    _ => continue, // stale round: ignore
+                }
+            };
         }
         self.drain_stale();
         if self.rank == 0 {
@@ -917,15 +961,20 @@ impl World {
             .collect()
     }
 
-    fn run_inner<T, F>(
-        size: u32,
-        fault: Option<FaultConfig>,
-        f: F,
-    ) -> Vec<Result<T, Box<dyn std::any::Any + Send>>>
-    where
-        T: Send,
-        F: Fn(Communicator) -> T + Send + Sync,
-    {
+    /// Builds the communicator mesh of a fresh `size`-rank cohort
+    /// **without spawning any threads** — the re-entrant entry point
+    /// multi-tenant schedulers build on. Every call wires a fully
+    /// independent world out of its own channels; no process-global
+    /// state exists, so any number of cohorts can be constructed and
+    /// run concurrently in one process, and their tag spaces, failure
+    /// notes and fault plans can never bleed into each other.
+    ///
+    /// The caller takes over what [`World::run`] otherwise does: move
+    /// each communicator onto its own worker (they are `Send`), contain
+    /// panics with `catch_unwind` (dropping a communicator mid-unwind
+    /// broadcasts the down note, so cohort peers fail fast instead of
+    /// hanging), and join the per-rank results.
+    pub fn connect(size: u32, fault: Option<FaultConfig>) -> Vec<Communicator> {
         assert!(size > 0);
         let mut senders = Vec::with_capacity(size as usize);
         let mut receivers = Vec::with_capacity(size as usize);
@@ -939,7 +988,7 @@ impl World {
         // hold-back (measured in subsequent sends, each consuming one
         // seq) plus any control traffic interleaved before a flush.
         let dedup_span = fault.as_ref().map_or(0, |c| 1024 + 64 * c.max_delay as u64);
-        let mut comms: Vec<Communicator> = receivers
+        receivers
             .into_iter()
             .enumerate()
             .map(|(rank, receiver)| Communicator {
@@ -963,13 +1012,26 @@ impl World {
                 agree_round: 0,
                 counters: CommCounters::default(),
             })
-            .collect();
-        drop(senders);
+            .collect()
+        // `senders` drops here: only the per-rank communicators keep
+        // endpoints alive, so a fully unwound cohort is observable as
+        // [`CommError::WorldDown`].
+    }
 
+    fn run_inner<T, F>(
+        size: u32,
+        fault: Option<FaultConfig>,
+        f: F,
+    ) -> Vec<Result<T, Box<dyn std::any::Any + Send>>>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        let comms = Self::connect(size, fault);
         std::thread::scope(|scope| {
             let f = &f;
             let handles: Vec<_> = comms
-                .drain(..)
+                .into_iter()
                 .map(|comm| {
                     // The panic guard's lifeline: clones of every sender,
                     // surviving the communicator's death mid-unwind.

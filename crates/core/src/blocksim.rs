@@ -181,11 +181,8 @@ impl BlockSim {
         let t0 = std::time::Instant::now();
         let core = self.shape.interior_core(1);
         if self.scheme == UpdateScheme::InPlace {
-            let stats = trillium_kernels::inplace::stream_collide_trt_region(
-                &mut self.src,
-                rel,
-                &core,
-            );
+            let stats =
+                trillium_kernels::inplace::stream_collide_trt_region(&mut self.src, rel, &core);
             return stats.timed(t0.elapsed().as_secs_f64());
         }
         let stats = match self.kernel {

@@ -416,6 +416,57 @@ pub(crate) fn ghost_tag(dst: BlockId, d: [i8; 3], parity: u64) -> u64 {
     (packed << 6) | ((parity & 1) << 5) | dir_index(d) as u64
 }
 
+/// Everything a per-rank worker needs to join one distributed run of a
+/// scenario: the balanced setup forest, one distributed view per rank,
+/// and the shared trace epoch. Built once by whoever launches the
+/// cohort — [`run_distributed_with`] for the classic one-run-per-call
+/// API, or a multi-tenant scheduler (`trillium-jobs`) that ships the
+/// plan to pooled rank workers — then shared read-only across them.
+///
+/// Nothing here is process-global: each plan belongs to exactly one
+/// run, so any number of runs can be planned and driven concurrently
+/// in one process.
+pub struct RunPlan {
+    /// The balanced setup forest (cloned per rank by the rebalanced
+    /// schedule, which mutates ownership as blocks migrate).
+    pub forest: SetupForest,
+    /// Per-rank block views, indexed by rank.
+    pub views: Vec<DistributedForest>,
+    /// Common time origin for every rank's recorder, so the run's trace
+    /// lanes line up.
+    pub epoch: Instant,
+}
+
+/// Plans a distributed run of `scenario` on `num_procs` ranks: builds
+/// and balances the forest and precomputes the per-rank views. The
+/// returned plan feeds [`drive_rank`] / [`drive_rank_rebalanced`] /
+/// [`crate::recovery::drive_rank_resilient`] — one call per rank, on
+/// communicators from `World::connect`.
+pub fn plan_run(scenario: &Scenario, num_procs: u32) -> RunPlan {
+    let forest = scenario.make_forest(num_procs);
+    let views = distribute(&forest);
+    RunPlan { forest, views, epoch: Instant::now() }
+}
+
+/// Runs one rank of a distributed simulation on a caller-provided
+/// communicator — the re-entrant per-rank entry point behind
+/// [`run_distributed_with`]. The communicator decides which rank this
+/// is; the plan must have been built for the communicator's world size.
+/// Safe to invoke any number of times concurrently in one process, one
+/// cohort per plan.
+pub fn drive_rank(
+    comm: Communicator,
+    plan: &RunPlan,
+    scenario: &Scenario,
+    threads_per_rank: usize,
+    steps: u64,
+    probes: &[[i64; 3]],
+    cfg: DriverConfig,
+) -> RankResult {
+    let view = &plan.views[comm.rank() as usize];
+    rank_loop(comm, view, scenario, threads_per_rank, steps, probes, cfg, plan.epoch)
+}
+
 /// Runs `scenario` on `num_procs` ranks (threads) with
 /// `threads_per_rank`-fold block parallelism inside each rank, for
 /// `steps` time steps, under the given [`DriverConfig`]. `probes` are
@@ -429,14 +480,9 @@ pub fn run_distributed_with(
     probes: &[[i64; 3]],
     cfg: DriverConfig,
 ) -> RunResult {
-    let forest = scenario.make_forest(num_procs);
-    let views = distribute(&forest);
-    // One epoch for every rank's recorder, so trace lanes share a time
-    // origin.
-    let epoch = Instant::now();
+    let plan = plan_run(scenario, num_procs);
     let results = World::run(num_procs, |comm| {
-        let view = &views[comm.rank() as usize];
-        rank_loop(comm, view, scenario, threads_per_rank, steps, probes, cfg, epoch)
+        drive_rank(comm, &plan, scenario, threads_per_rank, steps, probes, cfg)
     });
     RunResult { steps, ranks: results }
 }
@@ -826,23 +872,37 @@ pub fn run_distributed_rebalanced(
     steps: u64,
     cfg: RebalanceConfig,
 ) -> RunResult {
-    let forest = scenario.make_forest(num_procs);
-    let views = distribute(&forest);
-    let epoch = Instant::now();
+    let plan = plan_run(scenario, num_procs);
     let results = World::run(num_procs, |comm| {
-        let rank = comm.rank() as usize;
-        rank_loop_rebalanced(
-            comm,
-            forest.clone(),
-            views[rank].clone(),
-            scenario,
-            threads_per_rank,
-            steps,
-            cfg,
-            epoch,
-        )
+        drive_rank_rebalanced(comm, &plan, scenario, threads_per_rank, steps, cfg)
     });
     RunResult { steps, ranks: results }
+}
+
+/// Runs one rank of a load-balanced distributed simulation on a
+/// caller-provided communicator — the re-entrant per-rank entry point
+/// behind [`run_distributed_rebalanced`]. Each rank clones the plan's
+/// forest and its own view, since the rebalanced schedule mutates
+/// ownership as blocks migrate.
+pub fn drive_rank_rebalanced(
+    comm: Communicator,
+    plan: &RunPlan,
+    scenario: &Scenario,
+    threads_per_rank: usize,
+    steps: u64,
+    cfg: RebalanceConfig,
+) -> RankResult {
+    let rank = comm.rank() as usize;
+    rank_loop_rebalanced(
+        comm,
+        plan.forest.clone(),
+        plan.views[rank].clone(),
+        scenario,
+        threads_per_rank,
+        steps,
+        cfg,
+        plan.epoch,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]

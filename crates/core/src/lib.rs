@@ -52,14 +52,14 @@ pub mod scenario;
 pub mod prelude {
     pub use crate::blocksim::{BlockSim, UpdateScheme};
     pub use crate::driver::{
-        run_distributed, run_distributed_rebalanced, run_distributed_with, DriverConfig,
-        RankResult, RebalanceConfig, RunResult,
+        drive_rank, drive_rank_rebalanced, plan_run, run_distributed, run_distributed_rebalanced,
+        run_distributed_with, DriverConfig, RankResult, RebalanceConfig, RunPlan, RunResult,
     };
     pub use crate::loadbalance::{block_graph, graph_balance};
     pub use crate::pipeline::{setup_domain, DomainSetup};
     pub use crate::recovery::{
-        run_distributed_resilient, RankResilience, RecoveryError, ResilienceConfig,
-        ResilientRunResult,
+        drive_rank_resilient, run_distributed_resilient, RankResilience, RecoveryError,
+        ResilienceConfig, ResilientRunResult,
     };
     pub use crate::scenario::{BalanceStrategy, KernelChoice, Scenario};
     pub use trillium_comm::{CommError, CrashSpec, FaultConfig, FaultEvent};

@@ -34,12 +34,13 @@ use crate::blocksim::BlockSim;
 use crate::checkpoint::{restore_forest, save_forest, RestoreError};
 use crate::driver::{
     dump_pdfs, exchange_ghosts, fold_obs, for_each_block, locate_probes, map_each_block,
-    overlapped_step, DriverConfig, GhostCtx, RankResult, RunResult, M_STEP_SECONDS,
+    overlapped_step, plan_run, DriverConfig, GhostCtx, RankResult, RunPlan, RunResult,
+    M_STEP_SECONDS,
 };
 use crate::scenario::Scenario;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use trillium_blockforest::{distribute, BlockId, DistributedForest};
+use trillium_blockforest::{BlockId, DistributedForest};
 use trillium_comm::{CommError, Communicator, FaultConfig, FaultEvent, World};
 use trillium_kernels::SweepStats;
 use trillium_obs::{Recorder, SpanKind};
@@ -223,12 +224,9 @@ pub fn run_distributed_resilient(
     probes: &[[i64; 3]],
     cfg: &ResilienceConfig,
 ) -> Result<ResilientRunResult, RecoveryError> {
-    let forest = scenario.make_forest(num_procs);
-    let views = distribute(&forest);
-    let epoch = Instant::now();
+    let plan = plan_run(scenario, num_procs);
     let f = |comm: Communicator| {
-        let view = &views[comm.rank() as usize];
-        resilient_rank_loop(comm, view, scenario, threads_per_rank, steps, probes, cfg, epoch)
+        drive_rank_resilient(comm, &plan, scenario, threads_per_rank, steps, probes, cfg)
     };
     let results = match &cfg.fault {
         Some(fc) => World::run_with_faults(num_procs, fc.clone(), f),
@@ -242,6 +240,26 @@ pub fn run_distributed_resilient(
         reports.push(rep);
     }
     Ok(ResilientRunResult { run: RunResult { steps, ranks }, reports })
+}
+
+/// Runs one rank of a resilient distributed simulation on a
+/// caller-provided communicator — the re-entrant per-rank entry point
+/// behind [`run_distributed_resilient`]. Fault plans travel with the
+/// communicator (install them via `World::connect`'s fault argument),
+/// so the config's [`ResilienceConfig::fault`] field is not consulted
+/// here.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_rank_resilient(
+    comm: Communicator,
+    plan: &RunPlan,
+    scenario: &Scenario,
+    threads_per_rank: usize,
+    steps: u64,
+    probes: &[[i64; 3]],
+    cfg: &ResilienceConfig,
+) -> Result<(RankResult, RankResilience), RecoveryError> {
+    let view = &plan.views[comm.rank() as usize];
+    resilient_rank_loop(comm, view, scenario, threads_per_rank, steps, probes, cfg, plan.epoch)
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -1,0 +1,406 @@
+//! Job specifications: what a client submits to the service.
+//!
+//! A spec is a JSON document (parsed through the offline `serde_json`
+//! shim) naming a geometry family, its physics parameters, the schedule
+//! to run it under, and output options — the same shape of config file
+//! the `lattice-boltzmann-rs` line of codes uses, reduced to the
+//! scenario families this framework ships. [`JobSpec::from_json`]
+//! validates the document; [`JobSpec::to_scenario`] builds the runnable
+//! [`Scenario`]; [`JobSpec::cost_estimate`] prices the job for
+//! admission control using the roofline traffic model from
+//! `trillium-perfmodel`.
+
+use serde_json::Value;
+use trillium_core::prelude::{KernelChoice, Scenario};
+use trillium_perfmodel::bytes_per_lup;
+
+/// Geometry families a job may request — the paper's two §4.2
+/// benchmark scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeometryFamily {
+    /// Lid-driven cavity, `cells`³ on `blocks`³ blocks.
+    Cavity,
+    /// Channel flow around a cylindrical obstacle, `2·cells × cells ×
+    /// cells` on `2·blocks × blocks × blocks` blocks.
+    Channel,
+}
+
+/// Distributed schedule to run the job under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Plain synchronous ghost exchange.
+    Sync,
+    /// Communication-hiding overlapped schedule.
+    Overlapped,
+    /// Runtime load balancing (block migration between cohort ranks).
+    Rebalanced,
+    /// Checkpoint/rollback resilience; the only schedule that tolerates
+    /// an injected fault plan.
+    Resilient,
+}
+
+/// Deterministic fault plan attached to a job (resilient schedule
+/// only: the other schedules have unbounded waits and would hang on a
+/// lost message instead of degrading).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Fail-stop crash `(rank, step)` inside the job's cohort.
+    pub crash: Option<(u32, u64)>,
+    /// Whether the job is allowed to recover: `false` caps the recovery
+    /// budget at zero, so the first rollback turns into a typed failure
+    /// — the harness's "this job must die, and only this job" probe.
+    pub recover: bool,
+}
+
+/// A validated simulation job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Client-chosen job name (reported back in every progress event).
+    pub name: String,
+    /// Geometry family.
+    pub family: GeometryFamily,
+    /// Base edge length in cells (see [`GeometryFamily`] for how each
+    /// family scales it).
+    pub cells: usize,
+    /// Base block count per edge.
+    pub blocks: usize,
+    /// Lattice viscosity.
+    pub viscosity: f64,
+    /// Driving velocity (lid or inflow, family-dependent).
+    pub velocity: f64,
+    /// Kernel/update-scheme choice.
+    pub kernel: KernelChoice,
+    /// Time steps to run.
+    pub steps: u64,
+    /// Cohort width: ranks this job needs.
+    pub ranks: u32,
+    /// Worker threads per rank.
+    pub threads: usize,
+    /// Scheduling priority; higher dispatches first.
+    pub priority: i64,
+    /// Distributed schedule.
+    pub schedule: Schedule,
+    /// Optional fault plan (resilient schedule only).
+    pub fault: Option<FaultSpec>,
+    /// Skew the static block distribution (fraction of blocks forced
+    /// onto rank 0) — gives the rebalanced schedule something to fix.
+    pub skew: Option<f64>,
+    /// Collect final PDFs for bitwise comparison against baselines.
+    pub collect_pdfs: bool,
+}
+
+/// Validation failure for a submitted spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The JSON document failed to parse.
+    Parse(String),
+    /// A required field is absent.
+    Missing(&'static str),
+    /// A field is present but out of range or of the wrong kind.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "spec does not parse: {e}"),
+            SpecError::Missing(k) => write!(f, "spec is missing required field `{k}`"),
+            SpecError::Invalid(k) => write!(f, "spec field `{k}` is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn req_str<'a>(v: &'a Value, key: &'static str) -> Result<&'a str, SpecError> {
+    v.get(key).ok_or(SpecError::Missing(key))?.as_str().ok_or(SpecError::Invalid(key))
+}
+
+fn opt_u64(v: &Value, key: &'static str, default: u64) -> Result<u64, SpecError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x.as_u64().ok_or(SpecError::Invalid(key)),
+    }
+}
+
+fn opt_f64(v: &Value, key: &'static str, default: f64) -> Result<f64, SpecError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x.as_f64().ok_or(SpecError::Invalid(key)),
+    }
+}
+
+impl JobSpec {
+    /// Parses and validates a JSON job document. Only `name` and
+    /// `family` are mandatory; everything else has a small-job default,
+    /// so the minimal spec is `{"name": "x", "family": "cavity"}`.
+    pub fn from_json(v: &Value) -> Result<JobSpec, SpecError> {
+        let name = req_str(v, "name")?.to_string();
+        let family = match req_str(v, "family")? {
+            "cavity" => GeometryFamily::Cavity,
+            "channel" => GeometryFamily::Channel,
+            _ => return Err(SpecError::Invalid("family")),
+        };
+        let kernel = match v.get("kernel").map(|k| k.as_str()) {
+            None => KernelChoice::Auto,
+            Some(Some("auto")) => KernelChoice::Auto,
+            Some(Some("pull")) => KernelChoice::Pull,
+            Some(Some("inplace")) => KernelChoice::InPlace,
+            _ => return Err(SpecError::Invalid("kernel")),
+        };
+        let schedule = match v.get("schedule").map(|s| s.as_str()) {
+            None => Schedule::Sync,
+            Some(Some("sync")) => Schedule::Sync,
+            Some(Some("overlapped")) => Schedule::Overlapped,
+            Some(Some("rebalanced")) => Schedule::Rebalanced,
+            Some(Some("resilient")) => Schedule::Resilient,
+            _ => return Err(SpecError::Invalid("schedule")),
+        };
+        let fault = match v.get("fault") {
+            None => None,
+            Some(f) => {
+                let seed = opt_u64(f, "seed", 1)?;
+                let crash = match (f.get("crash_rank"), f.get("crash_step")) {
+                    (None, None) => None,
+                    (Some(r), Some(s)) => Some((
+                        r.as_u64().ok_or(SpecError::Invalid("fault.crash_rank"))? as u32,
+                        s.as_u64().ok_or(SpecError::Invalid("fault.crash_step"))?,
+                    )),
+                    _ => return Err(SpecError::Invalid("fault")),
+                };
+                let recover = match f.get("recover") {
+                    None => true,
+                    Some(b) => b.as_bool().ok_or(SpecError::Invalid("fault.recover"))?,
+                };
+                Some(FaultSpec { seed, crash, recover })
+            }
+        };
+        let skew = match v.get("skew") {
+            None => None,
+            Some(s) => Some(s.as_f64().ok_or(SpecError::Invalid("skew"))?),
+        };
+        let spec = JobSpec {
+            name,
+            family,
+            cells: opt_u64(v, "cells", 16)? as usize,
+            blocks: opt_u64(v, "blocks", 2)? as usize,
+            viscosity: opt_f64(v, "viscosity", 0.05)?,
+            velocity: opt_f64(v, "velocity", 0.08)?,
+            kernel,
+            steps: opt_u64(v, "steps", 10)?,
+            ranks: opt_u64(v, "ranks", 2)? as u32,
+            threads: opt_u64(v, "threads", 1)? as usize,
+            priority: v
+                .get("priority")
+                .map_or(Ok(0), |p| p.as_i64().ok_or(SpecError::Invalid("priority")))?,
+            schedule,
+            fault,
+            skew,
+            collect_pdfs: match v.get("collect_pdfs") {
+                None => true,
+                Some(b) => b.as_bool().ok_or(SpecError::Invalid("collect_pdfs"))?,
+            },
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parses a JSON string ([`serde_json::from_str`] +
+    /// [`JobSpec::from_json`]).
+    pub fn parse(s: &str) -> Result<JobSpec, SpecError> {
+        let v = serde_json::from_str(s).map_err(|e| SpecError::Parse(format!("{e:?}")))?;
+        JobSpec::from_json(&v)
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        if self.cells == 0 || self.cells % self.blocks.max(1) != 0 {
+            return Err(SpecError::Invalid("cells"));
+        }
+        if self.blocks == 0 {
+            return Err(SpecError::Invalid("blocks"));
+        }
+        if self.steps == 0 {
+            return Err(SpecError::Invalid("steps"));
+        }
+        if self.ranks == 0 {
+            return Err(SpecError::Invalid("ranks"));
+        }
+        if self.threads == 0 {
+            return Err(SpecError::Invalid("threads"));
+        }
+        if self.fault.is_some() && self.schedule != Schedule::Resilient {
+            return Err(SpecError::Invalid("fault"));
+        }
+        if let Some(FaultSpec { crash: Some((r, _)), .. }) = self.fault {
+            if r >= self.ranks {
+                return Err(SpecError::Invalid("fault.crash_rank"));
+            }
+        }
+        if let Some(s) = self.skew {
+            if !(0.0..=1.0).contains(&s) {
+                return Err(SpecError::Invalid("skew"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the runnable scenario this spec describes.
+    pub fn to_scenario(&self) -> Scenario {
+        let s = match self.family {
+            GeometryFamily::Cavity => {
+                Scenario::lid_driven_cavity(self.cells, self.blocks, self.viscosity, self.velocity)
+            }
+            GeometryFamily::Channel => Scenario::channel_with_obstacle(
+                [2 * self.cells, self.cells, self.cells],
+                [2 * self.blocks, self.blocks, self.blocks],
+                self.viscosity,
+                self.velocity,
+                0.2,
+            ),
+        };
+        let s = s.with_kernel(self.kernel);
+        match self.skew {
+            Some(f) => s.with_skewed_balance(f),
+            None => s,
+        }
+    }
+
+    /// Total lattice cells the job touches per step.
+    pub fn total_cells(&self) -> u64 {
+        let c = self.cells as u64;
+        match self.family {
+            GeometryFamily::Cavity => c * c * c,
+            GeometryFamily::Channel => 2 * c * c * c,
+        }
+    }
+
+    /// Estimated memory traffic of the whole job in bytes — lattice
+    /// updates priced by the D3Q19 roofline traffic model. This is the
+    /// block-cost figure admission control compares against the pool
+    /// budget: crude, but monotone in problem size and steps, which is
+    /// all a reject/park decision needs.
+    pub fn cost_estimate(&self) -> f64 {
+        self.total_cells() as f64 * self.steps as f64 * bytes_per_lup(19)
+    }
+
+    /// Stable key grouping jobs that run the same workload — the unit
+    /// the scheduler's measured-cost model learns per. Two jobs with the
+    /// same template key are expected to cost the same wall time.
+    pub fn template_key(&self) -> u64 {
+        // FNV-1a over the fields that determine the work done.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(match self.family {
+            GeometryFamily::Cavity => 1,
+            GeometryFamily::Channel => 2,
+        });
+        eat(self.cells as u64);
+        eat(self.blocks as u64);
+        eat(self.steps);
+        eat(u64::from(self.ranks));
+        eat(match self.schedule {
+            Schedule::Sync => 1,
+            Schedule::Overlapped => 2,
+            Schedule::Rebalanced => 3,
+            Schedule::Resilient => 4,
+        });
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_parses_with_defaults() {
+        let s = JobSpec::parse(r#"{"name": "j1", "family": "cavity"}"#).unwrap();
+        assert_eq!(s.name, "j1");
+        assert_eq!(s.family, GeometryFamily::Cavity);
+        assert_eq!(s.cells, 16);
+        assert_eq!(s.ranks, 2);
+        assert_eq!(s.schedule, Schedule::Sync);
+        assert!(s.fault.is_none());
+        assert!(s.collect_pdfs);
+    }
+
+    #[test]
+    fn full_spec_round_trips_every_field() {
+        let s = JobSpec::parse(
+            r#"{
+                "name": "soak-42", "family": "channel", "cells": 8, "blocks": 1,
+                "viscosity": 0.06, "velocity": 0.05, "kernel": "inplace",
+                "steps": 6, "ranks": 2, "threads": 1, "priority": 3,
+                "schedule": "resilient",
+                "fault": {"seed": 9, "crash_rank": 1, "crash_step": 3, "recover": false}
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(s.family, GeometryFamily::Channel);
+        assert_eq!(s.kernel, KernelChoice::InPlace);
+        assert_eq!(s.priority, 3);
+        assert_eq!(s.schedule, Schedule::Resilient);
+        assert_eq!(s.fault, Some(FaultSpec { seed: 9, crash: Some((1, 3)), recover: false }));
+        assert_eq!(s.total_cells(), 2 * 8 * 8 * 8);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_the_offending_field() {
+        let cases = [
+            (r#"{"family": "cavity"}"#, SpecError::Missing("name")),
+            (r#"{"name": "x", "family": "torus"}"#, SpecError::Invalid("family")),
+            (r#"{"name": "x", "family": "cavity", "cells": 0}"#, SpecError::Invalid("cells")),
+            (r#"{"name": "x", "family": "cavity", "cells": 15}"#, SpecError::Invalid("cells")),
+            (r#"{"name": "x", "family": "cavity", "ranks": 0}"#, SpecError::Invalid("ranks")),
+            // A fault plan outside the resilient schedule would hang,
+            // not degrade; refuse it up front.
+            (
+                r#"{"name": "x", "family": "cavity", "fault": {"seed": 1}}"#,
+                SpecError::Invalid("fault"),
+            ),
+            (
+                r#"{"name": "x", "family": "cavity", "schedule": "resilient",
+                    "fault": {"crash_rank": 5, "crash_step": 1}}"#,
+                SpecError::Invalid("fault.crash_rank"),
+            ),
+        ];
+        for (doc, want) in cases {
+            assert_eq!(JobSpec::parse(doc).unwrap_err(), want, "doc: {doc}");
+        }
+    }
+
+    #[test]
+    fn cost_estimate_is_monotone_in_size_and_steps() {
+        let small = JobSpec::parse(r#"{"name": "s", "family": "cavity", "cells": 8}"#).unwrap();
+        let big = JobSpec::parse(r#"{"name": "b", "family": "cavity", "cells": 32}"#).unwrap();
+        let long = JobSpec::parse(r#"{"name": "l", "family": "cavity", "cells": 8, "steps": 100}"#)
+            .unwrap();
+        assert!(big.cost_estimate() > small.cost_estimate());
+        assert!(long.cost_estimate() > small.cost_estimate());
+        assert_eq!(small.template_key(), small.template_key());
+        assert_ne!(small.template_key(), big.template_key());
+    }
+
+    #[test]
+    fn scenario_construction_matches_the_family() {
+        // `Scenario::cells` is per block: 16³ over 2³ blocks → 8³ each.
+        let s = JobSpec::parse(r#"{"name": "x", "family": "cavity", "cells": 16, "blocks": 2}"#)
+            .unwrap()
+            .to_scenario();
+        assert_eq!(s.cells, [8, 8, 8]);
+        assert_eq!(s.blocks, [2, 2, 2]);
+        // Channel doubles the x extent: 32×16×16 over 2×1×1 blocks.
+        let c = JobSpec::parse(r#"{"name": "x", "family": "channel", "cells": 16, "blocks": 1}"#)
+            .unwrap()
+            .to_scenario();
+        assert_eq!(c.cells, [16, 16, 16]);
+        assert_eq!(c.blocks, [2, 1, 1]);
+    }
+}

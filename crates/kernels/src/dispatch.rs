@@ -284,8 +284,7 @@ mod tests {
                     let mut full = soa.clone();
                     let mut split = soa.clone();
                     let s_full = sweep_inplace(collision, &mut full, rel);
-                    let mut cells =
-                        sweep_inplace_region(collision, &mut split, rel, &core).cells;
+                    let mut cells = sweep_inplace_region(collision, &mut split, rel, &core).cells;
                     for r in &shells {
                         cells += sweep_inplace_region(collision, &mut split, rel, r).cells;
                     }

@@ -246,8 +246,7 @@ mod scalar {
                         let c = [C[a][0] as f64, C[a][1] as f64, C[a][2] as f64];
                         let wq = WEIGHTS[a];
                         for x in 0..n {
-                            let cu =
-                                c[0] * scr.ux[x] + c[1] * scr.uy[x] + c[2] * scr.uz[x];
+                            let cu = c[0] * scr.ux[x] + c[1] * scr.uy[x] + c[2] * scr.uz[x];
                             let t = wq * scr.rho[x];
                             let feq_even = t * (scr.base[x] + 4.5 * cu * cu);
                             let feq_odd = 3.0 * t * cu;
@@ -293,8 +292,7 @@ mod scalar {
                         let tw = omega * WEIGHTS[0];
                         for x in 0..n {
                             let cu = 0.0;
-                            let feq =
-                                tw * scr.rho[x] * (scr.base[x] + 3.0 * cu + 4.5 * cu * cu);
+                            let feq = tw * scr.rho[x] * (scr.base[x] + 3.0 * cu + 4.5 * cu * cu);
                             *p0.add(x) = om1 * *p0.add(x) + feq;
                         }
                     }
@@ -313,16 +311,12 @@ mod scalar {
                         for x in 0..n {
                             let fa = *sa.add(x);
                             let fb = *sb.add(x);
-                            let cua =
-                                ca[0] * scr.ux[x] + ca[1] * scr.uy[x] + ca[2] * scr.uz[x];
-                            let feqa = twa
-                                * scr.rho[x]
-                                * (scr.base[x] + 3.0 * cua + 4.5 * cua * cua);
-                            let cub =
-                                cb[0] * scr.ux[x] + cb[1] * scr.uy[x] + cb[2] * scr.uz[x];
-                            let feqb = twb
-                                * scr.rho[x]
-                                * (scr.base[x] + 3.0 * cub + 4.5 * cub * cub);
+                            let cua = ca[0] * scr.ux[x] + ca[1] * scr.uy[x] + ca[2] * scr.uz[x];
+                            let feqa =
+                                twa * scr.rho[x] * (scr.base[x] + 3.0 * cua + 4.5 * cua * cua);
+                            let cub = cb[0] * scr.ux[x] + cb[1] * scr.uy[x] + cb[2] * scr.uz[x];
+                            let feqb =
+                                twb * scr.rho[x] * (scr.base[x] + 3.0 * cub + 4.5 * cub * cub);
                             *da.add(x) = om1 * fa + feqa;
                             *db.add(x) = om1 * fb + feqb;
                         }
@@ -830,7 +824,8 @@ mod tests {
             whole.set_parity(parity);
             split.set_parity(parity);
             stream_collide_trt(&mut whole, rel);
-            let mut cells = stream_collide_trt_region(&mut split, rel, &shape.interior_core(1)).cells;
+            let mut cells =
+                stream_collide_trt_region(&mut split, rel, &shape.interior_core(1)).cells;
             for r in shape.shell_regions(1) {
                 cells += stream_collide_trt_region(&mut split, rel, &r).cells;
             }

@@ -17,7 +17,6 @@
 //! little for this kernel — the basis for the paper's 1.6 GHz
 //! energy-optimal operating point (Fig 4).
 
-
 /// Work unit: eight lattice-cell updates (one AVX cache line per stream).
 pub const LUPS_PER_UNIT: f64 = 8.0;
 /// Cache lines moved per work unit by the two-field pull update:

@@ -34,7 +34,11 @@ fn inplace_matches_pull_on_sync_and_overlapped_schedules() {
         let overlapped =
             run_distributed_with(&cavity(KernelChoice::InPlace), 4, 1, steps, &[], pdf_cfg(true));
         assert_eq!(reference.pdf_dump(), sync.pdf_dump(), "sync in-place, {steps} steps");
-        assert_eq!(reference.pdf_dump(), overlapped.pdf_dump(), "overlapped in-place, {steps} steps");
+        assert_eq!(
+            reference.pdf_dump(),
+            overlapped.pdf_dump(),
+            "overlapped in-place, {steps} steps"
+        );
     }
 }
 
@@ -51,7 +55,8 @@ fn inplace_matches_pull_under_rebalancing_migrations() {
         ..RebalanceConfig::default()
     };
     let skew = |k: KernelChoice| cavity(k).with_skewed_balance(0.9);
-    let reference = run_distributed_with(&cavity(KernelChoice::Pull), 2, 1, STEPS, &[], pdf_cfg(false));
+    let reference =
+        run_distributed_with(&cavity(KernelChoice::Pull), 2, 1, STEPS, &[], pdf_cfg(false));
     let pull = run_distributed_rebalanced(&skew(KernelChoice::Pull), 2, 1, STEPS, cfg());
     let inplace = run_distributed_rebalanced(&skew(KernelChoice::InPlace), 2, 1, STEPS, cfg());
     assert!(
@@ -90,7 +95,8 @@ fn inplace_matches_pull_through_fault_recovery() {
         driver: pdf_cfg(false),
         ..ResilienceConfig::default()
     };
-    let clean = run_distributed_resilient(&cavity(KernelChoice::InPlace), 4, 1, STEPS, &[], &clean_rc)
-        .expect("clean run");
+    let clean =
+        run_distributed_resilient(&cavity(KernelChoice::InPlace), 4, 1, STEPS, &[], &clean_rc)
+            .expect("clean run");
     assert_eq!(reference.pdf_dump(), clean.run.pdf_dump());
 }

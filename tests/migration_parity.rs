@@ -1,0 +1,184 @@
+//! Regression tests for migrating in-place (AA-pattern) blocks.
+//!
+//! An in-place block has no send buffer: the storage parity bit on its
+//! single PDF field decides how distribution indices map to memory. The
+//! migration payload (TCP2, [`trillium_core::checkpoint::save_block_full`])
+//! therefore carries a scheme byte — Pull = 0, InPlace even = 1,
+//! InPlace odd = 2 — and restoring an odd-parity block as even would
+//! silently scramble the PDF mapping on the new owner. These tests pin
+//! the scheme byte on the wire and the end-to-end bitwise equivalence
+//! of a mid-run odd-parity migration against the unmigrated run.
+
+use std::collections::HashMap;
+use trillium_blockforest::distribute;
+use trillium_comm::World;
+use trillium_core::checkpoint::save_block_full;
+use trillium_core::driver::{run_distributed_with, RebalanceConfig};
+use trillium_core::migrate::execute_migrations;
+use trillium_core::prelude::*;
+use trillium_obs::{ObsConfig, Recorder};
+use trillium_rebalance::{BlockRecord, Migration, PlanMethod, RebalancePlan};
+
+/// One 16³ in-place block: no neighbors, so a rank can step it locally
+/// (boundary sweep + fused stream–collide) with no ghost exchange.
+fn single_block_scenario() -> Scenario {
+    Scenario::lid_driven_cavity(16, 1, 0.05, 0.08).with_kernel(KernelChoice::InPlace)
+}
+
+/// Offset of the scheme byte in a TCP2 block payload: magic (4) +
+/// nx/ny/nz/ghost (4 × 4).
+const SCHEME_BYTE_OFFSET: usize = 20;
+
+/// Migrates the single in-place block at *odd* parity mid-run (after 3
+/// local steps) from rank 0 to rank 1, finishes the run there, and pins
+/// the final serialized state bitwise against the same 6 steps taken
+/// without any migration.
+#[test]
+fn inplace_block_migrated_at_odd_parity_is_bitwise_preserved() {
+    let scenario = single_block_scenario();
+    let rel = scenario.relaxation;
+    let forest0 = scenario.make_forest(2);
+    let views = distribute(&forest0);
+    // The static balancer picks the owner; the test only needs the other
+    // rank as destination.
+    let src = forest0.blocks[0].rank;
+    let dst = 1 - src;
+    assert_eq!(views[src as usize].blocks.len(), 1);
+
+    // Unmigrated reference: 6 steps on one rank.
+    let solo = {
+        let mut block = scenario.build_block(&views[src as usize].blocks[0]);
+        for _ in 0..6 {
+            block.apply_boundaries();
+            block.stream_collide(rel);
+        }
+        save_block_full(&block)
+    };
+
+    let results = World::run(2, |mut comm| {
+        let rank = comm.rank();
+        let mut forest = forest0.clone();
+        let mut view = views[rank as usize].clone();
+        let mut blocks: Vec<BlockSim> =
+            view.blocks.iter().map(|lb| scenario.build_block(lb)).collect();
+        let mut index_of: HashMap<_, _> =
+            view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
+
+        // The owner advances the block an odd number of steps, so the
+        // parity bit is set when the block goes on the wire.
+        if rank == src {
+            for _ in 0..3 {
+                blocks[0].apply_boundaries();
+                blocks[0].stream_collide(rel);
+            }
+            assert_eq!(blocks[0].scheme, UpdateScheme::InPlace);
+            assert!(blocks[0].src.parity(), "3 in-place steps must leave odd parity");
+            let payload = save_block_full(&blocks[0]);
+            assert_eq!(
+                payload[SCHEME_BYTE_OFFSET], 2,
+                "odd-parity in-place block must serialize scheme byte 2"
+            );
+        }
+
+        // Every rank executes the same hand-built plan: the block moves
+        // from rank 0 to rank 1 mid-run.
+        let records: Vec<BlockRecord> = forest
+            .blocks
+            .iter()
+            .map(|b| BlockRecord {
+                id: b.id.pack(),
+                owner: b.rank,
+                coords: [0, 0, 0],
+                level: b.id.level(),
+                cost: 1.0,
+                fluid_cells: 1,
+            })
+            .collect();
+        let moved = records[0].id;
+        let plan = RebalancePlan {
+            assignment: vec![dst],
+            migrations: vec![Migration { id: moved, from: src, to: dst }],
+            records,
+            method: PlanMethod::NoOp,
+            old_ratio: 1.0,
+            new_ratio: 1.0,
+        };
+        let rec = Recorder::new(rank, ObsConfig::default());
+        let stats = execute_migrations(
+            &mut comm,
+            &plan,
+            &mut forest,
+            &mut view,
+            &mut blocks,
+            &mut index_of,
+            scenario.boundary,
+            &rec,
+        );
+
+        if rank == dst {
+            assert_eq!(stats.received, 1);
+            assert!(
+                blocks[0].src.parity(),
+                "migration dropped the parity bit: the restored block came back even"
+            );
+            for _ in 0..3 {
+                blocks[0].apply_boundaries();
+                blocks[0].stream_collide(rel);
+            }
+            Some(save_block_full(&blocks[0]))
+        } else {
+            assert_eq!(stats.sent, 1);
+            assert!(blocks.is_empty(), "the source rank gave its only block away");
+            None
+        }
+    });
+
+    let migrated = results[dst as usize].clone().expect("the destination rank finished the run");
+    assert!(results[src as usize].is_none());
+    assert_eq!(
+        migrated, solo,
+        "3 steps + odd-parity migration + 3 steps must be bitwise identical to 6 solo steps"
+    );
+}
+
+/// Driver-level version: a skewed in-place run under the runtime
+/// rebalancer with an odd epoch length, so blocks migrate mid-run at
+/// odd parity. The final PDFs must match the same run without any
+/// migration, bit for bit.
+#[test]
+fn rebalanced_inplace_run_with_odd_epochs_matches_plain_run_bitwise() {
+    let scenario = || {
+        Scenario::lid_driven_cavity(16, 2, 0.05, 0.08)
+            .with_kernel(KernelChoice::InPlace)
+            .with_skewed_balance(0.9)
+    };
+    const STEPS: u64 = 24;
+    let plain = run_distributed_with(
+        &scenario(),
+        2,
+        1,
+        STEPS,
+        &[],
+        DriverConfig { collect_pdfs: true, ..DriverConfig::default() },
+    );
+    let rebalanced = run_distributed_rebalanced(
+        &scenario(),
+        2,
+        1,
+        STEPS,
+        RebalanceConfig {
+            every_n_steps: 3,
+            threshold: 1.3,
+            hysteresis: 2,
+            collect_pdfs: true,
+            ..RebalanceConfig::default()
+        },
+    );
+    assert!(rebalanced.total_migrations() >= 1, "skewed run must migrate");
+    assert!(!rebalanced.has_nan());
+    assert_eq!(
+        plain.pdf_dump(),
+        rebalanced.pdf_dump(),
+        "mid-run in-place migration changed the computed physics"
+    );
+}

@@ -121,7 +121,7 @@ fn resilient_schedules_keep_timing_invariants() {
         };
         let res =
             trillium_core::recovery::run_distributed_resilient(&skewed(), 4, 1, STEPS, &[], &rc)
-            .expect("recoverable");
+                .expect("recoverable");
         check_invariants(&res.run, schedule);
         // Checkpoint spans were recorded (initial snapshot has no span;
         // agreements at steps 5, 10 and 12 do).
@@ -148,7 +148,7 @@ fn faulted_resilient_run_counts_rollbacks_and_fault_events() {
         ..ResilienceConfig::default()
     };
     let res = trillium_core::recovery::run_distributed_resilient(&skewed(), 4, 1, STEPS, &[], &rc)
-            .expect("recoverable");
+        .expect("recoverable");
     assert_eq!(res.recoveries(), 1);
     let m = res.run.metrics();
     assert_eq!(m.counter("fault.crashes"), 1, "the injected crash must be counted");
