@@ -6,6 +6,8 @@
 //! print a human-readable table to stdout; pass `--json` to also emit the
 //! raw series as JSON on the last line.
 
+pub mod validation;
+
 use serde_json::Value;
 use std::time::Instant;
 use trillium_field::{PdfField, Shape, SoaPdfField};

@@ -1,0 +1,555 @@
+//! Quantitative physics validation: the scenario × collision-operator ×
+//! schedule × kernel matrix behind the `validation_matrix` harness binary
+//! and the CI `physics-validation` gate (DESIGN.md §13).
+//!
+//! Each *case* is a flow with an analytic or reference answer:
+//!
+//! * **Poiseuille** — pressure-driven plane channel; metric: relative L2
+//!   deviation of the steady `u_x(y)` profile from its best-fit parabola.
+//! * **Taylor–Green** — periodic decaying vortex array; metric: relative
+//!   error of the viscosity measured from the kinetic-energy decay
+//!   `E(T) = E(0)·e^{−4νk²T}` against the nominal viscosity.
+//! * **Cavity** — quasi-2-D lid-driven cavity at Re = 100; metric: RMS of
+//!   the vertical-centerline `u_x` profile against the Ghia, Ghia & Shin
+//!   (1982) reference table.
+//! * **Von Kármán** — cylinder in a channel at Re ≈ 100; metric: Strouhal
+//!   number from mean crossings of the per-step lift signal, which must
+//!   land in the accepted experimental window.
+//!
+//! Every cell of the matrix runs the *distributed* driver (4 emulated
+//! ranks), so a failure localizes a physics bug to a specific operator ×
+//! schedule × kernel combination rather than to "the code".
+
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use trillium_core::driver::{
+    run_distributed_rebalanced, run_distributed_with, DriverConfig, RebalanceConfig, RunResult,
+};
+use trillium_core::recovery::{run_distributed_resilient, ResilienceConfig};
+use trillium_core::scenario::{KernelChoice, Scenario};
+use trillium_field::CellFlags;
+use trillium_kernels::Collision;
+use trillium_lattice::{velocity, D3Q19};
+use trillium_obs::ObsConfig;
+
+/// Emulated MPI ranks every validation cell runs on.
+pub const NUM_PROCS: u32 = 4;
+
+/// Ghia, Ghia & Shin (1982), Table I: `u_x/u_lid` along the vertical
+/// centerline of the lid-driven cavity at Re = 100, as `(y/H, u/u_lid)`
+/// with `y = 0` at the stationary wall and `y = 1` at the lid.
+pub const GHIA_U_RE100: [(f64, f64); 17] = [
+    (0.0000, 0.00000),
+    (0.0547, -0.03717),
+    (0.0625, -0.04192),
+    (0.0703, -0.04775),
+    (0.1016, -0.06434),
+    (0.1719, -0.10150),
+    (0.2813, -0.15662),
+    (0.4531, -0.21090),
+    (0.5000, -0.20581),
+    (0.6172, -0.13641),
+    (0.7344, 0.00332),
+    (0.8516, 0.23151),
+    (0.9531, 0.68717),
+    (0.9609, 0.73722),
+    (0.9688, 0.78871),
+    (0.9766, 0.84123),
+    (1.0000, 1.00000),
+];
+
+/// A validation case: one flow with a quantitative reference answer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Case {
+    /// Pressure-driven plane channel (parabolic-profile L2 error).
+    Poiseuille,
+    /// Decaying Taylor–Green vortex (dissipation-rate error).
+    TaylorGreen,
+    /// Lid-driven cavity at Re = 100 (Ghia centerline RMS).
+    Cavity,
+    /// Cylinder in a channel at Re ≈ 100 (Strouhal number window).
+    VonKarman,
+}
+
+impl Case {
+    /// Every case, in report order.
+    pub const ALL: [Case; 4] = [Case::Poiseuille, Case::TaylorGreen, Case::Cavity, Case::VonKarman];
+
+    /// Short report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Case::Poiseuille => "poiseuille",
+            Case::TaylorGreen => "taylor-green",
+            Case::Cavity => "cavity",
+            Case::VonKarman => "von-karman",
+        }
+    }
+
+    /// Name of the quantitative metric this case reports.
+    pub fn metric(self) -> &'static str {
+        match self {
+            Case::Poiseuille => "profile_l2_error",
+            Case::TaylorGreen => "dissipation_rel_error",
+            Case::Cavity => "ghia_centerline_rms",
+            Case::VonKarman => "strouhal",
+        }
+    }
+}
+
+/// Which driver schedule runs a cell.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Synchronous exchange → boundary → stream-collide (the reference).
+    Sync,
+    /// Communication-hiding overlapped schedule.
+    Overlapped,
+    /// Synchronous schedule with the runtime load balancer armed.
+    Rebalanced,
+    /// Checkpoint/rollback resilient wrapper (clean run, no faults).
+    Resilient,
+}
+
+impl Schedule {
+    /// Every schedule, in report order.
+    pub const ALL: [Schedule; 4] =
+        [Schedule::Sync, Schedule::Overlapped, Schedule::Rebalanced, Schedule::Resilient];
+
+    /// Short report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Schedule::Sync => "sync",
+            Schedule::Overlapped => "overlapped",
+            Schedule::Rebalanced => "rebalanced",
+            Schedule::Resilient => "resilient",
+        }
+    }
+}
+
+/// Short label for a kernel choice.
+pub fn kernel_label(k: KernelChoice) -> &'static str {
+    match k {
+        KernelChoice::Auto => "auto",
+        KernelChoice::Pull => "pull",
+        KernelChoice::InPlace => "in-place",
+    }
+}
+
+/// The swept matrix: which cases, operators, schedules and kernel tiers
+/// to combine.
+pub struct MatrixSpec {
+    /// Validation cases.
+    pub cases: Vec<Case>,
+    /// Collision operators.
+    pub operators: Vec<Collision>,
+    /// Driver schedules.
+    pub schedules: Vec<Schedule>,
+    /// Kernel/update-scheme tiers.
+    pub kernels: Vec<KernelChoice>,
+}
+
+impl MatrixSpec {
+    /// The reduced CI matrix: all four cases, SRT/TRT/MRT, the sync and
+    /// overlapped schedules, default kernel tier.
+    pub fn reduced() -> Self {
+        MatrixSpec {
+            cases: Case::ALL.to_vec(),
+            operators: vec![Collision::Srt, Collision::Trt, Collision::Mrt],
+            schedules: vec![Schedule::Sync, Schedule::Overlapped],
+            kernels: vec![KernelChoice::Auto],
+        }
+    }
+
+    /// The full matrix: four cases × four operators × four schedules ×
+    /// both kernel tiers (slow; `--full`).
+    pub fn full() -> Self {
+        MatrixSpec {
+            cases: Case::ALL.to_vec(),
+            operators: Collision::ALL.to_vec(),
+            schedules: Schedule::ALL.to_vec(),
+            kernels: vec![KernelChoice::Pull, KernelChoice::InPlace],
+        }
+    }
+}
+
+/// One finished cell of the validation matrix.
+pub struct CellOutcome {
+    /// Case label.
+    pub case: &'static str,
+    /// Collision-operator label.
+    pub operator: &'static str,
+    /// Schedule label.
+    pub schedule: &'static str,
+    /// Kernel-tier label.
+    pub kernel: &'static str,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Measured metric value.
+    pub value: f64,
+    /// Human-readable acceptance bound.
+    pub threshold: String,
+    /// Whether the value meets the bound.
+    pub pass: bool,
+    /// The scenario that ran (for VTK dumps of failed cells).
+    pub scenario: Scenario,
+    /// The raw run (PDF dump included), kept for failed-cell VTK dumps.
+    pub run: RunResult,
+}
+
+impl CellOutcome {
+    /// The cell as a JSON report row.
+    pub fn row(&self) -> Value {
+        json!({
+            "case": self.case,
+            "operator": self.operator,
+            "schedule": self.schedule,
+            "kernel": self.kernel,
+            "metric": self.metric,
+            "value": self.value,
+            "threshold": self.threshold,
+            "pass": self.pass,
+        })
+    }
+}
+
+/// Macroscopic velocities reassembled from a run's PDF dump, addressable
+/// by global cell coordinate. Works for every schedule — including the
+/// rebalanced one, whose probe list is empty — because the dump is
+/// sorted by block id, independent of final ownership.
+pub struct MacroField {
+    cells: [usize; 3],
+    blocks: HashMap<[i64; 3], Vec<[f64; 3]>>,
+}
+
+impl MacroField {
+    /// Reassembles the velocity field of `run` (which must have been
+    /// driven with `collect_pdfs`) for a scenario on `num_procs` ranks.
+    pub fn from_run(scenario: &Scenario, num_procs: u32, run: &RunResult) -> Self {
+        let forest = scenario.make_forest(num_procs);
+        let coords_of: HashMap<u64, [i64; 3]> =
+            forest.blocks.iter().map(|b| (b.id.pack(), b.coords)).collect();
+        let mut blocks = HashMap::new();
+        for (id, vals) in run.pdf_dump() {
+            // Dump order matches `Shape::interior().iter()`: x fastest.
+            let us: Vec<[f64; 3]> = vals.chunks_exact(19).map(velocity::<D3Q19>).collect();
+            blocks.insert(coords_of[&id], us);
+        }
+        MacroField { cells: scenario.cells, blocks }
+    }
+
+    /// Velocity at a global interior cell.
+    pub fn velocity(&self, g: [i64; 3]) -> [f64; 3] {
+        let c = [self.cells[0] as i64, self.cells[1] as i64, self.cells[2] as i64];
+        let bc = [g[0].div_euclid(c[0]), g[1].div_euclid(c[1]), g[2].div_euclid(c[2])];
+        let l = [
+            g[0].rem_euclid(c[0]) as usize,
+            g[1].rem_euclid(c[1]) as usize,
+            g[2].rem_euclid(c[2]) as usize,
+        ];
+        self.blocks[&bc][(l[2] * self.cells[1] + l[1]) * self.cells[0] + l[0]]
+    }
+}
+
+/// Relative L2 deviation of a channel profile from its best-fit parabola
+/// `a·y(H−y)` (walls half a cell outside the first/last sample). Zero
+/// for a perfectly parabolic profile regardless of amplitude.
+pub fn parabola_l2_error(profile: &[f64]) -> f64 {
+    let h = profile.len() as f64;
+    let phi: Vec<f64> = (0..profile.len())
+        .map(|i| {
+            let yc = i as f64 + 0.5;
+            yc * (h - yc)
+        })
+        .collect();
+    let num: f64 = profile.iter().zip(&phi).map(|(u, p)| u * p).sum();
+    let den: f64 = phi.iter().map(|p| p * p).sum();
+    let a = num / den;
+    let err: f64 = profile.iter().zip(&phi).map(|(u, p)| (u - a * p).powi(2)).sum();
+    let norm: f64 = profile.iter().map(|u| u * u).sum();
+    (err / norm).sqrt()
+}
+
+/// Viscosity measured from the Taylor–Green kinetic-energy decay
+/// `E(T) = E(0)·e^{−4νk²T}` over `steps` time steps.
+pub fn measured_viscosity(e0: f64, e1: f64, k: f64, steps: u64) -> f64 {
+    -(e1 / e0).ln() / (4.0 * k * k * steps as f64)
+}
+
+/// RMS of a cavity centerline profile against the Ghia Re = 100 table.
+/// `profile[z]` is `u_x` at the vertical centerline cell centers,
+/// normalized by the lid velocity; walls/lid values are pinned at 0/1.
+pub fn ghia_rms(profile: &[f64]) -> f64 {
+    let n = profile.len();
+    // Piecewise-linear samples: wall (0,0), cell centers, lid (1,1).
+    let at = |pos: f64| -> f64 {
+        let mut pts: Vec<(f64, f64)> = Vec::with_capacity(n + 2);
+        pts.push((0.0, 0.0));
+        for (i, u) in profile.iter().enumerate() {
+            pts.push(((i as f64 + 0.5) / n as f64, *u));
+        }
+        pts.push((1.0, 1.0));
+        for w in pts.windows(2) {
+            if pos >= w[0].0 && pos <= w[1].0 {
+                let f = (pos - w[0].0) / (w[1].0 - w[0].0);
+                return w[0].1 + f * (w[1].1 - w[0].1);
+            }
+        }
+        *profile.last().unwrap()
+    };
+    let sq: f64 = GHIA_U_RE100.iter().map(|&(y, u)| (at(y) - u).powi(2)).sum();
+    (sq / GHIA_U_RE100.len() as f64).sqrt()
+}
+
+/// Strouhal number from the per-step lift signal: the shedding frequency
+/// is taken from upward mean crossings (linearly interpolated) of the
+/// signal, `St = f·D/U`. `None` when fewer than two crossings exist (no
+/// established shedding).
+pub fn strouhal_from_lift(lift: &[f64], diameter: f64, inflow: f64) -> Option<f64> {
+    if lift.len() < 16 {
+        return None;
+    }
+    let mean = lift.iter().sum::<f64>() / lift.len() as f64;
+    let mut crossings: Vec<f64> = Vec::new();
+    for i in 1..lift.len() {
+        let (a, b) = (lift[i - 1] - mean, lift[i] - mean);
+        if a < 0.0 && b >= 0.0 {
+            crossings.push((i - 1) as f64 + a / (a - b));
+        }
+    }
+    if crossings.len() < 2 {
+        return None;
+    }
+    let period = (crossings[crossings.len() - 1] - crossings[0]) / (crossings.len() - 1) as f64;
+    Some(diameter / (inflow * period))
+}
+
+/// Whether a case × operator combination is part of the matrix. The von
+/// Kármán case runs only with the MRT family: at the CI resolution
+/// (D = 8 cells, ν = 0.008, τ_e ≈ 0.524) both SRT and magic-TRT diverge
+/// within a few hundred steps of the impulsive start, while MRT's
+/// ghost-mode damping keeps the run stable — the exact contrast pinned
+/// by `tests/mrt_equivalence.rs`, not a validation failure.
+pub fn is_supported(case: Case, op: Collision) -> bool {
+    case != Case::VonKarman || op.is_mrt()
+}
+
+/// Drives `scenario` for `steps` under one schedule, collecting the PDF
+/// dump and (optionally) the masked force series.
+pub fn drive(
+    scenario: &Scenario,
+    steps: u64,
+    force_mask: Option<CellFlags>,
+    sched: Schedule,
+) -> RunResult {
+    match sched {
+        Schedule::Sync | Schedule::Overlapped => {
+            let cfg = DriverConfig {
+                overlap: matches!(sched, Schedule::Overlapped),
+                collect_pdfs: true,
+                obs: ObsConfig::off(),
+                force_mask,
+            };
+            run_distributed_with(scenario, NUM_PROCS, 1, steps, &[], cfg)
+        }
+        Schedule::Rebalanced => {
+            let cfg = RebalanceConfig {
+                collect_pdfs: true,
+                obs: ObsConfig::off(),
+                force_mask,
+                ..Default::default()
+            };
+            run_distributed_rebalanced(scenario, NUM_PROCS, 1, steps, cfg)
+        }
+        Schedule::Resilient => {
+            let rc = ResilienceConfig {
+                driver: DriverConfig {
+                    collect_pdfs: true,
+                    obs: ObsConfig::off(),
+                    force_mask,
+                    ..DriverConfig::default()
+                },
+                ..ResilienceConfig::default()
+            };
+            run_distributed_resilient(scenario, NUM_PROCS, 1, steps, &[], &rc)
+                .expect("clean resilient run cannot fail")
+                .run
+        }
+    }
+}
+
+/// Runs one cell of the validation matrix and judges it against the
+/// case's acceptance threshold.
+pub fn run_cell(case: Case, op: Collision, sched: Schedule, kernel: KernelChoice) -> CellOutcome {
+    let (scenario, steps, value, threshold, pass, run) = match case {
+        Case::Poiseuille => {
+            // L = 3H so the mid-channel probe sits a full channel height
+            // past the uniform-density inlet's development zone.
+            let steps = 8000;
+            let scenario = Scenario::poiseuille([96, 32, 2], [2, 2, 2], 0.1, 0.015)
+                .with_collision(op)
+                .with_kernel(kernel);
+            let run = drive(&scenario, steps, None, sched);
+            let field = MacroField::from_run(&scenario, NUM_PROCS, &run);
+            let profile: Vec<f64> = (0..32).map(|y| field.velocity([48, y, 0])[0]).collect();
+            let value = parabola_l2_error(&profile);
+            (scenario, steps, value, "< 1e-3".to_string(), value < 1e-3, run)
+        }
+        Case::TaylorGreen => {
+            let (n, nu, steps) = (32usize, 0.02, 200u64);
+            let scenario =
+                Scenario::taylor_green(n, 2, nu, 0.05).with_collision(op).with_kernel(kernel);
+            let run = drive(&scenario, steps, None, sched);
+            let k = 2.0 * std::f64::consts::PI / n as f64;
+            let nu_meas = measured_viscosity(
+                run.kinetic_energy_initial(),
+                run.kinetic_energy_final(),
+                k,
+                steps,
+            );
+            let value = (nu_meas - nu).abs() / nu;
+            (scenario, steps, value, "< 0.05".to_string(), value < 0.05, run)
+        }
+        Case::Cavity => {
+            let (n, u_lid, steps) = (32usize, 0.1, 6000u64);
+            // Re = u_lid·n/ν = 100.
+            let scenario = Scenario::lid_driven_cavity_2d(n, 2, u_lid * n as f64 / 100.0, u_lid)
+                .with_collision(op)
+                .with_kernel(kernel);
+            let run = drive(&scenario, steps, None, sched);
+            let field = MacroField::from_run(&scenario, NUM_PROCS, &run);
+            // Vertical centerline: average the two columns straddling the
+            // geometric center x = n/2.
+            let ni = n as i64;
+            let profile: Vec<f64> = (0..ni)
+                .map(|z| {
+                    let a = field.velocity([ni / 2 - 1, 0, z])[0];
+                    let b = field.velocity([ni / 2, 0, z])[0];
+                    0.5 * (a + b) / u_lid
+                })
+                .collect();
+            let value = ghia_rms(&profile);
+            (scenario, steps, value, "< 5e-2".to_string(), value < 5e-2, run)
+        }
+        Case::VonKarman => {
+            let (diameter, inflow, steps) = (8.0, 0.1, 6000u64);
+            // Re = U·D/ν = 100; 12.5% blockage.
+            let scenario = Scenario::von_karman(
+                [128, 64, 2],
+                [2, 2, 2],
+                inflow * diameter / 100.0,
+                inflow,
+                diameter,
+            )
+            .with_collision(op)
+            .with_kernel(kernel);
+            let run = drive(&scenario, steps, Some(CellFlags::OBSTACLE), sched);
+            let lift: Vec<f64> = run.force_series().iter().map(|f| f[1]).collect();
+            // Discard the transient; measure on the second half.
+            let window = &lift[lift.len() / 2..];
+            let value = strouhal_from_lift(window, diameter, inflow).unwrap_or(f64::NAN);
+            let pass = value.is_finite() && (0.15..=0.20).contains(&value);
+            (scenario, steps, value, "in [0.15, 0.20]".to_string(), pass, run)
+        }
+    };
+    let _ = steps;
+    CellOutcome {
+        case: case.label(),
+        operator: op.label(),
+        schedule: sched.label(),
+        kernel: kernel_label(kernel),
+        metric: case.metric(),
+        value,
+        threshold,
+        pass,
+        scenario,
+        run,
+    }
+}
+
+/// Writes the macroscopic fields of every block of a failed cell as
+/// legacy-VTK files (`<stem>_block<i>.vtk` under `dir`), reconstructing
+/// block state from the run's PDF dump. Returns the written paths.
+pub fn dump_failed_vtk(
+    scenario: &Scenario,
+    run: &RunResult,
+    dir: &std::path::Path,
+    stem: &str,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use trillium_field::PdfField;
+    std::fs::create_dir_all(dir)?;
+    let forest = scenario.make_forest(1);
+    let views = trillium_blockforest::distribute(&forest);
+    let dump: HashMap<u64, Vec<f64>> = run.pdf_dump().into_iter().collect();
+    let mut written = Vec::new();
+    for (i, lb) in views[0].blocks.iter().enumerate() {
+        let mut block = scenario.build_block(lb);
+        if let Some(vals) = dump.get(&lb.id.pack()) {
+            let mut cell = [0.0; 19];
+            for ((x, y, z), f) in block.shape.interior().iter().zip(vals.chunks_exact(19)) {
+                cell.copy_from_slice(f);
+                block.src.set_cell(x, y, z, &cell);
+            }
+        }
+        let path = dir.join(format!("{stem}_block{i}.vtk"));
+        trillium_core::output::write_vtk_file(
+            &path,
+            &block,
+            [lb.aabb.min.x, lb.aabb.min.y, lb.aabb.min.z],
+            1.0,
+        )?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parabola_error_vanishes_for_exact_parabola() {
+        let h = 16.0;
+        let profile: Vec<f64> =
+            (0..16).map(|i| 0.03 * (i as f64 + 0.5) * (h - i as f64 - 0.5)).collect();
+        assert!(parabola_l2_error(&profile) < 1e-14);
+        // A linear shear profile is far from parabolic.
+        let shear: Vec<f64> = (0..16).map(|i| 0.01 * i as f64).collect();
+        assert!(parabola_l2_error(&shear) > 0.1);
+    }
+
+    #[test]
+    fn measured_viscosity_inverts_the_decay_law() {
+        let (nu, k, steps) = (0.03, 0.2, 150u64);
+        let e0 = 1.7;
+        let e1 = e0 * (-4.0 * nu * k * k * steps as f64).exp();
+        assert!((measured_viscosity(e0, e1, k, steps) - nu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghia_rms_is_zero_against_itself() {
+        // Sample the Ghia table itself onto a fine grid: RMS must be tiny.
+        let n = 256;
+        let interp = |pos: f64| -> f64 {
+            for w in GHIA_U_RE100.windows(2) {
+                if pos >= w[0].0 && pos <= w[1].0 {
+                    let f = (pos - w[0].0) / (w[1].0 - w[0].0);
+                    return w[0].1 + f * (w[1].1 - w[0].1);
+                }
+            }
+            1.0
+        };
+        let profile: Vec<f64> = (0..n).map(|i| interp((i as f64 + 0.5) / n as f64)).collect();
+        assert!(ghia_rms(&profile) < 5e-3);
+    }
+
+    #[test]
+    fn strouhal_recovers_a_synthetic_shedding_frequency() {
+        // St = f·D/U with f = 1/500 steps, D = 8, U = 0.1 → St = 0.16.
+        let lift: Vec<f64> = (0..4000)
+            .map(|t| 0.002 * (2.0 * std::f64::consts::PI * t as f64 / 500.0).sin() + 1e-4)
+            .collect();
+        let st = strouhal_from_lift(&lift, 8.0, 0.1).unwrap();
+        assert!((st - 0.16).abs() < 0.005, "St {st}");
+        // A flat signal yields no crossings.
+        assert_eq!(strouhal_from_lift(&vec![0.5; 4000], 8.0, 0.1), None);
+    }
+}

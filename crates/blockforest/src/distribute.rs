@@ -151,8 +151,15 @@ pub fn distribute(forest: &SetupForest) -> Vec<DistributedForest> {
     for b in &forest.blocks {
         let mut links = [BlockLink::Border; 26];
         for (i, d) in NEIGHBOR_DIRS.iter().enumerate() {
-            let nc =
+            let mut nc =
                 [b.coords[0] + d[0] as i64, b.coords[1] + d[1] as i64, b.coords[2] + d[2] as i64];
+            // Periodic axes wrap: the neighbor beyond the last root block
+            // is the first one (per axis, so diagonals wrap independently).
+            for a in 0..3 {
+                if forest.periodic[a] {
+                    nc[a] = nc[a].rem_euclid(forest.roots[a] as i64);
+                }
+            }
             if let Some(&ni) = by_coords.get(&nc) {
                 let nb = &forest.blocks[ni];
                 links[i] = if nb.rank == b.rank {
@@ -255,6 +262,36 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn periodic_axes_wrap_links() {
+        let domain = Aabb::new(vec3(0.0, 0.0, 0.0), vec3(4.0, 2.0, 2.0));
+        let mut f =
+            SetupForest::uniform(domain, [4, 2, 2], [8, 8, 8]).with_periodic([true, true, false]);
+        morton_balance(&mut f, 2);
+        let views = distribute(&f);
+        let all: Vec<&LocalBlock> = views.iter().flat_map(|v| v.blocks.iter()).collect();
+        let at = |c: [i64; 3]| all.iter().find(|b| b.coords == c).unwrap();
+        // −x from the first block wraps to the last block of the row.
+        let b0 = at([0, 0, 0]);
+        match b0.links[dir_index([-1, 0, 0])] {
+            BlockLink::Local(id) | BlockLink::Remote(id, _) => assert_eq!(id, at([3, 0, 0]).id),
+            BlockLink::Border => panic!("periodic face must not be a border"),
+        }
+        // Diagonal wrap across two periodic axes at once.
+        match b0.links[dir_index([-1, -1, 0])] {
+            BlockLink::Local(id) | BlockLink::Remote(id, _) => assert_eq!(id, at([3, 1, 0]).id),
+            BlockLink::Border => panic!("periodic edge must not be a border"),
+        }
+        // The non-periodic z axis still has borders.
+        assert!(matches!(b0.links[dir_index([0, 0, -1])], BlockLink::Border));
+        // Wrapped links stay symmetric.
+        let b3 = at([3, 0, 0]);
+        match b3.links[dir_index([1, 0, 0])] {
+            BlockLink::Local(id) | BlockLink::Remote(id, _) => assert_eq!(id, b0.id),
+            BlockLink::Border => panic!("asymmetric periodic link"),
         }
     }
 

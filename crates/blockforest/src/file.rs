@@ -142,7 +142,8 @@ pub fn load(data: &[u8]) -> Result<SetupForest, LoadError> {
             rank,
         ));
     }
-    Ok(SetupForest { domain, roots, cells_per_block, blocks, num_processes })
+    // Periodicity is scenario metadata, not stored in the file format.
+    Ok(SetupForest { domain, roots, cells_per_block, blocks, num_processes, periodic: [false; 3] })
 }
 
 /// Convenience: save to a filesystem path.

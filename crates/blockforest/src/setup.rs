@@ -41,6 +41,11 @@ pub struct SetupForest {
     pub blocks: Vec<SetupBlock>,
     /// Number of processes blocks are balanced across (0 = not balanced).
     pub num_processes: u32,
+    /// Per-axis periodicity: on a periodic axis, blocks at opposite ends
+    /// of the root grid are neighbors (their links wrap around) and no
+    /// domain border exists there. Scenario-level metadata — not part of
+    /// the forest file format.
+    pub periodic: [bool; 3],
 }
 
 impl SetupForest {
@@ -66,7 +71,29 @@ impl SetupForest {
                 }
             }
         }
-        SetupForest { domain, roots, cells_per_block, blocks, num_processes: 0 }
+        SetupForest {
+            domain,
+            roots,
+            cells_per_block,
+            blocks,
+            num_processes: 0,
+            periodic: [false; 3],
+        }
+    }
+
+    /// Marks axes as periodic (see the `periodic` field). Each periodic
+    /// axis needs at least two root blocks so that a block never becomes
+    /// its own wrap-around neighbor.
+    pub fn with_periodic(mut self, periodic: [bool; 3]) -> Self {
+        for a in 0..3 {
+            assert!(
+                !periodic[a] || self.roots[a] >= 2,
+                "periodic axis {a} needs >= 2 root blocks (got {})",
+                self.roots[a]
+            );
+        }
+        self.periodic = periodic;
+        self
     }
 
     /// Creates a forest over the bounding box of `sdf` keeping only blocks
@@ -175,7 +202,14 @@ impl SetupForest {
             &mut blocks,
         );
         blocks.sort_by_key(|b| b.id);
-        SetupForest { domain, roots, cells_per_block, blocks, num_processes: 0 }
+        SetupForest {
+            domain,
+            roots,
+            cells_per_block,
+            blocks,
+            num_processes: 0,
+            periodic: [false; 3],
+        }
     }
 
     /// Recursive descent over index ranges: prunes whole sub-grids whose

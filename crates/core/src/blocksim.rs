@@ -2,7 +2,8 @@
 
 use trillium_field::{CellFlags, FlagField, FlagOps, PdfField, RowIntervals, Shape, SoaPdfField};
 use trillium_kernels::{
-    apply_boundaries, apply_boundaries_ghost, apply_boundaries_interior, BoundaryParams, SweepStats,
+    apply_boundaries, apply_boundaries_ghost, apply_boundaries_interior, BoundaryParams, Collision,
+    SweepStats,
 };
 use trillium_lattice::{Relaxation, D3Q19};
 
@@ -53,6 +54,13 @@ pub struct BlockSim {
     pub kernel: BlockKernel,
     /// Update scheme for this block.
     pub scheme: UpdateScheme,
+    /// Collision operator for this block. `Srt`/`Trt` run the tuned
+    /// TRT-form kernels (SRT via equal rates, exactly as before);
+    /// `Mrt`/`MrtLes` run the moment-space sweeps of
+    /// `trillium_kernels::mrt`. Scenario-global — like
+    /// [`BoundaryParams`], it is *not* part of the checkpoint wire format
+    /// and is re-stamped by whoever rebuilds a block.
+    pub collision: Collision,
 }
 
 impl BlockSim {
@@ -88,12 +96,37 @@ impl BlockSim {
             (UpdateScheme::InPlace, BlockKernel::Dense) => UpdateScheme::InPlace,
             _ => UpdateScheme::Pull,
         };
-        BlockSim { shape, src, dst, flags, intervals, boundary, kernel, scheme }
+        BlockSim {
+            shape,
+            src,
+            dst,
+            flags,
+            intervals,
+            boundary,
+            kernel,
+            scheme,
+            collision: Collision::Trt,
+        }
     }
 
     /// Number of interior fluid cells.
     pub fn fluid_cells(&self) -> usize {
         self.intervals.fluid_cells
+    }
+
+    /// Re-initializes every cell (ghost layer included) to the equilibrium
+    /// of a position-dependent state `f(x, y, z) -> (rho, u)` in
+    /// block-local cell coordinates — analytic initial conditions such as
+    /// the Taylor–Green vortex. Only valid on a freshly built block
+    /// (parity 0), where both update schemes store PDFs in natural order.
+    pub fn init_equilibrium_with(&mut self, f: impl Fn(i32, i32, i32) -> (f64, [f64; 3])) {
+        assert!(!self.src.parity(), "analytic init requires a freshly built block");
+        let mut feq = [0.0; 19];
+        for (x, y, z) in self.shape.with_ghosts().iter() {
+            let (rho, u) = f(x, y, z);
+            trillium_lattice::equilibrium_all::<D3Q19>(rho, u, &mut feq);
+            self.src.set_cell(x, y, z, &feq);
+        }
     }
 
     /// Runs the boundary sweep on the source field (call after ghost
@@ -143,12 +176,39 @@ impl BlockSim {
         }
     }
 
-    /// Runs the fused stream–collide sweep (TRT; SRT via equal rates) and
-    /// advances the buffer (swap for pull, parity flip for in-place). The
-    /// returned stats carry the measured wall time of the sweep, the
-    /// per-block load signal used for rebalancing.
+    /// Runs the fused stream–collide sweep with the block's collision
+    /// operator (TRT-form kernels for `Srt`/`Trt`, moment-space sweeps for
+    /// the MRT family) and advances the buffer (swap for pull, parity flip
+    /// for in-place). The returned stats carry the measured wall time of
+    /// the sweep, the per-block load signal used for rebalancing.
     pub fn stream_collide(&mut self, rel: Relaxation) -> SweepStats {
         let t0 = std::time::Instant::now();
+        if self.collision.is_mrt() {
+            let smag = self.collision.smagorinsky();
+            if self.scheme == UpdateScheme::InPlace {
+                let stats =
+                    trillium_kernels::mrt::stream_collide_mrt_inplace(&mut self.src, rel, smag);
+                let p = self.src.parity();
+                self.src.set_parity(!p);
+                return stats.timed(t0.elapsed().as_secs_f64());
+            }
+            let stats = match self.kernel {
+                BlockKernel::Dense => {
+                    trillium_kernels::mrt::stream_collide_mrt(&self.src, &mut self.dst, rel, smag)
+                }
+                BlockKernel::RowIntervals => {
+                    trillium_kernels::mrt::stream_collide_mrt_row_intervals(
+                        &self.src,
+                        &mut self.dst,
+                        &self.intervals,
+                        rel,
+                        smag,
+                    )
+                }
+            };
+            self.src.swap(&mut self.dst);
+            return stats.timed(t0.elapsed().as_secs_f64());
+        }
         if self.scheme == UpdateScheme::InPlace {
             let stats = trillium_kernels::inplace::stream_collide_trt(&mut self.src, rel);
             let p = self.src.parity();
@@ -180,6 +240,9 @@ impl BlockSim {
     pub fn stream_collide_interior(&mut self, rel: Relaxation) -> SweepStats {
         let t0 = std::time::Instant::now();
         let core = self.shape.interior_core(1);
+        if self.collision.is_mrt() {
+            return self.sweep_mrt_region(rel, &core).timed(t0.elapsed().as_secs_f64());
+        }
         if self.scheme == UpdateScheme::InPlace {
             let stats =
                 trillium_kernels::inplace::stream_collide_trt_region(&mut self.src, rel, &core);
@@ -213,6 +276,10 @@ impl BlockSim {
         let t0 = std::time::Instant::now();
         let mut stats = SweepStats::default();
         for region in self.shape.shell_regions(1) {
+            if self.collision.is_mrt() {
+                stats.merge(self.sweep_mrt_region(rel, &region));
+                continue;
+            }
             if self.scheme == UpdateScheme::InPlace {
                 let s = trillium_kernels::inplace::stream_collide_trt_region(
                     &mut self.src,
@@ -242,6 +309,40 @@ impl BlockSim {
             stats.merge(s);
         }
         stats.timed(t0.elapsed().as_secs_f64())
+    }
+
+    /// One MRT-family region sweep with the block's scheme and kernel
+    /// (shared by the interior-core and shell halves of a split step).
+    /// Does not swap buffers or flip parity.
+    fn sweep_mrt_region(&mut self, rel: Relaxation, region: &trillium_field::Region) -> SweepStats {
+        let smag = self.collision.smagorinsky();
+        if self.scheme == UpdateScheme::InPlace {
+            return trillium_kernels::mrt::stream_collide_mrt_inplace_region(
+                &mut self.src,
+                rel,
+                smag,
+                region,
+            );
+        }
+        match self.kernel {
+            BlockKernel::Dense => trillium_kernels::mrt::stream_collide_mrt_region(
+                &self.src,
+                &mut self.dst,
+                rel,
+                smag,
+                region,
+            ),
+            BlockKernel::RowIntervals => {
+                trillium_kernels::mrt::stream_collide_mrt_row_intervals_region(
+                    &self.src,
+                    &mut self.dst,
+                    &self.intervals,
+                    rel,
+                    smag,
+                    region,
+                )
+            }
+        }
     }
 
     /// Completes a split-sweep step: swaps the PDF double buffer (pull) or
@@ -310,6 +411,20 @@ impl BlockSim {
     /// Velocity at an interior cell (must be fluid to be meaningful).
     pub fn velocity(&self, x: i32, y: i32, z: i32) -> [f64; 3] {
         self.src.velocity(x, y, z)
+    }
+
+    /// Total kinetic energy `Σ ½ ρ u²` over interior fluid cells — the
+    /// observable behind the Taylor–Green dissipation-rate validation.
+    pub fn kinetic_energy(&self) -> f64 {
+        let mut e = 0.0;
+        for (x, y, z) in self.shape.interior().iter() {
+            if self.flags.flags(x, y, z).is_fluid() {
+                let rho = self.src.density(x, y, z);
+                let u = self.src.velocity(x, y, z);
+                e += 0.5 * rho * (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
+            }
+        }
+        e
     }
 
     /// Momentum-exchange force on the boundary cells matched by `mask`

@@ -25,7 +25,7 @@ use trillium_blockforest::{
     dir_index, distribute, BlockId, BlockLink, DistributedForest, SetupForest, NEIGHBOR_DIRS,
 };
 use trillium_comm::{pack_face_with, unpack_face_with, Communicator, CrossingTable, World};
-use trillium_field::PdfField;
+use trillium_field::{CellFlags, PdfField};
 use trillium_kernels::SweepStats;
 use trillium_lattice::{Relaxation, D3Q19};
 use trillium_obs::{ObsConfig, RankObs, Recorder, SpanKind};
@@ -75,6 +75,18 @@ pub struct RankResult {
     pub mass_initial: f64,
     /// Total fluid mass after the last step.
     pub mass_final: f64,
+    /// Total fluid kinetic energy (½ρ|u|², summed over fluid cells)
+    /// before the first step.
+    pub energy_initial: f64,
+    /// Total fluid kinetic energy after the last step.
+    pub energy_final: f64,
+    /// Per-step momentum-exchange force on the boundary cells matched by
+    /// [`DriverConfig::force_mask`], summed over this rank's blocks in
+    /// block order; index = time step. Empty when no mask is set. Under
+    /// rebalancing the per-rank split shifts as blocks migrate — the
+    /// cross-rank sum ([`RunResult::force_series`]) is the physical
+    /// signal.
+    pub force_series: Vec<[f64; 3]>,
     /// Probed velocities: global cell → velocity, for the probes owned by
     /// this rank.
     pub probes: Vec<([i64; 3], [f64; 3])>,
@@ -136,6 +148,9 @@ pub struct RebalanceConfig {
     /// [`DriverConfig::collect_pdfs`]); `RunResult::pdf_dump` sorts by
     /// block id, so the dump compares equal across migration histories.
     pub collect_pdfs: bool,
+    /// Measure the per-step momentum-exchange force on matching boundary
+    /// cells (see [`DriverConfig::force_mask`]).
+    pub force_mask: Option<CellFlags>,
 }
 
 impl Default for RebalanceConfig {
@@ -149,6 +164,7 @@ impl Default for RebalanceConfig {
             plan: PlanOptions::default(),
             obs: ObsConfig::default(),
             collect_pdfs: false,
+            force_mask: None,
         }
     }
 }
@@ -238,6 +254,33 @@ impl RunResult {
         let mut all: Vec<_> = self.ranks.iter().flat_map(|r| r.pdfs.iter().cloned()).collect();
         all.sort_by_key(|(id, _)| *id);
         all
+    }
+
+    /// Global fluid kinetic energy before the first step.
+    pub fn kinetic_energy_initial(&self) -> f64 {
+        self.ranks.iter().map(|r| r.energy_initial).sum()
+    }
+
+    /// Global fluid kinetic energy after the last step.
+    pub fn kinetic_energy_final(&self) -> f64 {
+        self.ranks.iter().map(|r| r.energy_final).sum()
+    }
+
+    /// Per-step momentum-exchange force on the masked boundary cells,
+    /// summed across ranks; index = time step. Empty unless the run set
+    /// [`DriverConfig::force_mask`]. Ranks are folded in rank order, so
+    /// the series is deterministic for a fixed rank count.
+    pub fn force_series(&self) -> Vec<[f64; 3]> {
+        let steps = self.ranks.iter().map(|r| r.force_series.len()).max().unwrap_or(0);
+        let mut out = vec![[0.0; 3]; steps];
+        for r in &self.ranks {
+            for (t, f) in r.force_series.iter().enumerate() {
+                for d in 0..3 {
+                    out[t][d] += f[d];
+                }
+            }
+        }
+        out
     }
 
     /// Total seconds of compute hidden behind in-flight ghost messages,
@@ -387,6 +430,16 @@ pub struct DriverConfig {
     /// baseline), [`ObsConfig::trace`] additionally captures the
     /// chrome-trace event stream.
     pub obs: ObsConfig,
+    /// When set, measure the per-step momentum-exchange force on every
+    /// boundary cell whose flags intersect this mask (e.g.
+    /// `CellFlags::OBSTACLE` for the cylinder lift/drag signal) into
+    /// [`RankResult::force_series`]. Forces are read from the pre-sweep
+    /// populations: the synchronous schedule measures after the full
+    /// boundary sweep, the overlapped schedule per block right after its
+    /// ghost boundary prep — bitwise the same values, folded in block
+    /// order. Blocks carrying masked cells must use the pull (two-array)
+    /// scheme; scenarios that tag obstacle cells guarantee this.
+    pub force_mask: Option<CellFlags>,
 }
 
 impl DriverConfig {
@@ -398,6 +451,12 @@ impl DriverConfig {
     /// The same configuration with chrome-trace event capture on.
     pub fn with_trace(mut self) -> Self {
         self.obs = ObsConfig::trace();
+        self
+    }
+
+    /// The same configuration measuring boundary forces on `mask` cells.
+    pub fn with_force_mask(mut self, mask: CellFlags) -> Self {
+        self.force_mask = Some(mask);
         self
     }
 }
@@ -578,8 +637,10 @@ fn rank_loop(
         view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
 
     let mass_initial: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
+    let energy_initial: f64 = blocks.iter().map(BlockSim::kinetic_energy).sum();
     let mut stats = SweepStats::default();
     let mut ctx = GhostCtx::new();
+    let mut force_series: Vec<[f64; 3]> = Vec::new();
     let rel = scenario.relaxation;
 
     for t in 0..steps {
@@ -598,6 +659,8 @@ fn rank_loop(
                 &rec,
                 &mut stats,
                 None,
+                cfg.force_mask,
+                &mut force_series,
             )
             .expect("deadline-free step cannot fail");
         } else {
@@ -610,6 +673,9 @@ fn rank_loop(
             {
                 let _b = rec.span(SpanKind::Boundary);
                 for_each_block(&mut blocks, threads_per_rank, |b| b.apply_boundaries());
+            }
+            if let Some(mask) = cfg.force_mask {
+                force_series.push(measure_forces(&blocks, mask));
             }
 
             // ---- stream-collide ---------------------------------------
@@ -627,6 +693,7 @@ fn rank_loop(
     let probe_out = locate_probes(scenario, view, &blocks, probes);
     let pdfs = if cfg.collect_pdfs { dump_pdfs(view, &blocks) } else { Vec::new() };
     let mass_final: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
+    let energy_final: f64 = blocks.iter().map(BlockSim::kinetic_energy).sum();
     let has_nan = blocks.iter().any(BlockSim::has_nan);
     let f = fold_obs(rec, &comm);
     RankResult {
@@ -640,6 +707,9 @@ fn rank_loop(
         ghost_stall_time: f.stall,
         mass_initial,
         mass_final,
+        energy_initial,
+        energy_final,
+        force_series,
         probes: probe_out,
         pdfs,
         has_nan,
@@ -647,6 +717,21 @@ fn rank_loop(
         obs: f.obs,
         rebalance: None,
     }
+}
+
+/// Sums the masked momentum-exchange force over `blocks` in block order
+/// — the deterministic fold every schedule reproduces. Valid only while
+/// the pre-sweep populations are intact (after the boundary sweep,
+/// before stream-collide).
+pub(crate) fn measure_forces(blocks: &[BlockSim], mask: CellFlags) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for b in blocks {
+        let f = b.boundary_force(mask);
+        for d in 0..3 {
+            out[d] += f[d];
+        }
+    }
+    out
 }
 
 /// Serializes every block's interior PDFs for bitwise comparison.
@@ -703,6 +788,8 @@ pub(crate) fn overlapped_step(
     rec: &Recorder,
     stats: &mut SweepStats,
     timeout: Option<Duration>,
+    force_mask: Option<CellFlags>,
+    force_series: &mut Vec<[f64; 3]>,
 ) -> Result<(), trillium_comm::CommError> {
     // ---- post sends ---------------------------------------------------
     let pack = rec.span(SpanKind::GhostPack);
@@ -766,7 +853,7 @@ pub(crate) fn overlapped_step(
     // overlap window of the other blocks' messages.
     for bi in 0..blocks.len() {
         if ctx.outstanding[bi] == 0 {
-            let hidden = finish_shell(&mut blocks[bi], bi, rel, ctx, rec);
+            let hidden = finish_shell(&mut blocks[bi], bi, rel, ctx, rec, force_mask);
             if in_flight {
                 rec.metrics().acc(M_OVERLAP_HIDDEN, hidden);
             }
@@ -796,7 +883,7 @@ pub(crate) fn overlapped_step(
         drain.finish();
         ctx.outstanding[bi] -= 1;
         if ctx.outstanding[bi] == 0 {
-            let hidden = finish_shell(&mut blocks[bi], bi, rel, ctx, rec);
+            let hidden = finish_shell(&mut blocks[bi], bi, rel, ctx, rec, force_mask);
             if !ctx.pairs.is_empty() {
                 rec.metrics().acc(M_OVERLAP_HIDDEN, hidden);
             }
@@ -805,6 +892,17 @@ pub(crate) fn overlapped_step(
 
     // ---- swap + accounting --------------------------------------------
     for_each_block(blocks, threads, |b| b.swap_buffers());
+    if force_mask.is_some() {
+        // Fold per-block forces in block order — the same additions, in
+        // the same sequence, as the synchronous schedule's fold.
+        let mut f = [0.0; 3];
+        for bf in &ctx.forces {
+            for d in 0..3 {
+                f[d] += bf[d];
+            }
+        }
+        force_series.push(f);
+    }
     for (bi, b) in blocks.iter().enumerate() {
         // Region sweeps count traversed cells but cannot attribute
         // fluid-ness per sub-span; report the same totals as a full sweep.
@@ -823,10 +921,17 @@ fn finish_shell(
     rel: Relaxation,
     ctx: &mut GhostCtx,
     rec: &Recorder,
+    force_mask: Option<CellFlags>,
 ) -> f64 {
     let b = rec.span(SpanKind::Boundary);
     block.apply_boundaries_ghost();
     let tb = b.finish();
+    // The full boundary sweep (interior + ghost) is now done and the
+    // shell sweep has not yet run: this is the same program point, per
+    // block, at which the synchronous schedule measures forces.
+    if let Some(mask) = force_mask {
+        ctx.forces[bi] = block.boundary_force(mask);
+    }
     let k = rec.span(SpanKind::KernelShell);
     let s = block.stream_collide_shell(rel);
     let tk = k.finish();
@@ -924,7 +1029,9 @@ fn rank_loop_rebalanced(
         view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
 
     let mass_initial: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
+    let energy_initial: f64 = blocks.iter().map(BlockSim::kinetic_energy).sum();
     let mut stats = SweepStats::default();
+    let mut force_series: Vec<[f64; 3]> = Vec::new();
 
     let mut model = EwmaCostModel::new(cfg.ewma_alpha);
     let mut detector =
@@ -943,6 +1050,9 @@ fn rank_loop_rebalanced(
         {
             let _b = rec.span(SpanKind::Boundary);
             for_each_block(&mut blocks, threads_per_rank, |b| b.apply_boundaries());
+        }
+        if let Some(mask) = cfg.force_mask {
+            force_series.push(measure_forces(&blocks, mask));
         }
 
         let kernel = rec.span(SpanKind::Kernel);
@@ -1010,6 +1120,12 @@ fn rank_loop_rebalanced(
                         scenario.boundary,
                         &rec,
                     );
+                    // Received blocks are rebuilt from the wire format,
+                    // which does not carry the collision operator (it is
+                    // scenario-global); re-stamp every block.
+                    for b in blocks.iter_mut() {
+                        b.collision = scenario.collision;
+                    }
                     report.migrations_out += ms.sent;
                     report.migrations_in += ms.received;
                     report.rebalances += 1;
@@ -1038,6 +1154,7 @@ fn rank_loop_rebalanced(
     }
 
     let mass_final: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
+    let energy_final: f64 = blocks.iter().map(BlockSim::kinetic_energy).sum();
     let has_nan = blocks.iter().any(BlockSim::has_nan);
     let f = fold_obs(rec, &comm);
     RankResult {
@@ -1051,6 +1168,9 @@ fn rank_loop_rebalanced(
         ghost_stall_time: f.stall,
         mass_initial,
         mass_final,
+        energy_initial,
+        energy_final,
+        force_series,
         probes: Vec::new(),
         pdfs: if cfg.collect_pdfs { dump_pdfs(&view, &blocks) } else { Vec::new() },
         has_nan,
@@ -1079,6 +1199,9 @@ pub(crate) struct GhostCtx {
     outstanding: Vec<u32>,
     /// Accumulated sweep seconds per local block this step.
     seconds: Vec<f64>,
+    /// Per-block masked boundary force this step (overlapped schedule:
+    /// written in `finish_shell`, folded in block order at step end).
+    forces: Vec<[f64; 3]>,
 }
 
 impl GhostCtx {
@@ -1091,6 +1214,7 @@ impl GhostCtx {
             local: Vec::new(),
             outstanding: Vec::new(),
             seconds: Vec::new(),
+            forces: Vec::new(),
         }
     }
 
@@ -1103,6 +1227,8 @@ impl GhostCtx {
         self.outstanding.resize(num_blocks, 0);
         self.seconds.clear();
         self.seconds.resize(num_blocks, 0.0);
+        self.forces.clear();
+        self.forces.resize(num_blocks, [0.0; 3]);
     }
 
     fn take_buf(&mut self) -> Vec<u8> {

@@ -123,6 +123,32 @@ mod tests {
         assert_eq!(densities.iter().filter(|&&d| (d - 2.0).abs() < 1e-12).count(), 1);
     }
 
+    /// Golden-file pin of the exact VTK bytes: header layout, x-fastest
+    /// point order, float formatting, the half-cell ORIGIN shift, and the
+    /// boundary/solid zeroing must never drift silently — downstream
+    /// tooling (ParaView pipelines, the validation matrix's failure
+    /// dumps) parses this format. Regenerate deliberately by updating
+    /// `testdata/golden_block.vtk` when the format is *meant* to change.
+    #[test]
+    fn vtk_output_matches_golden_file() {
+        let flags = boxed_block_flags(
+            Shape::new(3, 2, 2, 1),
+            [Some(CellFlags::NOSLIP), None, Some(CellFlags::VELOCITY), None, None, None],
+        );
+        let boundary = BoundaryParams { wall_velocity: [0.02, 0.0, 0.0], ..Default::default() };
+        let mut block =
+            crate::blocksim::BlockSim::from_flags(flags, boundary, 1.1, [0.03, -0.01, 0.0]);
+        for _ in 0..2 {
+            block.sync_periodic([false, true, true]);
+            block.apply_boundaries();
+            block.stream_collide(trillium_lattice::Relaxation::trt_from_viscosity(0.05));
+        }
+        let mut out = Vec::new();
+        write_vtk(&mut out, &block, [4.0, 0.0, -2.0], 2.0).unwrap();
+        let golden = include_str!("../testdata/golden_block.vtk");
+        assert_eq!(String::from_utf8(out).unwrap(), golden, "VTK output drifted from golden file");
+    }
+
     /// Scalar values between two section headers (skipping LOOKUP_TABLE).
     fn section_values(text: &str, start: &str, end: &str) -> Vec<f64> {
         text.lines()

@@ -162,7 +162,7 @@ pub fn parallel_classify<S: SignedDistance + ?Sized>(
         }
     }
     blocks.sort_by_key(|b| b.id);
-    SetupForest { domain, roots, cells_per_block, blocks, num_processes: 0 }
+    SetupForest { domain, roots, cells_per_block, blocks, num_processes: 0, periodic: [false; 3] }
 }
 
 /// Weak-scaling setup: searches the resolution whose partitioning yields

@@ -34,8 +34,8 @@ use crate::blocksim::BlockSim;
 use crate::checkpoint::{restore_forest, save_forest, RestoreError};
 use crate::driver::{
     dump_pdfs, exchange_ghosts, fold_obs, for_each_block, locate_probes, map_each_block,
-    overlapped_step, plan_run, DriverConfig, GhostCtx, RankResult, RunPlan, RunResult,
-    M_STEP_SECONDS,
+    measure_forces, overlapped_step, plan_run, DriverConfig, GhostCtx, RankResult, RunPlan,
+    RunResult, M_STEP_SECONDS,
 };
 use crate::scenario::Scenario;
 use std::collections::HashMap;
@@ -281,8 +281,10 @@ fn resilient_rank_loop(
     let ids: Vec<u64> = view.blocks.iter().map(|b| b.id.pack()).collect();
 
     let mass_initial: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
+    let energy_initial: f64 = blocks.iter().map(BlockSim::kinetic_energy).sum();
     let mut stats = SweepStats::default();
     let mut ctx = GhostCtx::new();
+    let mut force_series: Vec<[f64; 3]> = Vec::new();
     let rel = scenario.relaxation;
     let k = rc.checkpoint_every.max(1);
     let snap = |blocks: &[BlockSim], t: u64| {
@@ -351,9 +353,18 @@ fn resilient_rank_loop(
                 .map_err(|error| RecoveryError::CorruptCheckpoint { rank, error })?;
             blocks = restored.into_iter().map(|(_, b)| b).collect();
             debug_assert_eq!(blocks.len(), view.blocks.len());
+            // Checkpoint wire format carries no collision operator (it is
+            // scenario-global); re-stamp so replay collides identically.
+            for b in &mut blocks {
+                b.collision = scenario.collision;
+            }
             rep.replayed_steps += t.saturating_sub(restore_step);
             t = restore_step;
             stats = *ckpt_stats;
+            // One force sample lands per completed step, so replaying
+            // from `restore_step` must drop the samples of the undone
+            // steps — replay then re-records them bitwise identically.
+            force_series.truncate(restore_step as usize);
             continue;
         }
 
@@ -375,6 +386,8 @@ fn resilient_rank_loop(
                 &rec,
                 &mut stats,
                 Some(rc.step_timeout),
+                rc.driver.force_mask,
+                &mut force_series,
             )
         } else {
             (|| {
@@ -391,6 +404,11 @@ fn resilient_rank_loop(
                 {
                     let _b = rec.span(SpanKind::Boundary);
                     for_each_block(&mut blocks, threads, |b| b.apply_boundaries());
+                }
+                // Everything after the exchange is infallible, so the
+                // sample count stays one per *completed* step.
+                if let Some(mask) = rc.driver.force_mask {
+                    force_series.push(measure_forces(&blocks, mask));
                 }
                 let kernel = rec.span(SpanKind::Kernel);
                 let step_stats: Vec<SweepStats> =
@@ -443,6 +461,7 @@ fn resilient_rank_loop(
     let probe_out = locate_probes(scenario, view, &blocks, probes);
     let pdfs = if rc.driver.collect_pdfs { dump_pdfs(view, &blocks) } else { Vec::new() };
     let mass_final: f64 = blocks.iter().map(BlockSim::fluid_mass).sum();
+    let energy_final: f64 = blocks.iter().map(BlockSim::kinetic_energy).sum();
     let has_nan = blocks.iter().any(BlockSim::has_nan);
     rep.fault_events = comm.fault_events();
     {
@@ -472,6 +491,9 @@ fn resilient_rank_loop(
             ghost_stall_time: f.stall,
             mass_initial,
             mass_final,
+            energy_initial,
+            energy_final,
+            force_series,
             probes: probe_out,
             pdfs,
             has_nan,

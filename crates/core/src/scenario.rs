@@ -15,7 +15,7 @@ use trillium_field::{CellFlags, FlagOps, Shape};
 use trillium_geometry::vec3::vec3;
 use trillium_geometry::voxelize::{voxelize_block, VoxelizeConfig};
 use trillium_geometry::{Aabb, SignedDistance, Vec3};
-use trillium_kernels::BoundaryParams;
+use trillium_kernels::{BoundaryParams, Collision};
 use trillium_lattice::Relaxation;
 
 /// Which kernel family the driver should let blocks pick.
@@ -76,6 +76,13 @@ pub struct Scenario {
     pub balance: BalanceStrategy,
     /// Kernel/update-scheme choice for the blocks.
     pub kernel: KernelChoice,
+    /// Collision operator stamped onto every block (scenario-global, like
+    /// the boundary parameters).
+    pub collision: Collision,
+    /// Per-axis domain periodicity. Periodic axes carry no walls: block
+    /// links wrap around the root grid (each periodic axis needs at least
+    /// two blocks), and ghost exchange closes the domain.
+    pub periodic: [bool; 3],
     kind: Kind,
 }
 
@@ -91,6 +98,18 @@ enum Kind {
         sdf: Arc<dyn SignedDistance>,
         config: VoxelizeConfig,
         dx: f64,
+    },
+    TaylorGreen {
+        /// Velocity amplitude of the initial vortex array.
+        amplitude: f64,
+    },
+    Poiseuille,
+    VonKarman {
+        /// Cylinder center in global cell coordinates (x, y); the axis
+        /// runs along the (periodic) z direction.
+        center: [f64; 2],
+        /// Cylinder radius in cells.
+        radius: f64,
     },
 }
 
@@ -113,8 +132,25 @@ impl Scenario {
             u0: [0.0; 3],
             balance: BalanceStrategy::Morton,
             kernel: KernelChoice::Auto,
+            collision: Collision::Trt,
+            periodic: [false; 3],
             kind: Kind::Cavity,
         }
+    }
+
+    /// Quasi-2-D lid-driven cavity for comparison against the Ghia, Ghia
+    /// & Shin (1982) reference data: an `n × span × n` box (x–z plane of
+    /// interest, thin periodic spanwise y) split into `b × 2 × b` blocks,
+    /// lid at +z moving in x. With no spanwise walls the flow is exactly
+    /// two-dimensional.
+    pub fn lid_driven_cavity_2d(n: usize, b: usize, viscosity: f64, lid_velocity: f64) -> Self {
+        assert!(n % b == 0, "cells must divide evenly into blocks");
+        let mut s = Self::lid_driven_cavity(n, b, viscosity, lid_velocity);
+        s.name = format!("lid-driven cavity 2d {n}^2 ({b}^2 blocks)");
+        s.blocks = [b, 2, b];
+        s.cells = [n / b, 2, n / b];
+        s.periodic = [false, true, false];
+        s
     }
 
     /// Channel flow along x with a spherical obstacle in the center:
@@ -144,9 +180,104 @@ impl Scenario {
             u0: [0.0; 3],
             balance: BalanceStrategy::Morton,
             kernel: KernelChoice::Auto,
+            collision: Collision::Trt,
+            periodic: [false; 3],
             kind: Kind::Channel {
                 center: [n[0] as f64 / 2.0, n[1] as f64 / 2.0, n[2] as f64 / 2.0],
                 radius,
+            },
+        }
+    }
+
+    /// Taylor–Green vortex: a fully periodic `n × n × span` box seeded
+    /// with the 2-D vortex array `u = A(cos kx sin ky, −sin kx cos ky, 0)`
+    /// (z-invariant), `k = 2π/n`. The kinetic energy decays analytically
+    /// as `E(t) = E(0) e^{−4νk²t}`, which pins the effective viscosity of
+    /// the whole stack — the dissipation-rate validation case.
+    pub fn taylor_green(n: usize, b: usize, viscosity: f64, amplitude: f64) -> Self {
+        assert!(n % b == 0, "cells must divide evenly into blocks");
+        assert!(b >= 2, "periodic axes need >= 2 blocks");
+        Scenario {
+            name: format!("taylor-green {n}^2 ({b}^2 blocks)"),
+            blocks: [b, b, 2],
+            cells: [n / b, n / b, 2],
+            relaxation: Relaxation::trt_from_viscosity(viscosity),
+            boundary: BoundaryParams::default(),
+            rho0: 1.0,
+            u0: [0.0; 3],
+            balance: BalanceStrategy::Morton,
+            kernel: KernelChoice::Auto,
+            collision: Collision::Trt,
+            periodic: [true; 3],
+            kind: Kind::TaylorGreen { amplitude },
+        }
+    }
+
+    /// Pressure-driven plane Poiseuille flow: fixed densities
+    /// `rho0 ± Δρ/2` on the −x/+x faces, no-slip walls at ±y, periodic
+    /// spanwise z. The steady profile across y is the parabola
+    /// `u_x(y) ∝ y (H − y)` — the profile-shape validation case.
+    pub fn poiseuille(n: [usize; 3], b: [usize; 3], viscosity: f64, delta_rho: f64) -> Self {
+        for d in 0..3 {
+            assert!(n[d] % b[d] == 0);
+        }
+        assert!(b[2] >= 2, "periodic spanwise axis needs >= 2 blocks");
+        Scenario {
+            name: format!("poiseuille {}x{}x{} drho={delta_rho:.3}", n[0], n[1], n[2]),
+            blocks: b,
+            cells: [n[0] / b[0], n[1] / b[1], n[2] / b[2]],
+            relaxation: Relaxation::trt_from_viscosity(viscosity),
+            boundary: BoundaryParams {
+                pressure_density: 1.0 + 0.5 * delta_rho,
+                pressure_density_alt: 1.0 - 0.5 * delta_rho,
+                ..Default::default()
+            },
+            rho0: 1.0,
+            u0: [0.0; 3],
+            balance: BalanceStrategy::Morton,
+            kernel: KernelChoice::Auto,
+            collision: Collision::Trt,
+            periodic: [false, false, true],
+            kind: Kind::Poiseuille,
+        }
+    }
+
+    /// Von Kármán vortex street: flow past a circular cylinder spanning
+    /// the (periodic) z axis of an `n[0] × n[1] × n[2]` channel. Velocity
+    /// inflow at −x, pressure outflow at +x, no-slip walls at ±y; the
+    /// cylinder of the given `diameter` sits a quarter length downstream,
+    /// slightly off-center in y to trigger the instability. Cylinder
+    /// cells are tagged `OBSTACLE | NOSLIP` so the lift signal can be
+    /// measured on the cylinder alone — its oscillation frequency gives
+    /// the Strouhal number.
+    pub fn von_karman(
+        n: [usize; 3],
+        b: [usize; 3],
+        viscosity: f64,
+        inflow: f64,
+        diameter: f64,
+    ) -> Self {
+        for d in 0..3 {
+            assert!(n[d] % b[d] == 0);
+        }
+        assert!(b[2] >= 2, "periodic spanwise axis needs >= 2 blocks");
+        Scenario {
+            name: format!("von-karman {}x{}x{} d={diameter:.1}", n[0], n[1], n[2]),
+            blocks: b,
+            cells: [n[0] / b[0], n[1] / b[1], n[2] / b[2]],
+            relaxation: Relaxation::trt_from_viscosity(viscosity),
+            boundary: BoundaryParams { wall_velocity: [inflow, 0.0, 0.0], ..Default::default() },
+            rho0: 1.0,
+            u0: [inflow, 0.0, 0.0],
+            balance: BalanceStrategy::Morton,
+            kernel: KernelChoice::Auto,
+            collision: Collision::Trt,
+            periodic: [false, false, true],
+            kind: Kind::VonKarman {
+                // Off-center by half a cell: a deliberate asymmetry that
+                // seeds the vortex shedding instability.
+                center: [n[0] as f64 / 4.0, n[1] as f64 / 2.0 + 0.5],
+                radius: diameter / 2.0,
             },
         }
     }
@@ -179,6 +310,8 @@ impl Scenario {
             u0: [0.0; 3],
             balance: BalanceStrategy::Morton,
             kernel: KernelChoice::Auto,
+            collision: Collision::Trt,
+            periodic: [false; 3],
             kind: Kind::Domain { sdf, config, dx },
         }
     }
@@ -186,13 +319,18 @@ impl Scenario {
     /// Builds the (balanced) setup forest for `num_procs` processes.
     pub fn make_forest(&self, num_procs: u32) -> SetupForest {
         let mut forest = match &self.kind {
-            Kind::Cavity | Kind::Channel { .. } => {
+            Kind::Cavity
+            | Kind::Channel { .. }
+            | Kind::TaylorGreen { .. }
+            | Kind::Poiseuille
+            | Kind::VonKarman { .. } => {
                 let ext = vec3(
                     (self.blocks[0] * self.cells[0]) as f64,
                     (self.blocks[1] * self.cells[1]) as f64,
                     (self.blocks[2] * self.cells[2]) as f64,
                 );
                 SetupForest::uniform(Aabb::new(Vec3::ZERO, ext), self.blocks, self.cells)
+                    .with_periodic(self.periodic)
             }
             Kind::Domain { sdf, dx, .. } => SetupForest::from_domain(sdf.as_ref(), *dx, self.cells),
         };
@@ -218,6 +356,43 @@ impl Scenario {
         self
     }
 
+    /// Selects the collision operator stamped onto every block.
+    ///
+    /// The scenario constructors parameterize the TRT pair via the magic
+    /// combination; `Collision::Srt` collapses it to equal rates at the
+    /// same viscosity (TRT with `λ_o = λ_e` *is* SRT), so the operator
+    /// choice alone decides the physics, not the constructor used.
+    pub fn with_collision(mut self, collision: Collision) -> Self {
+        if collision == Collision::Srt {
+            self.relaxation = Relaxation::srt_from_tau(-1.0 / self.relaxation.lambda_e);
+        }
+        self.collision = collision;
+        self
+    }
+
+    /// Global cell coordinates of a block's origin.
+    fn block_origin(&self, lb: &LocalBlock) -> [i64; 3] {
+        [
+            lb.coords[0] * self.cells[0] as i64,
+            lb.coords[1] * self.cells[1] as i64,
+            lb.coords[2] * self.cells[2] as i64,
+        ]
+    }
+
+    /// Finishes block construction: builds the sim from the flag field
+    /// and stamps the scenario-global collision operator onto it.
+    fn finish_block(&self, flags: trillium_field::FlagField) -> BlockSim {
+        let mut sim = BlockSim::from_flags_with_scheme(
+            flags,
+            self.boundary,
+            self.rho0,
+            self.u0,
+            self.kernel.scheme(),
+        );
+        sim.collision = self.collision;
+        sim
+    }
+
     /// Builds the simulation state of one local block.
     pub fn build_block(&self, lb: &LocalBlock) -> BlockSim {
         let shape = Shape::new(self.cells[0], self.cells[1], self.cells[2], 1);
@@ -235,13 +410,7 @@ impl Scenario {
                         border[5].then_some(CellFlags::VELOCITY), // moving lid at +z
                     ],
                 );
-                BlockSim::from_flags_with_scheme(
-                    flags,
-                    self.boundary,
-                    self.rho0,
-                    self.u0,
-                    self.kernel.scheme(),
-                )
+                self.finish_block(flags)
             }
             Kind::Channel { center, radius } => {
                 let border = self.border_faces(lb);
@@ -259,11 +428,7 @@ impl Scenario {
                 // Carve the obstacle: cells whose global center lies in
                 // the sphere become no-slip solid.
                 if *radius > 0.0 {
-                    let origin = [
-                        lb.coords[0] * self.cells[0] as i64,
-                        lb.coords[1] * self.cells[1] as i64,
-                        lb.coords[2] * self.cells[2] as i64,
-                    ];
+                    let origin = self.block_origin(lb);
                     for (x, y, z) in shape.with_ghosts().iter() {
                         let gx = (origin[0] + x as i64) as f64 + 0.5;
                         let gy = (origin[1] + y as i64) as f64 + 0.5;
@@ -276,23 +441,108 @@ impl Scenario {
                         }
                     }
                 }
-                BlockSim::from_flags_with_scheme(
-                    flags,
-                    self.boundary,
-                    self.rho0,
-                    self.u0,
-                    self.kernel.scheme(),
-                )
+                self.finish_block(flags)
             }
             Kind::Domain { sdf, config, dx } => {
                 let flags = voxelize_block(sdf.as_ref(), lb.aabb.min, *dx, shape, config);
-                BlockSim::from_flags_with_scheme(
-                    flags,
-                    self.boundary,
-                    self.rho0,
-                    self.u0,
-                    self.kernel.scheme(),
-                )
+                self.finish_block(flags)
+            }
+            Kind::TaylorGreen { amplitude } => {
+                // Fully periodic: every cell (ghosts included) is fluid.
+                let flags = boxed_block_flags(shape, [None; 6]);
+                let mut sim = self.finish_block(flags);
+                let origin = self.block_origin(lb);
+                let n = self.global_cells();
+                let kx = 2.0 * std::f64::consts::PI / n[0] as f64;
+                let ky = 2.0 * std::f64::consts::PI / n[1] as f64;
+                let (a, rho0) = (*amplitude, self.rho0);
+                sim.init_equilibrium_with(|x, y, _z| {
+                    let gx = kx * ((origin[0] + x as i64) as f64 + 0.5);
+                    let gy = ky * ((origin[1] + y as i64) as f64 + 0.5);
+                    let u = [a * gx.cos() * gy.sin(), -a * gx.sin() * gy.cos(), 0.0];
+                    // Consistent pressure field p = −¼ρ₀A²(cos 2kx +
+                    // cos 2ky), mapped to density via ρ = ρ₀ + p/c_s².
+                    let rho = rho0 * (1.0 - 0.75 * a * a * ((2.0 * gx).cos() + (2.0 * gy).cos()));
+                    (rho, u)
+                });
+                sim
+            }
+            Kind::Poiseuille => {
+                let border = self.border_faces(lb);
+                let flags = boxed_block_flags(
+                    shape,
+                    [
+                        border[0].then_some(CellFlags::PRESSURE),     // high-ρ inlet
+                        border[1].then_some(CellFlags::PRESSURE_ALT), // low-ρ outlet
+                        border[2].then_some(CellFlags::NOSLIP),
+                        border[3].then_some(CellFlags::NOSLIP),
+                        None, // spanwise z is periodic
+                        None,
+                    ],
+                );
+                self.finish_block(flags)
+            }
+            Kind::VonKarman { center, radius } => {
+                let border = self.border_faces(lb);
+                let mut flags = boxed_block_flags(
+                    shape,
+                    [
+                        border[0].then_some(CellFlags::VELOCITY), // inflow at −x
+                        border[1].then_some(CellFlags::PRESSURE), // outflow at +x
+                        border[2].then_some(CellFlags::NOSLIP),
+                        border[3].then_some(CellFlags::NOSLIP),
+                        None, // spanwise z is periodic
+                        None,
+                    ],
+                );
+                // Carve the cylinder (axis along z): tagged with the
+                // OBSTACLE marker so force probes can isolate it from the
+                // channel walls.
+                let origin = self.block_origin(lb);
+                let wall = CellFlags(CellFlags::OBSTACLE.0 | CellFlags::NOSLIP.0);
+                let mut carved = false;
+                for (x, y, z) in shape.with_ghosts().iter() {
+                    let gx = (origin[0] + x as i64) as f64 + 0.5;
+                    let gy = (origin[1] + y as i64) as f64 + 0.5;
+                    let d2 = (gx - center[0]).powi(2) + (gy - center[1]).powi(2);
+                    if d2 < radius * radius {
+                        flags.set_flags(x, y, z, wall);
+                        carved = true;
+                    }
+                }
+                // Momentum-exchange force measurement needs the pre-sweep
+                // populations, which only the two-array pull storage keeps
+                // intact; blocks touching the cylinder therefore always use
+                // the pull scheme regardless of the requested kernel tier.
+                // Uncarved blocks carry no OBSTACLE cells and contribute an
+                // exact zero to the lift/drag signal.
+                let mut sim = if carved {
+                    let mut sim = BlockSim::from_flags_with_scheme(
+                        flags,
+                        self.boundary,
+                        self.rho0,
+                        self.u0,
+                        UpdateScheme::Pull,
+                    );
+                    sim.collision = self.collision;
+                    sim
+                } else {
+                    self.finish_block(flags)
+                };
+                // Seed a small transverse perturbation so the wake's
+                // antisymmetric instability grows from a deterministic
+                // O(ε) amplitude: the unperturbed base flow is symmetric
+                // up to round-off and can fail to shed within any
+                // reasonable step budget.
+                let lx = (self.blocks[0] * self.cells[0]) as f64;
+                let eps = 0.05 * self.u0[0];
+                let (rho0, ux) = (self.rho0, self.u0[0]);
+                sim.init_equilibrium_with(|x, _y, _z| {
+                    let gx = (origin[0] + x as i64) as f64 + 0.5;
+                    let uy = eps * (2.0 * std::f64::consts::PI * gx / lx).sin();
+                    (rho0, [ux, uy, 0.0])
+                });
+                sim
             }
         }
     }

@@ -27,8 +27,14 @@ impl CellFlags {
     /// Second prescribed-pressure opening with its own density — lets one
     /// block carry a pressure *gradient* (e.g. inlet vs outlet).
     pub const PRESSURE_ALT: CellFlags = CellFlags(16);
+    /// Marker bit for cells belonging to an immersed obstacle (always
+    /// combined with a boundary type, e.g. `OBSTACLE | NOSLIP`). Lets
+    /// force measurements (momentum exchange) target the obstacle surface
+    /// without picking up the outer domain walls.
+    pub const OBSTACLE: CellFlags = CellFlags(32);
 
-    /// Union of all boundary-type bits.
+    /// Union of all boundary-type bits (the `OBSTACLE` marker is not a
+    /// boundary type by itself).
     pub const ANY_BOUNDARY: CellFlags = CellFlags(2 | 4 | 8 | 16);
 
     /// True if any of `other`'s bits are set in `self`.
@@ -144,6 +150,14 @@ mod tests {
         assert!(CellFlags::PRESSURE.is_boundary());
         assert!(CellFlags::OUTSIDE.is_outside());
         assert!(!CellFlags::OUTSIDE.is_fluid());
+        // The obstacle marker composes with a boundary type: alone it is
+        // not a boundary, combined it is, and the combination still
+        // matches both masks.
+        assert!(!CellFlags::OBSTACLE.is_boundary());
+        let wall = CellFlags(CellFlags::OBSTACLE.0 | CellFlags::NOSLIP.0);
+        assert!(wall.is_boundary());
+        assert!(wall.intersects(CellFlags::OBSTACLE));
+        assert!(wall.intersects(CellFlags::NOSLIP));
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub fn sweep_aos(
         (Tier::Generic, Collision::Trt) => crate::generic::stream_collide_trt(src, dst, rel),
         (Tier::Specialized, Collision::Srt) => crate::d3q19::stream_collide_srt(src, dst, rel),
         (Tier::Specialized, Collision::Trt) => crate::d3q19::stream_collide_trt(src, dst, rel),
+        // The MRT family has a single scalar per-cell routine at every
+        // tier; only the gather/scatter addressing is layout-specific.
+        (Tier::Generic | Tier::Specialized, c) if c.is_mrt() => {
+            crate::mrt::stream_collide_mrt(src, dst, rel, c.smagorinsky())
+        }
         _ => panic!("{tier:?} is an SoA tier; use sweep_soa"),
     }
 }
@@ -96,6 +101,9 @@ pub fn sweep_soa(
         (Tier::Avx, Collision::Srt) => crate::avx::stream_collide_srt(src, dst, rel),
         (Tier::Avx, Collision::Trt) => crate::avx::stream_collide_trt(src, dst, rel),
         (Tier::InPlace, _) => panic!("InPlace is a single-buffer tier; use sweep_inplace"),
+        (Tier::Soa | Tier::Avx, c) if c.is_mrt() => {
+            crate::mrt::stream_collide_mrt(src, dst, rel, c.smagorinsky())
+        }
         _ => panic!("{tier:?} is an AoS tier; use sweep_aos"),
     }
 }
@@ -111,6 +119,7 @@ pub fn sweep_inplace(
     match collision {
         Collision::Srt => crate::inplace::stream_collide_srt(f, rel),
         Collision::Trt => crate::inplace::stream_collide_trt(f, rel),
+        c => crate::mrt::stream_collide_mrt_inplace(f, rel, c.smagorinsky()),
     }
 }
 
@@ -125,6 +134,7 @@ pub fn sweep_inplace_region(
     match collision {
         Collision::Srt => crate::inplace::stream_collide_srt_region(f, rel, region),
         Collision::Trt => crate::inplace::stream_collide_trt_region(f, rel, region),
+        c => crate::mrt::stream_collide_mrt_inplace_region(f, rel, c.smagorinsky(), region),
     }
 }
 
@@ -154,6 +164,9 @@ pub fn sweep_aos_region(
         (Tier::Specialized, Collision::Trt) => {
             crate::d3q19::stream_collide_trt_region(src, dst, rel, region)
         }
+        (Tier::Generic | Tier::Specialized, c) if c.is_mrt() => {
+            crate::mrt::stream_collide_mrt_region(src, dst, rel, c.smagorinsky(), region)
+        }
         _ => panic!("{tier:?} is an SoA tier; use sweep_soa_region"),
     }
 }
@@ -173,6 +186,9 @@ pub fn sweep_soa_region(
         (Tier::Avx, Collision::Srt) => crate::avx::stream_collide_srt_region(src, dst, rel, region),
         (Tier::Avx, Collision::Trt) => crate::avx::stream_collide_trt_region(src, dst, rel, region),
         (Tier::InPlace, _) => panic!("InPlace is a single-buffer tier; use sweep_inplace_region"),
+        (Tier::Soa | Tier::Avx, c) if c.is_mrt() => {
+            crate::mrt::stream_collide_mrt_region(src, dst, rel, c.smagorinsky(), region)
+        }
         _ => panic!("{tier:?} is an AoS tier; use sweep_aos_region"),
     }
 }
@@ -199,10 +215,10 @@ mod tests {
                 soa.set(x, y, z, q, v);
             }
         }
-        for collision in [Collision::Srt, Collision::Trt] {
+        for collision in Collision::ALL {
             let rel = match collision {
                 Collision::Srt => Relaxation::srt_from_tau(0.8),
-                Collision::Trt => Relaxation::trt_from_tau(0.8, MAGIC_TRT),
+                _ => Relaxation::trt_from_tau(0.8, MAGIC_TRT),
             };
             let mut reference: Option<Vec<f64>> = None;
             for tier in Tier::ALL {
@@ -274,10 +290,10 @@ mod tests {
         let core = shape.interior_core(1);
         let shells = shape.shell_regions(1);
         assert!(!core.is_empty() && !shells.is_empty());
-        for collision in [Collision::Srt, Collision::Trt] {
+        for collision in Collision::ALL {
             let rel = match collision {
                 Collision::Srt => Relaxation::srt_from_tau(0.8),
-                Collision::Trt => Relaxation::trt_from_tau(0.8, MAGIC_TRT),
+                _ => Relaxation::trt_from_tau(0.8, MAGIC_TRT),
             };
             for tier in Tier::ALL {
                 if tier.is_inplace() {

@@ -765,8 +765,8 @@ mod tests {
         let flags = boxed_flags(shape);
         let params = BoundaryParams { wall_velocity: [0.04, 0.0, -0.01], ..Default::default() };
         let rel = match collision {
-            Collision::Trt => Relaxation::trt_from_tau(0.85, MAGIC_TRT),
             Collision::Srt => Relaxation::srt_from_tau(0.9),
+            _ => Relaxation::trt_from_tau(0.85, MAGIC_TRT),
         };
 
         let mut pull_src = perturbed(shape);
@@ -778,6 +778,7 @@ mod tests {
             match collision {
                 Collision::Trt => avx::stream_collide_trt(&pull_src, &mut pull_dst, rel),
                 Collision::Srt => avx::stream_collide_srt(&pull_src, &mut pull_dst, rel),
+                c => panic!("{c:?} not exercised by this test"),
             };
             pull_src.swap(&mut pull_dst);
 
@@ -785,6 +786,7 @@ mod tests {
             match collision {
                 Collision::Trt => stream_collide_trt(&mut aa, rel),
                 Collision::Srt => stream_collide_srt(&mut aa, rel),
+                c => panic!("{c:?} not exercised by this test"),
             };
             aa.set_parity(!aa.parity());
 

@@ -45,6 +45,7 @@ pub mod d3q19;
 pub mod dispatch;
 pub mod generic;
 pub mod inplace;
+pub mod mrt;
 pub mod soa;
 pub mod sparse;
 pub mod stats;
@@ -58,12 +59,50 @@ pub use dispatch::{
 };
 pub use stats::SweepStats;
 
-/// Which collision operator a kernel run uses; both are parameterized by a
-/// [`trillium_lattice::Relaxation`].
+/// Which collision operator a kernel run uses; all are parameterized by a
+/// [`trillium_lattice::Relaxation`], from which the MRT variants derive
+/// their viscosity-linked moment rates.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Collision {
     /// Single-relaxation-time (LBGK).
     Srt,
     /// Two-relaxation-time (Ginzburg et al.).
     Trt,
+    /// Multiple-relaxation-time (d'Humières Gram–Schmidt moment basis).
+    Mrt,
+    /// MRT with the Smagorinsky large-eddy closure (effective τ per cell
+    /// from the local non-equilibrium strain rate, `C_s` =
+    /// [`trillium_lattice::mrt::CS_SMAGORINSKY`]).
+    MrtLes,
+}
+
+impl Collision {
+    /// All collision operators, in increasing modeling sophistication.
+    pub const ALL: [Collision; 4] =
+        [Collision::Srt, Collision::Trt, Collision::Mrt, Collision::MrtLes];
+
+    /// Short lowercase label, as used in bench JSON series.
+    pub fn label(self) -> &'static str {
+        match self {
+            Collision::Srt => "srt",
+            Collision::Trt => "trt",
+            Collision::Mrt => "mrt",
+            Collision::MrtLes => "mrt-les",
+        }
+    }
+
+    /// The Smagorinsky constant the operator runs with (`None` when the
+    /// LES closure is off). Centralized so every dispatch path and driver
+    /// schedule resolves the same `C_s`.
+    pub fn smagorinsky(self) -> Option<f64> {
+        match self {
+            Collision::MrtLes => Some(trillium_lattice::CS_SMAGORINSKY),
+            _ => None,
+        }
+    }
+
+    /// Whether this operator relaxes in moment space (MRT family).
+    pub fn is_mrt(self) -> bool {
+        matches!(self, Collision::Mrt | Collision::MrtLes)
+    }
 }

@@ -18,6 +18,7 @@ pub mod d3q19;
 pub mod d3q27;
 pub mod equilibrium;
 pub mod model;
+pub mod mrt;
 pub mod relaxation;
 pub mod units;
 
@@ -26,6 +27,7 @@ pub use d3q19::D3Q19;
 pub use d3q27::D3Q27;
 pub use equilibrium::{density, equilibrium, equilibrium_all, momentum, velocity};
 pub use model::LatticeModel;
+pub use mrt::{MrtRates, CS_SMAGORINSKY};
 pub use relaxation::{Relaxation, MAGIC_TRT};
 pub use units::UnitConverter;
 

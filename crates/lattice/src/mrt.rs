@@ -1,0 +1,407 @@
+//! Multiple-relaxation-time (MRT) collision operator for D3Q19, with an
+//! optional Smagorinsky large-eddy closure.
+//!
+//! The moment basis is the Gram–Schmidt construction of d'Humières et al.
+//! (2002) for D3Q19: nineteen mutually orthogonal (under the plain
+//! Euclidean inner product) integer-valued rows, ordered
+//!
+//! ```text
+//!  0  ρ      density                 (conserved)
+//!  1  e      kinetic energy
+//!  2  ε      energy squared
+//!  3  j_x    momentum               (conserved)
+//!  4  q_x    energy flux
+//!  5  j_y                            (conserved)
+//!  6  q_y
+//!  7  j_z                            (conserved)
+//!  8  q_z
+//!  9  3p_xx  diagonal stress         (viscosity)
+//! 10  3π_xx  quartic diagonal stress
+//! 11  p_ww   normal-stress difference (viscosity)
+//! 12  π_ww   quartic counterpart
+//! 13  p_xy   shear stress            (viscosity)
+//! 14  p_yz   shear stress            (viscosity)
+//! 15  p_xz   shear stress            (viscosity)
+//! 16  m_x    third-order antisymmetric
+//! 17  m_y
+//! 18  m_z
+//! ```
+//!
+//! Because the rows are orthogonal, `M⁻¹ = Mᵀ · diag(1/‖row‖²)` — no
+//! numerical inversion is needed and the round trip `M⁻¹(M f) = f` holds to
+//! machine precision.
+//!
+//! The collision relaxes only the *non-equilibrium* moments:
+//!
+//! ```text
+//! f′ = f − M⁻¹ · S · M · (f − f^eq(ρ, u))
+//! ```
+//!
+//! so the conserved moments (whose rates are zero) are untouched exactly,
+//! and a uniform rate vector `S = ω I` reduces the operator to SRT with
+//! `ω = 1/τ`.
+//!
+//! The Smagorinsky closure (Hou et al. 1996) computes the local strain
+//! rate magnitude from the second moment of the non-equilibrium part,
+//! `Π_ab = Σ_q c_qa c_qb (f_q − f_q^eq)`, and replaces the constant
+//! relaxation time by the cell-local effective
+//!
+//! ```text
+//! τ_eff = ½ (τ₀ + sqrt(τ₀² + 18 √2 C_s² |Π| / ρ)),  |Π| = sqrt(Σ_ab Π_ab²)
+//! ```
+//!
+//! which adds the eddy viscosity `ν_t = (C_s Δ)² |S̄|` on top of the
+//! molecular viscosity without ever letting `τ_eff` fall below `τ₀`.
+
+use crate::d3q19::{C, Q};
+use crate::equilibrium::{density, equilibrium_all, momentum};
+use crate::relaxation::Relaxation;
+use crate::D3Q19;
+
+/// Default Smagorinsky constant `C_s` used by the LES-augmented operator.
+pub const CS_SMAGORINSKY: f64 = 0.17;
+
+/// Moment indices whose relaxation rate is tied to the shear viscosity
+/// (`3p_xx`, `p_ww`, `p_xy`, `p_yz`, `p_xz`).
+pub const VISCOUS_MOMENTS: [usize; 5] = [9, 11, 13, 14, 15];
+
+/// Moment indices of the conserved quantities (`ρ`, `j_x`, `j_y`, `j_z`).
+pub const CONSERVED_MOMENTS: [usize; 4] = [0, 3, 5, 7];
+
+/// Evaluates row `i` of the Gram–Schmidt moment matrix at velocity `c`.
+/// All rows are integer polynomials in the lattice velocity components.
+const fn moment_row(i: usize, c: [i8; 3]) -> f64 {
+    let x = c[0] as i64;
+    let y = c[1] as i64;
+    let z = c[2] as i64;
+    let c2 = x * x + y * y + z * z;
+    let v = match i {
+        0 => 1,
+        1 => 19 * c2 - 30,
+        2 => (21 * c2 * c2 - 53 * c2 + 24) / 2,
+        3 => x,
+        4 => (5 * c2 - 9) * x,
+        5 => y,
+        6 => (5 * c2 - 9) * y,
+        7 => z,
+        8 => (5 * c2 - 9) * z,
+        9 => 3 * x * x - c2,
+        10 => (3 * c2 - 5) * (3 * x * x - c2),
+        11 => y * y - z * z,
+        12 => (3 * c2 - 5) * (y * y - z * z),
+        13 => x * y,
+        14 => y * z,
+        15 => x * z,
+        16 => (y * y - z * z) * x,
+        17 => (z * z - x * x) * y,
+        18 => (x * x - y * y) * z,
+        _ => unreachable!(),
+    };
+    v as f64
+}
+
+const fn build_m() -> [[f64; Q]; Q] {
+    let mut m = [[0.0; Q]; Q];
+    let mut i = 0;
+    while i < Q {
+        let mut q = 0;
+        while q < Q {
+            m[i][q] = moment_row(i, C[q]);
+            q += 1;
+        }
+        i += 1;
+    }
+    m
+}
+
+const fn build_m_inv(m: &[[f64; Q]; Q]) -> [[f64; Q]; Q] {
+    let mut inv = [[0.0; Q]; Q];
+    let mut i = 0;
+    while i < Q {
+        // Row norms are integers (the rows are integer-valued), so the
+        // divisions below are exact rationals rounded once.
+        let mut norm = 0.0;
+        let mut q = 0;
+        while q < Q {
+            norm += m[i][q] * m[i][q];
+            q += 1;
+        }
+        let mut q = 0;
+        while q < Q {
+            inv[q][i] = m[i][q] / norm;
+            q += 1;
+        }
+        i += 1;
+    }
+    inv
+}
+
+/// The 19×19 moment transform `M` (rows are moments, columns directions).
+pub const M: [[f64; Q]; Q] = build_m();
+
+/// The inverse transform `M⁻¹ = Mᵀ · diag(1/‖row‖²)`.
+pub const M_INV: [[f64; Q]; Q] = build_m_inv(&M);
+
+/// Per-moment relaxation rates `S = diag(s_0 … s_18)`.
+///
+/// Conserved-moment rates are zero (exact conservation); the five
+/// viscosity-linked rates are `1/τ`; the remaining "kinetic" rates use the
+/// standard tuning of d'Humières et al. (2002), which damps the ghost
+/// modes that destabilize SRT at low viscosity.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct MrtRates {
+    /// Rate per moment, in the basis order of [`M`].
+    pub s: [f64; Q],
+}
+
+impl MrtRates {
+    /// Standard rates with the viscosity-linked entries set to `ω = 1/τ`
+    /// derived from the even relaxation rate of `rel`.
+    pub fn from_relaxation(rel: Relaxation) -> Self {
+        Self::from_viscous_rate(-rel.lambda_e)
+    }
+
+    /// Standard rates with an explicit viscosity-linked rate `s_ν = 1/τ`.
+    pub fn from_viscous_rate(s_nu: f64) -> Self {
+        let mut s = [0.0; Q];
+        s[1] = 1.19; // e
+        s[2] = 1.4; // ε
+        s[4] = 1.2; // q_x
+        s[6] = 1.2; // q_y
+        s[8] = 1.2; // q_z
+        s[10] = 1.4; // 3π_xx
+        s[12] = 1.4; // π_ww
+        s[16] = 1.98; // m_x
+        s[17] = 1.98; // m_y
+        s[18] = 1.98; // m_z
+        let mut i = 0;
+        while i < VISCOUS_MOMENTS.len() {
+            s[VISCOUS_MOMENTS[i]] = s_nu;
+            i += 1;
+        }
+        Self { s }
+    }
+
+    /// Uniform rates: every non-conserved moment relaxes at `omega`.
+    /// With this choice MRT is algebraically identical to SRT.
+    pub fn uniform(omega: f64) -> Self {
+        let mut s = [omega; Q];
+        for &i in &CONSERVED_MOMENTS {
+            s[i] = 0.0;
+        }
+        Self { s }
+    }
+
+    /// The relaxation time `τ = 1/s_ν` implied by the viscosity rate.
+    pub fn tau(&self) -> f64 {
+        1.0 / self.s[VISCOUS_MOMENTS[0]]
+    }
+}
+
+/// Effective Smagorinsky relaxation time: `τ₀` plus the eddy-viscosity
+/// contribution from the non-equilibrium stress magnitude `pi_mag =
+/// sqrt(Σ_ab Π_ab²)` at density `rho`.
+#[inline(always)]
+pub fn smagorinsky_tau(tau0: f64, cs: f64, pi_mag: f64, rho: f64) -> f64 {
+    let sqrt2 = core::f64::consts::SQRT_2;
+    0.5 * (tau0 + (tau0 * tau0 + 18.0 * sqrt2 * cs * cs * pi_mag / rho).sqrt())
+}
+
+/// In-place MRT collision of one cell's distribution.
+///
+/// With `smagorinsky = Some(C_s)` the five viscosity-linked rates are
+/// replaced per cell by `1/τ_eff` from the local non-equilibrium stress;
+/// with `None` the rates in `rates` are used as-is.
+///
+/// This is the *single* scalar implementation shared by every kernel tier
+/// and update scheme, so the floating-point operation sequence — and
+/// therefore the bitwise result — is identical everywhere.
+#[inline]
+pub fn collide(f: &mut [f64; Q], rates: &MrtRates, smagorinsky: Option<f64>) {
+    let rho = density::<D3Q19>(f);
+    let j = momentum::<D3Q19>(f);
+    let u = [j[0] / rho, j[1] / rho, j[2] / rho];
+    let mut feq = [0.0; Q];
+    equilibrium_all::<D3Q19>(rho, u, &mut feq);
+    let mut fneq = [0.0; Q];
+    for q in 0..Q {
+        fneq[q] = f[q] - feq[q];
+    }
+
+    let mut s = rates.s;
+    if let Some(cs) = smagorinsky {
+        // Non-equilibrium momentum flux Π_ab = Σ_q c_qa c_qb fneq_q.
+        let (mut xx, mut yy, mut zz) = (0.0, 0.0, 0.0);
+        let (mut xy, mut yz, mut xz) = (0.0, 0.0, 0.0);
+        for q in 1..Q {
+            let c = C[q];
+            let (cx, cy, cz) = (c[0] as f64, c[1] as f64, c[2] as f64);
+            let fq = fneq[q];
+            xx += cx * cx * fq;
+            yy += cy * cy * fq;
+            zz += cz * cz * fq;
+            xy += cx * cy * fq;
+            yz += cy * cz * fq;
+            xz += cx * cz * fq;
+        }
+        let pi_mag = (xx * xx + yy * yy + zz * zz + 2.0 * (xy * xy + yz * yz + xz * xz)).sqrt();
+        let tau_eff = smagorinsky_tau(rates.tau(), cs, pi_mag, rho);
+        let s_nu = 1.0 / tau_eff;
+        for &i in &VISCOUS_MOMENTS {
+            s[i] = s_nu;
+        }
+    }
+
+    // Relaxed non-equilibrium moments m̃ = S · M · fneq …
+    let mut mneq = [0.0; Q];
+    for i in 0..Q {
+        if s[i] == 0.0 {
+            continue; // conserved — contributes nothing below
+        }
+        let mut acc = 0.0;
+        for q in 0..Q {
+            acc += M[i][q] * fneq[q];
+        }
+        mneq[i] = s[i] * acc;
+    }
+    // … mapped back: f′ = f − M⁻¹ m̃.
+    for q in 0..Q {
+        let mut acc = 0.0;
+        for i in 0..Q {
+            acc += M_INV[q][i] * mneq[i];
+        }
+        f[q] -= acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::equilibrium;
+
+    /// A generic non-equilibrium test distribution.
+    fn sample_f() -> [f64; Q] {
+        let mut f = [0.0; Q];
+        for q in 0..Q {
+            f[q] = equilibrium::<D3Q19>(q, 1.04, [0.03, -0.02, 0.015])
+                + 1e-3 * ((q as f64 * 0.7).sin());
+        }
+        f
+    }
+
+    #[test]
+    fn rows_are_orthogonal() {
+        for i in 0..Q {
+            for j in 0..Q {
+                let dot: f64 = (0..Q).map(|q| M[i][q] * M[j][q]).sum();
+                if i == j {
+                    assert!(dot > 0.0, "row {i} has zero norm");
+                } else {
+                    assert_eq!(dot, 0.0, "rows {i} and {j} not orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn moment_transform_round_trip() {
+        // M · M⁻¹ = I to 1e-12 (exact up to the one rounding in M⁻¹).
+        for i in 0..Q {
+            for j in 0..Q {
+                let e: f64 = (0..Q).map(|k| M[i][k] * M_INV[k][j]).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((e - want).abs() < 1e-12, "M·M⁻¹[{i}][{j}] = {e}");
+            }
+        }
+        // And the round trip on an actual distribution.
+        let f = sample_f();
+        let mut m = [0.0; Q];
+        for i in 0..Q {
+            m[i] = (0..Q).map(|q| M[i][q] * f[q]).sum();
+        }
+        for q in 0..Q {
+            let back: f64 = (0..Q).map(|i| M_INV[q][i] * m[i]).sum();
+            assert!((back - f[q]).abs() < 1e-14, "direction {q}");
+        }
+    }
+
+    #[test]
+    fn low_order_moments_match_macroscopics() {
+        let f = sample_f();
+        let rho = density::<D3Q19>(&f);
+        let j = momentum::<D3Q19>(&f);
+        let m0: f64 = (0..Q).map(|q| M[0][q] * f[q]).sum();
+        let mx: f64 = (0..Q).map(|q| M[3][q] * f[q]).sum();
+        let my: f64 = (0..Q).map(|q| M[5][q] * f[q]).sum();
+        let mz: f64 = (0..Q).map(|q| M[7][q] * f[q]).sum();
+        assert!((m0 - rho).abs() < 1e-14);
+        assert!((mx - j[0]).abs() < 1e-14);
+        assert!((my - j[1]).abs() < 1e-14);
+        assert!((mz - j[2]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn conserved_moments_unchanged_by_collision() {
+        let mut f = sample_f();
+        let rho0 = density::<D3Q19>(&f);
+        let j0 = momentum::<D3Q19>(&f);
+        collide(&mut f, &MrtRates::from_relaxation(Relaxation::srt_from_tau(0.6)), None);
+        assert!((density::<D3Q19>(&f) - rho0).abs() < 1e-14);
+        let j = momentum::<D3Q19>(&f);
+        for d in 0..3 {
+            assert!((j[d] - j0[d]).abs() < 1e-14, "axis {d}");
+        }
+        // Same with the LES closure active.
+        let mut g = sample_f();
+        collide(&mut g, &MrtRates::from_relaxation(Relaxation::srt_from_tau(0.6)), Some(0.17));
+        assert!((density::<D3Q19>(&g) - rho0).abs() < 1e-14);
+        let jg = momentum::<D3Q19>(&g);
+        for d in 0..3 {
+            assert!((jg[d] - j0[d]).abs() < 1e-14, "axis {d}");
+        }
+    }
+
+    #[test]
+    fn uniform_rates_reduce_to_srt() {
+        let tau = 0.73;
+        let omega = 1.0 / tau;
+        let mut f_mrt = sample_f();
+        collide(&mut f_mrt, &MrtRates::uniform(omega), None);
+
+        // Reference SRT: f′ = f + ω (feq − f).
+        let f0 = sample_f();
+        let rho = density::<D3Q19>(&f0);
+        let j = momentum::<D3Q19>(&f0);
+        let u = [j[0] / rho, j[1] / rho, j[2] / rho];
+        for q in 0..Q {
+            let feq = equilibrium::<D3Q19>(q, rho, u);
+            let srt = f0[q] + omega * (feq - f0[q]);
+            assert!((f_mrt[q] - srt).abs() < 1e-12, "direction {q}: {} vs {srt}", f_mrt[q]);
+        }
+    }
+
+    #[test]
+    fn equilibrium_is_a_fixed_point() {
+        let mut f = [0.0; Q];
+        equilibrium_all::<D3Q19>(1.0, [0.02, 0.01, -0.03], &mut f);
+        let before = f;
+        collide(&mut f, &MrtRates::from_relaxation(Relaxation::trt_from_viscosity(0.02)), None);
+        for q in 0..Q {
+            assert!((f[q] - before[q]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn smagorinsky_tau_never_below_molecular() {
+        for &pi in &[0.0, 1e-8, 1e-4, 0.1] {
+            let t = smagorinsky_tau(0.51, CS_SMAGORINSKY, pi, 1.0);
+            assert!(t >= 0.51 - 1e-15, "pi={pi} gave tau={t}");
+        }
+        // Zero strain: exactly the molecular value.
+        assert!((smagorinsky_tau(0.8, CS_SMAGORINSKY, 0.0, 1.0) - 0.8).abs() < 1e-15);
+        // Strain raises it monotonically.
+        let a = smagorinsky_tau(0.6, CS_SMAGORINSKY, 1e-3, 1.0);
+        let b = smagorinsky_tau(0.6, CS_SMAGORINSKY, 2e-3, 1.0);
+        assert!(b > a);
+    }
+}

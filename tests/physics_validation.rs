@@ -292,3 +292,102 @@ fn shear_wave_decay_measures_viscosity() {
         num / den
     }
 }
+
+/// Grid-convergence order of the SRT operator: halving the lattice
+/// spacing must cut the error by ~4× (second-order accuracy) on two
+/// independent problems — the viscosity measured from shear-wave decay
+/// (bulk truncation error, diffusive time scaling) and the wall-slip
+/// deviation of a pressure-driven channel profile (boundary error).
+/// The accepted ratio window [3.4, 4.6] brackets the asymptotic 4.0.
+#[test]
+fn srt_error_converges_at_second_order() {
+    fn shear_wave_error(n: usize) -> f64 {
+        use trillium_field::PdfField;
+        let shape = Shape::new(n, 4, 4, 1);
+        let flags = boxed_block_flags(shape, [None; 6]);
+        let nu = 0.03;
+        let mut block = BlockSim::from_flags(flags, BoundaryParams::default(), 1.0, [0.0; 3]);
+        let k = 2.0 * std::f64::consts::PI / n as f64;
+        let amp = 0.001;
+        let mut feq = [0.0; 19];
+        for (x, y, z) in shape.with_ghosts().iter() {
+            let uy = amp * (k * (x as f64 + 0.5)).sin();
+            trillium_lattice::equilibrium_all::<trillium_lattice::D3Q19>(
+                1.0,
+                [0.0, uy, 0.0],
+                &mut feq,
+            );
+            block.src.set_cell(x, y, z, &feq);
+        }
+        let rel = Relaxation::srt_from_viscosity(nu);
+        let project = |block: &BlockSim| -> f64 {
+            let (mut num, mut den) = (0.0, 0.0);
+            for x in 0..n as i32 {
+                let s = (k * (x as f64 + 0.5)).sin();
+                num += block.velocity(x, 1, 1)[1] * s;
+                den += s * s;
+            }
+            num / den
+        };
+        let a0 = project(&block);
+        // Diffusive scaling: 4× the steps on the doubled grid, so both
+        // resolutions decay by the same physical fraction.
+        let steps = n * n / 4;
+        for _ in 0..steps {
+            block.sync_periodic([true, true, true]);
+            block.stream_collide(rel);
+        }
+        let nu_measured = -(project(&block) / a0).ln() / (k * k * steps as f64);
+        (nu_measured - nu).abs() / nu
+    }
+    let (coarse, fine) = (shear_wave_error(8), shear_wave_error(16));
+    let ratio = coarse / fine;
+    assert!(
+        (3.4..=4.6).contains(&ratio),
+        "shear-wave error ratio {ratio} (coarse {coarse:e}, fine {fine:e})"
+    );
+
+    fn poiseuille_error(ny: usize, steps: usize) -> f64 {
+        let shape = Shape::new(40, ny, 3, 1);
+        let flags = boxed_block_flags(
+            shape,
+            [
+                Some(CellFlags::PRESSURE),
+                Some(CellFlags::PRESSURE_ALT),
+                Some(CellFlags::NOSLIP),
+                Some(CellFlags::NOSLIP),
+                None,
+                None,
+            ],
+        );
+        let boundary = BoundaryParams {
+            wall_velocity: [0.0; 3],
+            pressure_density: 1.01,
+            pressure_density_alt: 0.99,
+        };
+        let mut block = BlockSim::from_flags(flags, boundary, 1.0, [0.0; 3]);
+        // τ = 1.2: far from the magic cancellation, so the SRT slip error
+        // dominates and gives a clean 1/H² signal.
+        let rel = Relaxation::srt_from_tau(1.2);
+        for _ in 0..steps {
+            block.sync_periodic([false, false, true]);
+            block.apply_boundaries();
+            block.stream_collide(rel);
+        }
+        assert!(!block.has_nan());
+        let profile: Vec<f64> = (0..ny as i32).map(|y| block.velocity(20, y, 1)[0]).collect();
+        let shape_fn: Vec<f64> =
+            (0..ny).map(|y| (y as f64 + 0.5) * (ny as f64 - 0.5 - y as f64)).collect();
+        let amp = profile.iter().zip(&shape_fn).map(|(u, s)| u * s).sum::<f64>()
+            / shape_fn.iter().map(|s| s * s).sum::<f64>();
+        let err2: f64 = profile.iter().zip(&shape_fn).map(|(u, s)| (u - amp * s).powi(2)).sum();
+        let norm2: f64 = shape_fn.iter().map(|s| (amp * s).powi(2)).sum();
+        (err2 / norm2).sqrt()
+    }
+    let (coarse, fine) = (poiseuille_error(11, 2000), poiseuille_error(22, 4000));
+    let ratio = coarse / fine;
+    assert!(
+        (3.4..=4.6).contains(&ratio),
+        "poiseuille error ratio {ratio} (coarse {coarse:e}, fine {fine:e})"
+    );
+}
