@@ -1,0 +1,163 @@
+//! Ablation: heterogeneous vs uniform block placement on a modeled
+//! mixed CPU/GPU rank pool.
+//!
+//! The backend abstraction makes every rank's sweep dispatch a
+//! capability, not a constant: a pool can mix AVX2 sockets with
+//! GPU-class (workgroup) devices. This harness builds the
+//! per-(backend, tier) cost table from the analytic models — the ECM/
+//! tier models for the CPU backends, the latency + bandwidth device
+//! model for the workgroup backend — and compares two placements of the
+//! same dense block set on a 2-CPU + 2-GPU pool:
+//!
+//! * **uniform** — the homogeneous planner's equal-cost split (what a
+//!   capability-blind rebalancer produces), and
+//! * **heterogeneous** — `plan_rebalance_hetero`, which sizes each
+//!   rank's Morton-curve chunk by its modeled speed.
+//!
+//! The figure of merit is the modeled aggregate MLUPS (total cells over
+//! the slowest rank's wall time). The run also cross-checks the claim
+//! the placement rests on: all three backends produce bitwise identical
+//! PDFs, so moving a block between them changes cost, never results.
+
+use trillium_bench::{bench_relaxation, emit_json, section, HarnessArgs};
+use trillium_field::{PdfField, Shape, SoaPdfField};
+use trillium_kernels::{BackendKind, Collision};
+use trillium_lattice::D3Q19;
+use trillium_machine::{DeviceSpec, MachineSpec};
+use trillium_perfmodel::{GpuModel, KernelTier, TierModel};
+use trillium_rebalance::{
+    makespan, plan_rebalance_hetero, BackendTierTable, BlockRecord, RankPool,
+};
+
+/// Modeled MLUPS of each backend for one dense sweep of `cells` cells.
+fn cost_table(cells_per_block: u64) -> BackendTierTable {
+    let socket = MachineSpec::supermuc();
+    let cores = socket.cores_per_socket;
+    let mut t = BackendTierTable::new();
+    // The portable SoA backend is the specialized tier: same layout and
+    // arithmetic as the SIMD tier, no guaranteed vector issue.
+    t.set(
+        "portable",
+        "specialized",
+        TierModel::new(&socket, KernelTier::Specialized, true).mlups(cores),
+    );
+    t.set("avx2", "simd", TierModel::new(&socket, KernelTier::Simd, true).mlups(cores));
+    // The workgroup backend models a GPU-class device: per-sweep launch
+    // latency amortized over the block, bandwidth-bound at scale.
+    let gpu = GpuModel::from_device(&DeviceSpec::hbm_class(), 19);
+    t.set("workgroup", "simd", gpu.mlups(cells_per_block));
+    t
+}
+
+/// Dense block set: `n³` blocks of `edge³` cells, scattered round-robin
+/// over the pool (the capability-blind initial ownership).
+fn dense_records(n: u32, edge: u64, ranks: u32) -> Vec<BlockRecord> {
+    let cells = edge * edge * edge;
+    let mut out = Vec::new();
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                let i = (z * n + y) * n + x;
+                out.push(BlockRecord {
+                    id: u64::from(i) + 1,
+                    owner: i % ranks,
+                    coords: [x, y, z],
+                    level: 0,
+                    // Cost in Mcells so that cost/MLUPS = seconds.
+                    cost: cells as f64 / 1e6,
+                    fluid_cells: cells,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One sweep on every backend; returns true when all PDFs match bitwise.
+fn backends_agree() -> bool {
+    let rel = bench_relaxation();
+    let shape = Shape::new(24, 24, 24, 1);
+    let mut fields: Vec<SoaPdfField<D3Q19>> = Vec::new();
+    for kind in BackendKind::ALL {
+        let mut src = SoaPdfField::<D3Q19>::new(shape);
+        let mut dst = SoaPdfField::<D3Q19>::new(shape);
+        src.fill_equilibrium(1.0, [0.02, 0.01, -0.01]);
+        for (i, v) in src.data_mut().iter_mut().enumerate() {
+            *v += 1e-5 * ((i % 101) as f64 - 50.0);
+        }
+        kind.dispatch().sweep_pull(Collision::Trt, &src, &mut dst, rel);
+        fields.push(dst);
+    }
+    fields.iter().all(|f| f.data() == fields[0].data())
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (n_blocks, edge) = if args.full { (6u32, 64u64) } else { (4u32, 32u64) };
+    let cells_per_block = edge * edge * edge;
+
+    section("Backend cost table (modeled)");
+    let table = cost_table(cells_per_block);
+    for row in table.rows() {
+        println!("{:<12} {:<12} {:>10.1} MLUPS", row.backend, row.tier, row.mlups);
+    }
+
+    // 2 CPU sockets + 2 GPU-class devices.
+    let pool_kinds: [(&str, &str); 4] =
+        [("avx2", "simd"), ("avx2", "simd"), ("workgroup", "simd"), ("workgroup", "simd")];
+    let pool = RankPool::from_assignments(&table, &pool_kinds);
+    let records = dense_records(n_blocks, edge, pool.num_ranks());
+    let total_cells = records.iter().map(|r| r.fluid_cells).sum::<u64>();
+
+    // Uniform: the capability-blind equal-cost split (identical to the
+    // homogeneous planner's view of this pool).
+    let flat = RankPool::uniform(pool.num_ranks(), 1.0);
+    let uniform = plan_rebalance_hetero(records.clone(), &flat, 1.0);
+    let t_uniform = makespan(&uniform.records, &uniform.assignment, &pool);
+
+    // Heterogeneous: chunks sized by modeled speed.
+    let hetero = plan_rebalance_hetero(records, &pool, 1.05);
+    let t_hetero = makespan(&hetero.records, &hetero.assignment, &pool);
+
+    let mlups_uniform = total_cells as f64 / 1e6 / t_uniform;
+    let mlups_hetero = total_cells as f64 / 1e6 / t_hetero;
+    let speedup = mlups_hetero / mlups_uniform;
+
+    section("Placement on a 2×CPU + 2×GPU pool");
+    println!(
+        "{} blocks of {}³ cells ({:.1} Mcells total)",
+        n_blocks.pow(3),
+        edge,
+        total_cells as f64 / 1e6
+    );
+    println!("{:<14} {:>14} {:>14}", "placement", "makespan [ms]", "agg MLUPS");
+    println!("{:<14} {:>14.3} {:>14.1}", "uniform", t_uniform * 1e3, mlups_uniform);
+    println!("{:<14} {:>14.3} {:>14.1}", "heterogeneous", t_hetero * 1e3, mlups_hetero);
+    println!("speedup: {speedup:.2}x  (migrations: {})", hetero.migrations.len());
+
+    section("Backend bitwise equivalence (one real sweep per backend)");
+    let bitwise = backends_agree();
+    println!("portable == avx2 == workgroup: {bitwise}");
+
+    assert!(speedup >= 1.0, "heterogeneous placement must not lose to uniform (got {speedup:.3}x)");
+    assert!(bitwise, "backends must produce bitwise identical PDFs");
+
+    if args.json {
+        emit_json(
+            "ablation_backends",
+            serde_json::json!({
+                "cells_per_block": cells_per_block,
+                "blocks": n_blocks.pow(3),
+                "pool": pool_kinds.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+                "table": table.rows().iter().map(|r| {
+                    serde_json::json!({"backend": r.backend, "tier": r.tier, "mlups": r.mlups})
+                }).collect::<Vec<_>>(),
+                "uniform_mlups": mlups_uniform,
+                "hetero_mlups": mlups_hetero,
+                "speedup": speedup,
+                "migrations": hetero.migrations.len(),
+                "bitwise_equal": bitwise,
+            }),
+        );
+    }
+}

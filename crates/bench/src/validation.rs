@@ -179,8 +179,13 @@ pub struct CellOutcome {
     pub operator: &'static str,
     /// Schedule label.
     pub schedule: &'static str,
-    /// Kernel-tier label.
+    /// Kernel-tier label (as *requested*).
     pub kernel: &'static str,
+    /// Update scheme the blocks actually ran (`"pull"`, `"inplace"`, or
+    /// `"mixed"`): a requested in-place kernel silently resolves to pull
+    /// on sparse carved blocks, and a report that echoed only the request
+    /// would attribute pull-tier results to the in-place kernel.
+    pub resolved_kernel: String,
     /// Metric name.
     pub metric: &'static str,
     /// Measured metric value.
@@ -203,6 +208,7 @@ impl CellOutcome {
             "operator": self.operator,
             "schedule": self.schedule,
             "kernel": self.kernel,
+            "resolved_kernel": self.resolved_kernel,
             "metric": self.metric,
             "value": self.value,
             "threshold": self.threshold,
@@ -320,6 +326,31 @@ pub fn strouhal_from_lift(lift: &[f64], diameter: f64, inflow: f64) -> Option<f6
     }
     let period = (crossings[crossings.len() - 1] - crossings[0]) / (crossings.len() - 1) as f64;
     Some(diameter / (inflow * period))
+}
+
+/// The update scheme the blocks of `scenario` actually run on
+/// `num_procs` ranks, summarized across blocks: `"pull"`, `"inplace"`,
+/// or `"mixed"` when sparse blocks forced some (but not all) of a
+/// requested in-place run down to the pull scheme (see
+/// `BlockSim::fell_back_to_pull`).
+pub fn resolved_kernel(scenario: &Scenario, num_procs: u32) -> String {
+    use trillium_core::prelude::UpdateScheme;
+    let forest = scenario.make_forest(num_procs);
+    let views = trillium_blockforest::distribute(&forest);
+    let (mut pull, mut inplace) = (false, false);
+    for view in &views {
+        for lb in &view.blocks {
+            match scenario.build_block(lb).scheme {
+                UpdateScheme::Pull => pull = true,
+                UpdateScheme::InPlace => inplace = true,
+            }
+        }
+    }
+    match (pull, inplace) {
+        (true, true) => "mixed".to_string(),
+        (false, true) => "inplace".to_string(),
+        _ => "pull".to_string(),
+    }
 }
 
 /// Whether a case × operator combination is part of the matrix. The von
@@ -456,6 +487,7 @@ pub fn run_cell(case: Case, op: Collision, sched: Schedule, kernel: KernelChoice
         operator: op.label(),
         schedule: sched.label(),
         kernel: kernel_label(kernel),
+        resolved_kernel: resolved_kernel(&scenario, NUM_PROCS),
         metric: case.metric(),
         value,
         threshold,
@@ -539,6 +571,39 @@ mod tests {
         };
         let profile: Vec<f64> = (0..n).map(|i| interp((i as f64 + 0.5) / n as f64)).collect();
         assert!(ghia_rms(&profile) < 5e-3);
+    }
+
+    /// The job service must accept exactly the case × operator
+    /// combinations the validation matrix runs: a spec the service admits
+    /// but validation skips (or vice versa) means the two rule copies
+    /// drifted apart.
+    #[test]
+    fn jobs_spec_rule_matches_is_supported() {
+        for op in Collision::ALL {
+            let doc = format!(
+                r#"{{"name": "x", "family": "von-karman", "collision": "{}", "cells": 8}}"#,
+                op.label()
+            );
+            assert_eq!(
+                trillium_jobs::JobSpec::parse(&doc).is_ok(),
+                is_supported(Case::VonKarman, op),
+                "von Kármán rule drifted for operator {}",
+                op.label()
+            );
+            let doc =
+                format!(r#"{{"name": "x", "family": "cavity", "collision": "{}"}}"#, op.label());
+            assert!(trillium_jobs::JobSpec::parse(&doc).is_ok());
+            assert!(is_supported(Case::Cavity, op));
+        }
+    }
+
+    /// Dense scenarios resolve the requested kernel as-is; the label the
+    /// report carries must reflect the resolution, not the request.
+    #[test]
+    fn resolved_kernel_reflects_dense_resolution() {
+        let cavity = || Scenario::lid_driven_cavity(16, 2, 0.05, 0.08);
+        assert_eq!(resolved_kernel(&cavity().with_kernel(KernelChoice::Pull), 2), "pull");
+        assert_eq!(resolved_kernel(&cavity().with_kernel(KernelChoice::InPlace), 2), "inplace");
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use trillium_field::{CellFlags, FlagField, FlagOps, PdfField, RowIntervals, Shape, SoaPdfField};
 use trillium_kernels::{
-    apply_boundaries, apply_boundaries_ghost, apply_boundaries_interior, BoundaryParams, Collision,
-    SweepStats,
+    apply_boundaries, apply_boundaries_ghost, apply_boundaries_interior, Backend, BackendKind,
+    BoundaryParams, Collision, SweepStats,
 };
 use trillium_lattice::{Relaxation, D3Q19};
 
@@ -52,8 +52,19 @@ pub struct BlockSim {
     pub boundary: BoundaryParams,
     /// Kernel choice for this block.
     pub kernel: BlockKernel,
-    /// Update scheme for this block.
+    /// Update scheme for this block — the *resolved* scheme that actually
+    /// runs (see [`BlockSim::requested_scheme`]).
     pub scheme: UpdateScheme,
+    /// Update scheme that was requested at construction. Differs from
+    /// [`BlockSim::scheme`] exactly when an `InPlace` request degraded to
+    /// `Pull` on a sparse block ([`BlockSim::fell_back_to_pull`]); kept so
+    /// the fallback is observable instead of silent.
+    pub requested_scheme: UpdateScheme,
+    /// Compute backend this block's sweeps execute on. Like
+    /// [`BlockSim::collision`], scenario-assigned, not part of the
+    /// checkpoint wire format, and re-stamped by whoever rebuilds a block
+    /// (migration, recovery).
+    pub backend: BackendKind,
     /// Collision operator for this block. `Srt`/`Trt` run the tuned
     /// TRT-form kernels (SRT via equal rates, exactly as before);
     /// `Mrt`/`MrtLes` run the moment-space sweeps of
@@ -92,7 +103,7 @@ impl BlockSim {
         } else {
             BlockKernel::RowIntervals
         };
-        let scheme = match (scheme, kernel) {
+        let resolved = match (scheme, kernel) {
             (UpdateScheme::InPlace, BlockKernel::Dense) => UpdateScheme::InPlace,
             _ => UpdateScheme::Pull,
         };
@@ -104,9 +115,33 @@ impl BlockSim {
             intervals,
             boundary,
             kernel,
-            scheme,
+            scheme: resolved,
+            requested_scheme: scheme,
             collision: Collision::Trt,
+            backend: BackendKind::default(),
         }
+    }
+
+    /// True when this block requested the in-place scheme but runs pull
+    /// because its sparse row-interval kernel has no in-place variant.
+    /// Surfaced (obs counter `kernel.fallback_pull`, `resolved_kernel` in
+    /// report JSON) so the degradation is never silently misattributed.
+    pub fn fell_back_to_pull(&self) -> bool {
+        self.requested_scheme == UpdateScheme::InPlace && self.scheme == UpdateScheme::Pull
+    }
+
+    /// Short label of the update scheme that actually runs on this block
+    /// (`"pull"` or `"inplace"`), for report JSON.
+    pub fn resolved_kernel_label(&self) -> &'static str {
+        match self.scheme {
+            UpdateScheme::Pull => "pull",
+            UpdateScheme::InPlace => "inplace",
+        }
+    }
+
+    /// The dispatch object of this block's backend.
+    fn be(&self) -> &'static dyn Backend {
+        self.backend.dispatch()
     }
 
     /// Number of interior fluid cells.
@@ -183,49 +218,17 @@ impl BlockSim {
     /// the sweep, the per-block load signal used for rebalancing.
     pub fn stream_collide(&mut self, rel: Relaxation) -> SweepStats {
         let t0 = std::time::Instant::now();
-        if self.collision.is_mrt() {
-            let smag = self.collision.smagorinsky();
-            if self.scheme == UpdateScheme::InPlace {
-                let stats =
-                    trillium_kernels::mrt::stream_collide_mrt_inplace(&mut self.src, rel, smag);
-                let p = self.src.parity();
-                self.src.set_parity(!p);
-                return stats.timed(t0.elapsed().as_secs_f64());
-            }
-            let stats = match self.kernel {
-                BlockKernel::Dense => {
-                    trillium_kernels::mrt::stream_collide_mrt(&self.src, &mut self.dst, rel, smag)
-                }
-                BlockKernel::RowIntervals => {
-                    trillium_kernels::mrt::stream_collide_mrt_row_intervals(
-                        &self.src,
-                        &mut self.dst,
-                        &self.intervals,
-                        rel,
-                        smag,
-                    )
-                }
-            };
-            self.src.swap(&mut self.dst);
-            return stats.timed(t0.elapsed().as_secs_f64());
-        }
+        let be = self.be();
         if self.scheme == UpdateScheme::InPlace {
-            let stats = trillium_kernels::inplace::stream_collide_trt(&mut self.src, rel);
+            let stats = be.sweep_inplace(self.collision, &mut self.src, rel);
             let p = self.src.parity();
             self.src.set_parity(!p);
             return stats.timed(t0.elapsed().as_secs_f64());
         }
         let stats = match self.kernel {
-            BlockKernel::Dense => {
-                trillium_kernels::avx::stream_collide_trt(&self.src, &mut self.dst, rel)
-            }
+            BlockKernel::Dense => be.sweep_pull(self.collision, &self.src, &mut self.dst, rel),
             BlockKernel::RowIntervals => {
-                trillium_kernels::sparse::stream_collide_trt_row_intervals(
-                    &self.src,
-                    &mut self.dst,
-                    &self.intervals,
-                    rel,
-                )
+                be.sweep_sparse(self.collision, &self.src, &mut self.dst, &self.intervals, rel)
             }
         };
         self.src.swap(&mut self.dst);
@@ -240,32 +243,7 @@ impl BlockSim {
     pub fn stream_collide_interior(&mut self, rel: Relaxation) -> SweepStats {
         let t0 = std::time::Instant::now();
         let core = self.shape.interior_core(1);
-        if self.collision.is_mrt() {
-            return self.sweep_mrt_region(rel, &core).timed(t0.elapsed().as_secs_f64());
-        }
-        if self.scheme == UpdateScheme::InPlace {
-            let stats =
-                trillium_kernels::inplace::stream_collide_trt_region(&mut self.src, rel, &core);
-            return stats.timed(t0.elapsed().as_secs_f64());
-        }
-        let stats = match self.kernel {
-            BlockKernel::Dense => trillium_kernels::avx::stream_collide_trt_region(
-                &self.src,
-                &mut self.dst,
-                rel,
-                &core,
-            ),
-            BlockKernel::RowIntervals => {
-                trillium_kernels::sparse::stream_collide_trt_row_intervals_region(
-                    &self.src,
-                    &mut self.dst,
-                    &self.intervals,
-                    rel,
-                    &core,
-                )
-            }
-        };
-        stats.timed(t0.elapsed().as_secs_f64())
+        self.sweep_region(rel, &core).timed(t0.elapsed().as_secs_f64())
     }
 
     /// Stream–collide over the boundary shell (the cells skipped by
@@ -276,72 +254,31 @@ impl BlockSim {
         let t0 = std::time::Instant::now();
         let mut stats = SweepStats::default();
         for region in self.shape.shell_regions(1) {
-            if self.collision.is_mrt() {
-                stats.merge(self.sweep_mrt_region(rel, &region));
-                continue;
-            }
-            if self.scheme == UpdateScheme::InPlace {
-                let s = trillium_kernels::inplace::stream_collide_trt_region(
-                    &mut self.src,
-                    rel,
-                    &region,
-                );
-                stats.merge(s);
-                continue;
-            }
-            let s = match self.kernel {
-                BlockKernel::Dense => trillium_kernels::avx::stream_collide_trt_region(
-                    &self.src,
-                    &mut self.dst,
-                    rel,
-                    &region,
-                ),
-                BlockKernel::RowIntervals => {
-                    trillium_kernels::sparse::stream_collide_trt_row_intervals_region(
-                        &self.src,
-                        &mut self.dst,
-                        &self.intervals,
-                        rel,
-                        &region,
-                    )
-                }
-            };
-            stats.merge(s);
+            stats.merge(self.sweep_region(rel, &region));
         }
         stats.timed(t0.elapsed().as_secs_f64())
     }
 
-    /// One MRT-family region sweep with the block's scheme and kernel
-    /// (shared by the interior-core and shell halves of a split step).
-    /// Does not swap buffers or flip parity.
-    fn sweep_mrt_region(&mut self, rel: Relaxation, region: &trillium_field::Region) -> SweepStats {
-        let smag = self.collision.smagorinsky();
+    /// One region sweep with the block's backend, scheme, kernel, and
+    /// collision operator (shared by the interior-core and shell halves
+    /// of a split step). Does not swap buffers or flip parity.
+    fn sweep_region(&mut self, rel: Relaxation, region: &trillium_field::Region) -> SweepStats {
+        let be = self.be();
         if self.scheme == UpdateScheme::InPlace {
-            return trillium_kernels::mrt::stream_collide_mrt_inplace_region(
-                &mut self.src,
-                rel,
-                smag,
-                region,
-            );
+            return be.sweep_inplace_region(self.collision, &mut self.src, rel, region);
         }
         match self.kernel {
-            BlockKernel::Dense => trillium_kernels::mrt::stream_collide_mrt_region(
+            BlockKernel::Dense => {
+                be.sweep_pull_region(self.collision, &self.src, &mut self.dst, rel, region)
+            }
+            BlockKernel::RowIntervals => be.sweep_sparse_region(
+                self.collision,
                 &self.src,
                 &mut self.dst,
+                &self.intervals,
                 rel,
-                smag,
                 region,
             ),
-            BlockKernel::RowIntervals => {
-                trillium_kernels::mrt::stream_collide_mrt_row_intervals_region(
-                    &self.src,
-                    &mut self.dst,
-                    &self.intervals,
-                    rel,
-                    smag,
-                    region,
-                )
-            }
         }
     }
 

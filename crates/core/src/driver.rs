@@ -618,6 +618,17 @@ pub(crate) fn fold_obs(rec: Recorder, comm: &Communicator) -> FoldedObs {
     }
 }
 
+/// Count blocks whose requested in-place kernel silently resolved to
+/// pull (sparse storage cannot run the AA-pattern) and surface the total
+/// as the `kernel.fallback_pull` metric, so a carved run that asked for
+/// `KernelChoice::InPlace` is observable rather than quietly slower.
+pub(crate) fn count_kernel_fallbacks(rec: &Recorder, blocks: &[BlockSim]) {
+    let n = blocks.iter().filter(|b| b.fell_back_to_pull()).count() as u64;
+    if n > 0 {
+        rec.metrics().add("kernel.fallback_pull", n);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn rank_loop(
     mut comm: Communicator,
@@ -633,6 +644,7 @@ fn rank_loop(
     let rec = Recorder::with_epoch(rank, cfg.obs, epoch);
     // Build local blocks.
     let mut blocks: Vec<BlockSim> = view.blocks.iter().map(|lb| scenario.build_block(lb)).collect();
+    count_kernel_fallbacks(&rec, &blocks);
     let index_of: HashMap<BlockId, usize> =
         view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
 
@@ -1025,6 +1037,7 @@ fn rank_loop_rebalanced(
     let size = comm.size();
     let rec = Recorder::with_epoch(rank, cfg.obs, epoch);
     let mut blocks: Vec<BlockSim> = view.blocks.iter().map(|lb| scenario.build_block(lb)).collect();
+    count_kernel_fallbacks(&rec, &blocks);
     let mut index_of: HashMap<BlockId, usize> =
         view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
 
@@ -1121,10 +1134,12 @@ fn rank_loop_rebalanced(
                         &rec,
                     );
                     // Received blocks are rebuilt from the wire format,
-                    // which does not carry the collision operator (it is
-                    // scenario-global); re-stamp every block.
+                    // which carries neither the collision operator nor
+                    // the backend (both scenario-global); re-stamp every
+                    // block.
                     for b in blocks.iter_mut() {
                         b.collision = scenario.collision;
+                        b.backend = scenario.backend;
                     }
                     report.migrations_out += ms.sent;
                     report.migrations_in += ms.received;

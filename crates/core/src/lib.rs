@@ -64,7 +64,7 @@ pub mod prelude {
     pub use crate::scenario::{BalanceStrategy, KernelChoice, Scenario};
     pub use trillium_comm::{CommError, CrashSpec, FaultConfig, FaultEvent};
     pub use trillium_field::{CellFlags, PdfField};
-    pub use trillium_kernels::BoundaryParams;
+    pub use trillium_kernels::{BackendKind, BoundaryParams, Collision};
     pub use trillium_lattice::{Relaxation, UnitConverter, D3Q19, MAGIC_TRT};
     pub use trillium_obs::{ObsConfig, RankObs, SpanKind};
 }

@@ -276,6 +276,7 @@ fn resilient_rank_loop(
     let rank = comm.rank();
     let rec = Recorder::with_epoch(rank, rc.driver.obs, epoch);
     let mut blocks: Vec<BlockSim> = view.blocks.iter().map(|lb| scenario.build_block(lb)).collect();
+    crate::driver::count_kernel_fallbacks(&rec, &blocks);
     let index_of: HashMap<BlockId, usize> =
         view.blocks.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
     let ids: Vec<u64> = view.blocks.iter().map(|b| b.id.pack()).collect();
@@ -353,10 +354,12 @@ fn resilient_rank_loop(
                 .map_err(|error| RecoveryError::CorruptCheckpoint { rank, error })?;
             blocks = restored.into_iter().map(|(_, b)| b).collect();
             debug_assert_eq!(blocks.len(), view.blocks.len());
-            // Checkpoint wire format carries no collision operator (it is
-            // scenario-global); re-stamp so replay collides identically.
+            // Checkpoint wire format carries neither the collision
+            // operator nor the backend (both scenario-global); re-stamp
+            // so replay collides identically.
             for b in &mut blocks {
                 b.collision = scenario.collision;
+                b.backend = scenario.backend;
             }
             rep.replayed_steps += t.saturating_sub(restore_step);
             t = restore_step;

@@ -15,7 +15,7 @@ use trillium_field::{CellFlags, FlagOps, Shape};
 use trillium_geometry::vec3::vec3;
 use trillium_geometry::voxelize::{voxelize_block, VoxelizeConfig};
 use trillium_geometry::{Aabb, SignedDistance, Vec3};
-use trillium_kernels::{BoundaryParams, Collision};
+use trillium_kernels::{BackendKind, BoundaryParams, Collision};
 use trillium_lattice::Relaxation;
 
 /// Which kernel family the driver should let blocks pick.
@@ -79,6 +79,10 @@ pub struct Scenario {
     /// Collision operator stamped onto every block (scenario-global, like
     /// the boundary parameters).
     pub collision: Collision,
+    /// Compute backend stamped onto every block (scenario-global; see
+    /// [`trillium_kernels::BackendKind`]). All backends are bitwise
+    /// identical, so the choice affects cost, not results.
+    pub backend: BackendKind,
     /// Per-axis domain periodicity. Periodic axes carry no walls: block
     /// links wrap around the root grid (each periodic axis needs at least
     /// two blocks), and ghost exchange closes the domain.
@@ -133,6 +137,7 @@ impl Scenario {
             balance: BalanceStrategy::Morton,
             kernel: KernelChoice::Auto,
             collision: Collision::Trt,
+            backend: BackendKind::default(),
             periodic: [false; 3],
             kind: Kind::Cavity,
         }
@@ -181,6 +186,7 @@ impl Scenario {
             balance: BalanceStrategy::Morton,
             kernel: KernelChoice::Auto,
             collision: Collision::Trt,
+            backend: BackendKind::default(),
             periodic: [false; 3],
             kind: Kind::Channel {
                 center: [n[0] as f64 / 2.0, n[1] as f64 / 2.0, n[2] as f64 / 2.0],
@@ -208,6 +214,7 @@ impl Scenario {
             balance: BalanceStrategy::Morton,
             kernel: KernelChoice::Auto,
             collision: Collision::Trt,
+            backend: BackendKind::default(),
             periodic: [true; 3],
             kind: Kind::TaylorGreen { amplitude },
         }
@@ -237,6 +244,7 @@ impl Scenario {
             balance: BalanceStrategy::Morton,
             kernel: KernelChoice::Auto,
             collision: Collision::Trt,
+            backend: BackendKind::default(),
             periodic: [false, false, true],
             kind: Kind::Poiseuille,
         }
@@ -272,6 +280,7 @@ impl Scenario {
             balance: BalanceStrategy::Morton,
             kernel: KernelChoice::Auto,
             collision: Collision::Trt,
+            backend: BackendKind::default(),
             periodic: [false, false, true],
             kind: Kind::VonKarman {
                 // Off-center by half a cell: a deliberate asymmetry that
@@ -311,6 +320,7 @@ impl Scenario {
             balance: BalanceStrategy::Morton,
             kernel: KernelChoice::Auto,
             collision: Collision::Trt,
+            backend: BackendKind::default(),
             periodic: [false; 3],
             kind: Kind::Domain { sdf, config, dx },
         }
@@ -349,8 +359,12 @@ impl Scenario {
     }
 
     /// Selects the PDF update scheme built into every block (see
-    /// [`KernelChoice`]). Sparse blocks silently fall back to the pull
-    /// update, which supports row-interval iteration.
+    /// [`KernelChoice`]). Sparse blocks fall back to the pull update
+    /// (their row-interval kernel has no in-place variant); the fallback
+    /// is *surfaced* per block — [`BlockSim::fell_back_to_pull`], the
+    /// `kernel.fallback_pull` obs counter, and `resolved_kernel` in
+    /// report JSON — so a carved run can never silently misattribute its
+    /// kernel.
     pub fn with_kernel(mut self, kernel: KernelChoice) -> Self {
         self.kernel = kernel;
         self
@@ -370,6 +384,15 @@ impl Scenario {
         self
     }
 
+    /// Selects the compute backend stamped onto every block. Backends are
+    /// bitwise equivalent; pick [`BackendKind::Workgroup`] to exercise
+    /// the GPU-style execution shape, [`BackendKind::Portable`] to pin
+    /// the intrinsics-free path.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Global cell coordinates of a block's origin.
     fn block_origin(&self, lb: &LocalBlock) -> [i64; 3] {
         [
@@ -380,7 +403,8 @@ impl Scenario {
     }
 
     /// Finishes block construction: builds the sim from the flag field
-    /// and stamps the scenario-global collision operator onto it.
+    /// and stamps the scenario-global collision operator and backend
+    /// onto it.
     fn finish_block(&self, flags: trillium_field::FlagField) -> BlockSim {
         let mut sim = BlockSim::from_flags_with_scheme(
             flags,
@@ -390,6 +414,7 @@ impl Scenario {
             self.kernel.scheme(),
         );
         sim.collision = self.collision;
+        sim.backend = self.backend;
         sim
     }
 

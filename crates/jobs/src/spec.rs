@@ -11,11 +11,11 @@
 //! `trillium-perfmodel`.
 
 use serde_json::Value;
-use trillium_core::prelude::{KernelChoice, Scenario};
+use trillium_core::prelude::{BackendKind, Collision, KernelChoice, Scenario};
 use trillium_perfmodel::bytes_per_lup;
 
 /// Geometry families a job may request — the paper's two §4.2
-/// benchmark scenarios.
+/// benchmark scenarios plus the vortex-shedding validation flow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GeometryFamily {
     /// Lid-driven cavity, `cells`³ on `blocks`³ blocks.
@@ -23,6 +23,13 @@ pub enum GeometryFamily {
     /// Channel flow around a cylindrical obstacle, `2·cells × cells ×
     /// cells` on `2·blocks × blocks × blocks` blocks.
     Channel,
+    /// Von Kármán vortex street: cylinder in a spanwise-periodic channel,
+    /// `2·cells × cells × cells` on `2·blocks × blocks × blocks` blocks.
+    /// Requires the MRT collision family — at job resolutions SRT and TRT
+    /// diverge from the impulsive start (the same rule the physics
+    /// validation matrix encodes in `is_supported`, pinned equal to it by
+    /// a bench-crate test).
+    VonKarman,
 }
 
 /// Distributed schedule to run the job under.
@@ -72,6 +79,10 @@ pub struct JobSpec {
     pub velocity: f64,
     /// Kernel/update-scheme choice.
     pub kernel: KernelChoice,
+    /// Collision operator.
+    pub collision: Collision,
+    /// Compute backend the cohort's sweeps dispatch through.
+    pub backend: BackendKind,
     /// Time steps to run.
     pub steps: u64,
     /// Cohort width: ranks this job needs.
@@ -141,6 +152,7 @@ impl JobSpec {
         let family = match req_str(v, "family")? {
             "cavity" => GeometryFamily::Cavity,
             "channel" => GeometryFamily::Channel,
+            "von-karman" => GeometryFamily::VonKarman,
             _ => return Err(SpecError::Invalid("family")),
         };
         let kernel = match v.get("kernel").map(|k| k.as_str()) {
@@ -149,6 +161,19 @@ impl JobSpec {
             Some(Some("pull")) => KernelChoice::Pull,
             Some(Some("inplace")) => KernelChoice::InPlace,
             _ => return Err(SpecError::Invalid("kernel")),
+        };
+        let collision = match v.get("collision").map(|c| c.as_str()) {
+            None => Collision::Trt,
+            Some(Some("srt")) => Collision::Srt,
+            Some(Some("trt")) => Collision::Trt,
+            Some(Some("mrt")) => Collision::Mrt,
+            Some(Some("mrt-les")) => Collision::MrtLes,
+            _ => return Err(SpecError::Invalid("collision")),
+        };
+        let backend = match v.get("backend").map(|b| b.as_str()) {
+            None => BackendKind::default(),
+            Some(Some(s)) => BackendKind::parse(s).ok_or(SpecError::Invalid("backend"))?,
+            _ => return Err(SpecError::Invalid("backend")),
         };
         let schedule = match v.get("schedule").map(|s| s.as_str()) {
             None => Schedule::Sync,
@@ -189,6 +214,8 @@ impl JobSpec {
             viscosity: opt_f64(v, "viscosity", 0.05)?,
             velocity: opt_f64(v, "velocity", 0.08)?,
             kernel,
+            collision,
+            backend,
             steps: opt_u64(v, "steps", 10)?,
             ranks: opt_u64(v, "ranks", 2)? as u32,
             threads: opt_u64(v, "threads", 1)? as usize,
@@ -230,6 +257,18 @@ impl JobSpec {
         if self.threads == 0 {
             return Err(SpecError::Invalid("threads"));
         }
+        // Mirrors `trillium_bench::validation::is_supported`: the von
+        // Kármán flow is stable only under the MRT family at job
+        // resolutions. Rejecting up front turns a guaranteed divergence
+        // into a typed submission error.
+        if self.family == GeometryFamily::VonKarman && !self.collision.is_mrt() {
+            return Err(SpecError::Invalid("collision"));
+        }
+        // The von Kármán geometry needs >= 2 spanwise blocks (periodic
+        // axis) — see `Scenario::von_karman`.
+        if self.family == GeometryFamily::VonKarman && self.blocks < 2 {
+            return Err(SpecError::Invalid("blocks"));
+        }
         if self.fault.is_some() && self.schedule != Schedule::Resilient {
             return Err(SpecError::Invalid("fault"));
         }
@@ -259,8 +298,17 @@ impl JobSpec {
                 self.velocity,
                 0.2,
             ),
+            GeometryFamily::VonKarman => Scenario::von_karman(
+                [2 * self.cells, self.cells, self.cells],
+                [2 * self.blocks, self.blocks, self.blocks],
+                self.viscosity,
+                self.velocity,
+                // Validation-matrix proportions: 12.5 % blockage.
+                self.cells as f64 / 8.0,
+            ),
         };
-        let s = s.with_kernel(self.kernel);
+        let s =
+            s.with_kernel(self.kernel).with_collision(self.collision).with_backend(self.backend);
         match self.skew {
             Some(f) => s.with_skewed_balance(f),
             None => s,
@@ -272,7 +320,7 @@ impl JobSpec {
         let c = self.cells as u64;
         match self.family {
             GeometryFamily::Cavity => c * c * c,
-            GeometryFamily::Channel => 2 * c * c * c,
+            GeometryFamily::Channel | GeometryFamily::VonKarman => 2 * c * c * c,
         }
     }
 
@@ -300,6 +348,7 @@ impl JobSpec {
         eat(match self.family {
             GeometryFamily::Cavity => 1,
             GeometryFamily::Channel => 2,
+            GeometryFamily::VonKarman => 3,
         });
         eat(self.cells as u64);
         eat(self.blocks as u64);
@@ -310,6 +359,20 @@ impl JobSpec {
             Schedule::Overlapped => 2,
             Schedule::Rebalanced => 3,
             Schedule::Resilient => 4,
+        });
+        // Operator and backend change the per-step cost (MRT's moment
+        // transform, backend-dependent sweep rates), so jobs differing in
+        // either must not share a learned cost template.
+        eat(match self.collision {
+            Collision::Srt => 1,
+            Collision::Trt => 2,
+            Collision::Mrt => 3,
+            Collision::MrtLes => 4,
+        });
+        eat(match self.backend {
+            BackendKind::Portable => 1,
+            BackendKind::Avx2 => 2,
+            BackendKind::Workgroup => 3,
         });
         h
     }
@@ -327,8 +390,83 @@ mod tests {
         assert_eq!(s.cells, 16);
         assert_eq!(s.ranks, 2);
         assert_eq!(s.schedule, Schedule::Sync);
+        assert_eq!(s.collision, Collision::Trt);
+        assert_eq!(s.backend, BackendKind::default());
         assert!(s.fault.is_none());
         assert!(s.collect_pdfs);
+    }
+
+    #[test]
+    fn collision_and_backend_keys_round_trip() {
+        for (label, want) in [
+            ("srt", Collision::Srt),
+            ("trt", Collision::Trt),
+            ("mrt", Collision::Mrt),
+            ("mrt-les", Collision::MrtLes),
+        ] {
+            let s = JobSpec::parse(&format!(
+                r#"{{"name": "x", "family": "cavity", "collision": "{label}"}}"#
+            ))
+            .unwrap();
+            assert_eq!(s.collision, want, "label {label}");
+            assert_eq!(s.to_scenario().collision, want);
+        }
+        for (label, want) in [
+            ("portable", BackendKind::Portable),
+            ("avx2", BackendKind::Avx2),
+            ("workgroup", BackendKind::Workgroup),
+        ] {
+            let s = JobSpec::parse(&format!(
+                r#"{{"name": "x", "family": "cavity", "backend": "{label}"}}"#
+            ))
+            .unwrap();
+            assert_eq!(s.backend, want, "label {label}");
+            assert_eq!(s.to_scenario().backend, want);
+        }
+    }
+
+    #[test]
+    fn von_karman_family_requires_the_mrt_family() {
+        // TRT (and the default) are rejected with the offending field...
+        assert_eq!(
+            JobSpec::parse(r#"{"name": "x", "family": "von-karman"}"#).unwrap_err(),
+            SpecError::Invalid("collision"),
+        );
+        assert_eq!(
+            JobSpec::parse(r#"{"name": "x", "family": "von-karman", "collision": "srt"}"#)
+                .unwrap_err(),
+            SpecError::Invalid("collision"),
+        );
+        // ...while both MRT variants run end-to-end.
+        for label in ["mrt", "mrt-les"] {
+            let s = JobSpec::parse(&format!(
+                r#"{{"name": "x", "family": "von-karman", "collision": "{label}", "cells": 8}}"#
+            ))
+            .unwrap();
+            let sc = s.to_scenario();
+            // 16×8×8 global cells over 4×2×2 blocks → 4³ per block.
+            assert_eq!(sc.cells, [4, 4, 4]);
+            assert_eq!(sc.blocks, [4, 2, 2]);
+            assert!(sc.collision.is_mrt());
+        }
+        // The spanwise-periodic axis needs >= 2 blocks.
+        assert_eq!(
+            JobSpec::parse(
+                r#"{"name": "x", "family": "von-karman", "collision": "mrt", "blocks": 1, "cells": 8}"#
+            )
+            .unwrap_err(),
+            SpecError::Invalid("blocks"),
+        );
+    }
+
+    #[test]
+    fn collision_and_backend_distinguish_cost_templates() {
+        let base = r#"{"name": "x", "family": "cavity"}"#;
+        let mrt = r#"{"name": "x", "family": "cavity", "collision": "mrt"}"#;
+        let wg = r#"{"name": "x", "family": "cavity", "backend": "workgroup"}"#;
+        let a = JobSpec::parse(base).unwrap().template_key();
+        assert_ne!(a, JobSpec::parse(mrt).unwrap().template_key());
+        assert_ne!(a, JobSpec::parse(wg).unwrap().template_key());
     }
 
     #[test]
@@ -359,6 +497,14 @@ mod tests {
             (r#"{"name": "x", "family": "cavity", "cells": 0}"#, SpecError::Invalid("cells")),
             (r#"{"name": "x", "family": "cavity", "cells": 15}"#, SpecError::Invalid("cells")),
             (r#"{"name": "x", "family": "cavity", "ranks": 0}"#, SpecError::Invalid("ranks")),
+            (
+                r#"{"name": "x", "family": "cavity", "collision": "bgk"}"#,
+                SpecError::Invalid("collision"),
+            ),
+            (
+                r#"{"name": "x", "family": "cavity", "backend": "cuda"}"#,
+                SpecError::Invalid("backend"),
+            ),
             // A fault plan outside the resilient schedule would hang,
             // not degrade; refuse it up front.
             (

@@ -103,6 +103,29 @@ pub fn stream_collide_srt_region(
     scalar::stream_collide_srt(f, rel, region)
 }
 
+/// [`stream_collide_trt_region`] pinned to the portable (non-intrinsics)
+/// path regardless of host SIMD support — the in-place sweep of the
+/// portable and workgroup backends. Bitwise identical to the vectorized
+/// path because both perform the same fused operation sequence.
+pub fn stream_collide_trt_portable_region(
+    f: &mut SoaPdfField<D3Q19>,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
+    scalar::stream_collide_trt(f, rel, region)
+}
+
+/// [`stream_collide_srt_region`] pinned to the portable path; see
+/// [`stream_collide_trt_portable_region`].
+pub fn stream_collide_srt_portable_region(
+    f: &mut SoaPdfField<D3Q19>,
+    rel: Relaxation,
+    region: &Region,
+) -> SweepStats {
+    assert!(rel.is_srt(), "SRT kernel requires equal relaxation rates");
+    scalar::stream_collide_srt(f, rel, region)
+}
+
 /// Shared per-sweep setup: validates shape/region and returns the raw
 /// per-direction line pointers into the single buffer. Raw pointers are
 /// required because the in-place pair passes read and write the same two
@@ -160,9 +183,15 @@ mod scalar {
             for x in 0..n {
                 let v = *s.add(x);
                 rho[x] += v;
-                ux[x] += cx * v;
-                uy[x] += cy * v;
-                uz[x] += cz * v;
+                if cx != 0.0 {
+                    ux[x] = cx.mul_add(v, ux[x]);
+                }
+                if cy != 0.0 {
+                    uy[x] = cy.mul_add(v, uy[x]);
+                }
+                if cz != 0.0 {
+                    uz[x] = cz.mul_add(v, uz[x]);
+                }
             }
         }
         let bb = &mut scr.base[..n];
@@ -174,7 +203,8 @@ mod scalar {
             ux[x] = vx;
             uy[x] = vy;
             uz[x] = vz;
-            bb[x] = 1.0 - 1.5 * (vx * vx + vy * vy + vz * vz);
+            let u2 = vz.mul_add(vz, vy.mul_add(vy, vx * vx));
+            bb[x] = (-1.5f64).mul_add(u2, 1.0);
         }
     }
 
@@ -235,8 +265,8 @@ mod scalar {
                         let w0 = WEIGHTS[0];
                         for x in 0..n {
                             let s0 = *p0.add(x);
-                            let feq = w0 * scr.rho[x] * scr.base[x];
-                            *p0.add(x) = s0 + le * (s0 - feq);
+                            let feq = w0 * (scr.rho[x] * scr.base[x]);
+                            *p0.add(x) = le.mul_add(s0 - feq, s0);
                         }
                     }
 
@@ -246,16 +276,17 @@ mod scalar {
                         let c = [C[a][0] as f64, C[a][1] as f64, C[a][2] as f64];
                         let wq = WEIGHTS[a];
                         for x in 0..n {
-                            let cu = c[0] * scr.ux[x] + c[1] * scr.uy[x] + c[2] * scr.uz[x];
+                            let cu =
+                                c[2].mul_add(scr.uz[x], c[1].mul_add(scr.uy[x], c[0] * scr.ux[x]));
                             let t = wq * scr.rho[x];
-                            let feq_even = t * (scr.base[x] + 4.5 * cu * cu);
-                            let feq_odd = 3.0 * t * cu;
+                            let feq_even = t * (4.5f64.mul_add(cu * cu, scr.base[x]));
+                            let feq_odd = (3.0 * t) * cu;
                             let fa = *sa.add(x);
                             let fb = *sb.add(x);
                             let d_even = le * (0.5 * (fa + fb) - feq_even);
                             let d_odd = lo * (0.5 * (fa - fb) - feq_odd);
-                            *da.add(x) = fa + d_even + d_odd;
-                            *db.add(x) = fb + d_even - d_odd;
+                            *da.add(x) = fa + (d_even + d_odd);
+                            *db.add(x) = fb + (d_even - d_odd);
                         }
                     }
                 }
@@ -289,11 +320,13 @@ mod scalar {
 
                     {
                         let p0 = lines[0].add(base);
+                        // cu = 0 for the rest direction, so `inner` is
+                        // just the equilibrium base term.
                         let tw = omega * WEIGHTS[0];
                         for x in 0..n {
-                            let cu = 0.0;
-                            let feq = tw * scr.rho[x] * (scr.base[x] + 3.0 * cu + 4.5 * cu * cu);
-                            *p0.add(x) = om1 * *p0.add(x) + feq;
+                            let inner = scr.base[x];
+                            let t = tw * scr.rho[x];
+                            *p0.add(x) = om1.mul_add(*p0.add(x), t * inner);
                         }
                     }
 
@@ -311,14 +344,18 @@ mod scalar {
                         for x in 0..n {
                             let fa = *sa.add(x);
                             let fb = *sb.add(x);
-                            let cua = ca[0] * scr.ux[x] + ca[1] * scr.uy[x] + ca[2] * scr.uz[x];
-                            let feqa =
-                                twa * scr.rho[x] * (scr.base[x] + 3.0 * cua + 4.5 * cua * cua);
-                            let cub = cb[0] * scr.ux[x] + cb[1] * scr.uy[x] + cb[2] * scr.uz[x];
-                            let feqb =
-                                twb * scr.rho[x] * (scr.base[x] + 3.0 * cub + 4.5 * cub * cub);
-                            *da.add(x) = om1 * fa + feqa;
-                            *db.add(x) = om1 * fb + feqb;
+                            let cua = ca[2]
+                                .mul_add(scr.uz[x], ca[1].mul_add(scr.uy[x], ca[0] * scr.ux[x]));
+                            let inner_a =
+                                3.0f64.mul_add(cua, 4.5f64.mul_add(cua * cua, scr.base[x]));
+                            let ta = twa * scr.rho[x];
+                            let cub = cb[2]
+                                .mul_add(scr.uz[x], cb[1].mul_add(scr.uy[x], cb[0] * scr.ux[x]));
+                            let inner_b =
+                                3.0f64.mul_add(cub, 4.5f64.mul_add(cub * cub, scr.base[x]));
+                            let tb = twb * scr.rho[x];
+                            *da.add(x) = om1.mul_add(fa, ta * inner_a);
+                            *db.add(x) = om1.mul_add(fb, tb * inner_b);
                         }
                     }
                 }

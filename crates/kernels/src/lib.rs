@@ -40,6 +40,7 @@
 //! parity-mapped field accessors.
 
 pub mod avx;
+pub mod backend;
 pub mod boundary;
 pub mod d3q19;
 pub mod dispatch;
@@ -50,6 +51,7 @@ pub mod soa;
 pub mod sparse;
 pub mod stats;
 
+pub use backend::{Avx2Backend, Backend, BackendKind, PortableBackend, WorkgroupBackend};
 pub use boundary::{
     apply_boundaries, apply_boundaries_ghost, apply_boundaries_interior, BoundaryParams,
 };

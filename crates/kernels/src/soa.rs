@@ -95,16 +95,23 @@ fn moment_passes(
     for q in 0..Q {
         let s = src_line(sdirs, q, base, sy, sz, n);
         let (cx, cy, cz) = (C[q][0] as f64, C[q][1] as f64, C[q][2] as f64);
-        // One load stream, up to four scratch streams; the zero velocity
-        // components are folded away per direction by constant propagation
-        // after full unrolling of the q loop is not guaranteed, but the
-        // multiplications are cheap next to the memory traffic.
+        // One load stream, up to four scratch streams. The fused `mul_add`
+        // and the explicit skip of zero velocity components mirror the
+        // AVX2+FMA kernel operation for operation, so the portable and
+        // vectorized tiers produce bitwise identical PDFs — the property
+        // the backend equivalence gate pins.
         for x in 0..n {
             let v = s[x];
             rho[x] += v;
-            ux[x] += cx * v;
-            uy[x] += cy * v;
-            uz[x] += cz * v;
+            if cx != 0.0 {
+                ux[x] = cx.mul_add(v, ux[x]);
+            }
+            if cy != 0.0 {
+                uy[x] = cy.mul_add(v, uy[x]);
+            }
+            if cz != 0.0 {
+                uz[x] = cz.mul_add(v, uz[x]);
+            }
         }
     }
     let bb = &mut scr.base[..n];
@@ -116,7 +123,8 @@ fn moment_passes(
         ux[x] = vx;
         uy[x] = vy;
         uz[x] = vz;
-        bb[x] = 1.0 - 1.5 * (vx * vx + vy * vy + vz * vz);
+        let u2 = vz.mul_add(vz, vy.mul_add(vy, vx * vx));
+        bb[x] = (-1.5f64).mul_add(u2, 1.0);
     }
 }
 
@@ -139,16 +147,16 @@ fn trt_pair_row(
     let (rho, ux, uy, uz, base) =
         (&scr.rho[..n], &scr.ux[..n], &scr.uy[..n], &scr.uz[..n], &scr.base[..n]);
     for x in 0..n {
-        let cu = c[0] * ux[x] + c[1] * uy[x] + c[2] * uz[x];
+        let cu = c[2].mul_add(uz[x], c[1].mul_add(uy[x], c[0] * ux[x]));
         let t = wq * rho[x];
-        let feq_even = t * (base[x] + 4.5 * cu * cu);
-        let feq_odd = 3.0 * t * cu;
+        let feq_even = t * (4.5f64.mul_add(cu * cu, base[x]));
+        let feq_odd = (3.0 * t) * cu;
         let fa = sa[x];
         let fb = sb[x];
         let d_even = le * (0.5 * (fa + fb) - feq_even);
         let d_odd = lo * (0.5 * (fa - fb) - feq_odd);
-        da[x] = fa + d_even + d_odd;
-        db[x] = fb + d_even - d_odd;
+        da[x] = fa + (d_even + d_odd);
+        db[x] = fb + (d_even - d_odd);
     }
 }
 
@@ -198,8 +206,8 @@ pub fn stream_collide_trt_region(
                 let d0 = &mut ddirs[dir::C][base..base + n];
                 let w0 = WEIGHTS[0];
                 for x in 0..n {
-                    let feq = w0 * scr.rho[x] * scr.base[x];
-                    d0[x] = s0[x] + le * (s0[x] - feq);
+                    let feq = w0 * (scr.rho[x] * scr.base[x]);
+                    d0[x] = le.mul_add(s0[x] - feq, s0[x]);
                 }
             }
 
@@ -266,9 +274,10 @@ pub fn stream_collide_srt_region(
                 let (cx, cy, cz) = (C[q][0] as f64, C[q][1] as f64, C[q][2] as f64);
                 let tw = omega * WEIGHTS[q];
                 for x in 0..n {
-                    let cu = cx * scr.ux[x] + cy * scr.uy[x] + cz * scr.uz[x];
-                    let feq = tw * scr.rho[x] * (scr.base[x] + 3.0 * cu + 4.5 * cu * cu);
-                    d[x] = om1 * s[x] + feq;
+                    let cu = cz.mul_add(scr.uz[x], cy.mul_add(scr.uy[x], cx * scr.ux[x]));
+                    let inner = 3.0f64.mul_add(cu, 4.5f64.mul_add(cu * cu, scr.base[x]));
+                    let t = tw * scr.rho[x];
+                    d[x] = om1.mul_add(s[x], t * inner);
                 }
             }
         }

@@ -172,9 +172,15 @@ pub fn stream_collide_trt_row_intervals_region(
                 for x in 0..n {
                     let v = s[x];
                     rho[x] += v;
-                    ux[x] += cx * v;
-                    uy[x] += cy * v;
-                    uz[x] += cz * v;
+                    if cx != 0.0 {
+                        ux[x] = cx.mul_add(v, ux[x]);
+                    }
+                    if cy != 0.0 {
+                        uy[x] = cy.mul_add(v, uy[x]);
+                    }
+                    if cz != 0.0 {
+                        uz[x] = cz.mul_add(v, uz[x]);
+                    }
                 }
             }
             let bb = &mut scr.base[..n];
@@ -184,7 +190,8 @@ pub fn stream_collide_trt_row_intervals_region(
                 ux[x] = vx;
                 uy[x] = vy;
                 uz[x] = vz;
-                bb[x] = 1.0 - 1.5 * (vx * vx + vy * vy + vz * vz);
+                let u2 = vz.mul_add(vz, vy.mul_add(vy, vx * vx));
+                bb[x] = (-1.5f64).mul_add(u2, 1.0);
             }
         }
 
@@ -193,8 +200,8 @@ pub fn stream_collide_trt_row_intervals_region(
             let s0 = &sdirs[dir::C][base..base + n];
             let d0 = &mut ddirs[dir::C][base..base + n];
             for x in 0..n {
-                let feq = WEIGHTS[0] * scr.rho[x] * scr.base[x];
-                d0[x] = s0[x] + le * (s0[x] - feq);
+                let feq = WEIGHTS[0] * (scr.rho[x] * scr.base[x]);
+                d0[x] = le.mul_add(s0[x] - feq, s0[x]);
             }
         }
 
@@ -210,15 +217,15 @@ pub fn stream_collide_trt_row_intervals_region(
             let c = [C[a][0] as f64, C[a][1] as f64, C[a][2] as f64];
             let wq = WEIGHTS[a];
             for x in 0..n {
-                let cu = c[0] * scr.ux[x] + c[1] * scr.uy[x] + c[2] * scr.uz[x];
+                let cu = c[2].mul_add(scr.uz[x], c[1].mul_add(scr.uy[x], c[0] * scr.ux[x]));
                 let t = wq * scr.rho[x];
-                let feq_even = t * (scr.base[x] + 4.5 * cu * cu);
-                let feq_odd = 3.0 * t * cu;
+                let feq_even = t * (4.5f64.mul_add(cu * cu, scr.base[x]));
+                let feq_odd = (3.0 * t) * cu;
                 let (fa, fb) = (sa[x], sb[x]);
                 let d_even = le * (0.5 * (fa + fb) - feq_even);
                 let d_odd = lo * (0.5 * (fa - fb) - feq_odd);
-                da[x] = fa + d_even + d_odd;
-                db[x] = fb + d_even - d_odd;
+                da[x] = fa + (d_even + d_odd);
+                db[x] = fb + (d_even - d_odd);
             }
         }
     }

@@ -1,0 +1,68 @@
+//! Accelerator (GPU-class) device descriptions.
+//!
+//! The paper's machines are CPU-only, but the framework's sparse/dense
+//! block design targets heterogeneous nodes; the [`crate::MachineSpec`]
+//! constants are not enough to model an attached accelerator, whose
+//! performance is shaped by two numbers a CPU socket does not have:
+//! a much higher main-memory bandwidth, and a fixed per-kernel-launch
+//! latency that must be amortized over the cells of a sweep. A
+//! `DeviceSpec` captures exactly those, in the same published-constants
+//! style as the machine specs, and feeds the GPU-class cost model in
+//! `trillium-perfmodel`.
+
+/// Description of one GPU-class accelerator, with everything the
+/// device cost model needs.
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Effective memory bandwidth under LBM-like concurrent load/store
+    /// streams, in GiB/s (the accelerator analogue of
+    /// [`crate::MachineSpec::lbm_bw_gib`]).
+    pub lbm_bw_gib: f64,
+    /// Fixed latency per kernel launch, in microseconds: driver submit
+    /// plus the first-wave memory round trips before the device reaches
+    /// steady-state streaming. Paid once per sweep, so small blocks are
+    /// latency-bound while large dense blocks approach the bandwidth
+    /// roofline.
+    pub launch_latency_us: f64,
+    /// Device memory capacity in GiB (bounds the cells one device rank
+    /// can own).
+    pub mem_gib: f64,
+}
+
+impl DeviceSpec {
+    /// A 2013-era discrete accelerator of the kind contemporary with the
+    /// paper's machines (Kepler class): 250 GB/s STREAM of which LBM-like
+    /// streams draw roughly 70 %, ~6 GiB on board, and a launch overhead
+    /// of several microseconds.
+    pub fn kepler_class() -> Self {
+        DeviceSpec { name: "kepler-class", lbm_bw_gib: 163.0, launch_latency_us: 8.0, mem_gib: 6.0 }
+    }
+
+    /// A modern HBM accelerator: multi-TB/s stacked memory (~3.35 TB/s
+    /// nominal, ~80 % achievable under concurrent streams) and a launch
+    /// latency of a few microseconds. The bandwidth gap to a CPU socket
+    /// is what makes heterogeneous placement worth modeling.
+    pub fn hbm_class() -> Self {
+        DeviceSpec { name: "hbm-class", lbm_bw_gib: 2496.0, launch_latency_us: 4.0, mem_gib: 80.0 }
+    }
+
+    /// Launch latency in seconds.
+    pub fn launch_latency_s(&self) -> f64 {
+        self.launch_latency_us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_classes_are_ordered_by_bandwidth() {
+        let k = DeviceSpec::kepler_class();
+        let h = DeviceSpec::hbm_class();
+        assert!(h.lbm_bw_gib > 10.0 * k.lbm_bw_gib);
+        assert!(k.launch_latency_s() > 0.0 && h.launch_latency_s() > 0.0);
+    }
+}

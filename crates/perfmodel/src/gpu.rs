@@ -1,0 +1,123 @@
+//! Analytic cost model for GPU-class (workgroup) backends.
+//!
+//! A device sweep is modeled as a fixed per-launch latency followed by a
+//! bandwidth-bound streaming phase — the device-side analogue of the
+//! roofline bound the CPU tiers use:
+//!
+//! ```text
+//! T_sweep(cells) = latency + cells · bytes_per_lup / BW
+//! ```
+//!
+//! Two regimes fall out of the sum. Small blocks are *latency bound*:
+//! the launch overhead dominates and the effective MLUPS collapses far
+//! below the roofline, so scattering many small sparse blocks onto a
+//! device wastes it. Large dense blocks amortize the launch and approach
+//! the bandwidth roofline, which — with HBM-class memory an order of
+//! magnitude above a CPU socket — is where heterogeneous placement wins.
+//! The crossover against a CPU rate is exposed directly so placement
+//! policies can reason about it.
+
+use crate::roofline::{bytes_per_lup, roofline_mlups};
+use trillium_machine::DeviceSpec;
+
+/// Latency + bandwidth model of one accelerator running one sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuModel {
+    /// Effective LBM bandwidth in GiB/s.
+    pub bw_gib: f64,
+    /// Fixed per-sweep launch latency in seconds.
+    pub launch_latency_s: f64,
+    /// Velocities of the lattice model (19 for D3Q19).
+    pub q: usize,
+}
+
+impl GpuModel {
+    /// Model built from a device description, for a `q`-velocity lattice.
+    pub fn from_device(dev: &DeviceSpec, q: usize) -> Self {
+        GpuModel { bw_gib: dev.lbm_bw_gib, launch_latency_s: dev.launch_latency_s(), q }
+    }
+
+    /// Wall time of one sweep over `cells` cells, seconds.
+    pub fn sweep_seconds(&self, cells: u64) -> f64 {
+        let bytes = cells as f64 * bytes_per_lup(self.q);
+        self.launch_latency_s + bytes / (self.bw_gib * 1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Effective update rate in MLUPS for a sweep of `cells` cells.
+    pub fn mlups(&self, cells: u64) -> f64 {
+        cells as f64 / self.sweep_seconds(cells) / 1e6
+    }
+
+    /// Bandwidth roofline in MLUPS — the large-block asymptote of
+    /// [`GpuModel::mlups`].
+    pub fn roofline(&self) -> f64 {
+        roofline_mlups(self.bw_gib, self.q)
+    }
+
+    /// Cells per sweep above which the device beats a CPU resource
+    /// delivering `cpu_mlups`, or `None` when the CPU rate exceeds the
+    /// device roofline (no block is big enough). Solves
+    /// `cells / T_sweep(cells) = cpu_mlups · 1e6` for `cells`.
+    pub fn crossover_cells(&self, cpu_mlups: f64) -> Option<u64> {
+        if cpu_mlups >= self.roofline() {
+            return None;
+        }
+        let cpu_lups = cpu_mlups * 1e6;
+        let bw_bytes = self.bw_gib * 1024.0 * 1024.0 * 1024.0;
+        // cells = latency · cpu_lups / (1 − cpu_lups · bytes/BW)
+        let denom = 1.0 - cpu_lups * bytes_per_lup(self.q) / bw_bytes;
+        Some((self.launch_latency_s * cpu_lups / denom).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hbm() -> GpuModel {
+        GpuModel::from_device(&DeviceSpec::hbm_class(), 19)
+    }
+
+    /// Large blocks approach the bandwidth roofline.
+    #[test]
+    fn large_blocks_approach_the_roofline() {
+        let m = hbm();
+        let big = m.mlups(512 * 512 * 512);
+        assert!(big > 0.95 * m.roofline(), "{big} vs roofline {}", m.roofline());
+        assert!(big < m.roofline());
+    }
+
+    /// Small blocks are latency bound: a 16³ block on an HBM device runs
+    /// far below the roofline, slower than the same cells on a CPU socket.
+    #[test]
+    fn small_blocks_are_latency_bound() {
+        let m = hbm();
+        let small = m.mlups(16 * 16 * 16);
+        assert!(small < 0.25 * m.roofline(), "{small} vs {}", m.roofline());
+        // The rate is monotone in block size.
+        assert!(m.mlups(32 * 32 * 32) > small);
+        assert!(m.mlups(64 * 64 * 64) > m.mlups(32 * 32 * 32));
+    }
+
+    /// The crossover against a SuperMUC-socket-class rate (87.8 MLUPS)
+    /// exists and separates the two regimes.
+    #[test]
+    fn crossover_against_a_cpu_socket() {
+        let m = hbm();
+        let x = m.crossover_cells(87.8).expect("socket rate is below the device roofline");
+        assert!(m.mlups(x + x / 10) > 87.8);
+        assert!(m.mlups(x / 2) < 87.8);
+        // A hypothetical CPU above the device roofline never loses.
+        assert_eq!(m.crossover_cells(m.roofline() * 1.01), None);
+    }
+
+    /// The era-matched Kepler-class device still beats a socket on large
+    /// blocks but has a higher relative launch cost.
+    #[test]
+    fn kepler_class_beats_socket_only_on_large_blocks() {
+        let m = GpuModel::from_device(&DeviceSpec::kepler_class(), 19);
+        assert!(m.roofline() > 87.8);
+        let x = m.crossover_cells(87.8).expect("crossover exists");
+        assert!(x > 500, "crossover {x} should be a nontrivial block size");
+    }
+}

@@ -17,6 +17,11 @@
 //!   measured costs, preferring the multilevel graph partitioner and
 //!   falling back to a Morton space-filling-curve cut when the graph
 //!   gain is below a floor.
+//! * [`plan_rebalance_hetero`] — the heterogeneous variant: given a
+//!   [`RankPool`] of per-rank modeled speeds (assembled from
+//!   per-(backend, tier) [`BackendTierTable`] rates), it balances
+//!   modeled wall time instead of raw cost, so GPU-class ranks receive
+//!   proportionally more work than CPU sockets.
 //!
 //! The crate is deliberately communication-free: callers allgather
 //! [`BlockRecord`]s (via `trillium-comm`) and every rank runs the same
@@ -27,10 +32,15 @@
 
 pub mod cost;
 pub mod detector;
+pub mod hetero;
 pub mod plan;
 
 pub use cost::EwmaCostModel;
 pub use detector::ImbalanceDetector;
+pub use hetero::{
+    hetero_load_ratio, makespan, plan_rebalance_hetero, rank_times, BackendTierRate,
+    BackendTierTable, RankPool,
+};
 pub use plan::{
     plan_rebalance, BlockRecord, Migration, PlanError, PlanMethod, PlanOptions, RebalancePlan,
 };

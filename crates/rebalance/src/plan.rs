@@ -236,7 +236,7 @@ impl RebalancePlan {
     }
 }
 
-fn load_ratio(records: &[BlockRecord], assignment: &[u32], num_ranks: u32) -> f64 {
+pub(crate) fn load_ratio(records: &[BlockRecord], assignment: &[u32], num_ranks: u32) -> f64 {
     let mut per_rank = vec![0.0f64; num_ranks as usize];
     for (r, &a) in records.iter().zip(assignment) {
         per_rank[a as usize] += r.cost;
@@ -250,7 +250,7 @@ fn load_ratio(records: &[BlockRecord], assignment: &[u32], num_ranks: u32) -> f6
 }
 
 /// Scales coords to the finest level present so adjacency nests.
-fn scaled_coords(r: &BlockRecord, max_level: u8) -> [u64; 3] {
+pub(crate) fn scaled_coords(r: &BlockRecord, max_level: u8) -> [u64; 3] {
     let s = (max_level - r.level) as u64;
     [(r.coords[0] as u64) << s, (r.coords[1] as u64) << s, (r.coords[2] as u64) << s]
 }

@@ -1,0 +1,142 @@
+//! The backend abstraction's correctness contract: the portable, AVX2
+//! and workgroup backends must produce bitwise identical PDFs on every
+//! driver schedule — synchronous, overlapped, rebalanced (with real
+//! block migrations) and resilient under injected faults — and under
+//! both update schemes. Bitwise equality is what makes a backend a pure
+//! *cost* choice: the heterogeneous placement planner can move a block
+//! between a CPU socket and a workgroup device mid-run, and fault
+//! recovery can replay a checkpoint on a different backend, without
+//! perturbing the physics by a single ULP.
+
+use trillium_core::driver::{
+    run_distributed_rebalanced, run_distributed_with, DriverConfig, RebalanceConfig,
+};
+use trillium_core::prelude::*;
+
+const STEPS: u64 = 24;
+
+fn cavity(kernel: KernelChoice, backend: BackendKind) -> Scenario {
+    Scenario::lid_driven_cavity(16, 2, 0.05, 0.08).with_kernel(kernel).with_backend(backend)
+}
+
+fn pdf_cfg(overlap: bool) -> DriverConfig {
+    DriverConfig { overlap, collect_pdfs: true, ..DriverConfig::default() }
+}
+
+/// Synchronous and overlapped schedules, pull and in-place schemes: all
+/// three backends land on the identical PDFs, odd and even step counts
+/// alike.
+#[test]
+fn backends_agree_on_sync_and_overlapped_schedules() {
+    for kernel in [KernelChoice::Pull, KernelChoice::InPlace] {
+        for steps in [STEPS, STEPS + 1] {
+            for overlap in [false, true] {
+                let reference = run_distributed_with(
+                    &cavity(kernel, BackendKind::Avx2),
+                    4,
+                    1,
+                    steps,
+                    &[],
+                    pdf_cfg(overlap),
+                );
+                for backend in [BackendKind::Portable, BackendKind::Workgroup] {
+                    let run = run_distributed_with(
+                        &cavity(kernel, backend),
+                        4,
+                        1,
+                        steps,
+                        &[],
+                        pdf_cfg(overlap),
+                    );
+                    assert_eq!(
+                        reference.pdf_dump(),
+                        run.pdf_dump(),
+                        "{kernel:?} {backend:?} overlap={overlap} {steps} steps"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The rebalanced schedule migrates blocks between ranks; the received
+/// block is re-stamped with the scenario backend, so the run must stay
+/// bitwise equal to the sync reference on every backend.
+#[test]
+fn backends_agree_under_rebalancing_migrations() {
+    let cfg = || RebalanceConfig {
+        every_n_steps: 5,
+        threshold: 1.3,
+        hysteresis: 2,
+        collect_pdfs: true,
+        ..RebalanceConfig::default()
+    };
+    let reference = run_distributed_with(
+        &cavity(KernelChoice::Pull, BackendKind::Avx2),
+        2,
+        1,
+        STEPS,
+        &[],
+        pdf_cfg(false),
+    );
+    for backend in BackendKind::ALL {
+        let skewed = cavity(KernelChoice::Pull, backend).with_skewed_balance(0.9);
+        let run = run_distributed_rebalanced(&skewed, 2, 1, STEPS, cfg());
+        assert!(
+            run.total_migrations() >= 1,
+            "the skewed assignment must trigger at least one migration ({backend:?})"
+        );
+        assert_eq!(reference.pdf_dump(), run.pdf_dump(), "rebalanced {backend:?}");
+    }
+}
+
+/// The resilient schedule: checkpoints carry no backend identity (it is
+/// scenario-global and re-stamped on restore), so rollback + replay on
+/// any backend must land exactly on the reference.
+#[test]
+fn backends_agree_through_fault_recovery() {
+    let reference = run_distributed_with(
+        &cavity(KernelChoice::InPlace, BackendKind::Avx2),
+        4,
+        1,
+        STEPS,
+        &[],
+        pdf_cfg(false),
+    );
+    for backend in BackendKind::ALL {
+        let rc = ResilienceConfig {
+            checkpoint_every: 5,
+            fault: Some(FaultConfig::new(11).with_crash(1, 13)),
+            driver: pdf_cfg(false),
+            ..ResilienceConfig::default()
+        };
+        let res = run_distributed_resilient(
+            &cavity(KernelChoice::InPlace, backend),
+            4,
+            1,
+            STEPS,
+            &[],
+            &rc,
+        )
+        .expect("single crash is recoverable");
+        assert_eq!(res.recoveries(), 1, "the injected crash must cause one rollback");
+        assert_eq!(reference.pdf_dump(), res.run.pdf_dump(), "resilient {backend:?}");
+    }
+}
+
+/// The MRT family runs through backend dispatch too: a short MRT-LES run
+/// agrees across backends on the sync schedule.
+#[test]
+fn backends_agree_with_mrt_les() {
+    let scenario = |backend| {
+        Scenario::lid_driven_cavity(16, 2, 0.05, 0.08)
+            .with_collision(Collision::MrtLes)
+            .with_backend(backend)
+    };
+    let reference =
+        run_distributed_with(&scenario(BackendKind::Avx2), 4, 1, STEPS, &[], pdf_cfg(false));
+    for backend in [BackendKind::Portable, BackendKind::Workgroup] {
+        let run = run_distributed_with(&scenario(backend), 4, 1, STEPS, &[], pdf_cfg(false));
+        assert_eq!(reference.pdf_dump(), run.pdf_dump(), "mrt-les {backend:?}");
+    }
+}
